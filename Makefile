@@ -1,0 +1,58 @@
+# Convenience targets for the rtsync reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt cover experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+test: build vet
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -run NONE -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper figure + ablation at moderate replication into
+# results/ (about 10 minutes on a laptop).
+experiments: build
+	mkdir -p results
+	$(GO) run ./cmd/rtexperiments -figure 12 -systems 200 > results/fig12.txt
+	$(GO) run ./cmd/rtexperiments -figure 13 -systems 200 > results/fig13.txt
+	$(GO) run ./cmd/rtexperiments -figure 14 -systems 50 > results/fig14.txt
+	$(GO) run ./cmd/rtexperiments -figure 15 -systems 50 > results/fig15.txt
+	$(GO) run ./cmd/rtexperiments -figure 16 -systems 50 > results/fig16.txt
+	$(GO) run ./cmd/rtexperiments -figure rg-rule2 -systems 50 > results/rg-rule2.txt
+	$(GO) run ./cmd/rtexperiments -figure jitter -systems 50 > results/jitter.txt
+	$(GO) run ./cmd/rtexperiments -figure release-jitter -systems 20 > results/release-jitter.txt
+	$(GO) run ./cmd/rtexperiments -figure tightness -systems 40 > results/tightness.txt
+	$(GO) run ./cmd/rtexperiments -figure edf -systems 30 -horizon-periods 10 > results/edf.txt
+	$(GO) run ./cmd/rtexperiments -figure exec-variation -systems 10 -horizon-periods 10 > results/exec-variation.txt
+	$(GO) run ./cmd/rtexperiments -figure sensitivity -systems 15 -horizon-periods 10 > results/sensitivity.txt
+	$(GO) run ./cmd/rtexperiments -figure overhead > results/overhead.txt
+
+examples: build
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/example2
+	$(GO) run ./examples/monitor
+	$(GO) run ./examples/jitterstudy
+	$(GO) run ./examples/sensorhub
+	$(GO) run ./examples/edfstudy
+	$(GO) run ./examples/fleet -systems 3
+
+clean:
+	rm -f results/*.csv

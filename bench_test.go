@@ -1,0 +1,296 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// per figure (12–16) plus the ablations, at reduced replication so the
+// whole suite runs in minutes on a laptop; use cmd/rtexperiments for
+// full-scale sweeps. Micro-benchmarks cover the analysis algorithms, the
+// simulator, and the workload generator individually.
+//
+// Shape expectations (paper §5; see EXPERIMENTS.md for full-scale numbers)
+// are asserted by the tests in internal/experiments; benchmarks only
+// measure cost.
+package rtsync_test
+
+import (
+	"testing"
+
+	"rtsync"
+	"rtsync/internal/experiments"
+	"rtsync/internal/workload"
+)
+
+// benchParams returns a reduced sweep: the four corner configurations. n
+// controls systems per configuration.
+func benchParams(systems int) rtsync.ExperimentParams {
+	return rtsync.ExperimentParams{
+		Configs: []rtsync.WorkloadConfig{
+			rtsync.DefaultWorkloadConfig(2, 0.5),
+			rtsync.DefaultWorkloadConfig(2, 0.9),
+			rtsync.DefaultWorkloadConfig(8, 0.5),
+			rtsync.DefaultWorkloadConfig(8, 0.9),
+		},
+		SystemsPerConfig: systems,
+		Seed:             1,
+		HorizonPeriods:   10,
+	}
+}
+
+// benchSystem generates a mid-grid workload once.
+func benchSystem(b *testing.B, n int, u float64, seed int64) *rtsync.System {
+	b.Helper()
+	cfg := rtsync.DefaultWorkloadConfig(n, u)
+	cfg.Seed = seed
+	sys, err := rtsync.GenerateWorkload(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkFig12FailureRate regenerates Figure 12 (DS failure rates) on the
+// corner configurations.
+func BenchmarkFig12FailureRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams(3)
+		p.Seed = int64(i + 1)
+		if _, err := rtsync.Fig12FailureRate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13BoundRatio regenerates Figure 13 (SA/DS ÷ SA/PM bound
+// ratios).
+func BenchmarkFig13BoundRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams(3)
+		p.Seed = int64(i + 1)
+		if _, err := rtsync.Fig13BoundRatio(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14to16AvgEER regenerates Figures 14–16 (the PM/DS, RG/DS and
+// PM/RG average-EER ratio surfaces come from the same simulation sweep)
+// plus the RG-rule-2 and jitter ablations.
+func BenchmarkFig14to16AvgEER(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams(2)
+		p.Seed = int64(i + 1)
+		if _, err := rtsync.AvgEERStudy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRGRule2 isolates the rule-2 ablation sweep on one
+// high-load configuration.
+func BenchmarkAblationRGRule2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := rtsync.ExperimentParams{
+			Configs:          []rtsync.WorkloadConfig{rtsync.DefaultWorkloadConfig(6, 0.9)},
+			SystemsPerConfig: 2,
+			Seed:             int64(i + 1),
+			HorizonPeriods:   10,
+		}
+		if _, err := rtsync.AvgEERStudy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReleaseJitterStudy measures extension A3 (sporadic first
+// releases; PM precedence violations).
+func BenchmarkReleaseJitterStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := rtsync.ExperimentParams{
+			Configs:          []rtsync.WorkloadConfig{rtsync.DefaultWorkloadConfig(4, 0.6)},
+			SystemsPerConfig: 2,
+			Seed:             int64(i + 1),
+			HorizonPeriods:   10,
+		}
+		if _, err := experiments.ReleaseJitterStudy(p, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSAPM measures Algorithm SA/PM on one (5,70) system.
+func BenchmarkSAPM(b *testing.B) {
+	sys := benchSystem(b, 5, 0.7, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtsync.AnalyzePM(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSADS measures Algorithm SA/DS (iterated IEERT) on one (5,70)
+// system.
+func BenchmarkSADS(b *testing.B) {
+	sys := benchSystem(b, 5, 0.7, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtsync.AnalyzeDS(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSADSDiverging measures SA/DS on a failing (8,90) system with
+// StopOnFailure, the Figure 12 hot path.
+func BenchmarkSADSDiverging(b *testing.B) {
+	sys := benchSystem(b, 8, 0.9, 3)
+	opts := rtsync.DefaultAnalysisOptions()
+	opts.StopOnFailure = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtsync.AnalyzeDSWith(sys, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimulate runs one protocol over a fixed workload for 10 periods.
+func benchSimulate(b *testing.B, mk func(*rtsync.System) (rtsync.Protocol, error)) {
+	sys := benchSystem(b, 5, 0.7, 11)
+	horizon := rtsync.Time(int64(sys.MaxPeriod()) * 10)
+	protocol, err := mk(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtsync.Simulate(sys, rtsync.SimConfig{Protocol: protocol, Horizon: horizon}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// pmBounds derives PM/MPM bounds for a system.
+func pmBounds(sys *rtsync.System) (rtsync.Bounds, error) {
+	res, err := rtsync.AnalyzePM(sys)
+	if err != nil {
+		return nil, err
+	}
+	return rtsync.BoundsFrom(res)
+}
+
+// BenchmarkSimulateDS measures a 10-period DS simulation of a (5,70)
+// system.
+func BenchmarkSimulateDS(b *testing.B) {
+	benchSimulate(b, func(*rtsync.System) (rtsync.Protocol, error) { return rtsync.NewDS(), nil })
+}
+
+// BenchmarkSimulatePM measures the same run under PM.
+func BenchmarkSimulatePM(b *testing.B) {
+	benchSimulate(b, func(sys *rtsync.System) (rtsync.Protocol, error) {
+		bd, err := pmBounds(sys)
+		if err != nil {
+			return nil, err
+		}
+		return rtsync.NewPM(bd), nil
+	})
+}
+
+// BenchmarkSimulateMPM measures the same run under MPM.
+func BenchmarkSimulateMPM(b *testing.B) {
+	benchSimulate(b, func(sys *rtsync.System) (rtsync.Protocol, error) {
+		bd, err := pmBounds(sys)
+		if err != nil {
+			return nil, err
+		}
+		return rtsync.NewMPM(bd), nil
+	})
+}
+
+// BenchmarkSimulateRG measures the same run under RG.
+func BenchmarkSimulateRG(b *testing.B) {
+	benchSimulate(b, func(*rtsync.System) (rtsync.Protocol, error) { return rtsync.NewRG(), nil })
+}
+
+// BenchmarkSimulateEDF measures the same run as BenchmarkSimulateRG but
+// dispatched by EDF over proportional local deadlines.
+func BenchmarkSimulateEDF(b *testing.B) {
+	sys := benchSystem(b, 5, 0.7, 11)
+	if err := rtsync.AssignLocalDeadlines(sys, rtsync.ProportionalSlice); err != nil {
+		b.Fatal(err)
+	}
+	horizon := rtsync.Time(int64(sys.MaxPeriod()) * 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := rtsync.Simulate(sys, rtsync.SimConfig{
+			Protocol:  rtsync.NewRG(),
+			Scheduler: rtsync.EDFScheduler,
+			Horizon:   horizon,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeEDF measures the demand-bound certification.
+func BenchmarkAnalyzeEDF(b *testing.B) {
+	sys := benchSystem(b, 5, 0.7, 11)
+	if err := rtsync.AssignLocalDeadlines(sys, rtsync.ProportionalSlice); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtsync.AnalyzeEDF(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeDSHolistic measures the Tindell & Clark comparator on the
+// same system as BenchmarkSADS.
+func BenchmarkAnalyzeDSHolistic(b *testing.B) {
+	sys := benchSystem(b, 5, 0.7, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtsync.AnalyzeDSHolistic(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExhaustiveWorstCase measures the phase-space search on the
+// paper's Example 2 (144 phase vectors).
+func BenchmarkExhaustiveWorstCase(b *testing.B) {
+	sys := rtsync.Example2()
+	for i := 0; i < b.N; i++ {
+		_, err := rtsync.ExhaustiveWorstEER(sys, func(*rtsync.System) (rtsync.Protocol, error) {
+			return rtsync.NewDS(), nil
+		}, rtsync.ExhaustiveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGen measures §5.1 workload synthesis.
+func BenchmarkWorkloadGen(b *testing.B) {
+	cfg := workload.DefaultConfig(8, 0.9)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := workload.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExample2Analysis measures both analyses on the paper's tiny
+// Example 2 — the minimum-latency reference point.
+func BenchmarkExample2Analysis(b *testing.B) {
+	sys := rtsync.Example2()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtsync.AnalyzePM(sys); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rtsync.AnalyzeDS(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rtsync/internal/model"
+)
+
+func TestRunExample2Both(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-example", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"SA/PM", "SA/DS", "T(2,1)", "EER bound",
+		"bound comparison", "holistic", "1.600", // T3: 8/5
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSingleAlgorithms(t *testing.T) {
+	for _, algo := range []string{"sapm", "sads", "holistic"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-algo", algo, "-example", "1"}, &buf); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(buf.String(), "per-task end-to-end bounds") {
+			t.Errorf("%s output malformed:\n%s", algo, buf.String())
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sys.json")
+	if err := model.Example2().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "T2") {
+		t.Errorf("file analysis malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunFailureFactor(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-failure-factor", "1", "-algo", "sads", "-example", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// With factor 1, T3's bound 8 > 6 becomes infinite.
+	if !strings.Contains(buf.String(), "inf") {
+		t.Errorf("factor-1 run should report inf:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                  // no input
+		{"-example", "9"},                   // bad example
+		{"-algo", "bogus", "-example", "2"}, // bad algo
+		{"/does/not/exist.json"},            // missing file
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

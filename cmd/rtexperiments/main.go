@@ -1,0 +1,237 @@
+// Command rtexperiments regenerates the paper's evaluation figures
+// (§5, Figures 12–16) and this reproduction's ablations over freshly
+// generated workloads.
+//
+// Usage:
+//
+//	rtexperiments -figure 12 -systems 100
+//	rtexperiments -figure 14 -systems 25 -horizon-periods 20
+//	rtexperiments -figure all -systems 25
+//	rtexperiments -figure overhead
+//	rtexperiments -figure release-jitter -systems 10
+//
+// Figures 14, 15 and 16 come from one shared simulation sweep, so asking
+// for any of them runs the same study. CSV export: -csv prefix writes
+// <prefix>-figNN.csv files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"rtsync/internal/experiments"
+	"rtsync/internal/report"
+	"rtsync/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rtexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("rtexperiments", flag.ContinueOnError)
+	var (
+		figure  = fs.String("figure", "all", "12, 13, 14, 15, 16, rg-rule2, jitter, release-jitter, tightness, edf, exec-variation, sensitivity, overhead, or all")
+		systems = fs.Int("systems", 50, "systems per configuration (paper: 1000)")
+		seed    = fs.Int64("seed", 1, "sweep seed")
+		hp      = fs.Int64("horizon-periods", 20, "simulation horizon in multiples of the max period")
+		nMin    = fs.Int("nmin", 2, "smallest subtask count")
+		nMax    = fs.Int("nmax", 8, "largest subtask count")
+		csv     = fs.String("csv", "", "also write CSV files with this path prefix")
+		jitter  = fs.Float64("jitter-fraction", 0.5, "release-jitter study: max extra delay as a fraction of the period")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var configs []workload.Config
+	for n := *nMin; n <= *nMax; n++ {
+		for _, u := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+			configs = append(configs, workload.DefaultConfig(n, u))
+		}
+	}
+	p := experiments.Params{
+		Configs:          configs,
+		SystemsPerConfig: *systems,
+		Seed:             *seed,
+		HorizonPeriods:   *hp,
+	}
+
+	emit := func(name string, t *report.Table) error {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if *csv != "" {
+			path := fmt.Sprintf("%s-%s.csv", *csv, name)
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := t.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		return nil
+	}
+
+	want := func(names ...string) bool {
+		if *figure == "all" {
+			return true
+		}
+		for _, n := range names {
+			if *figure == n {
+				return true
+			}
+		}
+		return false
+	}
+	ran := false
+
+	if want("12") {
+		ran = true
+		start := time.Now()
+		res, err := experiments.Fig12FailureRate(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[figure 12: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		if err := emit("fig12", res.Table()); err != nil {
+			return err
+		}
+	}
+	if want("13") {
+		ran = true
+		start := time.Now()
+		res, err := experiments.Fig13BoundRatio(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[figure 13: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		if err := emit("fig13", res.Table()); err != nil {
+			return err
+		}
+		if err := emit("fig13-ci", res.CITable()); err != nil {
+			return err
+		}
+		if err := emit("fig13-holistic", res.HolisticTable()); err != nil {
+			return err
+		}
+	}
+	if want("14", "15", "16", "rg-rule2", "jitter") {
+		ran = true
+		start := time.Now()
+		res, err := experiments.AvgEERStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[figures 14-16 + ablations: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		if want("14") {
+			if err := emit("fig14", res.Fig14Table()); err != nil {
+				return err
+			}
+		}
+		if want("15") {
+			if err := emit("fig15", res.Fig15Table()); err != nil {
+				return err
+			}
+		}
+		if want("16") {
+			if err := emit("fig16", res.Fig16Table()); err != nil {
+				return err
+			}
+		}
+		if want("rg-rule2") {
+			if err := emit("rg-rule2", res.RGRule2Table()); err != nil {
+				return err
+			}
+		}
+		if want("jitter") {
+			if err := emit("jitter", res.JitterTable()); err != nil {
+				return err
+			}
+		}
+	}
+	if want("release-jitter") {
+		ran = true
+		start := time.Now()
+		res, err := experiments.ReleaseJitterStudy(p, *jitter)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[release-jitter study: %v]\n", time.Since(start).Round(time.Millisecond))
+		if err := emit("release-jitter", res.Table()); err != nil {
+			return err
+		}
+	}
+	if want("edf") {
+		ran = true
+		start := time.Now()
+		res, err := experiments.EDFStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[EDF study: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		if err := emit("edf", res.Table()); err != nil {
+			return err
+		}
+	}
+	if want("exec-variation") {
+		ran = true
+		start := time.Now()
+		res, err := experiments.ExecVariationStudy(p, []float64{1.0, 0.75, 0.5, 0.25})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[exec-variation study: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		if err := emit("exec-variation", res.Table()); err != nil {
+			return err
+		}
+	}
+	if want("tightness") {
+		ran = true
+		start := time.Now()
+		res, err := experiments.TightnessStudy(*systems, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[tightness study: %d tiny systems, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		if err := emit("tightness", res.Table()); err != nil {
+			return err
+		}
+	}
+	if want("sensitivity") {
+		ran = true
+		start := time.Now()
+		res, err := experiments.SensitivityStudy(p, 5, 0.7,
+			[][2]int{{3, 8}, {4, 12}, {6, 12}, {4, 18}, {8, 24}})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[sensitivity study: %d systems/shape, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		if err := emit("sensitivity", res.Table()); err != nil {
+			return err
+		}
+	}
+	if want("overhead") {
+		ran = true
+		if err := emit("overhead", experiments.OverheadTable()); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown -figure %q", *figure)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func miniArgs(extra ...string) []string {
+	base := []string{"-systems", "2", "-nmin", "2", "-nmax", "3", "-horizon-periods", "5"}
+	return append(base, extra...)
+}
+
+func TestRunFigure12(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(miniArgs("-figure", "12"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 12") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunFigure13WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "out")
+	var buf bytes.Buffer
+	if err := run(miniArgs("-figure", "13", "-csv", prefix), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"out-fig13.csv", "out-fig13-ci.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("csv %s: %v", name, err)
+		}
+		if !strings.HasPrefix(string(data), "N\\U%") {
+			t.Errorf("%s header: %q", name, string(data[:10]))
+		}
+	}
+}
+
+func TestRunSimulationFigures(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(miniArgs("-figure", "15"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 15") {
+		t.Errorf("output:\n%s", out)
+	}
+	if strings.Contains(out, "Figure 14") {
+		t.Error("asking for 15 should not print 14")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(miniArgs("-figure", "rg-rule2"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Ablation A1") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run(miniArgs("-figure", "jitter"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Ablation A2") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunReleaseJitter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(miniArgs("-figure", "release-jitter"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "A3") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunOverhead(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "overhead"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DS", "PM", "MPM", "RG", "global clock"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("overhead table missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "99"}, &buf); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunTightness(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "tightness", "-systems", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "A5") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rtsync/internal/model"
+)
+
+func TestRunSingleFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sys.json")
+	err := run([]string{"-subtasks", "3", "-util", "0.6", "-seed", "9", "-o", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := model.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Tasks) != 12 || len(sys.Tasks[0].Subtasks) != 3 {
+		t.Errorf("generated shape wrong: %v", sys)
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-subtasks", "2", "-util", "0.5", "-count", "3", "-o", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		path := filepath.Join(dir, "sys-00"+string(rune('0'+k))+".json")
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("missing %s: %v", path, err)
+		}
+	}
+	// Distinct seeds give distinct systems.
+	a, err := model.LoadFile(filepath.Join(dir, "sys-000.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := model.LoadFile(filepath.Join(dir, "sys-001.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() && a.Tasks[0].Period == b.Tasks[0].Period {
+		t.Error("batch systems look identical")
+	}
+}
+
+func TestRunCustomShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sys.json")
+	err := run([]string{"-subtasks", "2", "-util", "0.5", "-procs", "3",
+		"-tasks", "5", "-phases=false", "-o", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := model.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Procs) != 3 || len(sys.Tasks) != 5 {
+		t.Errorf("custom shape wrong: %v", sys)
+	}
+	for i := range sys.Tasks {
+		if sys.Tasks[i].Phase != 0 {
+			t.Errorf("phases should be zero with -phases=false")
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-count", "0"},
+		{"-util", "1.5"},
+		{"-subtasks", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Command rtsim simulates a distributed real-time system under one of the
+// paper's synchronization protocols and reports metrics, an optional gantt
+// chart, and trace-invariant checks.
+//
+// Usage:
+//
+//	rtsim -protocol rg -horizon 30 -gantt -example 2
+//	rtsim -protocol ds -horizon 100000 system.json
+//	rtsim -protocol pm system.json       # bounds from SA/PM automatically
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/gantt"
+	"rtsync/internal/model"
+	"rtsync/internal/report"
+	"rtsync/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rtsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("rtsim", flag.ContinueOnError)
+	var (
+		protoName = fs.String("protocol", "rg", "protocol: ds, pm, mpm, rg, rg1, or all (side-by-side comparison)")
+		horizon   = fs.Int64("horizon", 0, "simulation horizon in ticks (default 20x max period)")
+		example   = fs.Int("example", 0, "use built-in example system (1 or 2)")
+		chart     = fs.Bool("gantt", false, "render an ASCII schedule chart")
+		chartTo   = fs.Int64("gantt-to", 0, "chart window end (default: horizon)")
+		scale     = fs.Int64("gantt-scale", 1, "ticks per chart column")
+		validate  = fs.Bool("validate", true, "check trace invariants after the run")
+		traceOut  = fs.String("trace-out", "", "save the full execution trace as JSON (inspect with rttrace)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sys *model.System
+	switch {
+	case *example == 1:
+		sys = model.Example1()
+	case *example == 2:
+		sys = model.Example2()
+	case *example != 0:
+		return fmt.Errorf("unknown example %d (want 1 or 2)", *example)
+	case fs.NArg() == 1:
+		var err error
+		sys, err = model.LoadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: rtsim [flags] system.json (or -example N)")
+	}
+
+	h := model.Time(*horizon)
+	if h <= 0 {
+		h = model.Time(int64(sys.MaxPeriod()) * 20)
+	}
+	if *protoName == "all" {
+		return runComparison(w, sys, h)
+	}
+	protocol, err := buildProtocol(*protoName, sys)
+	if err != nil {
+		return err
+	}
+	needTrace := *chart || *validate || *traceOut != ""
+	out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: h, Trace: needTrace})
+	if err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		if err := out.Trace.SaveFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *traceOut)
+	}
+
+	fmt.Fprintf(w, "protocol %s, horizon %v, %d events, %d preemptions\n\n",
+		protocol.Name(), h, out.Metrics.Events, out.Metrics.Preemptions)
+
+	t := report.NewTable("per-task end-to-end response times",
+		"task", "completed", "avg EER", "max EER", "max jitter", "misses")
+	for i := range sys.Tasks {
+		tm := &out.Metrics.Tasks[i]
+		t.AddRowf(sys.Tasks[i].Name, tm.Completed, tm.AvgEER(),
+			tm.MaxEER.String(), tm.MaxOutputJitter.String(), tm.DeadlineMisses)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if out.Metrics.PrecedenceViolations > 0 {
+		fmt.Fprintf(w, "\nWARNING: %d precedence violations\n", out.Metrics.PrecedenceViolations)
+	}
+	if out.Metrics.Overruns > 0 {
+		fmt.Fprintf(w, "WARNING: %d bound overruns\n", out.Metrics.Overruns)
+	}
+
+	if *chart {
+		to := model.Time(*chartTo)
+		if to == 0 {
+			to = h
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, gantt.Render(out.Trace, gantt.Options{
+			To:         to,
+			Scale:      model.Duration(*scale),
+			RulerEvery: 10,
+		}))
+	}
+
+	if *validate {
+		opts := sim.ValidateOptions{
+			CheckPrecedence: true,
+			CheckRGSpacing:  protocol.Name() == "RG",
+		}
+		if problems := sim.Validate(out.Trace, opts); len(problems) > 0 {
+			fmt.Fprintf(w, "\ntrace validation FAILED:\n")
+			for _, p := range problems {
+				fmt.Fprintf(w, "  %s\n", p)
+			}
+			return fmt.Errorf("%d trace invariant violations", len(problems))
+		}
+		fmt.Fprintln(w, "\ntrace validation passed")
+	}
+	return nil
+}
+
+// runComparison simulates every runnable protocol over the same system and
+// prints a side-by-side summary (avg, p95 and max EER, jitter, misses).
+func runComparison(w io.Writer, sys *model.System, h model.Time) error {
+	names := []string{"ds", "rg", "rg1", "pm", "mpm"}
+	t := report.NewTable(fmt.Sprintf("protocol comparison (horizon %v)", h),
+		"protocol", "task", "avg EER", "p95 EER", "max EER", "max jitter", "misses")
+	for _, name := range names {
+		protocol, err := buildProtocol(name, sys)
+		if err != nil {
+			fmt.Fprintf(w, "skipping %s: %v\n", name, err)
+			continue
+		}
+		out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: h, CollectSamples: true})
+		if err != nil {
+			return err
+		}
+		for i := range sys.Tasks {
+			tm := &out.Metrics.Tasks[i]
+			p95 := "-"
+			if v, ok := tm.EERPercentile(95); ok {
+				p95 = fmt.Sprintf("%.0f", v)
+			}
+			t.AddRowf(protocol.Name(), sys.Tasks[i].Name, tm.AvgEER(), p95,
+				tm.MaxEER.String(), tm.MaxOutputJitter.String(), tm.DeadlineMisses)
+		}
+	}
+	return t.Render(w)
+}
+
+// buildProtocol constructs the requested protocol, deriving SA/PM bounds
+// when PM or MPM asks for them.
+func buildProtocol(name string, sys *model.System) (sim.Protocol, error) {
+	switch name {
+	case "ds":
+		return sim.NewDS(), nil
+	case "rg":
+		return sim.NewRG(), nil
+	case "rg1":
+		return sim.NewRGRule1Only(), nil
+	case "pm", "mpm":
+		res, err := analysis.AnalyzePM(sys, analysis.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		b := make(sim.Bounds, len(res.Subtasks))
+		for id, sb := range res.Subtasks {
+			if sb.Response.IsInfinite() {
+				return nil, fmt.Errorf("cannot run %s: SA/PM bound for %v is infinite", name, id)
+			}
+			b[id] = sb.Response
+		}
+		if name == "pm" {
+			return sim.NewPM(b), nil
+		}
+		return sim.NewMPM(b), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (want ds, pm, mpm, rg, rg1)", name)
+	}
+}

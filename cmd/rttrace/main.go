@@ -1,0 +1,106 @@
+// Command rttrace inspects simulation traces saved by rtsim -trace-out:
+// it re-validates every invariant, renders the schedule as a gantt chart,
+// and summarizes per-task response behaviour — all offline, from the
+// self-contained trace file.
+//
+// Usage:
+//
+//	rtsim -protocol rg -example 2 -horizon 30 -trace-out run.json
+//	rttrace -gantt -gantt-to 12 run.json
+//	rttrace -validate=false -summary run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rtsync/internal/gantt"
+	"rtsync/internal/model"
+	"rtsync/internal/report"
+	"rtsync/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rttrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("rttrace", flag.ContinueOnError)
+	var (
+		chart    = fs.Bool("gantt", false, "render the schedule as an ASCII chart")
+		from     = fs.Int64("gantt-from", 0, "chart window start")
+		to       = fs.Int64("gantt-to", 0, "chart window end (0: end of trace)")
+		scale    = fs.Int64("gantt-scale", 1, "ticks per chart column")
+		validate = fs.Bool("validate", true, "check trace invariants")
+		summary  = fs.Bool("summary", true, "print per-subtask summary")
+		rg       = fs.Bool("check-rg-spacing", false, "also check the Release Guard spacing invariant")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: rttrace [flags] trace.json")
+	}
+	tr, err := sim.LoadTraceFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	s := tr.System()
+	fmt.Fprintf(w, "trace: %s scheduling, %d jobs, %d segments, %d processors\n\n",
+		tr.Scheduler, len(tr.Jobs), len(tr.Segments), len(s.Procs))
+
+	if *summary {
+		t := report.NewTable("per-subtask summary", "subtask", "proc", "released", "completed", "max response")
+		for _, id := range s.SubtaskIDs() {
+			var released, completed int64
+			var maxResp model.Duration
+			for _, rec := range tr.Jobs {
+				if rec.Job.ID != id {
+					continue
+				}
+				released++
+				if rec.Completion != model.TimeInfinity {
+					completed++
+					if r := rec.Completion.Sub(rec.Release); r > maxResp {
+						maxResp = r
+					}
+				}
+			}
+			t.AddRowf(id.String(), s.Procs[s.Subtask(id).Proc].Name, released, completed, maxResp.String())
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if *chart {
+		fmt.Fprint(w, gantt.Render(tr, gantt.Options{
+			From:       model.Time(*from),
+			To:         model.Time(*to),
+			Scale:      model.Duration(*scale),
+			RulerEvery: 10,
+		}))
+		fmt.Fprintln(w)
+	}
+
+	if *validate {
+		problems := sim.Validate(tr, sim.ValidateOptions{
+			CheckPrecedence: true,
+			CheckRGSpacing:  *rg,
+		})
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(w, "INVALID: %s\n", p)
+			}
+			return fmt.Errorf("%d trace invariant violations", len(problems))
+		}
+		fmt.Fprintln(w, "trace validation passed")
+	}
+	return nil
+}

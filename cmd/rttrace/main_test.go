@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rtsync/internal/model"
+	"rtsync/internal/sim"
+)
+
+// writeTrace produces a trace file of Example 2 under the given protocol.
+func writeTrace(t *testing.T, protocol sim.Protocol) string {
+	t.Helper()
+	out, err := sim.Run(model.Example2(), sim.Config{Protocol: protocol, Horizon: 30, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := out.Trace.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummaryAndValidate(t *testing.T) {
+	path := writeTrace(t, sim.NewRG())
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FP scheduling", "per-subtask summary", "T(2,2)", "trace validation passed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunGantt(t *testing.T) {
+	path := writeTrace(t, sim.NewDS())
+	var buf bytes.Buffer
+	if err := run([]string{"-gantt", "-gantt-to", "12", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "legend:") {
+		t.Errorf("gantt missing:\n%s", buf.String())
+	}
+}
+
+func TestRunRGSpacingCheck(t *testing.T) {
+	path := writeTrace(t, sim.NewRG())
+	var buf bytes.Buffer
+	if err := run([]string{"-check-rg-spacing", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("no argument accepted")
+	}
+	if err := run([]string{"/missing.json"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRtsimTraceOutInteroperates(t *testing.T) {
+	// End-to-end: the trace format written via SaveFile (as rtsim does)
+	// loads and validates here.
+	s := model.Example2()
+	out, err := sim.Run(s, sim.Config{Protocol: sim.NewMPM(mpmBounds(t, s)), Horizon: 60, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mpm.json")
+	if err := out.Trace.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+}
+
+func mpmBounds(t *testing.T, s *model.System) sim.Bounds {
+	t.Helper()
+	return sim.Bounds{
+		{Task: 0, Sub: 0}: 2,
+		{Task: 1, Sub: 0}: 4,
+		{Task: 1, Sub: 1}: 3,
+		{Task: 2, Sub: 0}: 5,
+	}
+}

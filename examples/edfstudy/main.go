@@ -1,0 +1,84 @@
+// Edfstudy contrasts the paper's fixed-priority setting with
+// dynamic-priority (EDF) end-to-end scheduling — the discipline of the
+// jitter-EDD line of work §1 positions the paper against. On Example 2,
+// fixed priorities cannot bound T2's end-to-end response below 7 (> its
+// deadline 6) under ANY of the paper's protocols, while EDF over
+// proportional local deadlines certifies the whole system.
+//
+// Run with:
+//
+//	go run ./examples/edfstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rtsync"
+	"rtsync/internal/report"
+	"rtsync/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys := rtsync.Example2()
+	if err := rtsync.AssignLocalDeadlines(sys, rtsync.ProportionalSlice); err != nil {
+		return err
+	}
+
+	fp, err := rtsync.AnalyzePM(sys) // fixed-priority bounds (PM/MPM/RG)
+	if err != nil {
+		return err
+	}
+	edf, err := rtsync.AnalyzeEDF(sys) // EDF demand-bound certification
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("Example 2 — fixed priority vs EDF (RG protocol)",
+		"task", "deadline", "FP bound", "EDF bound", "FP sim max", "EDF sim max")
+	simulate := func(sched rtsync.Scheduler) (*rtsync.Metrics, error) {
+		out, err := rtsync.Simulate(sys, rtsync.SimConfig{
+			Protocol:  rtsync.NewRG(),
+			Scheduler: sched,
+			Horizon:   600,
+			Trace:     true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if problems := rtsync.ValidateTrace(out.Trace, sim.ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+			return nil, fmt.Errorf("%v: %v", sched, problems)
+		}
+		return out.Metrics, nil
+	}
+	fpSim, err := simulate(rtsync.FixedPriorityScheduler)
+	if err != nil {
+		return err
+	}
+	edfSim, err := simulate(rtsync.EDFScheduler)
+	if err != nil {
+		return err
+	}
+	for i := range sys.Tasks {
+		t.AddRowf(sys.Tasks[i].Name, sys.Tasks[i].Deadline.String(),
+			fp.TaskEER[i].String(), edf.TaskEER[i].String(),
+			fpSim.Tasks[i].MaxEER.String(), edfSim.Tasks[i].MaxEER.String())
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println("\nFixed priorities leave T2 uncertifiable (bound 7 > deadline 6, and the")
+	fmt.Println("simulation attains 7); EDF over proportional local deadlines certifies")
+	fmt.Println("every task (T2 bound 6) and the simulated worst cases respect it.")
+	fmt.Printf("\nFP schedulable: %v   EDF schedulable: %v\n",
+		fp.AllSchedulable(sys), edf.AllSchedulable(sys))
+	return nil
+}

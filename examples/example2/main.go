@@ -1,0 +1,94 @@
+// Example2 reproduces the paper's schedule figures as ASCII gantt charts:
+// Figure 3 (DS protocol — T3 misses its deadline at time 10), Figure 5
+// (PM protocol — T2,2 released periodically from phase 4), and Figure 7
+// (RG protocol — the second T2,2 instance held by its guard, then released
+// at the idle point 9).
+//
+// Run with:
+//
+//	go run ./examples/example2
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtsync"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys := rtsync.Example2()
+	pmRes, err := rtsync.AnalyzePM(sys)
+	if err != nil {
+		return err
+	}
+	bounds, err := rtsync.BoundsFrom(pmRes)
+	if err != nil {
+		return err
+	}
+
+	figures := []struct {
+		title    string
+		protocol rtsync.Protocol
+		note     string
+	}{
+		{
+			title:    "Figure 3 — the DS protocol",
+			protocol: rtsync.NewDS(),
+			note: "T2,2 is released whenever T2,1 completes (4, 8, 16, ...);\n" +
+				"the clumped releases at 4 and 8 preempt T3 twice and it\n" +
+				"misses its deadline at time 10 (completes at 12).",
+		},
+		{
+			title:    "Figure 5 — the PM protocol",
+			protocol: rtsync.NewPM(bounds),
+			note: "T2,2 is released strictly periodically from phase\n" +
+				"f(2,2) = R(2,1) = 4; T3 completes at 9 and meets its deadline.",
+		},
+		{
+			title:    "Figure 7 — the RG protocol",
+			protocol: rtsync.NewRG(),
+			note: "The signal for T2,2's second instance arrives at 8 but the\n" +
+				"release guard holds it (g = 10); T3 finishes at 9, making 9 an\n" +
+				"idle point, rule 2 resets the guard, and T2,2 releases at 9.",
+		},
+	}
+
+	for _, fig := range figures {
+		out, err := rtsync.Simulate(sys, rtsync.SimConfig{
+			Protocol: fig.protocol,
+			Horizon:  30,
+			Trace:    true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig.title)
+		fmt.Println()
+		fmt.Print(rtsync.RenderGantt(out.Trace, rtsync.GanttOptions{To: 14, RulerEvery: 5}))
+		fmt.Println()
+		fmt.Println(fig.note)
+		fmt.Printf("T3 deadline misses: %d\n\n", out.Metrics.Tasks[2].DeadlineMisses)
+	}
+
+	fmt.Println("§4.3 — Algorithm SA/DS on this system:")
+	dsRes, err := rtsync.AnalyzeDS(sys)
+	if err != nil {
+		return err
+	}
+	for i := range sys.Tasks {
+		fmt.Printf("  EER bound of %s under DS: %v (deadline %v)\n",
+			sys.Tasks[i].Name, dsRes.TaskEER[i], sys.Tasks[i].Deadline)
+	}
+	fmt.Println("\nT3's bound exceeds its deadline, so its schedulability cannot be")
+	fmt.Println("asserted under DS — and indeed Figure 3 shows the miss. (The paper's")
+	fmt.Println("prose quotes 7 for this bound; the pseudo-code of Algorithm IEERT")
+	fmt.Println("yields 8, which matches the actual worst case. See EXPERIMENTS.md.)")
+	return nil
+}

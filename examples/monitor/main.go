@@ -1,0 +1,134 @@
+// Monitor models the paper's Example 1 — a monitor task that samples a
+// remote sensor, transfers the sample over a communication link, and
+// displays it — with the link modeled two ways (§2 of the paper):
+//
+//  1. as an ordinary preemptive "link processor", and
+//  2. as a CAN-style non-preemptive bus, using the blocking-aware analysis
+//     (extension A4): a frame in flight cannot be preempted, so a
+//     higher-priority message can be blocked for one lower-priority frame.
+//
+// Run with:
+//
+//	go run ./examples/monitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rtsync"
+	"rtsync/internal/analysis"
+	"rtsync/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildSystem assembles the monitor scenario: the three-subtask monitor
+// chain plus competing traffic, with the link preemptive or not.
+func buildSystem(preemptiveLink bool) (*rtsync.System, error) {
+	b := rtsync.NewBuilder()
+	field := b.AddProcessor("field")
+	var link int
+	if preemptiveLink {
+		link = b.AddProcessor("link")
+	} else {
+		link = b.AddLink("link")
+	}
+	central := b.AddProcessor("central")
+
+	// The monitor task: sample -> transfer -> display, period 100.
+	b.AddTask("monitor", 100, 0).
+		Subtask(field, 10, 0).
+		Subtask(link, 20, 0).
+		Subtask(central, 10, 0).
+		Done()
+	// A bulk logging transfer hogging the bus with long frames.
+	b.AddTask("bulk", 200, 0).Subtask(link, 60, 0).Done()
+	// Local work on the end processors.
+	b.AddTask("fieldio", 50, 0).Subtask(field, 10, 0).Done()
+	b.AddTask("render", 50, 0).Subtask(central, 15, 0).Done()
+
+	sys, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := rtsync.AssignPriorities(sys, rtsync.ProportionalDeadline); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func run() error {
+	t := report.NewTable("Example 1 — monitor task over a shared link",
+		"link model", "analysis", "EER bound (monitor)", "sim max EER", "sim avg EER")
+
+	for _, preemptive := range []bool{true, false} {
+		sys, err := buildSystem(preemptive)
+		if err != nil {
+			return err
+		}
+		res, err := rtsync.AnalyzePM(sys)
+		if err != nil {
+			return err
+		}
+		bounds, err := rtsync.BoundsFrom(res)
+		if err != nil {
+			return err
+		}
+		out, err := rtsync.Simulate(sys, rtsync.SimConfig{
+			Protocol: rtsync.NewRG(),
+			Horizon:  20000,
+		})
+		if err != nil {
+			return err
+		}
+		label := "preemptive"
+		aLabel := "SA/PM"
+		if !preemptive {
+			label = "CAN-style (non-preemptive)"
+			aLabel = "SA/PM + blocking"
+		}
+		tm := &out.Metrics.Tasks[0]
+		t.AddRowf(label, aLabel, res.TaskEER[0].String(), tm.MaxEER.String(), tm.AvgEER())
+		_ = bounds
+
+		// Soundness check: the observed worst case must respect the
+		// bound even with the non-preemptive bus.
+		if rtsync.Duration(tm.MaxEER) > res.TaskEER[0] {
+			return fmt.Errorf("%s: observed EER %v exceeds bound %v",
+				label, tm.MaxEER, res.TaskEER[0])
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println("\nThe non-preemptive bus inflates the transfer subtask's bound by one")
+	fmt.Println("bulk frame (60 ticks): the blocking-aware analysis absorbs it while")
+	fmt.Println("staying sound against the simulated worst case.")
+
+	// Show the blocking-aware subtask bounds explicitly.
+	sys, err := buildSystem(false)
+	if err != nil {
+		return err
+	}
+	res, err := analysis.AnalyzePM(sys, analysis.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	sub := report.NewTable("monitor chain bounds on the CAN-style bus",
+		"subtask", "processor", "exec", "response bound")
+	for j := range sys.Tasks[0].Subtasks {
+		id := rtsync.SubtaskID{Task: 0, Sub: j}
+		st := sys.Subtask(id)
+		sub.AddRowf(id.String(), sys.Procs[st.Proc].Name, st.Exec.String(),
+			res.Subtasks[id].Response.String())
+	}
+	return sub.Render(os.Stdout)
+}

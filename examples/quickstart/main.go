@@ -1,0 +1,80 @@
+// Quickstart: analyze and simulate the paper's Example 2 under every
+// synchronization protocol through the public rtsync API.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rtsync"
+	"rtsync/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys := rtsync.Example2()
+	fmt.Printf("system: %v\n\n", sys)
+
+	// Worst-case analysis: SA/PM bounds hold for PM, MPM and RG
+	// (Theorem 1); SA/DS bounds hold for DS.
+	pmRes, err := rtsync.AnalyzePM(sys)
+	if err != nil {
+		return err
+	}
+	dsRes, err := rtsync.AnalyzeDS(sys)
+	if err != nil {
+		return err
+	}
+
+	bounds, err := rtsync.BoundsFrom(pmRes)
+	if err != nil {
+		return err
+	}
+	protocols := []rtsync.Protocol{
+		rtsync.NewDS(),
+		rtsync.NewPM(bounds),
+		rtsync.NewMPM(bounds),
+		rtsync.NewRG(),
+	}
+
+	t := report.NewTable("Example 2 — protocols compared (horizon 600)",
+		"protocol", "task", "analyzed bound", "avg EER", "max EER", "misses")
+	for _, protocol := range protocols {
+		out, err := rtsync.Simulate(sys, rtsync.SimConfig{
+			Protocol: protocol,
+			Horizon:  600,
+		})
+		if err != nil {
+			return err
+		}
+		for i := range sys.Tasks {
+			bound := pmRes.TaskEER[i]
+			if protocol.Name() == "DS" {
+				bound = dsRes.TaskEER[i]
+			}
+			tm := &out.Metrics.Tasks[i]
+			t.AddRowf(protocol.Name(), sys.Tasks[i].Name, bound.String(),
+				tm.AvgEER(), tm.MaxEER.String(), tm.DeadlineMisses)
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println("\nObservations (matching §3 of the paper):")
+	fmt.Println("  - Under DS, T3 misses deadlines; under PM/MPM/RG it never does.")
+	fmt.Println("  - DS has the shortest average EER for the chain task T2;")
+	fmt.Println("    RG sits between DS and PM.")
+	fmt.Println("  - Every observed max EER is within its analyzed bound.")
+	return nil
+}

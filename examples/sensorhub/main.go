@@ -1,0 +1,105 @@
+// Sensorhub exercises the shared-resource extension (§6's "resource
+// contention" future-work item): three sampling chains on a hub CPU share
+// one I2C bus driver lock, held for each sampler's whole execution. The
+// simulator runs the lock under priority-ceiling emulation (Highest
+// Locker); the analysis charges the classical once-per-job blocking bound;
+// and the trace validator proves mutual exclusion held.
+//
+// Run with:
+//
+//	go run ./examples/sensorhub
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rtsync"
+	"rtsync/internal/report"
+	"rtsync/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildSystem() (*rtsync.System, error) {
+	b := rtsync.NewBuilder()
+	hub := b.AddProcessor("hub")
+	dsp := b.AddProcessor("dsp")
+	i2c := b.AddResource("i2c")
+
+	// Three sampling chains: sample on the hub (holding the bus driver
+	// lock), then post-process on the DSP.
+	b.AddTask("gyro", 100, 0).
+		Subtask(hub, 5, 0).Locking(i2c).
+		Subtask(dsp, 10, 0).
+		Done()
+	b.AddTask("accel", 200, 0).
+		Subtask(hub, 8, 0).Locking(i2c).
+		Subtask(dsp, 15, 0).
+		Done()
+	b.AddTask("baro", 400, 0).
+		Subtask(hub, 20, 0).Locking(i2c).
+		Subtask(dsp, 10, 0).
+		Done()
+	// Lock-free housekeeping on the hub, squeezed between the samplers.
+	b.AddTask("health", 400, 0).Subtask(hub, 25, 0).Done()
+
+	sys, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := rtsync.AssignPriorities(sys, rtsync.ProportionalDeadline); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func run() error {
+	sys, err := buildSystem()
+	if err != nil {
+		return err
+	}
+
+	res, err := rtsync.AnalyzePM(sys)
+	if err != nil {
+		return err
+	}
+	out, err := rtsync.Simulate(sys, rtsync.SimConfig{
+		Protocol: rtsync.NewRG(),
+		Horizon:  40000,
+		Trace:    true,
+	})
+	if err != nil {
+		return err
+	}
+	if problems := rtsync.ValidateTrace(out.Trace, sim.ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+		return fmt.Errorf("trace invariants failed: %v", problems)
+	}
+
+	t := report.NewTable("sensor hub with a shared I2C driver lock (RG protocol)",
+		"task", "period", "EER bound (blocking-aware)", "sim max EER", "misses")
+	for i := range sys.Tasks {
+		tm := &out.Metrics.Tasks[i]
+		t.AddRowf(sys.Tasks[i].Name, sys.Tasks[i].Period.String(),
+			res.TaskEER[i].String(), tm.MaxEER.String(), tm.DeadlineMisses)
+		if rtsync.Duration(tm.MaxEER) > res.TaskEER[i] {
+			return fmt.Errorf("%s: observed %v exceeds bound %v",
+				sys.Tasks[i].Name, tm.MaxEER, res.TaskEER[i])
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println("\nThe gyro chain's bound includes one worst-case blocking term (the")
+	fmt.Println("baro sampler's 20-tick critical section): while baro holds the bus it")
+	fmt.Println("runs at the lock's priority ceiling and cannot be preempted by gyro.")
+	fmt.Println("The trace validator confirmed no two critical sections overlapped and")
+	fmt.Println("every observed end-to-end response stayed within its analyzed bound.")
+	return nil
+}

@@ -1,0 +1,60 @@
+package rtsync_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds and runs every example binary end-to-end and
+// checks a fingerprint of its output, so the examples stay working
+// deliverables rather than drifting documentation.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn the go tool")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want []string
+	}{
+		{"quickstart", nil, []string{"Example 2 — protocols compared", "RG"}},
+		{"example2", nil, []string{"Figure 3", "Figure 5", "Figure 7", "legend:"}},
+		{"monitor", nil, []string{"monitor task over a shared link", "CAN-style"}},
+		{"jitterstudy", nil, []string{"output jitter per task", "PM bound"}},
+		{"sensorhub", nil, []string{"sensor hub", "i2c", "trace validator"}},
+		{"edfstudy", nil, []string{"fixed priority vs EDF", "EDF schedulable: true"}},
+		{"fleet", []string{"-systems", "2"}, []string{"average-EER ratios", "PM/DS"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", "./examples/" + tc.dir}, tc.args...)
+			cmd := exec.Command("go", args...)
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				defer close(done)
+				out, err = cmd.CombinedOutput()
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s timed out", tc.dir)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", tc.dir, err, out)
+			}
+			text := string(out)
+			for _, want := range tc.want {
+				if !strings.Contains(strings.ToLower(text), strings.ToLower(want)) {
+					t.Errorf("example %s output missing %q:\n%s", tc.dir, want, text)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module rtsync
+
+go 1.22

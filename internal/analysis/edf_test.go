@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtsync/internal/model"
+	"rtsync/internal/priority"
+)
+
+// edfSystem returns Example 2 with proportional local deadlines.
+func edfSystem(t *testing.T) *model.System {
+	t.Helper()
+	s := model.Example2()
+	if err := priority.AssignLocalDeadlines(s, priority.ProportionalSlice); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAnalyzeEDFExample2(t *testing.T) {
+	s := edfSystem(t)
+	res, err := AnalyzeEDF(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != "EDF-DBF" {
+		t.Errorf("protocol = %q", res.Protocol)
+	}
+	// Local deadlines: T1 -> 4; T2 -> (2/5·6, rest) = (2, 4); T3 -> 6.
+	// Demand test on P1: subtasks (e=2,d=4,p=4) and (e=2,d=2,p=6).
+	// dbf(2)=2<=2, dbf(4)=4<=4, dbf(8)=2+4=6<=8 ... schedulable.
+	// P2: (e=3,d=4,p=6) and (e=2,d=6,p=6): dbf(4)=3, dbf(6)=5 ... ok.
+	want := []model.Duration{4, 6, 6}
+	for i, w := range want {
+		if got := res.TaskEER[i]; got != w {
+			t.Errorf("EER(T%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Under EDF every task fits its end-to-end deadline — including T2,
+	// which no fixed-priority protocol could bound below 7.
+	if !res.AllSchedulable(s) {
+		t.Error("Example 2 should be schedulable under EDF with proportional slices")
+	}
+}
+
+func TestAnalyzeEDFRequiresLocalDeadlines(t *testing.T) {
+	if _, err := AnalyzeEDF(model.Example2(), defaultTestOpts()); err == nil {
+		t.Error("missing local deadlines accepted")
+	}
+}
+
+func TestAnalyzeEDFRejectsResources(t *testing.T) {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	r := b.AddResource("r")
+	b.AddTask("A", 10, 0).Subtask(p, 1, 1).Locking(r).Done()
+	s := b.MustBuild()
+	if err := priority.AssignLocalDeadlines(s, priority.EqualSlice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeEDF(s, defaultTestOpts()); err == nil {
+		t.Error("resources accepted under EDF")
+	}
+}
+
+func TestAnalyzeEDFRejectsInvalidSystem(t *testing.T) {
+	s := edfSystem(t)
+	s.Tasks[0].Period = 0
+	if _, err := AnalyzeEDF(s, defaultTestOpts()); err == nil {
+		t.Error("invalid system accepted")
+	}
+}
+
+func TestAnalyzeEDFOverloadFails(t *testing.T) {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	q := b.AddProcessor("Q")
+	b.AddTask("A", 10, 0).Subtask(p, 6, 2).Subtask(q, 1, 1).Done()
+	b.AddTask("B", 10, 0).Subtask(p, 6, 1).Subtask(q, 1, 2).Done()
+	s := b.MustBuild()
+	if err := priority.AssignLocalDeadlines(s, priority.ProportionalSlice); err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeEDF(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Error("utilization 1.2 must fail the demand test")
+	}
+}
+
+func TestAnalyzeEDFTightDeadlinesFail(t *testing.T) {
+	// Two subtasks with d = e on one processor cannot both meet the
+	// deadline when released together: dbf(1) = 2 > 1.
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	b.AddTask("A", 10, 0).Subtask(p, 1, 1).Done()
+	b.AddTask("B", 10, 0).Subtask(p, 1, 1).Done()
+	s := b.MustBuild()
+	s.Tasks[0].Subtasks[0].LocalDeadline = 1
+	s.Tasks[1].Subtasks[0].LocalDeadline = 1
+	res, err := AnalyzeEDF(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Error("d = e for two synchronous subtasks must fail")
+	}
+	// Relaxing one deadline to 2 makes it schedulable.
+	s.Tasks[1].Subtasks[0].LocalDeadline = 2
+	res, err = AnalyzeEDF(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Error("d = 1 and 2 should pass the demand test")
+	}
+}
+
+func TestAnalyzeEDFNonPreemptiveProcessorFails(t *testing.T) {
+	b := model.NewBuilder()
+	bus := b.AddLink("can")
+	b.AddTask("A", 10, 0).Subtask(bus, 1, 1).Done()
+	s := b.MustBuild()
+	if err := priority.AssignLocalDeadlines(s, priority.EqualSlice); err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeEDF(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Error("non-preemptive processors are outside the EDF demand test; must fail conservatively")
+	}
+}
+
+// TestEDFDominatesFixedPriorityOnSchedulability spot-checks the classical
+// expectation: whenever SA/PM certifies a system (under the same local
+// budget structure), the EDF demand test certifies it too — EDF is optimal
+// per processor.
+func TestEDFSchedulesWhatSAPMSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		s := randomChainSystem(rng, 2, 4, 3)
+		if err := priority.AssignLocalDeadlines(s, priority.ProportionalSlice); err != nil {
+			t.Fatal(err)
+		}
+		pm, err := AnalyzePM(s, defaultTestOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Only compare when SA/PM certifies every subtask within its
+		// local slice — the regime where both analyses answer the same
+		// question ("does every subtask meet its local deadline?").
+		comparable := true
+		for _, id := range s.SubtaskIDs() {
+			if pm.Subtasks[id].Response.IsInfinite() ||
+				pm.Subtasks[id].Response > s.Subtask(id).LocalDeadline {
+				comparable = false
+				break
+			}
+		}
+		if !comparable {
+			continue
+		}
+		checked++
+		edf, err := AnalyzeEDF(s, defaultTestOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if edf.Failed() {
+			t.Errorf("trial %d: SA/PM meets every local slice but the EDF demand test fails\nsystem: %v", trial, s)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no comparable systems generated (seed-dependent)")
+	}
+}

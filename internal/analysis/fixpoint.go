@@ -1,0 +1,192 @@
+// Package analysis implements the schedulability analyses of Sun & Liu
+// (ICDCS 1996, §4): Algorithm SA/PM — busy-period analysis after Lehoczky,
+// valid for the PM, MPM and RG protocols (Theorem 1) — and Algorithm SA/DS,
+// which iterates Algorithm IEERT to bound end-to-end response (EER) times
+// under the DS protocol.
+//
+// Everything here is exact integer arithmetic over model.Duration ticks.
+// A bound larger than Options.FailureFactor times the task's period is
+// reported as model.Infinite, matching the paper's §5.2 failure criterion
+// (factor 300).
+package analysis
+
+import (
+	"rtsync/internal/model"
+)
+
+// term is one interference contribution ceil((t + Jitter)/Period) * Exec in
+// a fixed-point demand equation. Jitter is zero for the strictly periodic
+// analysis (SA/PM) and equals the interfering subtask's predecessor IEER
+// bound in Algorithm IEERT.
+type term struct {
+	Period model.Duration
+	Exec   model.Duration
+	Jitter model.Duration
+}
+
+// demand evaluates base + sum over terms of ceil((t+J)/p)*e with saturation.
+func demand(base model.Duration, t model.Duration, terms []term) model.Duration {
+	total := base
+	for _, tm := range terms {
+		if tm.Jitter.IsInfinite() {
+			return model.Infinite
+		}
+		shifted := t.AddSat(tm.Jitter)
+		if shifted.IsInfinite() {
+			return model.Infinite
+		}
+		n := model.CeilDiv(shifted, tm.Period)
+		total = total.AddSat(tm.Exec.MulSat(n))
+		if total.IsInfinite() {
+			return model.Infinite
+		}
+	}
+	return total
+}
+
+// solveFixpoint finds the least t > 0 with t = base + Σ ceil((t+J_k)/p_k)·e_k
+// by the standard monotone iteration (Lehoczky; Joseph & Pandya). It starts
+// from the demand of an instant just after 0 — every term contributes at
+// least one instance — so the iterates increase monotonically to the least
+// fixed point. A warm start below the least fixed point may be supplied to
+// skip early iterations (pass 0 when none is known). It returns
+// model.Infinite if the iterate exceeds cap or the iteration fails to
+// converge within maxIter steps.
+func solveFixpoint(base model.Duration, terms []term, cap model.Duration, maxIter int, start model.Duration) model.Duration {
+	// S0 = demand just after time 0: ceil((0+ + J)/p) >= 1 per term.
+	t := base
+	for _, tm := range terms {
+		n := model.CeilDiv(tm.Jitter, tm.Period) // instances due to jitter alone...
+		if n < 1 {
+			n = 1 // ...but never fewer than one at 0+
+		}
+		t = t.AddSat(tm.Exec.MulSat(n))
+	}
+	if start > t {
+		t = start
+	}
+	if t <= 0 {
+		// base == 0 and no terms: the equation t = 0 has no positive
+		// solution; report divergence rather than a bogus zero.
+		return model.Infinite
+	}
+	for i := 0; i < maxIter; i++ {
+		if t.IsInfinite() || t > cap {
+			return model.Infinite
+		}
+		next := demand(base, t, terms)
+		if next == t {
+			return t
+		}
+		if next < t {
+			// Demand is non-decreasing in t; a drop means saturation
+			// artifacts. Treat as divergence.
+			return model.Infinite
+		}
+		t = next
+	}
+	return model.Infinite
+}
+
+// Options tunes the analyses. The zero value is NOT valid; use
+// DefaultOptions.
+type Options struct {
+	// FailureFactor declares a task EER bound infinite when it exceeds
+	// FailureFactor × the task's period (§5.2 of the paper uses 300).
+	FailureFactor int64
+	// MaxFixpointIter bounds a single fixed-point iteration.
+	MaxFixpointIter int
+	// MaxOuterIter bounds the SA/DS outer iteration (R = IEERT(T, R)).
+	MaxOuterIter int
+	// MaxInstances bounds the number of instances examined per busy
+	// period (step 3's loop). Busy periods needing more are treated as
+	// analysis failures.
+	MaxInstances int64
+	// StopOnFailure lets AnalyzeDS return as soon as any bound goes
+	// infinite, with every not-yet-converged bound poisoned to
+	// model.Infinite. Use when only Result.Failed matters (the Figure 12
+	// experiment); per-task bounds of a stopped run are not meaningful
+	// beyond their infiniteness.
+	StopOnFailure bool
+}
+
+// DefaultOptions returns the paper's settings.
+func DefaultOptions() Options {
+	return Options{
+		FailureFactor:   300,
+		MaxFixpointIter: 1 << 20,
+		MaxOuterIter:    4096,
+		MaxInstances:    1 << 20,
+	}
+}
+
+// failureCap returns the per-task EER cap implied by FailureFactor.
+func (o Options) failureCap(period model.Duration) model.Duration {
+	return period.MulSat(o.FailureFactor)
+}
+
+// interferers returns the interference set H(i,j): the subtasks, other than
+// id itself, that run on id's processor with priority higher than or equal
+// to id's (Definition 1 admits equal priorities).
+func interferers(s *model.System, id model.SubtaskID) []model.SubtaskID {
+	self := s.Subtask(id)
+	var out []model.SubtaskID
+	for _, other := range s.OnProcessor(self.Proc) {
+		if other == id {
+			continue
+		}
+		if s.Subtask(other).Priority >= self.Priority {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// blockingTerm returns the worst-case blocking a job of id can suffer from
+// lower-priority work that cannot be preempted once started. Two sources,
+// both extensions the paper's §2 and §6 point at (always on; zero for the
+// paper's own lock-free, fully preemptive workloads):
+//
+//   - a non-preemptive ("link") processor: the largest execution time
+//     among strictly lower-priority subtasks sharing the processor (one of
+//     them may have been dispatched just before the job became ready);
+//   - priority-ceiling emulation: the largest execution time among
+//     strictly lower-priority subtasks on the processor whose effective
+//     (ceiling-raised) priority reaches id's priority — the classical
+//     once-per-job PCP blocking bound.
+func blockingTerm(s *model.System, id model.SubtaskID, opts Options) model.Duration {
+	self := s.Subtask(id)
+	nonPreemptive := !s.Procs[self.Proc].Preemptive
+	var ceilings []model.Priority
+	if len(s.Resources) > 0 {
+		ceilings = s.ResourceCeilings()
+	}
+	var b model.Duration
+	for _, other := range s.OnProcessor(self.Proc) {
+		if other == id {
+			continue
+		}
+		o := s.Subtask(other)
+		if o.Priority >= self.Priority || o.Exec <= b {
+			continue
+		}
+		if nonPreemptive || (ceilings != nil && s.EffectivePriority(other, ceilings) >= self.Priority) {
+			b = o.Exec
+		}
+	}
+	return b
+}
+
+// procOverUtilized reports whether the level-(i,j) utilization (self plus
+// interferers) exceeds 1, in which case no busy-period bound exists. The
+// check is exact: Σ e/p > 1  <=>  Σ e·L/p·(p) ... computed with rationals
+// via a common comparison against the product is overflow-prone, so we use
+// the safe float check with a small epsilon on the conservative side (only
+// used as a fast-path; the fixed-point solver itself detects divergence).
+func procOverUtilized(s *model.System, id model.SubtaskID) bool {
+	u := float64(s.Subtask(id).Exec) / float64(s.Task(id).Period)
+	for _, other := range interferers(s, id) {
+		u += float64(s.Subtask(other).Exec) / float64(s.Task(other).Period)
+	}
+	return u > 1.0+1e-9
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"fmt"
+
+	"rtsync/internal/model"
+)
+
+// AnalyzeDSHolistic bounds task EER times under the DS protocol with the
+// holistic schedulability analysis of Tindell & Clark (Microprocessing and
+// Microprogramming 50, 1994 — reference [18] of the paper), adapted to the
+// paper's subtask-chain model. It is the natural comparator for Algorithm
+// SA/DS, which the paper calls "the only known algorithm that provides
+// reasonably tight bounds" for DS.
+//
+// Both analyses iterate a jitter-aware busy-period recurrence to a fixed
+// point; they differ in the release jitter they charge for an interfering
+// subtask T(u,v):
+//
+//   - Algorithm IEERT charges J = L(u,v−1), the predecessor's whole IEER
+//     bound — as if the instance could be released anywhere in
+//     [release of first subtask, predecessor completion];
+//   - the holistic analysis charges J = L(u,v−1) − S(u,v−1), the WIDTH of
+//     the predecessor's completion window, where S is the best-case
+//     completion offset (the sum of predecessor execution times): releases
+//     cannot cluster more densely than that window allows.
+//
+// Since the holistic jitter is never larger, its interference terms — and
+// therefore its bounds — are never larger than SA/DS's (asserted by the
+// test suite, alongside soundness against exhaustive search).
+func AnalyzeDSHolistic(s *model.System, opts Options) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("holistic: %w", err)
+	}
+	// L[id] is the IEER bound (worst completion offset from the chain's
+	// release); best[id] is the best-case completion offset.
+	best := make(map[model.SubtaskID]model.Duration, s.NumSubtasks())
+	for i := range s.Tasks {
+		var acc model.Duration
+		for j := range s.Tasks[i].Subtasks {
+			acc = acc.AddSat(s.Tasks[i].Subtasks[j].Exec)
+			best[model.SubtaskID{Task: i, Sub: j}] = acc
+		}
+	}
+	l := initialIEER(s)
+
+	iterations := 0
+	for {
+		iterations++
+		next := holisticPass(s, l, best, opts)
+		if boundsEqual(l, next) {
+			l = next
+			break
+		}
+		l = next
+		if iterations >= opts.MaxOuterIter {
+			for k := range l {
+				l[k] = model.Infinite
+			}
+			break
+		}
+	}
+
+	res := &Result{
+		Protocol:   "Holistic",
+		Subtasks:   make(map[model.SubtaskID]SubtaskBound, len(l)),
+		TaskEER:    make([]model.Duration, len(s.Tasks)),
+		Iterations: iterations,
+	}
+	for id, d := range l {
+		res.Subtasks[id] = SubtaskBound{Response: d}
+	}
+	for i := range s.Tasks {
+		last := model.SubtaskID{Task: i, Sub: len(s.Tasks[i].Subtasks) - 1}
+		res.TaskEER[i] = l[last]
+	}
+	return res, nil
+}
+
+// holisticJitter returns the release jitter charged for id under bounds l:
+// the width of its predecessor's completion window, or 0 for first
+// subtasks.
+func holisticJitter(l IEERBounds, best map[model.SubtaskID]model.Duration, id model.SubtaskID) model.Duration {
+	if id.Sub == 0 {
+		return 0
+	}
+	pred := model.SubtaskID{Task: id.Task, Sub: id.Sub - 1}
+	lp := l[pred]
+	if lp.IsInfinite() {
+		return model.Infinite
+	}
+	return lp - best[pred]
+}
+
+// holisticPass recomputes every subtask's IEER bound once.
+func holisticPass(s *model.System, l IEERBounds, best map[model.SubtaskID]model.Duration, opts Options) IEERBounds {
+	out := make(IEERBounds, len(l))
+	for _, id := range s.SubtaskIDs() {
+		out[id] = holisticSubtask(s, l, best, id, opts)
+	}
+	return out
+}
+
+// holisticSubtask computes the new bound L'(i,j) = L(i,j−1) + R(i,j) where
+// R(i,j) is the jitter-aware worst response time of the subtask from its
+// own release.
+func holisticSubtask(s *model.System, l IEERBounds, best map[model.SubtaskID]model.Duration, id model.SubtaskID, opts Options) model.Duration {
+	selfJitter := holisticJitter(l, best, id)
+	if selfJitter.IsInfinite() {
+		return model.Infinite
+	}
+	predL := model.Duration(0)
+	if id.Sub > 0 {
+		predL = l[model.SubtaskID{Task: id.Task, Sub: id.Sub - 1}]
+		if predL.IsInfinite() {
+			return model.Infinite
+		}
+	}
+	if procOverUtilized(s, id) {
+		return model.Infinite
+	}
+	self := s.Subtask(id)
+	period := s.Task(id).Period
+	block := blockingTerm(s, id, opts)
+	cap := opts.failureCap(period).MulSat(2)
+
+	hi := interferers(s, id)
+	intTerms := make([]term, 0, len(hi))
+	for _, o := range hi {
+		j := holisticJitter(l, best, o)
+		if j.IsInfinite() {
+			return model.Infinite
+		}
+		intTerms = append(intTerms, term{
+			Period: s.Task(o).Period,
+			Exec:   s.Subtask(o).Exec,
+			Jitter: j,
+		})
+	}
+
+	// Busy period at this level, self term with its own release jitter.
+	busyTerms := append([]term{{Period: period, Exec: self.Exec, Jitter: selfJitter}}, intTerms...)
+	d := solveFixpoint(block, busyTerms, cap, opts.MaxFixpointIter, 0)
+	if d.IsInfinite() {
+		return model.Infinite
+	}
+	m := model.CeilDiv(d.AddSat(selfJitter), period)
+	if m > opts.MaxInstances {
+		return model.Infinite
+	}
+
+	// Worst response from the subtask's own release:
+	// R = max_k (C(k) + J − (k−1)·p).
+	var worstResp, prev model.Duration
+	for k := int64(1); k <= m; k++ {
+		base := block.AddSat(self.Exec.MulSat(k))
+		c := solveFixpoint(base, intTerms, cap, opts.MaxFixpointIter, prev)
+		if c.IsInfinite() {
+			return model.Infinite
+		}
+		prev = c
+		rk := c.AddSat(selfJitter) - period.MulSat(k-1)
+		if rk > worstResp {
+			worstResp = rk
+		}
+	}
+	// New completion-offset bound: the predecessor's worst completion
+	// plus this subtask's worst response from release. The response
+	// already contains the release jitter relative to the earliest
+	// possible release, so anchor at the predecessor's BEST completion.
+	var lNew model.Duration
+	if id.Sub == 0 {
+		lNew = worstResp
+	} else {
+		pred := model.SubtaskID{Task: id.Task, Sub: id.Sub - 1}
+		lNew = best[pred].AddSat(worstResp)
+	}
+	if lNew > opts.failureCap(period) {
+		return model.Infinite
+	}
+	return lNew
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"fmt"
+
+	"rtsync/internal/model"
+)
+
+// SubtaskBound carries the busy-period facts established for one subtask.
+type SubtaskBound struct {
+	// Response is the upper bound on the subtask's response time (SA/PM)
+	// or intermediate end-to-end response time (SA/DS step results).
+	Response model.Duration
+	// BusyPeriod is the bound D(i,j) on the duration of a φ(i,j)-level
+	// busy period.
+	BusyPeriod model.Duration
+	// Instances is M(i,j), the number of instances examined in the busy
+	// period.
+	Instances int64
+}
+
+// Result is the outcome of a schedulability analysis over a whole system.
+type Result struct {
+	// Protocol names the analysis that produced the result ("SA/PM" or
+	// "SA/DS").
+	Protocol string
+	// Subtasks maps each subtask to its established bounds. For SA/PM,
+	// Response is the response-time bound R(i,j); for SA/DS it is the
+	// IEER-time bound.
+	Subtasks map[model.SubtaskID]SubtaskBound
+	// TaskEER[i] is the upper bound on task i's end-to-end response time;
+	// model.Infinite when the analysis failed to bound it.
+	TaskEER []model.Duration
+	// Iterations counts outer iterations (1 for SA/PM; the number of
+	// IEERT passes for SA/DS).
+	Iterations int
+}
+
+// Schedulable reports whether task i's EER bound is within its deadline.
+func (r *Result) Schedulable(s *model.System, i int) bool {
+	return !r.TaskEER[i].IsInfinite() && r.TaskEER[i] <= s.Tasks[i].Deadline
+}
+
+// AllSchedulable reports whether every task meets its deadline per the
+// established bounds.
+func (r *Result) AllSchedulable(s *model.System) bool {
+	for i := range s.Tasks {
+		if !r.Schedulable(s, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed reports whether any task's EER bound is infinite — the paper's
+// §5.2 "failure" event.
+func (r *Result) Failed() bool {
+	for _, d := range r.TaskEER {
+		if d.IsInfinite() {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzePM runs Algorithm SA/PM (§4.1): for every subtask, bound the
+// φ(i,j)-level busy period (step 1), the number of instances in it (step 2),
+// each instance's response time (step 3), take the maximum (step 4), and sum
+// along each chain for the task EER bound (step 5). By Theorem 1 the same
+// bounds are valid under the RG protocol, and by construction under PM/MPM.
+func AnalyzePM(s *model.System, opts Options) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("SA/PM: %w", err)
+	}
+	res := &Result{
+		Protocol:   "SA/PM",
+		Subtasks:   make(map[model.SubtaskID]SubtaskBound, s.NumSubtasks()),
+		TaskEER:    make([]model.Duration, len(s.Tasks)),
+		Iterations: 1,
+	}
+	for _, id := range s.SubtaskIDs() {
+		res.Subtasks[id] = boundSubtaskPM(s, id, opts)
+	}
+	for i := range s.Tasks {
+		eer := model.Duration(0)
+		for j := range s.Tasks[i].Subtasks {
+			eer = eer.AddSat(res.Subtasks[model.SubtaskID{Task: i, Sub: j}].Response)
+		}
+		if eer > opts.failureCap(s.Tasks[i].Period) {
+			eer = model.Infinite
+		}
+		res.TaskEER[i] = eer
+	}
+	return res, nil
+}
+
+// boundSubtaskPM computes R(i,j) for one strictly periodic subtask.
+func boundSubtaskPM(s *model.System, id model.SubtaskID, opts Options) SubtaskBound {
+	if procOverUtilized(s, id) {
+		return SubtaskBound{Response: model.Infinite, BusyPeriod: model.Infinite}
+	}
+	self := s.Subtask(id)
+	period := s.Task(id).Period
+	block := blockingTerm(s, id, opts)
+
+	hi := interferers(s, id)
+	// Step 1: D(i,j) = min{t>0 : t = B + Σ_{H ∪ {ij}} ceil(t/p)·e}.
+	busyTerms := make([]term, 0, len(hi)+1)
+	busyTerms = append(busyTerms, term{Period: period, Exec: self.Exec})
+	for _, o := range hi {
+		busyTerms = append(busyTerms, term{Period: s.Task(o).Period, Exec: s.Subtask(o).Exec})
+	}
+	// The busy period itself is capped generously: FailureFactor periods
+	// of demand can never produce a per-instance response under the cap
+	// once exceeded.
+	busyCap := opts.failureCap(period).MulSat(2)
+	d := solveFixpoint(block, busyTerms, busyCap, opts.MaxFixpointIter, 0)
+	if d.IsInfinite() {
+		return SubtaskBound{Response: model.Infinite, BusyPeriod: model.Infinite}
+	}
+
+	// Step 2: M(i,j) = ceil(D / p).
+	m := model.CeilDiv(d, period)
+	if m > opts.MaxInstances {
+		return SubtaskBound{Response: model.Infinite, BusyPeriod: d, Instances: m}
+	}
+
+	// Steps 3–4: bound each instance's completion and take the worst
+	// response R(i,j)(k) = C(i,j)(k) − (k−1)·p.
+	intTerms := make([]term, 0, len(hi))
+	for _, o := range hi {
+		intTerms = append(intTerms, term{Period: s.Task(o).Period, Exec: s.Subtask(o).Exec})
+	}
+	var worst, prev model.Duration
+	for k := int64(1); k <= m; k++ {
+		base := block.AddSat(self.Exec.MulSat(k))
+		// The completion series is strictly increasing in k, so the
+		// previous solution warm-starts the next solve.
+		c := solveFixpoint(base, intTerms, busyCap, opts.MaxFixpointIter, prev)
+		if c.IsInfinite() {
+			return SubtaskBound{Response: model.Infinite, BusyPeriod: d, Instances: m}
+		}
+		prev = c
+		r := c - period.MulSat(k-1)
+		if r > worst {
+			worst = r
+		}
+	}
+	return SubtaskBound{Response: worst, BusyPeriod: d, Instances: m}
+}
+
+// PMPhases returns the per-subtask release phases the PM protocol derives
+// from an SA/PM result: f(i,1) is the task phase, and f(i,j) for j > 1 is
+// the task phase plus the sum of the response-time bounds of the subtask's
+// predecessors (§3.1). It fails if any needed bound is infinite, since PM
+// cannot be configured for an unschedulable prefix.
+func PMPhases(s *model.System, res *Result) (map[model.SubtaskID]model.Time, error) {
+	phases := make(map[model.SubtaskID]model.Time, s.NumSubtasks())
+	for i := range s.Tasks {
+		offset := model.Duration(0)
+		for j := range s.Tasks[i].Subtasks {
+			id := model.SubtaskID{Task: i, Sub: j}
+			phases[id] = s.Tasks[i].Phase.Add(offset)
+			b, ok := res.Subtasks[id]
+			if !ok {
+				return nil, fmt.Errorf("PM phases: no bound for %v", id)
+			}
+			if b.Response.IsInfinite() {
+				return nil, fmt.Errorf("PM phases: response-time bound for %v is infinite", id)
+			}
+			offset = offset.AddSat(b.Response)
+		}
+	}
+	return phases, nil
+}
+
+// EERLowerBoundPM returns the paper's §3.1 lower bound on task i's EER time
+// under PM/MPM: the sum of the response-time bounds of all subtasks but the
+// last, plus the last subtask's execution time. Together with the upper
+// bound Σ R(i,k) it brackets the (deliberately narrow) PM jitter window.
+func EERLowerBoundPM(s *model.System, res *Result, i int) model.Duration {
+	n := len(s.Tasks[i].Subtasks)
+	lower := model.Duration(0)
+	for j := 0; j < n-1; j++ {
+		lower = lower.AddSat(res.Subtasks[model.SubtaskID{Task: i, Sub: j}].Response)
+	}
+	return lower.AddSat(s.Tasks[i].Subtasks[n-1].Exec)
+}

@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"testing"
+
+	"rtsync/internal/model"
+)
+
+// TestSAPMExample2 checks Algorithm SA/PM against the paper's Example 2
+// numbers: R(2,1) = 4 (stated in §3.1, "The bound on the response time of
+// T2,1 is 4 time units") and R(3,1) = 5 ("Task T3 would have a worst-case
+// response time of 5 time units", §2).
+func TestSAPMExample2(t *testing.T) {
+	s := model.Example2()
+	res, err := AnalyzePM(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR := map[model.SubtaskID]model.Duration{
+		{Task: 0, Sub: 0}: 2, // T1: alone at top priority on P1
+		{Task: 1, Sub: 0}: 4, // T2,1: preempted once by T1
+		{Task: 1, Sub: 1}: 3, // T2,2: top priority on P2
+		{Task: 2, Sub: 0}: 5, // T3: preempted once by T2,2
+	}
+	for id, want := range wantR {
+		if got := res.Subtasks[id].Response; got != want {
+			t.Errorf("R%v = %v, want %v", id, got, want)
+		}
+	}
+	wantEER := []model.Duration{2, 7, 5}
+	for i, want := range wantEER {
+		if got := res.TaskEER[i]; got != want {
+			t.Errorf("EER(T%d) = %v, want %v", i+1, got, want)
+		}
+	}
+	// T3 meets its deadline under PM/RG; T2's bound 7 exceeds its
+	// deadline 6; T1 is fine.
+	if !res.Schedulable(s, 0) || res.Schedulable(s, 1) || !res.Schedulable(s, 2) {
+		t.Errorf("schedulability flags wrong: %v, %v, %v",
+			res.Schedulable(s, 0), res.Schedulable(s, 1), res.Schedulable(s, 2))
+	}
+	if res.AllSchedulable(s) {
+		t.Error("AllSchedulable should be false (T2 over deadline)")
+	}
+	if res.Failed() {
+		t.Error("no bound is infinite; Failed should be false")
+	}
+}
+
+// TestSAPMExample1 checks the monitor-task system: interference on each
+// processor yields R(1,1)=2, R(1,2)=3, R(1,3)=2 and an EER bound of 7.
+func TestSAPMExample1(t *testing.T) {
+	s := model.Example1()
+	res, err := AnalyzePM(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Duration{2, 3, 2}
+	for j, w := range want {
+		id := model.SubtaskID{Task: 0, Sub: j}
+		if got := res.Subtasks[id].Response; got != w {
+			t.Errorf("R%v = %v, want %v", id, got, w)
+		}
+	}
+	if res.TaskEER[0] != 7 {
+		t.Errorf("monitor EER bound = %v, want 7", res.TaskEER[0])
+	}
+}
+
+// TestSAPMSingleProcessorChain verifies the classical response-time numbers
+// for a 3-task single-processor system computed by hand:
+// A(e=1,p=4) > B(e=2,p=6) > C(e=3,p=12) gives R(C) = 10.
+func TestSAPMSingleProcessorChain(t *testing.T) {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	b.AddTask("A", 4, 0).Subtask(p, 1, 3).Done()
+	b.AddTask("B", 6, 0).Subtask(p, 2, 2).Done()
+	b.AddTask("C", 12, 0).Subtask(p, 3, 1).Done()
+	s := b.MustBuild()
+	res, err := AnalyzePM(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Duration{1, 3, 10}
+	for i, w := range want {
+		if got := res.TaskEER[i]; got != w {
+			t.Errorf("EER(%s) = %v, want %v", s.Tasks[i].Name, got, w)
+		}
+	}
+}
+
+// TestSAPMArbitraryDeadline exercises the multi-instance branch (M > 1):
+// one task with utilization 1 alone on a processor plus a short-period
+// rival. A(e=5,p=10) hi, B(e=6,p=12) lo: level-B busy period is
+// t = ceil(t/10)*5 + ceil(t/12)*6 -> 60, so M=5 instances of B are checked.
+func TestSAPMArbitraryDeadline(t *testing.T) {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	b.AddTask("A", 10, 0).Subtask(p, 5, 2).Done()
+	b.AddTask("B", 12, 0).Subtask(p, 6, 1).Done()
+	s := b.MustBuild()
+	res, err := AnalyzePM(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB := model.SubtaskID{Task: 1, Sub: 0}
+	sb := res.Subtasks[idB]
+	if sb.BusyPeriod != 60 {
+		t.Errorf("D(B) = %v, want 60", sb.BusyPeriod)
+	}
+	if sb.Instances != 5 {
+		t.Errorf("M(B) = %v, want 5", sb.Instances)
+	}
+	// C(m) = 5*ceil(C/10) + 6m; R(m) = C(m) - (m-1)*12:
+	// m=1: C=16 (t=6+5*ceil(t/10)) -> 16, R=16
+	// m=2: C=27 -> R=15; m=3: C=38 -> R=14; m=4: C=49 -> R=13; m=5: C=60 -> R=12.
+	if sb.Response != 16 {
+		t.Errorf("R(B) = %v, want 16", sb.Response)
+	}
+}
+
+func TestSAPMOverUtilizedGivesInfinite(t *testing.T) {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	b.AddTask("A", 10, 0).Subtask(p, 6, 2).Done()
+	b.AddTask("B", 10, 0).Subtask(p, 6, 1).Done()
+	s := b.MustBuild()
+	res, err := AnalyzePM(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TaskEER[1].IsInfinite() {
+		t.Errorf("EER(B) = %v, want Infinite", res.TaskEER[1])
+	}
+	if !res.Failed() {
+		t.Error("Failed should be true")
+	}
+	if res.Schedulable(s, 1) {
+		t.Error("infinite bound must not be schedulable")
+	}
+}
+
+func TestSAPMFailureCap(t *testing.T) {
+	s := model.Example2()
+	opts := defaultTestOpts()
+	opts.FailureFactor = 1 // bound > 1 period counts as infinite
+	res, err := AnalyzePM(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T2's bound 7 exceeds 1x its period 6 -> infinite.
+	if !res.TaskEER[1].IsInfinite() {
+		t.Errorf("EER(T2) with cap = %v, want Infinite", res.TaskEER[1])
+	}
+	// T1's bound 2 is within 1x period 4 -> finite.
+	if res.TaskEER[0] != 2 {
+		t.Errorf("EER(T1) with cap = %v, want 2", res.TaskEER[0])
+	}
+}
+
+func TestSAPMRejectsInvalidSystem(t *testing.T) {
+	s := model.Example2()
+	s.Tasks[0].Period = 0
+	if _, err := AnalyzePM(s, defaultTestOpts()); err == nil {
+		t.Error("AnalyzePM accepted an invalid system")
+	}
+}
+
+func TestPMPhasesExample2(t *testing.T) {
+	s := model.Example2()
+	res, err := AnalyzePM(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := PMPhases(s, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.1 / Figure 5: "The bound on the response time of T2,1 is 4 time
+	// units, and therefore the phase of T2,2 is 4."
+	if got := phases[model.SubtaskID{Task: 1, Sub: 1}]; got != 4 {
+		t.Errorf("f(2,2) = %v, want 4", got)
+	}
+	if got := phases[model.SubtaskID{Task: 1, Sub: 0}]; got != 0 {
+		t.Errorf("f(2,1) = %v, want 0", got)
+	}
+	// T3 keeps its own phase.
+	if got := phases[model.SubtaskID{Task: 2, Sub: 0}]; got != 4 {
+		t.Errorf("f(3,1) = %v, want 4", got)
+	}
+}
+
+func TestPMPhasesExample1(t *testing.T) {
+	s := model.Example1()
+	res, err := AnalyzePM(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := PMPhases(s, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f(1,1)=0, f(1,2)=R(1,1)=2, f(1,3)=R(1,1)+R(1,2)=5.
+	want := []model.Time{0, 2, 5}
+	for j, w := range want {
+		if got := phases[model.SubtaskID{Task: 0, Sub: j}]; got != w {
+			t.Errorf("f(1,%d) = %v, want %v", j+1, got, w)
+		}
+	}
+}
+
+func TestPMPhasesFailOnInfiniteBound(t *testing.T) {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	q := b.AddProcessor("Q")
+	b.AddTask("A", 10, 0).Subtask(p, 6, 2).Subtask(q, 1, 1).Done()
+	b.AddTask("B", 10, 0).Subtask(p, 6, 1).Subtask(q, 1, 2).Done()
+	s := b.MustBuild()
+	res, err := AnalyzePM(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PMPhases(s, res); err == nil {
+		t.Error("PMPhases should fail when a prefix bound is infinite")
+	}
+}
+
+func TestEERLowerBoundPM(t *testing.T) {
+	s := model.Example2()
+	res, err := AnalyzePM(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T2: R(2,1) + e(2,2) = 4 + 3 = 7 (here equal to the upper bound).
+	if got := EERLowerBoundPM(s, res, 1); got != 7 {
+		t.Errorf("lower bound (T2) = %v, want 7", got)
+	}
+	// Single-subtask task: just its execution time.
+	if got := EERLowerBoundPM(s, res, 0); got != 2 {
+		t.Errorf("lower bound (T1) = %v, want 2", got)
+	}
+	// Lower bound never exceeds the upper bound.
+	for i := range s.Tasks {
+		if lb := EERLowerBoundPM(s, res, i); lb > res.TaskEER[i] {
+			t.Errorf("task %d: lower bound %v > upper bound %v", i, lb, res.TaskEER[i])
+		}
+	}
+}
+
+func TestSAPMWithBlockingOnLink(t *testing.T) {
+	// Two messages on a CAN-style link: hi (e=2) can be blocked by the
+	// in-flight lo frame (e=5): R(hi) = 2 + 5 = 7. On a preemptive
+	// processor with the same shape it would be 2.
+	b := model.NewBuilder()
+	bus := b.AddLink("can")
+	b.AddTask("hi", 20, 0).Subtask(bus, 2, 2).Done()
+	b.AddTask("lo", 20, 0).Subtask(bus, 5, 1).Done()
+	s := b.MustBuild()
+
+	blocked, err := AnalyzePM(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.TaskEER[0] != 7 {
+		t.Errorf("EER(hi) on the link = %v, want 7", blocked.TaskEER[0])
+	}
+	// lo suffers no blocking (nothing below it): 5 + preemption 2 = 7.
+	if blocked.TaskEER[1] != 7 {
+		t.Errorf("EER(lo) on the link = %v, want 7", blocked.TaskEER[1])
+	}
+
+	s2 := s.Clone()
+	s2.Procs[0].Preemptive = true
+	plain, err := AnalyzePM(s2, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TaskEER[0] != 2 {
+		t.Errorf("EER(hi) on a CPU = %v, want 2", plain.TaskEER[0])
+	}
+}
+
+func TestSAPMWithCeilingBlocking(t *testing.T) {
+	// Classic PCP scenario on one CPU: hi (e=2, prio 3) and lo (e=5,
+	// prio 1) share a resource; mid (e=3, prio 2) does not. hi's bound
+	// gains lo's whole execution as blocking: R(hi) = 2 + 5 = 7.
+	// mid's bound gains blocking 5 plus preemption by hi: 3 + 5 + 2 = 10.
+	b := model.NewBuilder()
+	p := b.AddProcessor("cpu")
+	r := b.AddResource("shared")
+	b.AddTask("hi", 50, 0).Subtask(p, 2, 3).Locking(r).Done()
+	b.AddTask("mid", 50, 0).Subtask(p, 3, 2).Done()
+	b.AddTask("lo", 50, 0).Subtask(p, 5, 1).Locking(r).Done()
+	s := b.MustBuild()
+	res, err := AnalyzePM(s, defaultTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Duration{7, 10, 10} // lo: 5 + 2 + 3 interference
+	for i, w := range want {
+		if res.TaskEER[i] != w {
+			t.Errorf("EER(%s) = %v, want %v", s.Tasks[i].Name, res.TaskEER[i], w)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"math"
+
+	"rtsync/internal/model"
+)
+
+// ProcUtilizations returns the utilization of every processor in s.
+func ProcUtilizations(s *model.System) []float64 {
+	out := make([]float64, len(s.Procs))
+	for p := range s.Procs {
+		out[p] = s.Utilization(p)
+	}
+	return out
+}
+
+// MaxUtilization returns the highest per-processor utilization, the primary
+// axis of the paper's experimental configurations.
+func MaxUtilization(s *model.System) float64 {
+	m := 0.0
+	for _, u := range ProcUtilizations(s) {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// LiuLaylandBound returns the classical rate-monotonic utilization bound
+// n·(2^{1/n} − 1) for n tasks on one processor (Liu & Layland 1973,
+// reference [1] of the paper). Systems under the bound are schedulable
+// under RM without further analysis; above it, busy-period analysis is
+// required. Returns 0 for n <= 0.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// PassesLiuLayland reports whether each processor's utilization is within
+// the Liu-Layland bound for its subtask count. It is a quick sufficient
+// (never necessary) schedulability screen for strictly periodic subtasks,
+// i.e. for systems synchronized by PM/MPM/RG. Equal priorities and
+// non-preemptive processors void the screen, in which case false is
+// returned conservatively.
+func PassesLiuLayland(s *model.System) bool {
+	for p := range s.Procs {
+		if !s.Procs[p].Preemptive {
+			return false
+		}
+		ids := s.OnProcessor(p)
+		seen := make(map[model.Priority]bool, len(ids))
+		for _, id := range ids {
+			pr := s.Subtask(id).Priority
+			if seen[pr] {
+				return false
+			}
+			seen[pr] = true
+		}
+		if s.Utilization(p) > LiuLaylandBound(len(ids))+1e-12 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"rtsync/internal/model"
+)
+
+func TestLiuLaylandBoundValues(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{1, 1.0},
+		{2, 2 * (math.Sqrt2 - 1)}, // ~0.8284
+		{3, 3 * (math.Pow(2, 1.0/3) - 1)},
+		{0, 0},
+		{-3, 0},
+	}
+	for _, tt := range tests {
+		if got := LiuLaylandBound(tt.n); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("LiuLaylandBound(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+	// The bound decreases toward ln 2.
+	if b := LiuLaylandBound(1000); math.Abs(b-math.Ln2) > 1e-3 {
+		t.Errorf("LiuLaylandBound(1000) = %v, want ~ln2", b)
+	}
+	if LiuLaylandBound(2) >= LiuLaylandBound(1) {
+		t.Error("bound should decrease with n")
+	}
+}
+
+func TestProcUtilizations(t *testing.T) {
+	s := model.Example2()
+	us := ProcUtilizations(s)
+	if len(us) != 2 {
+		t.Fatalf("got %d utilizations", len(us))
+	}
+	want := []float64{0.5 + 2.0/6, 3.0/6 + 2.0/6}
+	for p, w := range want {
+		if math.Abs(us[p]-w) > 1e-12 {
+			t.Errorf("U(P%d) = %v, want %v", p+1, us[p], w)
+		}
+	}
+	if got := MaxUtilization(s); math.Abs(got-want[1]) > 1e-12 && math.Abs(got-want[0]) > 1e-12 {
+		t.Errorf("MaxUtilization = %v", got)
+	}
+}
+
+func TestPassesLiuLayland(t *testing.T) {
+	// Two tasks at U = 0.6 <= 0.828: passes.
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	b.AddTask("A", 10, 0).Subtask(p, 3, 2).Done()
+	b.AddTask("B", 10, 0).Subtask(p, 3, 1).Done()
+	s := b.MustBuild()
+	if !PassesLiuLayland(s) {
+		t.Error("U=0.6 with n=2 should pass")
+	}
+
+	// Same shape at U = 0.9 > 0.828: fails the screen.
+	s2 := s.Clone()
+	s2.Tasks[0].Subtasks[0].Exec = 5
+	s2.Tasks[1].Subtasks[0].Exec = 4
+	if PassesLiuLayland(s2) {
+		t.Error("U=0.9 with n=2 should not pass")
+	}
+
+	// Equal priorities void the screen.
+	s3 := s.Clone()
+	s3.Tasks[0].Subtasks[0].Priority = 1
+	if PassesLiuLayland(s3) {
+		t.Error("duplicate priorities should void the screen")
+	}
+
+	// Non-preemptive processors void the screen.
+	s4 := s.Clone()
+	s4.Procs[0].Preemptive = false
+	if PassesLiuLayland(s4) {
+		t.Error("non-preemptive processor should void the screen")
+	}
+}

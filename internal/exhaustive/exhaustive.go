@@ -1,0 +1,137 @@
+// Package exhaustive finds the ACTUAL worst-case end-to-end response times
+// of tiny systems by enumerating every integer phase assignment and
+// simulating each one — the "exhaustive search, which is too time consuming
+// to be practical even for small systems" that §2 of the paper contrasts
+// with schedulability analysis. For tick-scale systems (Example 2 has a
+// 4×6×6 phase space) it is perfectly practical, and it lets the test suite
+// measure how tight Algorithm SA/PM and Algorithm SA/DS really are.
+package exhaustive
+
+import (
+	"fmt"
+
+	"rtsync/internal/model"
+	"rtsync/internal/sim"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxCombinations caps the phase-space size (product of periods).
+	// Zero means the default of 1e6.
+	MaxCombinations int64
+	// HyperperiodsPerRun sets each simulation's horizon as a multiple of
+	// the hyperperiod past the largest phase. Zero means 3.
+	HyperperiodsPerRun int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCombinations <= 0 {
+		o.MaxCombinations = 1_000_000
+	}
+	if o.HyperperiodsPerRun <= 0 {
+		o.HyperperiodsPerRun = 3
+	}
+	return o
+}
+
+// Result carries the search outcome.
+type Result struct {
+	// WorstEER[i] is the largest EER time task i exhibited over every
+	// phase assignment.
+	WorstEER []model.Duration
+	// WorstPhases[i] is a phase vector achieving WorstEER[i].
+	WorstPhases [][]model.Time
+	// Combinations is the number of phase vectors simulated.
+	Combinations int64
+}
+
+// WorstEER enumerates all phase vectors (each task's phase ranging over
+// [0, period)) and simulates each with a fresh protocol from mk, returning
+// the per-task worst observed EER times. The protocol factory is invoked
+// once per phase vector because protocols carry per-run state.
+func WorstEER(s *model.System, mk func(*model.System) (sim.Protocol, error), opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("exhaustive: %w", err)
+	}
+	combos := int64(1)
+	for i := range s.Tasks {
+		p := int64(s.Tasks[i].Period)
+		if combos > opts.MaxCombinations/p {
+			return nil, fmt.Errorf("exhaustive: phase space exceeds %d combinations", opts.MaxCombinations)
+		}
+		combos *= p
+	}
+	hyper, err := hyperperiod(s)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		WorstEER:     make([]model.Duration, len(s.Tasks)),
+		WorstPhases:  make([][]model.Time, len(s.Tasks)),
+		Combinations: combos,
+	}
+	phases := make([]model.Time, len(s.Tasks))
+	work := s.Clone()
+	for {
+		for i := range work.Tasks {
+			work.Tasks[i].Phase = phases[i]
+		}
+		protocol, err := mk(work)
+		if err != nil {
+			return nil, fmt.Errorf("exhaustive: %w", err)
+		}
+		maxPhase := work.MaxPhase()
+		horizon := maxPhase.Add(hyper.MulSat(opts.HyperperiodsPerRun))
+		out, err := sim.Run(work, sim.Config{Protocol: protocol, Horizon: horizon})
+		if err != nil {
+			return nil, fmt.Errorf("exhaustive: phases %v: %w", phases, err)
+		}
+		for i := range work.Tasks {
+			if eer := out.Metrics.Tasks[i].MaxEER; eer > res.WorstEER[i] {
+				res.WorstEER[i] = eer
+				res.WorstPhases[i] = append([]model.Time(nil), phases...)
+			}
+		}
+		if !nextPhaseVector(s, phases) {
+			break
+		}
+	}
+	return res, nil
+}
+
+// nextPhaseVector advances phases odometer-style; false when wrapped.
+func nextPhaseVector(s *model.System, phases []model.Time) bool {
+	for i := len(phases) - 1; i >= 0; i-- {
+		phases[i]++
+		if model.Duration(phases[i]) < s.Tasks[i].Period {
+			return true
+		}
+		phases[i] = 0
+	}
+	return false
+}
+
+// hyperperiod returns the least common multiple of all task periods,
+// guarding against overflow.
+func hyperperiod(s *model.System) (model.Duration, error) {
+	l := int64(1)
+	for i := range s.Tasks {
+		p := int64(s.Tasks[i].Period)
+		g := gcd(l, p)
+		if l > (int64(model.Infinite)/8)/(p/g) {
+			return 0, fmt.Errorf("exhaustive: hyperperiod overflow")
+		}
+		l = l / g * p
+	}
+	return model.Duration(l), nil
+}
+
+// gcd is Euclid's algorithm on positive ints.
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

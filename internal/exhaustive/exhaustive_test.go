@@ -1,0 +1,251 @@
+package exhaustive
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/priority"
+	"rtsync/internal/sim"
+)
+
+func mkDS(*model.System) (sim.Protocol, error) { return sim.NewDS(), nil }
+
+func mkRG(*model.System) (sim.Protocol, error) { return sim.NewRG(), nil }
+
+func mkPM(s *model.System) (sim.Protocol, error) {
+	res, err := analysis.AnalyzePM(s, analysis.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	b := make(sim.Bounds, len(res.Subtasks))
+	for id, sb := range res.Subtasks {
+		b[id] = sb.Response
+	}
+	return sim.NewPM(b), nil
+}
+
+// TestExample2ActualWorstCaseDS verifies the central claim of the SA/DS
+// erratum analysis: the true worst-case EER of T3 under DS is 8, exactly
+// the bound Algorithm IEERT computes (and more than the 7 the paper's
+// prose quotes).
+func TestExample2ActualWorstCaseDS(t *testing.T) {
+	s := model.Example2()
+	res, err := WorstEER(s, mkDS, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Combinations != 4*6*6 {
+		t.Errorf("combinations = %d, want 144", res.Combinations)
+	}
+	want := []model.Duration{2, 7, 8}
+	for i, w := range want {
+		if res.WorstEER[i] != w {
+			t.Errorf("actual worst EER(T%d) = %v, want %v", i+1, res.WorstEER[i], w)
+		}
+	}
+	// The SA/DS bounds are exactly tight on this system.
+	ds, err := analysis.AnalyzeDS(s, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Tasks {
+		if model.Duration(res.WorstEER[i]) != ds.TaskEER[i] {
+			t.Errorf("task %d: exhaustive %v vs SA/DS bound %v", i, res.WorstEER[i], ds.TaskEER[i])
+		}
+	}
+}
+
+// TestExample2ActualWorstCaseRG: under RG the actual worst case must
+// respect the SA/PM bounds (Theorem 1), and on this system it meets them
+// exactly for T2 and T3.
+func TestExample2ActualWorstCaseRG(t *testing.T) {
+	s := model.Example2()
+	res, err := WorstEER(s, mkRG, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := analysis.AnalyzePM(s, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Tasks {
+		if model.Duration(res.WorstEER[i]) > pm.TaskEER[i] {
+			t.Errorf("task %d: exhaustive RG worst %v exceeds SA/PM bound %v",
+				i, res.WorstEER[i], pm.TaskEER[i])
+		}
+	}
+	if res.WorstEER[1] != 7 {
+		t.Errorf("worst EER(T2) under RG = %v, want 7 (bound met exactly)", res.WorstEER[1])
+	}
+}
+
+// TestBoundsSoundOnRandomTinySystems is the tightness/soundness sweep: on
+// random tiny systems, the exhaustive worst case never exceeds the
+// analyzed bound for the matching protocol.
+func TestBoundsSoundOnRandomTinySystems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweeps are slow")
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		s := tinySystem(rng)
+		pm, err := analysis.AnalyzePM(s, analysis.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := analysis.AnalyzeDS(s, analysis.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmRunnable := true
+		for _, sb := range pm.Subtasks {
+			if sb.Response.IsInfinite() {
+				pmRunnable = false // over-utilized: PM cannot be configured
+				break
+			}
+		}
+		cases := []struct {
+			name   string
+			mk     func(*model.System) (sim.Protocol, error)
+			bounds []model.Duration
+		}{
+			{"DS", mkDS, ds.TaskEER},
+			{"RG", mkRG, pm.TaskEER},
+		}
+		if pmRunnable {
+			cases = append(cases, struct {
+				name   string
+				mk     func(*model.System) (sim.Protocol, error)
+				bounds []model.Duration
+			}{"PM", mkPM, pm.TaskEER})
+		}
+		for _, tc := range cases {
+			res, err := WorstEER(s, tc.mk, Options{})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, tc.name, err)
+			}
+			for i := range s.Tasks {
+				if tc.bounds[i].IsInfinite() {
+					continue
+				}
+				if model.Duration(res.WorstEER[i]) > tc.bounds[i] {
+					t.Errorf("trial %d %s task %d: exhaustive worst %v exceeds bound %v\nsystem: %v",
+						trial, tc.name, i, res.WorstEER[i], tc.bounds[i], s)
+				}
+			}
+		}
+	}
+}
+
+// tinySystem builds a random 2-processor system with tiny periods so the
+// phase space stays enumerable.
+func tinySystem(rng *rand.Rand) *model.System {
+	b := model.NewBuilder()
+	p0 := b.AddProcessor("P1")
+	p1 := b.AddProcessor("P2")
+	periods := []model.Duration{4, 5, 6, 8}
+	for i := 0; i < 3; i++ {
+		period := periods[rng.Intn(len(periods))]
+		tb := b.AddTask("", period, 0)
+		n := 1 + rng.Intn(2)
+		prev := -1
+		for j := 0; j < n; j++ {
+			proc := rng.Intn(2)
+			if proc == prev {
+				proc = 1 - proc
+			}
+			prev = proc
+			tb.Subtask(proc, model.Duration(1+rng.Intn(2)), 0)
+		}
+		tb.Done()
+	}
+	s := b.MustBuild()
+	if err := priority.Assign(s, priority.ProportionalDeadline); err != nil {
+		panic(err)
+	}
+	if p0 == p1 {
+		panic("unreachable")
+	}
+	return s
+}
+
+func TestPhaseSpaceLimit(t *testing.T) {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	b.AddTask("A", 100000, 0).Subtask(p, 1, 1).Done()
+	b.AddTask("B", 100000, 0).Subtask(p, 1, 2).Done()
+	s := b.MustBuild()
+	if _, err := WorstEER(s, mkDS, Options{MaxCombinations: 1000}); err == nil {
+		t.Error("oversized phase space accepted")
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	s := model.Example2()
+	h, err := hyperperiod(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 12 { // lcm(4, 6, 6)
+		t.Errorf("hyperperiod = %v, want 12", h)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	tests := []struct{ a, b, want int64 }{
+		{12, 8, 4}, {8, 12, 4}, {7, 13, 1}, {6, 6, 6}, {1, 5, 1},
+	}
+	for _, tt := range tests {
+		if got := gcd(tt.a, tt.b); got != tt.want {
+			t.Errorf("gcd(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestNextPhaseVector(t *testing.T) {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	q := b.AddProcessor("Q")
+	b.AddTask("A", 2, 0).Subtask(p, 1, 1).Done()
+	b.AddTask("B", 3, 0).Subtask(q, 1, 1).Done()
+	s := b.MustBuild()
+	phases := []model.Time{0, 0}
+	count := 1
+	for nextPhaseVector(s, phases) {
+		count++
+	}
+	if count != 6 {
+		t.Errorf("odometer visited %d vectors, want 6", count)
+	}
+	if phases[0] != 0 || phases[1] != 0 {
+		t.Errorf("odometer should wrap to zero, got %v", phases)
+	}
+}
+
+func TestWorstPhasesRecorded(t *testing.T) {
+	s := model.Example2()
+	res, err := WorstEER(s, mkDS, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some phase vector achieving T3's worst case must be recorded, and
+	// replaying it must reproduce the worst EER.
+	phases := res.WorstPhases[2]
+	if phases == nil {
+		t.Fatal("no phase vector recorded for T3")
+	}
+	work := s.Clone()
+	for i := range work.Tasks {
+		work.Tasks[i].Phase = phases[i]
+	}
+	out, err := sim.Run(work, sim.Config{Protocol: sim.NewDS(), Horizon: work.MaxPhase().Add(12 * 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.Tasks[2].MaxEER != res.WorstEER[2] {
+		t.Errorf("replay of worst phases gave %v, want %v",
+			out.Metrics.Tasks[2].MaxEER, res.WorstEER[2])
+	}
+}

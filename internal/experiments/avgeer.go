@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/report"
+	"rtsync/internal/sim"
+	"rtsync/internal/workload"
+)
+
+// AvgEERResult is the outcome of the simulation study behind Figures 14,
+// 15, and 16, plus the RG rule-2 ablation (A1) and the output-jitter
+// comparison (A2). Each grid aggregates one per-task observation per
+// generated system.
+type AvgEERResult struct {
+	// PMDS is Figure 14: avg EER under PM ÷ avg EER under DS.
+	PMDS *Grid
+	// RGDS is Figure 15: avg EER under RG ÷ avg EER under DS.
+	RGDS *Grid
+	// PMRG is Figure 16: avg EER under PM ÷ avg EER under RG.
+	PMRG *Grid
+	// RG1RG is ablation A1: avg EER under RG with rule 1 only ÷ full RG.
+	// Values >= 1 quantify rule 2's benefit.
+	RG1RG *Grid
+	// JitterPM/JitterRG/JitterDS are ablation A2: the per-task maximum
+	// output jitter normalized by the task period, per protocol.
+	JitterPM, JitterRG, JitterDS *Grid
+	// Skipped counts systems skipped because SA/PM produced an infinite
+	// bound (PM cannot be configured) per cell.
+	Skipped map[CellKey]int
+}
+
+// AvgEERStudy simulates every generated system under DS, PM, RG, and
+// RG-rule-1-only and aggregates the paper's three ratio figures plus the
+// ablations. MPM is omitted from the sweep: under the simulated ideal
+// conditions it produces schedules identical to PM (§3.1, verified by the
+// sim package's tests).
+func AvgEERStudy(p Params) (*AvgEERResult, error) {
+	p = p.withDefaults()
+	res := &AvgEERResult{
+		PMDS:     NewGrid("PM/DS"),
+		RGDS:     NewGrid("RG/DS"),
+		PMRG:     NewGrid("PM/RG"),
+		RG1RG:    NewGrid("RG1/RG"),
+		JitterPM: NewGrid("jitter PM"),
+		JitterRG: NewGrid("jitter RG"),
+		JitterDS: NewGrid("jitter DS"),
+		Skipped:  make(map[CellKey]int),
+	}
+	var firstErr error
+	fail := func(record func(func()), err error) {
+		record(func() {
+			if firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	sweep(p, func(cfg workload.Config, record func(func())) {
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			fail(record, err)
+			return
+		}
+		cell := cellOf(cfg)
+
+		pmRes, err := analysis.AnalyzePM(sys, p.Analysis)
+		if err != nil {
+			fail(record, err)
+			return
+		}
+		bounds := make(sim.Bounds, len(pmRes.Subtasks))
+		finite := true
+		for id, sb := range pmRes.Subtasks {
+			if sb.Response.IsInfinite() {
+				finite = false
+				break
+			}
+			bounds[id] = sb.Response
+		}
+		if !finite {
+			record(func() { res.Skipped[cell]++ })
+			return
+		}
+
+		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
+		runOne := func(protocol sim.Protocol) (*sim.Metrics, error) {
+			out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: horizon})
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s seed %d: %w", protocol.Name(), cfg.Label(), cfg.Seed, err)
+			}
+			return out.Metrics, nil
+		}
+		ds, err := runOne(sim.NewDS())
+		if err != nil {
+			fail(record, err)
+			return
+		}
+		pm, err := runOne(sim.NewPM(bounds))
+		if err != nil {
+			fail(record, err)
+			return
+		}
+		rg, err := runOne(sim.NewRG())
+		if err != nil {
+			fail(record, err)
+			return
+		}
+		rg1, err := runOne(sim.NewRGRule1Only())
+		if err != nil {
+			fail(record, err)
+			return
+		}
+
+		type obs struct {
+			grid *Grid
+			v    float64
+		}
+		var observations []obs
+		addRatio := func(g *Grid, num, den *sim.Metrics, i int) {
+			if num.Tasks[i].Completed == 0 || den.Tasks[i].Completed == 0 {
+				return
+			}
+			d := den.Tasks[i].AvgEER()
+			if d <= 0 {
+				return
+			}
+			observations = append(observations, obs{grid: g, v: num.Tasks[i].AvgEER() / d})
+		}
+		for i := range sys.Tasks {
+			addRatio(res.PMDS, pm, ds, i)
+			addRatio(res.RGDS, rg, ds, i)
+			addRatio(res.PMRG, pm, rg, i)
+			addRatio(res.RG1RG, rg1, rg, i)
+			period := float64(sys.Tasks[i].Period)
+			for _, jo := range []struct {
+				g *Grid
+				m *sim.Metrics
+			}{{res.JitterPM, pm}, {res.JitterRG, rg}, {res.JitterDS, ds}} {
+				if jo.m.Tasks[i].Completed >= 2 {
+					observations = append(observations, obs{
+						grid: jo.g,
+						v:    float64(jo.m.Tasks[i].MaxOutputJitter) / period,
+					})
+				}
+			}
+		}
+		record(func() {
+			for _, o := range observations {
+				o.grid.Sample(cell).Add(o.v)
+			}
+		})
+	})
+	if firstErr != nil {
+		return nil, fmt.Errorf("average-EER study: %w", firstErr)
+	}
+	return res, nil
+}
+
+// ratioTable renders one ratio grid.
+func ratioTable(title string, g *Grid) *report.Table {
+	ns, us := g.Axes()
+	rg := report.NewGrid(title, ns, us)
+	for _, k := range g.Keys() {
+		if g.Cells[k].N() > 0 {
+			rg.Setf(k.N, k.U, g.Cells[k].Mean())
+		}
+	}
+	return rg.Table()
+}
+
+// Fig14Table renders Figure 14 (PM/DS ratio).
+func (r *AvgEERResult) Fig14Table() *report.Table {
+	return ratioTable("Figure 14 — average EER ratio PM ÷ DS", r.PMDS)
+}
+
+// Fig15Table renders Figure 15 (RG/DS ratio).
+func (r *AvgEERResult) Fig15Table() *report.Table {
+	return ratioTable("Figure 15 — average EER ratio RG ÷ DS", r.RGDS)
+}
+
+// Fig16Table renders Figure 16 (PM/RG ratio).
+func (r *AvgEERResult) Fig16Table() *report.Table {
+	return ratioTable("Figure 16 — average EER ratio PM ÷ RG", r.PMRG)
+}
+
+// RGRule2Table renders ablation A1 (RG rule-1-only ÷ full RG).
+func (r *AvgEERResult) RGRule2Table() *report.Table {
+	return ratioTable("Ablation A1 — average EER ratio RG(rule 1 only) ÷ RG", r.RG1RG)
+}
+
+// JitterTable renders ablation A2: mean over tasks of the maximum output
+// jitter divided by the task period, per protocol.
+func (r *AvgEERResult) JitterTable() *report.Table {
+	t := report.NewTable("Ablation A2 — max output jitter / period (mean over tasks)",
+		"config", "DS", "RG", "PM")
+	for _, k := range r.JitterDS.Keys() {
+		row := []string{k.String()}
+		for _, g := range []*Grid{r.JitterDS, r.JitterRG, r.JitterPM} {
+			s, ok := g.Cells[k]
+			if !ok || s.N() == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.4f", s.Mean()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

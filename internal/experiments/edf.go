@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/priority"
+	"rtsync/internal/report"
+	"rtsync/internal/sim"
+	"rtsync/internal/workload"
+)
+
+// EDFResult is the outcome of extension A8: fixed-priority versus EDF
+// end-to-end scheduling on the same workloads, under the RG protocol.
+type EDFResult struct {
+	// FPSchedulable and EDFSchedulable hold 0/1 observations per system:
+	// 1 when the respective analysis certifies every task within its
+	// end-to-end deadline (SA/PM bounds for FP; demand-bound test plus
+	// summed local deadlines for EDF).
+	FPSchedulable, EDFSchedulable *Grid
+	// AvgEERRatio is avg EER under EDF ÷ avg EER under FP (simulated,
+	// RG protocol, one observation per task).
+	AvgEERRatio *Grid
+}
+
+// EDFStudy runs extension A8. Local deadlines are assigned with the
+// proportional slicing policy, mirroring the paper's PD priority
+// assignment.
+func EDFStudy(p Params) (*EDFResult, error) {
+	p = p.withDefaults()
+	res := &EDFResult{
+		FPSchedulable:  NewGrid("FP schedulable"),
+		EDFSchedulable: NewGrid("EDF schedulable"),
+		AvgEERRatio:    NewGrid("EDF/FP avg EER"),
+	}
+	var firstErr error
+	fail := func(record func(func()), err error) {
+		record(func() {
+			if firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	sweep(p, func(cfg workload.Config, record func(func())) {
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			fail(record, err)
+			return
+		}
+		if err := priority.AssignLocalDeadlines(sys, priority.ProportionalSlice); err != nil {
+			fail(record, err)
+			return
+		}
+		cell := cellOf(cfg)
+
+		pmRes, err := analysis.AnalyzePM(sys, p.Analysis)
+		if err != nil {
+			fail(record, err)
+			return
+		}
+		edfRes, err := analysis.AnalyzeEDF(sys, p.Analysis)
+		if err != nil {
+			fail(record, err)
+			return
+		}
+		fpOK, edfOK := 0.0, 0.0
+		if pmRes.AllSchedulable(sys) {
+			fpOK = 1
+		}
+		if edfRes.AllSchedulable(sys) {
+			edfOK = 1
+		}
+
+		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
+		fpOut, err := sim.Run(sys, sim.Config{Protocol: sim.NewRG(), Horizon: horizon})
+		if err != nil {
+			fail(record, err)
+			return
+		}
+		edfOut, err := sim.Run(sys, sim.Config{Protocol: sim.NewRG(), Scheduler: sim.EDF, Horizon: horizon})
+		if err != nil {
+			fail(record, err)
+			return
+		}
+		var ratios []float64
+		for i := range sys.Tasks {
+			if fpOut.Metrics.Tasks[i].Completed == 0 || edfOut.Metrics.Tasks[i].Completed == 0 {
+				continue
+			}
+			den := fpOut.Metrics.Tasks[i].AvgEER()
+			if den <= 0 {
+				continue
+			}
+			ratios = append(ratios, edfOut.Metrics.Tasks[i].AvgEER()/den)
+		}
+		record(func() {
+			res.FPSchedulable.Sample(cell).Add(fpOK)
+			res.EDFSchedulable.Sample(cell).Add(edfOK)
+			for _, r := range ratios {
+				res.AvgEERRatio.Sample(cell).Add(r)
+			}
+		})
+	})
+	if firstErr != nil {
+		return nil, fmt.Errorf("EDF study: %w", firstErr)
+	}
+	return res, nil
+}
+
+// Table summarizes A8 per configuration.
+func (r *EDFResult) Table() *report.Table {
+	t := report.NewTable("Extension A8 — fixed-priority vs EDF (RG protocol, proportional deadline slices)",
+		"config", "FP schedulable", "EDF schedulable", "EDF/FP avg EER")
+	for _, k := range r.FPSchedulable.Keys() {
+		fp := r.FPSchedulable.Cells[k]
+		edf := r.EDFSchedulable.Cells[k]
+		row := []string{k.String(), fmt.Sprintf("%.2f", fp.Mean())}
+		if edf != nil {
+			row = append(row, fmt.Sprintf("%.2f", edf.Mean()))
+		} else {
+			row = append(row, "-")
+		}
+		if s, ok := r.AvgEERRatio.Cells[k]; ok && s.N() > 0 {
+			row = append(row, fmt.Sprintf("%.3f", s.Mean()))
+		} else {
+			row = append(row, "-")
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/report"
+	"rtsync/internal/sim"
+	"rtsync/internal/workload"
+)
+
+// ExecVariationResult is the outcome of extension A9: how execution-time
+// variation (§6's first open problem) moves the protocols' average EER
+// times apart. For each best-case fraction f, every instance's actual
+// demand is drawn uniformly from [f·WCET, WCET]; the analyses stay
+// WCET-based, so PM's releases stay pinned to the worst-case phases while
+// DS and RG track the actual demand.
+type ExecVariationResult struct {
+	// Fractions are the swept BCET/WCET ratios, descending variation.
+	Fractions []float64
+	// PMDS[f] and RGDS[f] aggregate per-task average-EER ratios at each
+	// fraction, over all configurations.
+	PMDS, RGDS map[float64]*Grid
+}
+
+// ExecVariationStudy sweeps the given BCET/WCET fractions (e.g. 1.0, 0.5,
+// 0.25) over the configured workloads.
+func ExecVariationStudy(p Params, fractions []float64) (*ExecVariationResult, error) {
+	p = p.withDefaults()
+	if len(fractions) == 0 {
+		return nil, fmt.Errorf("exec-variation study: no fractions given")
+	}
+	for _, f := range fractions {
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("exec-variation study: fraction %v outside (0, 1]", f)
+		}
+	}
+	res := &ExecVariationResult{
+		Fractions: fractions,
+		PMDS:      make(map[float64]*Grid, len(fractions)),
+		RGDS:      make(map[float64]*Grid, len(fractions)),
+	}
+	for _, f := range fractions {
+		res.PMDS[f] = NewGrid(fmt.Sprintf("PM/DS f=%v", f))
+		res.RGDS[f] = NewGrid(fmt.Sprintf("RG/DS f=%v", f))
+	}
+	var firstErr error
+	fail := func(record func(func()), err error) {
+		record(func() {
+			if firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	sweep(p, func(cfg workload.Config, record func(func())) {
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			fail(record, err)
+			return
+		}
+		cell := cellOf(cfg)
+		pmRes, err := analysis.AnalyzePM(sys, p.Analysis)
+		if err != nil {
+			fail(record, err)
+			return
+		}
+		bounds := make(sim.Bounds, len(pmRes.Subtasks))
+		for id, sb := range pmRes.Subtasks {
+			if sb.Response.IsInfinite() {
+				return // skip: PM not runnable
+			}
+			bounds[id] = sb.Response
+		}
+		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
+
+		type obs struct {
+			f          float64
+			pmds, rgds []float64
+		}
+		var all []obs
+		for _, f := range fractions {
+			execVar := demandSampler(sys, cfg.Seed, f)
+			run := func(protocol sim.Protocol) (*sim.Metrics, error) {
+				out, err := sim.Run(sys, sim.Config{
+					Protocol: protocol,
+					Horizon:  horizon,
+					ExecTime: execVar,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return out.Metrics, nil
+			}
+			ds, err := run(sim.NewDS())
+			if err != nil {
+				fail(record, err)
+				return
+			}
+			pm, err := run(sim.NewPM(bounds))
+			if err != nil {
+				fail(record, err)
+				return
+			}
+			rg, err := run(sim.NewRG())
+			if err != nil {
+				fail(record, err)
+				return
+			}
+			o := obs{f: f}
+			for i := range sys.Tasks {
+				if ds.Tasks[i].Completed == 0 || ds.Tasks[i].AvgEER() <= 0 {
+					continue
+				}
+				if pm.Tasks[i].Completed > 0 {
+					o.pmds = append(o.pmds, pm.Tasks[i].AvgEER()/ds.Tasks[i].AvgEER())
+				}
+				if rg.Tasks[i].Completed > 0 {
+					o.rgds = append(o.rgds, rg.Tasks[i].AvgEER()/ds.Tasks[i].AvgEER())
+				}
+			}
+			all = append(all, o)
+		}
+		record(func() {
+			for _, o := range all {
+				for _, v := range o.pmds {
+					res.PMDS[o.f].Sample(cell).Add(v)
+				}
+				for _, v := range o.rgds {
+					res.RGDS[o.f].Sample(cell).Add(v)
+				}
+			}
+		})
+	})
+	if firstErr != nil {
+		return nil, fmt.Errorf("exec-variation study: %w", firstErr)
+	}
+	return res, nil
+}
+
+// demandSampler draws instance demands uniformly from [f·WCET, WCET],
+// deterministically in (seed, subtask, instance).
+func demandSampler(s *model.System, seed int64, f float64) func(model.SubtaskID, int64) model.Duration {
+	return func(id model.SubtaskID, m int64) model.Duration {
+		wcet := int64(s.Subtask(id).Exec)
+		lo := int64(float64(wcet) * f)
+		if lo < 1 {
+			lo = 1
+		}
+		if lo >= wcet {
+			return model.Duration(wcet)
+		}
+		rng := rand.New(rand.NewSource(seed ^ (int64(id.Task)*1_000_003 + int64(id.Sub)*7919 + m*31)))
+		return model.Duration(lo + rng.Int63n(wcet-lo+1))
+	}
+}
+
+// Table renders the A9 summary: mean PM/DS and RG/DS across the whole grid
+// at each fraction.
+func (r *ExecVariationResult) Table() *report.Table {
+	t := report.NewTable("Extension A9 — execution-time variation (demand ~ U[f·WCET, WCET])",
+		"BCET/WCET", "PM/DS avg EER", "RG/DS avg EER")
+	for _, f := range r.Fractions {
+		var pmds, rgds float64
+		var n1, n2 int64
+		for _, s := range r.PMDS[f].Cells {
+			pmds += s.Mean() * float64(s.N())
+			n1 += s.N()
+		}
+		for _, s := range r.RGDS[f].Cells {
+			rgds += s.Mean() * float64(s.N())
+			n2 += s.N()
+		}
+		row := []string{fmt.Sprintf("%.2f", f), "-", "-"}
+		if n1 > 0 {
+			row[1] = fmt.Sprintf("%.3f", pmds/float64(n1))
+		}
+		if n2 > 0 {
+			row[2] = fmt.Sprintf("%.3f", rgds/float64(n2))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/report"
+	"rtsync/internal/workload"
+)
+
+// FailureRateResult is the outcome of the Figure 12 experiment: per
+// configuration, the fraction of systems for which Algorithm SA/DS fails to
+// produce finite EER bounds (any task's bound exceeds 300 × its period).
+type FailureRateResult struct {
+	// Rates holds one observation per system: 1 for failure, 0 for
+	// success, so Mean() is the failure rate and the sample carries a
+	// binomial confidence interval.
+	Rates *Grid
+}
+
+// Fig12FailureRate reproduces Figure 12: "The Failure Rates as a Function
+// of Configurations for the DS Protocol".
+func Fig12FailureRate(p Params) (*FailureRateResult, error) {
+	p = p.withDefaults()
+	// Only Failed() matters here, so SA/DS may stop at the first
+	// infinite bound.
+	p.Analysis.StopOnFailure = true
+	res := &FailureRateResult{Rates: NewGrid("DS failure rate")}
+	var firstErr error
+	sweep(p, func(cfg workload.Config, record func(func())) {
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			record(func() {
+				if firstErr == nil {
+					firstErr = err
+				}
+			})
+			return
+		}
+		ds, err := analysis.AnalyzeDS(sys, p.Analysis)
+		if err != nil {
+			record(func() {
+				if firstErr == nil {
+					firstErr = err
+				}
+			})
+			return
+		}
+		failed := 0.0
+		if ds.Failed() {
+			failed = 1.0
+		}
+		cell := cellOf(cfg)
+		record(func() { res.Rates.Sample(cell).Add(failed) })
+	})
+	if firstErr != nil {
+		return nil, fmt.Errorf("figure 12: %w", firstErr)
+	}
+	return res, nil
+}
+
+// Table renders the failure-rate grid in the paper's layout.
+func (r *FailureRateResult) Table() *report.Table {
+	ns, us := r.Rates.Axes()
+	g := report.NewGrid("Figure 12 — DS failure rate (fraction of systems with infinite SA/DS bounds)", ns, us)
+	for _, k := range r.Rates.Keys() {
+		g.Setf(k.N, k.U, r.Rates.Cells[k].Mean())
+	}
+	return g.Table()
+}
+
+// BoundRatioResult is the outcome of the Figure 13 experiment: per
+// configuration, the average over tasks of (SA/DS bound ÷ SA/PM bound),
+// restricted to systems whose SA/DS bounds are all finite, as in §5.2.
+type BoundRatioResult struct {
+	Ratios *Grid
+	// HolisticRatios is the same ratio with the holistic analysis
+	// (Tindell & Clark, reference [18]) in place of Algorithm SA/DS —
+	// the analysis-comparison ablation A6. Holistic bounds are never
+	// looser than SA/DS's, so these ratios are <= Ratios cell-wise.
+	HolisticRatios *Grid
+	// FiniteSystems and TotalSystems record how many systems survived
+	// the finite-bound filter per cell.
+	FiniteSystems map[CellKey]int
+	TotalSystems  map[CellKey]int
+}
+
+// Fig13BoundRatio reproduces Figure 13: "Bound Ratios as a Function of
+// Configurations".
+func Fig13BoundRatio(p Params) (*BoundRatioResult, error) {
+	p = p.withDefaults()
+	res := &BoundRatioResult{
+		Ratios:         NewGrid("bound ratio SA-DS / SA-PM"),
+		HolisticRatios: NewGrid("bound ratio holistic / SA-PM"),
+		FiniteSystems:  make(map[CellKey]int),
+		TotalSystems:   make(map[CellKey]int),
+	}
+	var firstErr error
+	sweep(p, func(cfg workload.Config, record func(func())) {
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			record(func() {
+				if firstErr == nil {
+					firstErr = err
+				}
+			})
+			return
+		}
+		ds, err := analysis.AnalyzeDS(sys, p.Analysis)
+		if err != nil {
+			record(func() {
+				if firstErr == nil {
+					firstErr = err
+				}
+			})
+			return
+		}
+		cell := cellOf(cfg)
+		if ds.Failed() {
+			record(func() { res.TotalSystems[cell]++ })
+			return
+		}
+		pm, err := analysis.AnalyzePM(sys, p.Analysis)
+		if err != nil {
+			record(func() {
+				if firstErr == nil {
+					firstErr = err
+				}
+			})
+			return
+		}
+		hol, err := analysis.AnalyzeDSHolistic(sys, p.Analysis)
+		if err != nil {
+			record(func() {
+				if firstErr == nil {
+					firstErr = err
+				}
+			})
+			return
+		}
+		ratios := make([]float64, 0, len(sys.Tasks))
+		holRatios := make([]float64, 0, len(sys.Tasks))
+		for i := range sys.Tasks {
+			if pm.TaskEER[i].IsInfinite() || pm.TaskEER[i] == 0 {
+				continue
+			}
+			ratios = append(ratios, float64(ds.TaskEER[i])/float64(pm.TaskEER[i]))
+			if !hol.TaskEER[i].IsInfinite() {
+				holRatios = append(holRatios, float64(hol.TaskEER[i])/float64(pm.TaskEER[i]))
+			}
+		}
+		record(func() {
+			res.TotalSystems[cell]++
+			res.FiniteSystems[cell]++
+			for _, r := range ratios {
+				res.Ratios.Sample(cell).Add(r)
+			}
+			for _, r := range holRatios {
+				res.HolisticRatios.Sample(cell).Add(r)
+			}
+		})
+	})
+	if firstErr != nil {
+		return nil, fmt.Errorf("figure 13: %w", firstErr)
+	}
+	return res, nil
+}
+
+// Table renders the bound-ratio grid with means (cells with no finite
+// systems render as "-").
+func (r *BoundRatioResult) Table() *report.Table {
+	ns, us := r.Ratios.Axes()
+	g := report.NewGrid("Figure 13 — average bound ratio SA/DS ÷ SA/PM (finite-bound systems only)", ns, us)
+	for _, k := range r.Ratios.Keys() {
+		if r.Ratios.Cells[k].N() > 0 {
+			g.Setf(k.N, k.U, r.Ratios.Cells[k].Mean())
+		}
+	}
+	return g.Table()
+}
+
+// HolisticTable renders ablation A6: the holistic analysis's bound ratio
+// against SA/PM, for side-by-side comparison with Figure 13's SA/DS column.
+func (r *BoundRatioResult) HolisticTable() *report.Table {
+	ns, us := r.HolisticRatios.Axes()
+	g := report.NewGrid("Ablation A6 — average bound ratio holistic ÷ SA/PM (same systems as Figure 13)", ns, us)
+	for _, k := range r.HolisticRatios.Keys() {
+		if r.HolisticRatios.Cells[k].N() > 0 {
+			g.Setf(k.N, k.U, r.HolisticRatios.Cells[k].Mean())
+		}
+	}
+	return g.Table()
+}
+
+// CITable renders the 90% confidence half-widths the paper reports as
+// "negligibly small for most configurations".
+func (r *BoundRatioResult) CITable() *report.Table {
+	ns, us := r.Ratios.Axes()
+	g := report.NewGrid("Figure 13 — 90% CI half-width of the bound ratio", ns, us)
+	for _, k := range r.Ratios.Keys() {
+		if r.Ratios.Cells[k].N() > 1 {
+			g.Setf(k.N, k.U, r.Ratios.Cells[k].CI(0.90))
+		}
+	}
+	return g.Table()
+}

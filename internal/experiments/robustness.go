@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/report"
+	"rtsync/internal/sim"
+	"rtsync/internal/workload"
+)
+
+// ReleaseJitterResult is the outcome of extension A3: simulate with
+// sporadic first releases (random extra delay up to JitterFraction of each
+// task's period before each first-subtask release) and count precedence
+// violations per protocol. §3.1 predicts PM breaks while DS, MPM, and RG
+// stay correct.
+type ReleaseJitterResult struct {
+	// ViolationsPerSystem maps protocol name to a per-cell sample of
+	// precedence violations per system.
+	ViolationsPerSystem map[string]*Grid
+	// SystemsWithViolations maps protocol name to the per-cell count of
+	// systems with at least one violation.
+	SystemsWithViolations map[string]map[CellKey]int
+	Skipped               map[CellKey]int
+}
+
+// ReleaseJitterStudy runs extension A3. jitterFraction is the maximum extra
+// inter-release delay as a fraction of the period (e.g. 0.5).
+func ReleaseJitterStudy(p Params, jitterFraction float64) (*ReleaseJitterResult, error) {
+	p = p.withDefaults()
+	if jitterFraction < 0 {
+		return nil, fmt.Errorf("release-jitter study: negative jitter fraction %v", jitterFraction)
+	}
+	names := []string{"DS", "PM", "MPM", "RG"}
+	res := &ReleaseJitterResult{
+		ViolationsPerSystem:   make(map[string]*Grid, len(names)),
+		SystemsWithViolations: make(map[string]map[CellKey]int, len(names)),
+		Skipped:               make(map[CellKey]int),
+	}
+	for _, n := range names {
+		res.ViolationsPerSystem[n] = NewGrid(n)
+		res.SystemsWithViolations[n] = make(map[CellKey]int)
+	}
+	var firstErr error
+	sweep(p, func(cfg workload.Config, record func(func())) {
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			record(func() {
+				if firstErr == nil {
+					firstErr = err
+				}
+			})
+			return
+		}
+		cell := cellOf(cfg)
+		pmRes, err := analysis.AnalyzePM(sys, p.Analysis)
+		if err != nil {
+			record(func() {
+				if firstErr == nil {
+					firstErr = err
+				}
+			})
+			return
+		}
+		bounds := make(sim.Bounds, len(pmRes.Subtasks))
+		finite := true
+		for id, sb := range pmRes.Subtasks {
+			if sb.Response.IsInfinite() {
+				finite = false
+				break
+			}
+			bounds[id] = sb.Response
+		}
+		if !finite {
+			record(func() { res.Skipped[cell]++ })
+			return
+		}
+
+		// One jitter sequence shared by all protocols so the comparison
+		// is paired: delay(i, m) is deterministic in (seed, i, m).
+		delayFor := func(seed int64) func(int, int64) model.Duration {
+			return func(task int, m int64) model.Duration {
+				rng := rand.New(rand.NewSource(seed + int64(task)*104729 + m*31))
+				maxd := int64(float64(sys.Tasks[task].Period) * jitterFraction)
+				if maxd <= 0 {
+					return 0
+				}
+				return model.Duration(rng.Int63n(maxd + 1))
+			}
+		}
+		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
+		protocols := map[string]sim.Protocol{
+			"DS":  sim.NewDS(),
+			"PM":  sim.NewPM(bounds),
+			"MPM": sim.NewMPM(bounds),
+			"RG":  sim.NewRG(),
+		}
+		type vio struct {
+			name string
+			n    int64
+		}
+		var vios []vio
+		for name, protocol := range protocols {
+			out, err := sim.Run(sys, sim.Config{
+				Protocol:          protocol,
+				Horizon:           horizon,
+				FirstReleaseDelay: delayFor(cfg.Seed),
+			})
+			if err != nil {
+				record(func() {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s: %w", name, err)
+					}
+				})
+				return
+			}
+			vios = append(vios, vio{name: name, n: out.Metrics.PrecedenceViolations})
+		}
+		record(func() {
+			for _, v := range vios {
+				res.ViolationsPerSystem[v.name].Sample(cell).Add(float64(v.n))
+				if v.n > 0 {
+					res.SystemsWithViolations[v.name][cell]++
+				}
+			}
+		})
+	})
+	if firstErr != nil {
+		return nil, fmt.Errorf("release-jitter study: %w", firstErr)
+	}
+	return res, nil
+}
+
+// Table summarizes A3: mean violations per system for each protocol.
+func (r *ReleaseJitterResult) Table() *report.Table {
+	t := report.NewTable("Extension A3 — precedence violations per system under sporadic first releases",
+		"config", "DS", "PM", "MPM", "RG")
+	keys := r.ViolationsPerSystem["PM"].Keys()
+	for _, k := range keys {
+		row := []string{k.String()}
+		for _, name := range []string{"DS", "PM", "MPM", "RG"} {
+			s, ok := r.ViolationsPerSystem[name].Cells[k]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", s.Mean()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// OverheadTable reproduces §3.3's implementation-complexity comparison as a
+// table (experiment E10).
+func OverheadTable() *report.Table {
+	t := report.NewTable("§3.3 — implementation complexity and run-time overhead",
+		"protocol", "sync interrupt", "timer interrupt", "interrupts/instance",
+		"variables/subtask", "global clock")
+	for _, p := range []sim.Protocol{sim.NewDS(), sim.NewPM(nil), sim.NewMPM(nil), sim.NewRG()} {
+		o := p.Overhead()
+		yn := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "no"
+		}
+		t.AddRow(p.Name(), yn(o.SyncInterrupt), yn(o.TimerInterrupt),
+			fmt.Sprintf("%d", o.InterruptsPerInstance),
+			fmt.Sprintf("%d", o.VariablesPerSubtask), yn(o.NeedsGlobalClock))
+	}
+	return t
+}

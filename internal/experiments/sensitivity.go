@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/report"
+	"rtsync/internal/sim"
+	"rtsync/internal/stats"
+	"rtsync/internal/workload"
+)
+
+// SensitivityResult is the outcome of extension A10, which tests §5.1's
+// claim that "the performance of the protocols are not sensitive to these
+// parameters" (the fixed 4 processors and 12 tasks): the PM/DS and RG/DS
+// average-EER ratios and the DS failure rate are measured while the
+// population shape varies at a fixed (N, U).
+type SensitivityResult struct {
+	// Rows are in sweep order.
+	Rows []SensitivityRow
+	// N and UtilizationPct identify the fixed configuration.
+	N, UtilizationPct int
+}
+
+// SensitivityRow is one population shape's aggregated measurements.
+type SensitivityRow struct {
+	Processors, Tasks  int
+	PMDS, RGDS         stats.Sample
+	FailureRate        stats.Sample
+	SkippedForInfinite int
+}
+
+// SensitivityStudy sweeps population shapes at one (N, U) configuration.
+// shapes lists (processors, tasks) pairs; the paper's shape is (4, 12).
+func SensitivityStudy(p Params, n int, utilization float64, shapes [][2]int) (*SensitivityResult, error) {
+	p = p.withDefaults()
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("sensitivity study: no shapes given")
+	}
+	res := &SensitivityResult{N: n, UtilizationPct: int(utilization*100 + 0.5)}
+	for _, shape := range shapes {
+		cfg := workload.DefaultConfig(n, utilization)
+		cfg.Processors = shape[0]
+		cfg.Tasks = shape[1]
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sensitivity study: shape %v: %w", shape, err)
+		}
+		row := SensitivityRow{Processors: shape[0], Tasks: shape[1]}
+		for k := 0; k < p.SystemsPerConfig; k++ {
+			cfg.Seed = p.Seed + int64(k)*7919 + int64(shape[0])*101 + int64(shape[1])
+			sys, err := workload.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			dsOpts := p.Analysis
+			dsOpts.StopOnFailure = true
+			dsRes, err := analysis.AnalyzeDS(sys, dsOpts)
+			if err != nil {
+				return nil, err
+			}
+			if dsRes.Failed() {
+				row.FailureRate.Add(1)
+			} else {
+				row.FailureRate.Add(0)
+			}
+
+			pmRes, err := analysis.AnalyzePM(sys, p.Analysis)
+			if err != nil {
+				return nil, err
+			}
+			bounds := make(sim.Bounds, len(pmRes.Subtasks))
+			finite := true
+			for id, sb := range pmRes.Subtasks {
+				if sb.Response.IsInfinite() {
+					finite = false
+					break
+				}
+				bounds[id] = sb.Response
+			}
+			if !finite {
+				row.SkippedForInfinite++
+				continue
+			}
+			horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
+			run := func(protocol sim.Protocol) (*sim.Metrics, error) {
+				out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: horizon})
+				if err != nil {
+					return nil, err
+				}
+				return out.Metrics, nil
+			}
+			ds, err := run(sim.NewDS())
+			if err != nil {
+				return nil, err
+			}
+			pm, err := run(sim.NewPM(bounds))
+			if err != nil {
+				return nil, err
+			}
+			rg, err := run(sim.NewRG())
+			if err != nil {
+				return nil, err
+			}
+			for i := range sys.Tasks {
+				if ds.Tasks[i].Completed == 0 || ds.Tasks[i].AvgEER() <= 0 {
+					continue
+				}
+				if pm.Tasks[i].Completed > 0 {
+					row.PMDS.Add(pm.Tasks[i].AvgEER() / ds.Tasks[i].AvgEER())
+				}
+				if rg.Tasks[i].Completed > 0 {
+					row.RGDS.Add(rg.Tasks[i].AvgEER() / ds.Tasks[i].AvgEER())
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the sensitivity sweep.
+func (r *SensitivityResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Extension A10 — population-shape sensitivity at (%d,%d)", r.N, r.UtilizationPct),
+		"procs", "tasks", "PM/DS", "RG/DS", "DS failure rate")
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		t.AddRow(
+			fmt.Sprintf("%d", row.Processors),
+			fmt.Sprintf("%d", row.Tasks),
+			fmt.Sprintf("%.3f ± %.3f", row.PMDS.Mean(), row.PMDS.CI(0.90)),
+			fmt.Sprintf("%.3f ± %.3f", row.RGDS.Mean(), row.RGDS.CI(0.90)),
+			fmt.Sprintf("%.2f", row.FailureRate.Mean()),
+		)
+	}
+	return t
+}

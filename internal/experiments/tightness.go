@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/exhaustive"
+	"rtsync/internal/model"
+	"rtsync/internal/priority"
+	"rtsync/internal/report"
+	"rtsync/internal/sim"
+	"rtsync/internal/stats"
+)
+
+// TightnessResult is the outcome of extension A5: on tiny systems whose
+// phase space can be enumerated, compare each analysis bound to the ACTUAL
+// worst-case EER time found by exhaustive search. A ratio of 1 means the
+// bound is exactly tight; larger means pessimism.
+type TightnessResult struct {
+	// SAPMOverActualRG is (SA/PM bound ÷ exhaustive worst under RG), one
+	// observation per task with a finite bound.
+	SAPMOverActualRG stats.Sample
+	// SAPMOverActualPM is (SA/PM bound ÷ exhaustive worst under PM).
+	SAPMOverActualPM stats.Sample
+	// SADSOverActualDS is (SA/DS bound ÷ exhaustive worst under DS).
+	SADSOverActualDS stats.Sample
+	// HolisticOverActualDS is (holistic bound ÷ exhaustive worst under
+	// DS), the A6 tightness companion.
+	HolisticOverActualDS stats.Sample
+	// ExactSAPM counts tasks whose SA/PM bound was met exactly under RG.
+	ExactSAPM int
+	// ExactSADS counts tasks whose SA/DS bound was met exactly under DS.
+	ExactSADS int
+	// Tasks is the number of task observations.
+	Tasks int
+	// Systems is the number of systems searched.
+	Systems int
+}
+
+// TightnessStudy runs extension A5 over `systems` random tiny systems
+// (2 processors, 3 tasks, chains of up to 2, periods in {4,5,6,8}).
+func TightnessStudy(systems int, seed int64) (*TightnessResult, error) {
+	if systems < 1 {
+		return nil, fmt.Errorf("tightness study: need at least one system")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &TightnessResult{}
+	for k := 0; k < systems; k++ {
+		s := tinySystem(rng)
+		pm, err := analysis.AnalyzePM(s, analysis.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		ds, err := analysis.AnalyzeDS(s, analysis.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		hol, err := analysis.AnalyzeDSHolistic(s, analysis.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		pmRunnable := true
+		for _, sb := range pm.Subtasks {
+			if sb.Response.IsInfinite() {
+				pmRunnable = false
+				break
+			}
+		}
+
+		actualDS, err := exhaustive.WorstEER(s, func(*model.System) (sim.Protocol, error) {
+			return sim.NewDS(), nil
+		}, exhaustive.Options{})
+		if err != nil {
+			return nil, err
+		}
+		actualRG, err := exhaustive.WorstEER(s, func(*model.System) (sim.Protocol, error) {
+			return sim.NewRG(), nil
+		}, exhaustive.Options{})
+		if err != nil {
+			return nil, err
+		}
+		var actualPM *exhaustive.Result
+		if pmRunnable {
+			actualPM, err = exhaustive.WorstEER(s, func(sys *model.System) (sim.Protocol, error) {
+				b := make(sim.Bounds, len(pm.Subtasks))
+				for id, sb := range pm.Subtasks {
+					b[id] = sb.Response
+				}
+				return sim.NewPM(b), nil
+			}, exhaustive.Options{})
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		for i := range s.Tasks {
+			if !pm.TaskEER[i].IsInfinite() && actualRG.WorstEER[i] > 0 {
+				res.SAPMOverActualRG.Add(float64(pm.TaskEER[i]) / float64(actualRG.WorstEER[i]))
+				if pm.TaskEER[i] == actualRG.WorstEER[i] {
+					res.ExactSAPM++
+				}
+			}
+			if actualPM != nil && !pm.TaskEER[i].IsInfinite() && actualPM.WorstEER[i] > 0 {
+				res.SAPMOverActualPM.Add(float64(pm.TaskEER[i]) / float64(actualPM.WorstEER[i]))
+			}
+			if !ds.TaskEER[i].IsInfinite() && actualDS.WorstEER[i] > 0 {
+				res.SADSOverActualDS.Add(float64(ds.TaskEER[i]) / float64(actualDS.WorstEER[i]))
+				if ds.TaskEER[i] == actualDS.WorstEER[i] {
+					res.ExactSADS++
+				}
+			}
+			if !hol.TaskEER[i].IsInfinite() && actualDS.WorstEER[i] > 0 {
+				res.HolisticOverActualDS.Add(float64(hol.TaskEER[i]) / float64(actualDS.WorstEER[i]))
+			}
+			res.Tasks++
+		}
+		res.Systems++
+	}
+	return res, nil
+}
+
+// tinySystem builds a random 2-processor, 3-task system with tiny periods
+// so exhaustive search stays cheap.
+func tinySystem(rng *rand.Rand) *model.System {
+	b := model.NewBuilder()
+	procs := []int{b.AddProcessor("P1"), b.AddProcessor("P2")}
+	periods := []model.Duration{4, 5, 6, 8}
+	for i := 0; i < 3; i++ {
+		period := periods[rng.Intn(len(periods))]
+		tb := b.AddTask(fmt.Sprintf("T%d", i+1), period, 0)
+		n := 1 + rng.Intn(2)
+		prev := -1
+		for j := 0; j < n; j++ {
+			proc := rng.Intn(len(procs))
+			if proc == prev {
+				proc = (proc + 1) % len(procs)
+			}
+			prev = proc
+			tb.Subtask(procs[proc], model.Duration(1+rng.Intn(2)), 0)
+		}
+		tb.Done()
+	}
+	s := b.MustBuild()
+	if err := priority.Assign(s, priority.ProportionalDeadline); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Table renders the tightness summary.
+func (r *TightnessResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Extension A5 — bound tightness vs exhaustive worst case (%d tiny systems)", r.Systems),
+		"comparison", "mean ratio", "max ratio", "exactly tight")
+	exact := func(n int) string {
+		return fmt.Sprintf("%d/%d", n, r.Tasks)
+	}
+	t.AddRow("SA/PM bound ÷ actual worst (RG)",
+		fmt.Sprintf("%.3f", r.SAPMOverActualRG.Mean()),
+		fmt.Sprintf("%.3f", r.SAPMOverActualRG.Max()), exact(r.ExactSAPM))
+	t.AddRow("SA/PM bound ÷ actual worst (PM)",
+		fmt.Sprintf("%.3f", r.SAPMOverActualPM.Mean()),
+		fmt.Sprintf("%.3f", r.SAPMOverActualPM.Max()), "-")
+	t.AddRow("SA/DS bound ÷ actual worst (DS)",
+		fmt.Sprintf("%.3f", r.SADSOverActualDS.Mean()),
+		fmt.Sprintf("%.3f", r.SADSOverActualDS.Max()), exact(r.ExactSADS))
+	t.AddRow("holistic bound ÷ actual worst (DS)",
+		fmt.Sprintf("%.3f", r.HolisticOverActualDS.Mean()),
+		fmt.Sprintf("%.3f", r.HolisticOverActualDS.Max()), "-")
+	return t
+}

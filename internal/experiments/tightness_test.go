@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTightnessStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweeps are slow")
+	}
+	res, err := TightnessStudy(6, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Systems != 6 || res.Tasks != 18 {
+		t.Fatalf("coverage wrong: %d systems, %d tasks", res.Systems, res.Tasks)
+	}
+	// Soundness: all ratios >= 1 (a bound below the actual worst case
+	// would be a correctness bug).
+	for _, s := range []struct {
+		name string
+		min  float64
+	}{
+		{"SA/PM vs RG", res.SAPMOverActualRG.Min()},
+		{"SA/PM vs PM", res.SAPMOverActualPM.Min()},
+		{"SA/DS vs DS", res.SADSOverActualDS.Min()},
+		{"holistic vs DS", res.HolisticOverActualDS.Min()},
+	} {
+		if s.min < 1-1e-9 {
+			t.Errorf("%s: min ratio %v below 1 — unsound bound", s.name, s.min)
+		}
+	}
+	// On tiny systems a decent share of bounds are exactly tight.
+	if res.ExactSAPM == 0 {
+		t.Error("expected some exactly tight SA/PM bounds on tiny systems")
+	}
+	got := res.Table().String()
+	for _, want := range []string{"A5", "SA/PM", "SA/DS", "exactly tight"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTightnessStudyRejectsZeroSystems(t *testing.T) {
+	if _, err := TightnessStudy(0, 1); err == nil {
+		t.Error("zero systems accepted")
+	}
+}

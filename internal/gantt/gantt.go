@@ -1,0 +1,174 @@
+// Package gantt renders simulation traces as ASCII schedule charts, the
+// textual analogue of the paper's Figures 3–7. One row per processor; each
+// tick column shows which job held the processor; release and completion
+// markers run above each row.
+package gantt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtsync/internal/model"
+	"rtsync/internal/sim"
+)
+
+// Options controls rendering. The zero value renders the whole trace at one
+// column per tick, which is only sensible for tick-scale example systems;
+// set Scale for generated workloads.
+type Options struct {
+	// From and To bound the rendered window; To == 0 means the last
+	// segment end.
+	From, To model.Time
+	// Scale is the number of ticks per column (>= 1; 0 means 1).
+	Scale model.Duration
+	// Ruler adds a time ruler every RulerEvery columns (0 disables).
+	RulerEvery int
+}
+
+// Render draws the trace. Each processor contributes two lines: a marker
+// line (r = release, c = completion, * = both) and an execution line naming
+// the running task per column (first letter-digit of the subtask's label,
+// '.' for idle).
+func Render(tr *sim.Trace, opts Options) string {
+	s := tr.System()
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	to := opts.To
+	if to == 0 {
+		for _, seg := range tr.Segments {
+			if seg.End > to {
+				to = seg.End
+			}
+		}
+	}
+	if to <= opts.From {
+		return "(empty trace window)\n"
+	}
+	cols := int((to.Sub(opts.From) + opts.Scale - 1) / opts.Scale)
+
+	var b strings.Builder
+	labels := jobLabels(s)
+	for p := range s.Procs {
+		exec := make([]rune, cols)
+		for i := range exec {
+			exec[i] = '.'
+		}
+		for _, seg := range tr.SegmentsOn(p) {
+			lo, hi := columnRange(seg.Start, seg.End, opts)
+			for c := lo; c < hi && c < cols; c++ {
+				if c >= 0 {
+					exec[c] = labels[seg.Job.ID]
+				}
+			}
+		}
+		marks := make([]rune, cols)
+		for i := range marks {
+			marks[i] = ' '
+		}
+		for _, rec := range tr.JobsInOrder() {
+			if rec.Proc != p {
+				continue
+			}
+			markAt(marks, rec.Release, opts, 'r')
+			if rec.Completion != model.TimeInfinity {
+				markAt(marks, rec.Completion, opts, 'c')
+			}
+		}
+		name := s.Procs[p].Name
+		if name == "" {
+			name = fmt.Sprintf("P%d", p+1)
+		}
+		pad := strings.Repeat(" ", len(name)+2)
+		fmt.Fprintf(&b, "%s\n", strings.TrimRight(pad+string(marks), " "))
+		fmt.Fprintf(&b, "%s: %s\n", name, string(exec))
+	}
+	if opts.RulerEvery > 0 {
+		b.WriteString(ruler(cols, opts))
+	}
+	b.WriteString(legend(s, labels))
+	return b.String()
+}
+
+// columnRange maps a [start, end) tick interval to column indices.
+func columnRange(start, end model.Time, opts Options) (int, int) {
+	lo := int(start.Sub(opts.From) / model.Duration(opts.Scale))
+	hi := int((end.Sub(opts.From) + model.Duration(opts.Scale) - 1) / model.Duration(opts.Scale))
+	return lo, hi
+}
+
+// markAt sets a marker rune at the column of t, combining 'r'+'c' into '*'.
+func markAt(marks []rune, t model.Time, opts Options, m rune) {
+	c := int(t.Sub(opts.From) / model.Duration(opts.Scale))
+	if c < 0 || c >= len(marks) {
+		return
+	}
+	switch {
+	case marks[c] == ' ':
+		marks[c] = m
+	case marks[c] != m:
+		marks[c] = '*'
+	}
+}
+
+// jobLabels picks one rune per subtask: tasks are lettered A, B, C, ... and
+// multi-subtask tasks reuse the task letter (the processor row
+// disambiguates which subtask ran).
+func jobLabels(s *model.System) map[model.SubtaskID]rune {
+	out := make(map[model.SubtaskID]rune, s.NumSubtasks())
+	for i := range s.Tasks {
+		r := rune('A' + i%26)
+		for j := range s.Tasks[i].Subtasks {
+			out[model.SubtaskID{Task: i, Sub: j}] = r
+		}
+	}
+	return out
+}
+
+// ruler renders the time axis.
+func ruler(cols int, opts Options) string {
+	var b strings.Builder
+	b.WriteString("      ")
+	col := 0
+	for col < cols {
+		if col%opts.RulerEvery == 0 {
+			label := fmt.Sprintf("|%d", int64(opts.From)+int64(col)*int64(opts.Scale))
+			b.WriteString(label)
+			col += len(label)
+		} else {
+			b.WriteByte(' ')
+			col++
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// legend names the letter assignments.
+func legend(s *model.System, labels map[model.SubtaskID]rune) string {
+	type entry struct {
+		r    rune
+		name string
+	}
+	seen := map[rune]bool{}
+	var entries []entry
+	for i := range s.Tasks {
+		r := labels[model.SubtaskID{Task: i, Sub: 0}]
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		name := s.Tasks[i].Name
+		if name == "" {
+			name = fmt.Sprintf("T%d", i+1)
+		}
+		entries = append(entries, entry{r: r, name: name})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].r < entries[j].r })
+	parts := make([]string, 0, len(entries))
+	for _, e := range entries {
+		parts = append(parts, fmt.Sprintf("%c=%s", e.r, e.name))
+	}
+	return "legend: " + strings.Join(parts, " ") + " (r=release c=completion *=both .=idle)\n"
+}

@@ -1,0 +1,130 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"rtsync/internal/model"
+	"rtsync/internal/sim"
+)
+
+func example2Trace(t *testing.T, p sim.Protocol, horizon model.Time) *sim.Trace {
+	t.Helper()
+	out, err := sim.Run(model.Example2(), sim.Config{Protocol: p, Horizon: horizon, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Trace
+}
+
+// TestRenderFigure3Schedule checks the DS schedule rows against the paper's
+// Figure 3: on P1, T1 (A) runs [0,2) then T2,1 (B) [2,4) and so on; on P2,
+// T2,2 (B) runs [4,7), T3 (C) [7,8), B [8,11), C [11,12).
+func TestRenderFigure3Schedule(t *testing.T) {
+	tr := example2Trace(t, sim.NewDS(), 12)
+	got := Render(tr, Options{To: 12})
+	lines := strings.Split(got, "\n")
+	// Line layout: marker, P1, marker, P2, legend.
+	var p1, p2 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "P1: ") {
+			p1 = strings.TrimPrefix(l, "P1: ")
+		}
+		if strings.HasPrefix(l, "P2: ") {
+			p2 = strings.TrimPrefix(l, "P2: ")
+		}
+	}
+	// P1 idles over [10,12): T2,1#3 is not released until t=12.
+	if p1 != "AABBAABBAA.." {
+		t.Errorf("P1 row = %q, want AABBAABBAA..\nfull:\n%s", p1, got)
+	}
+	if p2 != "....BBBCBBBC" {
+		t.Errorf("P2 row = %q, want ....BBBCBBBC\nfull:\n%s", p2, got)
+	}
+	if !strings.Contains(got, "legend: A=T1 B=T2 C=T3") {
+		t.Errorf("legend missing:\n%s", got)
+	}
+}
+
+// TestRenderFigure7Schedule checks the RG schedule: T3 (C) completes at 9
+// and T2,2 (B) resumes at the idle point.
+func TestRenderFigure7Schedule(t *testing.T) {
+	tr := example2Trace(t, sim.NewRG(), 12)
+	got := Render(tr, Options{To: 12})
+	for _, l := range strings.Split(got, "\n") {
+		if strings.HasPrefix(l, "P2: ") {
+			row := strings.TrimPrefix(l, "P2: ")
+			if row != "....BBBCCBBB" {
+				t.Errorf("P2 row = %q, want ....BBBCCBBB", row)
+			}
+		}
+	}
+}
+
+func TestRenderMarkers(t *testing.T) {
+	tr := example2Trace(t, sim.NewDS(), 12)
+	got := Render(tr, Options{To: 12})
+	lines := strings.Split(got, "\n")
+	// The marker line above P1 must flag t=0 (T1 and T2,1 released) and
+	// t=2 (T1#1 completes); t=4 has both a completion and releases -> '*'.
+	if len(lines) < 2 {
+		t.Fatalf("too few lines:\n%s", got)
+	}
+	markers := lines[0]
+	pad := len("P1: ")
+	if markers[pad+0] != 'r' {
+		t.Errorf("t=0 marker = %q, want r\n%s", markers[pad+0], got)
+	}
+	if markers[pad+4] != '*' {
+		t.Errorf("t=4 marker = %q, want *\n%s", markers[pad+4], got)
+	}
+}
+
+func TestRenderScaleAndWindow(t *testing.T) {
+	tr := example2Trace(t, sim.NewDS(), 24)
+	got := Render(tr, Options{From: 0, To: 24, Scale: 2})
+	for _, l := range strings.Split(got, "\n") {
+		if strings.HasPrefix(l, "P1: ") {
+			row := strings.TrimPrefix(l, "P1: ")
+			if len(row) != 12 {
+				t.Errorf("scaled row has %d cols, want 12: %q", len(row), row)
+			}
+		}
+	}
+	// Window past the data is empty.
+	if got := Render(tr, Options{From: 10, To: 10}); !strings.Contains(got, "empty") {
+		t.Errorf("empty window should say so, got %q", got)
+	}
+}
+
+func TestRenderRuler(t *testing.T) {
+	tr := example2Trace(t, sim.NewDS(), 12)
+	got := Render(tr, Options{To: 12, RulerEvery: 6})
+	if !strings.Contains(got, "|0") || !strings.Contains(got, "|6") {
+		t.Errorf("ruler missing:\n%s", got)
+	}
+}
+
+func TestRenderDefaultsToTraceEnd(t *testing.T) {
+	tr := example2Trace(t, sim.NewDS(), 12)
+	got := Render(tr, Options{})
+	if !strings.Contains(got, "P1: ") || !strings.Contains(got, "P2: ") {
+		t.Errorf("default render incomplete:\n%s", got)
+	}
+}
+
+func TestRenderUnnamedProcessors(t *testing.T) {
+	b := model.NewBuilder()
+	p0 := b.AddProcessor("")
+	p1 := b.AddProcessor("")
+	b.AddTask("T1", 10, 0).Subtask(p0, 2, 1).Subtask(p1, 2, 1).Done()
+	s := b.MustBuild()
+	out, err := sim.Run(s, sim.Config{Protocol: sim.NewDS(), Horizon: 20, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Render(out.Trace, Options{})
+	if !strings.Contains(got, "P1: ") {
+		t.Errorf("unnamed processor fallback missing:\n%s", got)
+	}
+}

@@ -1,0 +1,43 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON hardens the system decoder: arbitrary input must never
+// panic, and anything it accepts must re-serialize and decode to an
+// equivalent system.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Example2().WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"version": 1, "system": {"procs": [], "tasks": []}}`)
+	f.Add(`{"version": 99}`)
+	f.Add(`[]`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return // rejected: fine
+		}
+		// Accepted systems are valid and round-trip.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted invalid system: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		s2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if s.String() != s2.String() {
+			t.Fatalf("round trip changed the system: %v vs %v", s, s2)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// systemFile is the on-disk JSON envelope. A version field guards against
+// silently loading files written by an incompatible release.
+type systemFile struct {
+	Version int     `json:"version"`
+	System  *System `json:"system"`
+}
+
+// fileVersion is the current on-disk format version.
+const fileVersion = 1
+
+// WriteJSON serializes the system to w in the versioned envelope format.
+func (s *System) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(systemFile{Version: fileVersion, System: s}); err != nil {
+		return fmt.Errorf("encode system: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a system from r and validates it.
+func ReadJSON(r io.Reader) (*System, error) {
+	var f systemFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("decode system: %w", err)
+	}
+	if f.Version != fileVersion {
+		return nil, fmt.Errorf("decode system: unsupported version %d (want %d)", f.Version, fileVersion)
+	}
+	if f.System == nil {
+		return nil, fmt.Errorf("decode system: missing \"system\" object")
+	}
+	if err := f.System.Validate(); err != nil {
+		return nil, err
+	}
+	return f.System, nil
+}
+
+// SaveFile writes the system to path as JSON.
+func (s *System) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save system: %w", err)
+	}
+	defer f.Close()
+	if err := s.WriteJSON(f); err != nil {
+		return fmt.Errorf("save system %q: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a system from a JSON file written by SaveFile.
+func LoadFile(path string) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load system: %w", err)
+	}
+	defer f.Close()
+	s, err := ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("load system %q: %w", path, err)
+	}
+	return s, nil
+}

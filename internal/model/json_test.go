@@ -1,0 +1,74 @@
+package model
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, s := range []*System{Example1(), Example2()} {
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("ReadJSON: %v", err)
+		}
+		if !reflect.DeepEqual(s, got) {
+			t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v", s, got)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sys.json")
+	s := Example2()
+	if err := s.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Error("file round trip mismatch")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("LoadFile on missing path should fail")
+	}
+}
+
+func TestReadJSONRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	s := Example2()
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Replace(buf.String(), `"version": 1`, `"version": 99`, 1)
+	_, err := ReadJSON(strings.NewReader(text))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("want version error, got %v", err)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	for _, text := range []string{
+		"not json at all",
+		`{"version": 1}`,
+		`{"version": 1, "system": {"procs": [], "tasks": []}}`,
+		`{"version": 1, "system": {"procs": [{"name":"P","preemptive":true}], "tasks": [{"name":"A","period":0,"deadline":1,"phase":0,"subtasks":[{"proc":0,"exec":1,"priority":1}]}]}}`,
+		`{"version": 1, "unknown_field": 3, "system": null}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(text)); err == nil {
+			t.Errorf("ReadJSON accepted %q", text)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package model defines the end-to-end periodic task model of Sun & Liu
+// (ICDCS 1996): a distributed real-time system is a set of processors and a
+// set of independent, preemptable periodic tasks, each task a chain of
+// subtasks pinned to (possibly different) processors and scheduled there by
+// fixed-priority preemptive scheduling.
+//
+// The model carries everything the synchronization protocols and the
+// schedulability analyses need: periods, phases, relative deadlines,
+// per-subtask execution times and priorities, and per-processor preemptivity
+// (non-preemptive processors model prioritized communication links such as
+// CAN buses, per §2 of the paper).
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Priority orders subtasks on a processor: a larger value is more urgent.
+// Ties are broken deterministically by (task index, subtask index); the
+// workload generator always assigns distinct per-processor priorities, so
+// tie-breaking only matters for hand-built systems.
+type Priority int
+
+// Processor describes one processing resource. A "link processor" modeling a
+// prioritized bus is a Processor with Preemptive == false; the analysis then
+// adds a blocking term for the non-preemptable lower-priority transmission
+// in flight (extension A4 in DESIGN.md).
+type Processor struct {
+	// Name is a human-readable label used in rendering and traces.
+	Name string `json:"name"`
+	// Preemptive is true for ordinary CPUs. When false, a dispatched job
+	// runs to completion even if a higher-priority job becomes ready.
+	Preemptive bool `json:"preemptive"`
+}
+
+// Subtask is one link of a task's chain, pinned to a processor.
+type Subtask struct {
+	// Proc indexes into System.Procs.
+	Proc int `json:"proc"`
+	// Exec is the worst-case execution time of each instance.
+	Exec Duration `json:"exec"`
+	// Priority is the fixed priority on the subtask's processor.
+	Priority Priority `json:"priority"`
+	// Locks lists the resources (indices into System.Resources) every
+	// instance holds for its whole execution — §2's "message
+	// transmissions ... modeled as critical sections". Resources are
+	// processor-local: all subtasks locking a resource must share a
+	// processor. Execution under a lock runs at the resource ceiling
+	// (Highest Locker / priority-ceiling emulation), so two holders
+	// never interleave.
+	Locks []int `json:"locks,omitempty"`
+	// LocalDeadline is the subtask's relative deadline for
+	// dynamic-priority (EDF) scheduling: an instance released at t has
+	// absolute deadline t + LocalDeadline. Ignored by fixed-priority
+	// dispatch; required positive when a simulation or analysis runs in
+	// EDF mode. Assign with priority.AssignLocalDeadlines.
+	LocalDeadline Duration `json:"localDeadline,omitempty"`
+}
+
+// Task is a periodic end-to-end task: an infinite stream of instances of a
+// chain of subtasks. Instances of the first subtask are released with
+// minimum inter-release time Period starting at Phase; when later subtasks
+// are released is decided by the synchronization protocol in force.
+type Task struct {
+	// Name is a human-readable label ("T2" in the paper's examples).
+	Name string `json:"name"`
+	// Period is the minimum inter-release time of first-subtask instances.
+	Period Duration `json:"period"`
+	// Deadline is the end-to-end relative deadline: the maximum allowed
+	// time from the release of an instance of the first subtask to the
+	// completion of the corresponding instance of the last. The paper's
+	// experiments use Deadline == Period.
+	Deadline Duration `json:"deadline"`
+	// Phase is the release time of the first instance of the first subtask.
+	Phase Time `json:"phase"`
+	// Subtasks is the chain, in precedence order.
+	Subtasks []Subtask `json:"subtasks"`
+}
+
+// Resource is a serially reusable, processor-local resource (a lock, a
+// non-preemptable device, a bus slot) accessed under priority-ceiling
+// emulation.
+type Resource struct {
+	// Name is a human-readable label.
+	Name string `json:"name"`
+}
+
+// System is a complete distributed real-time system: processors plus tasks,
+// plus any shared resources their subtasks lock.
+type System struct {
+	Procs     []Processor `json:"procs"`
+	Tasks     []Task      `json:"tasks"`
+	Resources []Resource  `json:"resources,omitempty"`
+}
+
+// SubtaskID names one subtask: task index and position in the chain. It is
+// the key type used by analyses and the simulator alike.
+type SubtaskID struct {
+	Task int // index into System.Tasks
+	Sub  int // index into Task.Subtasks
+}
+
+// String renders the ID in the paper's T(i,j) notation, 1-based.
+func (id SubtaskID) String() string {
+	return fmt.Sprintf("T(%d,%d)", id.Task+1, id.Sub+1)
+}
+
+// Subtask returns the subtask definition for id.
+func (s *System) Subtask(id SubtaskID) *Subtask {
+	return &s.Tasks[id.Task].Subtasks[id.Sub]
+}
+
+// Task returns the parent task of id.
+func (s *System) Task(id SubtaskID) *Task {
+	return &s.Tasks[id.Task]
+}
+
+// NumSubtasks returns the total number of subtasks across all tasks.
+func (s *System) NumSubtasks() int {
+	n := 0
+	for i := range s.Tasks {
+		n += len(s.Tasks[i].Subtasks)
+	}
+	return n
+}
+
+// SubtaskIDs returns every subtask ID in (task, chain) order.
+func (s *System) SubtaskIDs() []SubtaskID {
+	ids := make([]SubtaskID, 0, s.NumSubtasks())
+	for i := range s.Tasks {
+		for j := range s.Tasks[i].Subtasks {
+			ids = append(ids, SubtaskID{Task: i, Sub: j})
+		}
+	}
+	return ids
+}
+
+// OnProcessor returns the IDs of all subtasks pinned to processor p, in
+// (task, chain) order.
+func (s *System) OnProcessor(p int) []SubtaskID {
+	var ids []SubtaskID
+	for i := range s.Tasks {
+		for j := range s.Tasks[i].Subtasks {
+			if s.Tasks[i].Subtasks[j].Proc == p {
+				ids = append(ids, SubtaskID{Task: i, Sub: j})
+			}
+		}
+	}
+	return ids
+}
+
+// HigherOrEqual reports whether subtask a preempts-or-ties subtask b on the
+// same processor: a has priority higher than or equal to b's, with the
+// deterministic (task, sub) tie-break applied only for strict ordering
+// decisions elsewhere. Used to build the interference set H(i,j) of the
+// analyses, which by Definition 1 of the paper includes equal priorities.
+func (s *System) HigherOrEqual(a, b SubtaskID) bool {
+	return s.Subtask(a).Priority >= s.Subtask(b).Priority
+}
+
+// Before reports whether job a should run before job b on a processor,
+// i.e. a is strictly more urgent under the deterministic total order:
+// higher priority first, then lower task index, then lower subtask index.
+func (s *System) Before(a, b SubtaskID) bool {
+	pa, pb := s.Subtask(a).Priority, s.Subtask(b).Priority
+	if pa != pb {
+		return pa > pb
+	}
+	if a.Task != b.Task {
+		return a.Task < b.Task
+	}
+	return a.Sub < b.Sub
+}
+
+// ResourceCeilings returns, for each resource, its priority ceiling: the
+// highest priority among the subtasks that lock it (0 for unused
+// resources). Under priority-ceiling emulation a job runs at the maximum
+// of its own priority and the ceilings of the resources it holds.
+func (s *System) ResourceCeilings() []Priority {
+	ceilings := make([]Priority, len(s.Resources))
+	for i := range s.Tasks {
+		for j := range s.Tasks[i].Subtasks {
+			st := &s.Tasks[i].Subtasks[j]
+			for _, r := range st.Locks {
+				if r >= 0 && r < len(ceilings) && st.Priority > ceilings[r] {
+					ceilings[r] = st.Priority
+				}
+			}
+		}
+	}
+	return ceilings
+}
+
+// EffectivePriority returns the priority at which instances of id execute:
+// the subtask's own priority raised to the ceiling of every resource it
+// locks. Equal to the plain priority for lock-free subtasks.
+func (s *System) EffectivePriority(id SubtaskID, ceilings []Priority) Priority {
+	st := s.Subtask(id)
+	p := st.Priority
+	for _, r := range st.Locks {
+		if r >= 0 && r < len(ceilings) && ceilings[r] > p {
+			p = ceilings[r]
+		}
+	}
+	return p
+}
+
+// Utilization returns the utilization of processor p: the sum over its
+// subtasks of exec/period. It is the quantity the busy-period analysis
+// requires to be at most 1 for convergence.
+func (s *System) Utilization(p int) float64 {
+	u := 0.0
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		for j := range t.Subtasks {
+			if t.Subtasks[j].Proc == p {
+				u += float64(t.Subtasks[j].Exec) / float64(t.Period)
+			}
+		}
+	}
+	return u
+}
+
+// MaxPeriod returns the largest task period, or 0 for an empty system.
+func (s *System) MaxPeriod() Duration {
+	var m Duration
+	for i := range s.Tasks {
+		if s.Tasks[i].Period > m {
+			m = s.Tasks[i].Period
+		}
+	}
+	return m
+}
+
+// MaxPhase returns the latest task phase, or 0 for an empty system.
+func (s *System) MaxPhase() Time {
+	var m Time
+	for i := range s.Tasks {
+		if s.Tasks[i].Phase > m {
+			m = s.Tasks[i].Phase
+		}
+	}
+	return m
+}
+
+// TotalExec returns the sum of the execution times of task i's subtasks,
+// the optimistic initial EER estimate used by Algorithm SA/DS.
+func (s *System) TotalExec(i int) Duration {
+	var e Duration
+	for j := range s.Tasks[i].Subtasks {
+		e = e.AddSat(s.Tasks[i].Subtasks[j].Exec)
+	}
+	return e
+}
+
+// Validate checks structural well-formedness: non-empty chains, positive
+// periods and execution times, in-range processor indices, deadlines and
+// phases non-negative. It returns a single error describing every problem
+// found, or nil.
+func (s *System) Validate() error {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	if len(s.Procs) == 0 {
+		addf("system has no processors")
+	}
+	if len(s.Tasks) == 0 {
+		addf("system has no tasks")
+	}
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("task %d", i)
+		}
+		if t.Period <= 0 {
+			addf("%s: period %v is not positive", name, t.Period)
+		}
+		if t.Period.IsInfinite() {
+			addf("%s: period is infinite", name)
+		}
+		if t.Deadline <= 0 {
+			addf("%s: deadline %v is not positive", name, t.Deadline)
+		}
+		if t.Phase < 0 {
+			addf("%s: phase %v is negative", name, t.Phase)
+		}
+		if len(t.Subtasks) == 0 {
+			addf("%s: empty subtask chain", name)
+		}
+		for j := range t.Subtasks {
+			st := &t.Subtasks[j]
+			if st.Exec <= 0 {
+				addf("%s subtask %d: execution time %v is not positive", name, j+1, st.Exec)
+			}
+			if st.Exec.IsInfinite() {
+				addf("%s subtask %d: execution time is infinite", name, j+1)
+			}
+			if st.Proc < 0 || st.Proc >= len(s.Procs) {
+				addf("%s subtask %d: processor index %d out of range [0,%d)", name, j+1, st.Proc, len(s.Procs))
+			}
+			for _, r := range st.Locks {
+				if r < 0 || r >= len(s.Resources) {
+					addf("%s subtask %d: resource index %d out of range [0,%d)", name, j+1, r, len(s.Resources))
+				}
+			}
+			if st.LocalDeadline < 0 {
+				addf("%s subtask %d: negative local deadline %v", name, j+1, st.LocalDeadline)
+			}
+		}
+	}
+	// Resources are processor-local: every subtask locking a resource
+	// must live on the same processor (ceiling emulation serializes on
+	// one dispatcher only).
+	resProc := make(map[int]int, len(s.Resources))
+	for i := range s.Tasks {
+		for j := range s.Tasks[i].Subtasks {
+			st := &s.Tasks[i].Subtasks[j]
+			for _, r := range st.Locks {
+				if r < 0 || r >= len(s.Resources) {
+					continue
+				}
+				if prev, ok := resProc[r]; ok && prev != st.Proc {
+					addf("resource %d is locked from processors %d and %d; resources must be processor-local", r, prev, st.Proc)
+				} else {
+					resProc[r] = st.Proc
+				}
+			}
+		}
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("invalid system: %s", strings.Join(problems, "; "))
+}
+
+// Clone returns a deep copy of the system. Mutating the copy (e.g. to
+// reassign priorities) never affects the original.
+func (s *System) Clone() *System {
+	c := &System{
+		Procs: make([]Processor, len(s.Procs)),
+		Tasks: make([]Task, len(s.Tasks)),
+	}
+	copy(c.Procs, s.Procs)
+	if s.Resources != nil {
+		c.Resources = make([]Resource, len(s.Resources))
+		copy(c.Resources, s.Resources)
+	}
+	for i := range s.Tasks {
+		t := s.Tasks[i]
+		t.Subtasks = make([]Subtask, len(s.Tasks[i].Subtasks))
+		copy(t.Subtasks, s.Tasks[i].Subtasks)
+		for j := range t.Subtasks {
+			if locks := s.Tasks[i].Subtasks[j].Locks; locks != nil {
+				t.Subtasks[j].Locks = append([]int(nil), locks...)
+			}
+		}
+		c.Tasks[i] = t
+	}
+	return c
+}
+
+// String summarizes the system: processor count, task count, and per-task
+// chain shapes. Intended for logs and error messages, not serialization.
+func (s *System) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "System{%d procs, %d tasks:", len(s.Procs), len(s.Tasks))
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		fmt.Fprintf(&b, " %s(p=%v,n=%d)", t.Name, t.Period, len(t.Subtasks))
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,270 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExample2Shape(t *testing.T) {
+	s := Example2()
+	if len(s.Procs) != 2 {
+		t.Fatalf("Example2 has %d procs, want 2", len(s.Procs))
+	}
+	if len(s.Tasks) != 3 {
+		t.Fatalf("Example2 has %d tasks, want 3", len(s.Tasks))
+	}
+	t2 := s.Tasks[1]
+	if t2.Name != "T2" || len(t2.Subtasks) != 2 {
+		t.Fatalf("T2 = %+v, want 2-subtask chain", t2)
+	}
+	if t2.Period != 6 || t2.Subtasks[0].Exec != 2 || t2.Subtasks[1].Exec != 3 {
+		t.Errorf("T2 parameters wrong: %+v", t2)
+	}
+	if s.Tasks[2].Phase != 4 {
+		t.Errorf("T3 phase = %v, want 4", s.Tasks[2].Phase)
+	}
+	// Priorities: T1 > T2,1 on P1; T2,2 > T3 on P2.
+	if !s.Before(SubtaskID{0, 0}, SubtaskID{1, 0}) {
+		t.Error("T1 should outrank T2,1 on P1")
+	}
+	if !s.Before(SubtaskID{1, 1}, SubtaskID{2, 0}) {
+		t.Error("T2,2 should outrank T3 on P2")
+	}
+}
+
+func TestExample1Shape(t *testing.T) {
+	s := Example1()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Procs) != 3 {
+		t.Fatalf("Example1 has %d procs, want 3", len(s.Procs))
+	}
+	if n := len(s.Tasks[0].Subtasks); n != 3 {
+		t.Fatalf("monitor task has %d subtasks, want 3", n)
+	}
+	procs := []int{}
+	for _, st := range s.Tasks[0].Subtasks {
+		procs = append(procs, st.Proc)
+	}
+	if procs[0] == procs[1] || procs[1] == procs[2] {
+		t.Errorf("monitor chain must alternate processors, got %v", procs)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*System)
+		wantSub string
+	}{
+		{"no procs", func(s *System) { s.Procs = nil }, "no processors"},
+		{"no tasks", func(s *System) { s.Tasks = nil }, "no tasks"},
+		{"zero period", func(s *System) { s.Tasks[0].Period = 0 }, "period"},
+		{"negative period", func(s *System) { s.Tasks[0].Period = -5 }, "period"},
+		{"infinite period", func(s *System) { s.Tasks[0].Period = Infinite }, "infinite"},
+		{"zero deadline", func(s *System) { s.Tasks[0].Deadline = 0 }, "deadline"},
+		{"negative phase", func(s *System) { s.Tasks[0].Phase = -1 }, "phase"},
+		{"empty chain", func(s *System) { s.Tasks[0].Subtasks = nil }, "empty subtask chain"},
+		{"zero exec", func(s *System) { s.Tasks[0].Subtasks[0].Exec = 0 }, "execution time"},
+		{"bad proc index", func(s *System) { s.Tasks[0].Subtasks[0].Proc = 99 }, "out of range"},
+		{"negative proc index", func(s *System) { s.Tasks[0].Subtasks[0].Proc = -1 }, "out of range"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := Example2()
+			tt.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid system")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsExamples(t *testing.T) {
+	for _, s := range []*System{Example1(), Example2()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("example system rejected: %v", err)
+		}
+	}
+}
+
+func TestValidateReportsAllProblems(t *testing.T) {
+	s := Example2()
+	s.Tasks[0].Period = 0
+	s.Tasks[1].Subtasks[0].Exec = 0
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "period") || !strings.Contains(msg, "execution time") {
+		t.Errorf("error should report both problems, got %q", msg)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := Example2()
+	// P1: T1 2/4 + T2,1 2/6 = 0.8333...
+	u1 := s.Utilization(0)
+	if math.Abs(u1-(0.5+2.0/6)) > 1e-12 {
+		t.Errorf("P1 utilization = %v, want %v", u1, 0.5+2.0/6)
+	}
+	// P2: T2,2 3/6 + T3 2/6 = 0.8333...
+	u2 := s.Utilization(1)
+	if math.Abs(u2-(5.0/6)) > 1e-12 {
+		t.Errorf("P2 utilization = %v, want %v", u2, 5.0/6)
+	}
+}
+
+func TestOnProcessor(t *testing.T) {
+	s := Example2()
+	p1 := s.OnProcessor(0)
+	want := []SubtaskID{{0, 0}, {1, 0}}
+	if len(p1) != len(want) {
+		t.Fatalf("OnProcessor(0) = %v, want %v", p1, want)
+	}
+	for i := range want {
+		if p1[i] != want[i] {
+			t.Errorf("OnProcessor(0)[%d] = %v, want %v", i, p1[i], want[i])
+		}
+	}
+	p2 := s.OnProcessor(1)
+	if len(p2) != 2 || p2[0] != (SubtaskID{1, 1}) || p2[1] != (SubtaskID{2, 0}) {
+		t.Errorf("OnProcessor(1) = %v", p2)
+	}
+}
+
+func TestSubtaskIDsOrderAndCount(t *testing.T) {
+	s := Example2()
+	ids := s.SubtaskIDs()
+	want := []SubtaskID{{0, 0}, {1, 0}, {1, 1}, {2, 0}}
+	if len(ids) != len(want) {
+		t.Fatalf("SubtaskIDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("SubtaskIDs[%d] = %v, want %v", i, ids[i], want[i])
+		}
+	}
+	if s.NumSubtasks() != 4 {
+		t.Errorf("NumSubtasks = %d, want 4", s.NumSubtasks())
+	}
+}
+
+func TestBeforeTieBreak(t *testing.T) {
+	b := NewBuilder()
+	p := b.AddProcessor("P")
+	b.AddTask("A", 10, 0).Subtask(p, 1, 1).Done()
+	b.AddTask("B", 10, 0).Subtask(p, 1, 1).Done()
+	s := b.MustBuild()
+	a, bID := SubtaskID{0, 0}, SubtaskID{1, 0}
+	if !s.Before(a, bID) {
+		t.Error("equal priorities: lower task index should come first")
+	}
+	if s.Before(bID, a) {
+		t.Error("Before must be a strict order")
+	}
+}
+
+func TestHigherOrEqual(t *testing.T) {
+	s := Example2()
+	hi, lo := SubtaskID{0, 0}, SubtaskID{1, 0} // T1 prio 2, T2,1 prio 1
+	if !s.HigherOrEqual(hi, lo) {
+		t.Error("T1 should be >= T2,1")
+	}
+	if s.HigherOrEqual(lo, hi) {
+		t.Error("T2,1 should not be >= T1")
+	}
+	if !s.HigherOrEqual(hi, hi) {
+		t.Error("a subtask ties with itself")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := Example2()
+	c := s.Clone()
+	c.Tasks[1].Subtasks[0].Exec = 99
+	c.Procs[0].Name = "mutated"
+	if s.Tasks[1].Subtasks[0].Exec == 99 {
+		t.Error("Clone shares subtask storage")
+	}
+	if s.Procs[0].Name == "mutated" {
+		t.Error("Clone shares processor storage")
+	}
+}
+
+func TestTotalExec(t *testing.T) {
+	s := Example2()
+	if got := s.TotalExec(1); got != 5 {
+		t.Errorf("TotalExec(T2) = %v, want 5", got)
+	}
+	if got := s.TotalExec(0); got != 2 {
+		t.Errorf("TotalExec(T1) = %v, want 2", got)
+	}
+}
+
+func TestMaxPeriodAndPhase(t *testing.T) {
+	s := Example2()
+	if got := s.MaxPeriod(); got != 6 {
+		t.Errorf("MaxPeriod = %v, want 6", got)
+	}
+	if got := s.MaxPhase(); got != 4 {
+		t.Errorf("MaxPhase = %v, want 4", got)
+	}
+}
+
+func TestSubtaskIDString(t *testing.T) {
+	id := SubtaskID{Task: 1, Sub: 0}
+	if got := id.String(); got != "T(2,1)" {
+		t.Errorf("String = %q, want T(2,1)", got)
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	s := Example2()
+	str := s.String()
+	for _, want := range []string{"2 procs", "3 tasks", "T2"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+}
+
+func TestBuilderDeadlineOverride(t *testing.T) {
+	b := NewBuilder()
+	p := b.AddProcessor("P")
+	b.AddTask("A", 10, 0).Deadline(7).Subtask(p, 1, 1).Done()
+	s := b.MustBuild()
+	if s.Tasks[0].Deadline != 7 {
+		t.Errorf("deadline = %v, want 7", s.Tasks[0].Deadline)
+	}
+}
+
+func TestBuilderLinkProcessor(t *testing.T) {
+	b := NewBuilder()
+	cpu := b.AddProcessor("cpu")
+	bus := b.AddLink("can")
+	b.AddTask("A", 10, 0).Subtask(cpu, 1, 1).Subtask(bus, 2, 1).Done()
+	s := b.MustBuild()
+	if !s.Procs[cpu].Preemptive {
+		t.Error("AddProcessor should be preemptive")
+	}
+	if s.Procs[bus].Preemptive {
+		t.Error("AddLink should be non-preemptive")
+	}
+}
+
+func TestBuilderRejectsInvalid(t *testing.T) {
+	b := NewBuilder()
+	p := b.AddProcessor("P")
+	b.AddTask("A", 0, 0).Subtask(p, 1, 1).Done() // zero period
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted invalid system")
+	}
+}

@@ -1,0 +1,118 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// resourceSystem: hi and lo share r0 on P; mid is lock-free.
+func resourceSystem() *System {
+	b := NewBuilder()
+	p := b.AddProcessor("P")
+	r := b.AddResource("r0")
+	b.AddTask("hi", 10, 0).Subtask(p, 1, 3).Locking(r).Done()
+	b.AddTask("mid", 10, 0).Subtask(p, 2, 2).Done()
+	b.AddTask("lo", 10, 0).Subtask(p, 4, 1).Locking(r).Done()
+	return b.MustBuild()
+}
+
+func TestResourceCeilings(t *testing.T) {
+	s := resourceSystem()
+	ceilings := s.ResourceCeilings()
+	if len(ceilings) != 1 || ceilings[0] != 3 {
+		t.Errorf("ceilings = %v, want [3]", ceilings)
+	}
+}
+
+func TestResourceCeilingsUnusedResource(t *testing.T) {
+	s := resourceSystem()
+	s.Resources = append(s.Resources, Resource{Name: "unused"})
+	ceilings := s.ResourceCeilings()
+	if len(ceilings) != 2 || ceilings[1] != 0 {
+		t.Errorf("ceilings = %v, want [3 0]", ceilings)
+	}
+}
+
+func TestEffectivePriority(t *testing.T) {
+	s := resourceSystem()
+	ceilings := s.ResourceCeilings()
+	// lo locks r0 (ceiling 3): effective priority 3.
+	if got := s.EffectivePriority(SubtaskID{Task: 2, Sub: 0}, ceilings); got != 3 {
+		t.Errorf("eff(lo) = %v, want 3", got)
+	}
+	// mid locks nothing: effective = base.
+	if got := s.EffectivePriority(SubtaskID{Task: 1, Sub: 0}, ceilings); got != 2 {
+		t.Errorf("eff(mid) = %v, want 2", got)
+	}
+	// hi already at the ceiling.
+	if got := s.EffectivePriority(SubtaskID{Task: 0, Sub: 0}, ceilings); got != 3 {
+		t.Errorf("eff(hi) = %v, want 3", got)
+	}
+}
+
+func TestValidateRejectsCrossProcessorResource(t *testing.T) {
+	b := NewBuilder()
+	p := b.AddProcessor("P")
+	q := b.AddProcessor("Q")
+	r := b.AddResource("shared")
+	b.AddTask("a", 10, 0).Subtask(p, 1, 1).Locking(r).Done()
+	b.AddTask("b", 10, 0).Subtask(q, 1, 1).Locking(r).Done()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "processor-local") {
+		t.Errorf("cross-processor resource accepted: %v", err)
+	}
+}
+
+func TestValidateRejectsBadResourceIndex(t *testing.T) {
+	s := resourceSystem()
+	s.Tasks[0].Subtasks[0].Locks = []int{7}
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "resource index") {
+		t.Errorf("bad resource index accepted: %v", err)
+	}
+	s.Tasks[0].Subtasks[0].Locks = []int{-1}
+	if err := s.Validate(); err == nil {
+		t.Error("negative resource index accepted")
+	}
+}
+
+func TestCloneCopiesLocksAndResources(t *testing.T) {
+	s := resourceSystem()
+	c := s.Clone()
+	c.Tasks[0].Subtasks[0].Locks[0] = 99
+	c.Resources[0].Name = "mutated"
+	if s.Tasks[0].Subtasks[0].Locks[0] == 99 {
+		t.Error("Clone shares lock storage")
+	}
+	if s.Resources[0].Name == "mutated" {
+		t.Error("Clone shares resource storage")
+	}
+}
+
+func TestLockingPanicsWithoutSubtask(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Locking before Subtask should panic")
+		}
+	}()
+	b := NewBuilder()
+	b.AddProcessor("P")
+	b.AddTask("a", 10, 0).Locking(0)
+}
+
+func TestJSONRoundTripWithResources(t *testing.T) {
+	s := resourceSystem()
+	path := t.TempDir() + "/sys.json"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Resources) != 1 || got.Resources[0].Name != "r0" {
+		t.Errorf("resources lost: %+v", got.Resources)
+	}
+	if len(got.Tasks[2].Subtasks[0].Locks) != 1 {
+		t.Errorf("locks lost: %+v", got.Tasks[2].Subtasks[0])
+	}
+}

@@ -1,0 +1,145 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilDiv(t *testing.T) {
+	tests := []struct {
+		name string
+		d, e Duration
+		want int64
+	}{
+		{"zero numerator", 0, 5, 0},
+		{"negative numerator", -3, 5, 0},
+		{"exact", 10, 5, 2},
+		{"round up", 11, 5, 3},
+		{"one under", 9, 5, 2},
+		{"unit divisor", 7, 1, 7},
+		{"numerator smaller", 1, 100, 1},
+		{"large values", 1 << 40, 3, ((1 << 40) + 2) / 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CeilDiv(tt.d, tt.e); got != tt.want {
+				t.Errorf("CeilDiv(%d, %d) = %d, want %d", tt.d, tt.e, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCeilDivPanicsOnNonPositiveDivisor(t *testing.T) {
+	for _, e := range []Duration{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CeilDiv(1, %d) did not panic", e)
+				}
+			}()
+			CeilDiv(1, e)
+		}()
+	}
+}
+
+func TestCeilDivProperty(t *testing.T) {
+	// ceil(d/e) is the least k with k*e >= d, for d >= 0, e > 0.
+	f := func(d int64, e int64) bool {
+		if d < 0 {
+			d = -d
+		}
+		d %= 1 << 30
+		e = e%1000 + 1
+		if e <= 0 {
+			e += 1000
+		}
+		k := CeilDiv(Duration(d), Duration(e))
+		return k*e >= d && (k-1)*e < d || (d == 0 && k == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeAddSaturates(t *testing.T) {
+	if got := Time(5).Add(7); got != 12 {
+		t.Errorf("Time(5).Add(7) = %v, want 12", got)
+	}
+	if got := TimeInfinity.Add(1); got != TimeInfinity {
+		t.Errorf("TimeInfinity.Add(1) = %v, want TimeInfinity", got)
+	}
+	if got := Time(1).Add(Infinite); got != TimeInfinity {
+		t.Errorf("Time(1).Add(Infinite) = %v, want TimeInfinity", got)
+	}
+	if got := Time(math.MaxInt64 - 1).Add(10); got != TimeInfinity {
+		t.Errorf("near-max add = %v, want TimeInfinity", got)
+	}
+}
+
+func TestTimeSub(t *testing.T) {
+	if got := Time(12).Sub(5); got != 7 {
+		t.Errorf("Time(12).Sub(5) = %v, want 7", got)
+	}
+	if got := TimeInfinity.Sub(5); !got.IsInfinite() {
+		t.Errorf("TimeInfinity.Sub(5) = %v, want Infinite", got)
+	}
+}
+
+func TestDurationAddSat(t *testing.T) {
+	if got := Duration(3).AddSat(4); got != 7 {
+		t.Errorf("3.AddSat(4) = %v, want 7", got)
+	}
+	if got := Infinite.AddSat(1); !got.IsInfinite() {
+		t.Errorf("Infinite.AddSat(1) = %v, want Infinite", got)
+	}
+	if got := Duration(math.MaxInt64 - 1).AddSat(5); !got.IsInfinite() {
+		t.Errorf("near-max AddSat = %v, want Infinite", got)
+	}
+}
+
+func TestDurationMulSat(t *testing.T) {
+	tests := []struct {
+		d    Duration
+		k    int64
+		want Duration
+	}{
+		{3, 4, 12},
+		{0, 100, 0},
+		{100, 0, 0},
+		{Infinite, 2, Infinite},
+		{math.MaxInt64 / 2, 3, Infinite},
+	}
+	for _, tt := range tests {
+		if got := tt.d.MulSat(tt.k); got != tt.want {
+			t.Errorf("%v.MulSat(%d) = %v, want %v", tt.d, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	if got := Duration(42).String(); got != "42" {
+		t.Errorf("Duration(42).String() = %q", got)
+	}
+	if got := Infinite.String(); got != "inf" {
+		t.Errorf("Infinite.String() = %q", got)
+	}
+	if got := Time(7).String(); got != "7" {
+		t.Errorf("Time(7).String() = %q", got)
+	}
+	if got := TimeInfinity.String(); got != "inf" {
+		t.Errorf("TimeInfinity.String() = %q", got)
+	}
+}
+
+func TestMinMaxHelpers(t *testing.T) {
+	if MaxDuration(3, 5) != 5 || MaxDuration(5, 3) != 5 {
+		t.Error("MaxDuration wrong")
+	}
+	if MinDuration(3, 5) != 3 || MinDuration(5, 3) != 3 {
+		t.Error("MinDuration wrong")
+	}
+	if MaxTime(3, 5) != 5 || MinTime(3, 5) != 3 {
+		t.Error("MaxTime/MinTime wrong")
+	}
+}

@@ -1,0 +1,108 @@
+package priority
+
+import (
+	"fmt"
+
+	"rtsync/internal/model"
+)
+
+// DeadlinePolicy selects how a task's end-to-end deadline is sliced into
+// per-subtask local deadlines for dynamic-priority (EDF) scheduling. This
+// is the "subtasks are typically assigned local deadlines and scheduled
+// locally" approach of the prior work the paper's §6 cites (e.g.
+// Kao & Garcia-Molina; Chatterjee & Strosnider).
+type DeadlinePolicy int
+
+const (
+	// ProportionalSlice gives subtask j the share
+	// e(i,j)/Σe(i,k) · D(i) — the deadline analogue of the paper's
+	// Proportional-Deadline priority assignment.
+	ProportionalSlice DeadlinePolicy = iota + 1
+	// EqualSlice gives every subtask D(i)/n(i).
+	EqualSlice
+	// EqualFlexibility distributes the task's slack D(i) − Σe equally:
+	// subtask j gets e(i,j) + (D(i) − Σe)/n(i). (Kao & Garcia-Molina's
+	// EQF family, simplified to equal slack shares.)
+	EqualFlexibility
+)
+
+// String returns the policy's flag-style name.
+func (p DeadlinePolicy) String() string {
+	switch p {
+	case ProportionalSlice:
+		return "proportional"
+	case EqualSlice:
+		return "equal"
+	case EqualFlexibility:
+		return "eqf"
+	default:
+		return fmt.Sprintf("DeadlinePolicy(%d)", int(p))
+	}
+}
+
+// ParseDeadlinePolicy maps a flag-style name to a DeadlinePolicy.
+func ParseDeadlinePolicy(name string) (DeadlinePolicy, error) {
+	switch name {
+	case "proportional":
+		return ProportionalSlice, nil
+	case "equal":
+		return EqualSlice, nil
+	case "eqf":
+		return EqualFlexibility, nil
+	default:
+		return 0, fmt.Errorf("unknown deadline policy %q (want proportional, equal, or eqf)", name)
+	}
+}
+
+// AssignLocalDeadlines slices every task's end-to-end deadline into
+// per-subtask local deadlines in place. Each local deadline is at least the
+// subtask's execution time (a slice below that could never be met), and the
+// last subtask absorbs rounding so the slices sum to at most D(i); the sum
+// equals D(i) exactly when the floor corrections leave room.
+func AssignLocalDeadlines(s *model.System, p DeadlinePolicy) error {
+	if p != ProportionalSlice && p != EqualSlice && p != EqualFlexibility {
+		return fmt.Errorf("assign local deadlines: unknown policy %v", p)
+	}
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		n := int64(len(t.Subtasks))
+		total := s.TotalExec(i)
+		if total > t.Deadline {
+			// No valid slicing exists; give each subtask its bare
+			// execution time and let the EDF analysis report the
+			// infeasibility.
+			for j := range t.Subtasks {
+				t.Subtasks[j].LocalDeadline = t.Subtasks[j].Exec
+			}
+			continue
+		}
+		var used model.Duration
+		for j := range t.Subtasks {
+			st := &t.Subtasks[j]
+			var d model.Duration
+			switch p {
+			case ProportionalSlice:
+				d = model.Duration(int64(st.Exec) * int64(t.Deadline) / int64(total))
+			case EqualSlice:
+				d = model.Duration(int64(t.Deadline) / n)
+			case EqualFlexibility:
+				slack := int64(t.Deadline-total) / n
+				d = st.Exec + model.Duration(slack)
+			}
+			if d < st.Exec {
+				d = st.Exec
+			}
+			if j == len(t.Subtasks)-1 {
+				// The last slice takes whatever budget remains, so
+				// the chain's slices never exceed D(i) and waste no
+				// slack to rounding.
+				if rest := t.Deadline - used; rest > d {
+					d = rest
+				}
+			}
+			st.LocalDeadline = d
+			used = used.AddSat(d)
+		}
+	}
+	return nil
+}

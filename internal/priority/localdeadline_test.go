@@ -1,0 +1,141 @@
+package priority
+
+import (
+	"testing"
+
+	"rtsync/internal/model"
+)
+
+// chain builds one task (D=100) with execs 10 and 30 across two procs.
+func chain() *model.System {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	q := b.AddProcessor("Q")
+	b.AddTask("A", 100, 0).Subtask(p, 10, 1).Subtask(q, 30, 1).Done()
+	return b.MustBuild()
+}
+
+func TestAssignLocalDeadlinesProportional(t *testing.T) {
+	s := chain()
+	if err := AssignLocalDeadlines(s, ProportionalSlice); err != nil {
+		t.Fatal(err)
+	}
+	// Shares: 10/40*100 = 25 and 30/40*100 = 75.
+	if got := s.Tasks[0].Subtasks[0].LocalDeadline; got != 25 {
+		t.Errorf("d(1,1) = %v, want 25", got)
+	}
+	if got := s.Tasks[0].Subtasks[1].LocalDeadline; got != 75 {
+		t.Errorf("d(1,2) = %v, want 75", got)
+	}
+}
+
+func TestAssignLocalDeadlinesEqual(t *testing.T) {
+	s := chain()
+	if err := AssignLocalDeadlines(s, EqualSlice); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tasks[0].Subtasks[0].LocalDeadline; got != 50 {
+		t.Errorf("d(1,1) = %v, want 50", got)
+	}
+	if got := s.Tasks[0].Subtasks[1].LocalDeadline; got != 50 {
+		t.Errorf("d(1,2) = %v, want 50", got)
+	}
+}
+
+func TestAssignLocalDeadlinesEQF(t *testing.T) {
+	s := chain()
+	if err := AssignLocalDeadlines(s, EqualFlexibility); err != nil {
+		t.Fatal(err)
+	}
+	// Slack = 100-40 = 60, 30 each: 10+30 = 40 and 30+30 = 60.
+	if got := s.Tasks[0].Subtasks[0].LocalDeadline; got != 40 {
+		t.Errorf("d(1,1) = %v, want 40", got)
+	}
+	if got := s.Tasks[0].Subtasks[1].LocalDeadline; got != 60 {
+		t.Errorf("d(1,2) = %v, want 60", got)
+	}
+}
+
+func TestAssignLocalDeadlinesClampToExec(t *testing.T) {
+	// Tiny first exec: its proportional share rounds below exec for an
+	// extreme deadline; clamp keeps it feasible.
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	q := b.AddProcessor("Q")
+	b.AddTask("A", 1000, 0).Deadline(101).Subtask(p, 1, 1).Subtask(q, 100, 1).Done()
+	s := b.MustBuild()
+	if err := AssignLocalDeadlines(s, ProportionalSlice); err != nil {
+		t.Fatal(err)
+	}
+	for j, st := range s.Tasks[0].Subtasks {
+		if st.LocalDeadline < st.Exec {
+			t.Errorf("subtask %d: deadline %v below exec %v", j, st.LocalDeadline, st.Exec)
+		}
+	}
+}
+
+func TestAssignLocalDeadlinesSumWithinDeadline(t *testing.T) {
+	s := chain()
+	for _, pol := range []DeadlinePolicy{ProportionalSlice, EqualSlice, EqualFlexibility} {
+		if err := AssignLocalDeadlines(s, pol); err != nil {
+			t.Fatal(err)
+		}
+		var sum model.Duration
+		for _, st := range s.Tasks[0].Subtasks {
+			sum += st.LocalDeadline
+		}
+		if sum > s.Tasks[0].Deadline {
+			t.Errorf("%v: slices sum to %v > deadline %v", pol, sum, s.Tasks[0].Deadline)
+		}
+		// The last slice absorbs the slack, so the sum is exactly D.
+		if sum != s.Tasks[0].Deadline {
+			t.Errorf("%v: slices sum to %v, want %v", pol, sum, s.Tasks[0].Deadline)
+		}
+	}
+}
+
+func TestAssignLocalDeadlinesInfeasibleChain(t *testing.T) {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	q := b.AddProcessor("Q")
+	b.AddTask("A", 100, 0).Deadline(10).Subtask(p, 20, 1).Subtask(q, 30, 1).Done()
+	s := b.MustBuild()
+	if err := AssignLocalDeadlines(s, ProportionalSlice); err != nil {
+		t.Fatal(err)
+	}
+	// Exec sum 50 > deadline 10: every slice falls back to the exec time.
+	if got := s.Tasks[0].Subtasks[0].LocalDeadline; got != 20 {
+		t.Errorf("d(1,1) = %v, want exec 20", got)
+	}
+	if got := s.Tasks[0].Subtasks[1].LocalDeadline; got != 30 {
+		t.Errorf("d(1,2) = %v, want exec 30", got)
+	}
+}
+
+func TestAssignLocalDeadlinesUnknownPolicy(t *testing.T) {
+	if err := AssignLocalDeadlines(chain(), DeadlinePolicy(0)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestParseDeadlinePolicy(t *testing.T) {
+	for name, want := range map[string]DeadlinePolicy{
+		"proportional": ProportionalSlice,
+		"equal":        EqualSlice,
+		"eqf":          EqualFlexibility,
+	} {
+		got, err := ParseDeadlinePolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseDeadlinePolicy(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Errorf("String() = %q, want %q", got.String(), name)
+		}
+	}
+	if _, err := ParseDeadlinePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if DeadlinePolicy(0).String() == "" {
+		t.Error("unknown policy should still render")
+	}
+}

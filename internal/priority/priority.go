@@ -1,0 +1,173 @@
+// Package priority implements fixed-priority assignment for subtasks of
+// end-to-end periodic tasks.
+//
+// The paper assumes priorities "have been assigned according to some priority
+// assignment algorithm" and uses Proportional-Deadline-Monotonic (PD) in its
+// experiments (§5.1): each subtask T(i,j) receives a proportional deadline
+//
+//	PD(i,j) = e(i,j) / sum_k e(i,k) * D(i)
+//
+// and, on each processor, a shorter proportional deadline means a higher
+// priority. This package implements PD plus the classical Rate-Monotonic and
+// (global end-to-end) Deadline-Monotonic policies for comparison studies.
+package priority
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"rtsync/internal/model"
+)
+
+// Policy selects a priority assignment algorithm.
+type Policy int
+
+const (
+	// ProportionalDeadline is the paper's PD-monotonic method (§5.1);
+	// similar to the Equal Flexibility assignment of Kao & Garcia-Molina.
+	ProportionalDeadline Policy = iota + 1
+	// RateMonotonic orders subtasks by parent-task period, shorter first.
+	RateMonotonic
+	// DeadlineMonotonic orders subtasks by parent-task end-to-end
+	// deadline, shorter first.
+	DeadlineMonotonic
+)
+
+// String returns the policy's canonical flag-style name.
+func (p Policy) String() string {
+	switch p {
+	case ProportionalDeadline:
+		return "pd"
+	case RateMonotonic:
+		return "rm"
+	case DeadlineMonotonic:
+		return "dm"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a flag-style name to a Policy.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "pd", "proportional-deadline":
+		return ProportionalDeadline, nil
+	case "rm", "rate-monotonic":
+		return RateMonotonic, nil
+	case "dm", "deadline-monotonic":
+		return DeadlineMonotonic, nil
+	default:
+		return 0, fmt.Errorf("unknown priority policy %q (want pd, rm, or dm)", name)
+	}
+}
+
+// key is the sort key for one subtask: smaller means more urgent.
+type key struct {
+	id model.SubtaskID
+	// num/den represent the policy metric as an exact rational so that
+	// proportional deadlines compare without floating point:
+	// PD(i,j) = e(i,j)*D(i) / TotalExec(i)  ->  num = e*D, den = totalExec.
+	num, den int64
+}
+
+// less orders keys by metric ascending (more urgent first), breaking ties by
+// (task, sub) so assignments are deterministic.
+func (k key) less(o key) bool {
+	// num/den < o.num/o.den  <=>  num*o.den < o.num*den (positive dens).
+	// The cross products can exceed int64 with tick-scaled workloads
+	// (num = exec*deadline can reach ~1e14), so compare in 128 bits.
+	if c := cmp128(k.num, o.den, o.num, k.den); c != 0 {
+		return c < 0
+	}
+	if k.id.Task != o.id.Task {
+		return k.id.Task < o.id.Task
+	}
+	return k.id.Sub < o.id.Sub
+}
+
+// cmp128 compares a*b with c*d for non-negative operands, returning
+// -1, 0, or +1, using full 128-bit products.
+func cmp128(a, b, c, d int64) int {
+	hi1, lo1 := bits.Mul64(uint64(a), uint64(b))
+	hi2, lo2 := bits.Mul64(uint64(c), uint64(d))
+	switch {
+	case hi1 != hi2:
+		if hi1 < hi2 {
+			return -1
+		}
+		return 1
+	case lo1 != lo2:
+		if lo1 < lo2 {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Assign computes and installs priorities for every subtask of s in place,
+// per the chosen policy. On each processor, subtasks are ranked by the
+// policy metric and given distinct priorities: the most urgent subtask on a
+// processor with n subtasks receives priority n, the least urgent 1.
+func Assign(s *model.System, p Policy) error {
+	metric, err := metricFor(p)
+	if err != nil {
+		return err
+	}
+	for proc := range s.Procs {
+		ids := s.OnProcessor(proc)
+		keys := make([]key, len(ids))
+		for i, id := range ids {
+			num, den := metric(s, id)
+			if den <= 0 {
+				return fmt.Errorf("assign priorities: subtask %v has non-positive metric denominator", id)
+			}
+			keys[i] = key{id: id, num: num, den: den}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+		for rank, k := range keys {
+			// rank 0 is most urgent; larger Priority value = more urgent.
+			s.Subtask(k.id).Priority = model.Priority(len(keys) - rank)
+		}
+	}
+	return nil
+}
+
+// metricFor returns the policy's metric as an exact rational num/den,
+// smaller = more urgent.
+func metricFor(p Policy) (func(*model.System, model.SubtaskID) (int64, int64), error) {
+	switch p {
+	case ProportionalDeadline:
+		return func(s *model.System, id model.SubtaskID) (int64, int64) {
+			t := s.Task(id)
+			e := s.Subtask(id).Exec
+			total := s.TotalExec(id.Task)
+			return int64(e) * int64(t.Deadline), int64(total)
+		}, nil
+	case RateMonotonic:
+		return func(s *model.System, id model.SubtaskID) (int64, int64) {
+			return int64(s.Task(id).Period), 1
+		}, nil
+	case DeadlineMonotonic:
+		return func(s *model.System, id model.SubtaskID) (int64, int64) {
+			return int64(s.Task(id).Deadline), 1
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown priority policy %v", p)
+	}
+}
+
+// ProportionalDeadlines returns each subtask's proportional deadline as a
+// float, keyed by SubtaskID. Exposed for reporting and tests; Assign itself
+// compares exact rationals.
+func ProportionalDeadlines(s *model.System) map[model.SubtaskID]float64 {
+	out := make(map[model.SubtaskID]float64, s.NumSubtasks())
+	for _, id := range s.SubtaskIDs() {
+		t := s.Task(id)
+		total := s.TotalExec(id.Task)
+		out[id] = float64(s.Subtask(id).Exec) / float64(total) * float64(t.Deadline)
+	}
+	return out
+}

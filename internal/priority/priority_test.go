@@ -1,0 +1,234 @@
+package priority
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rtsync/internal/model"
+)
+
+// chainSystem builds a 2-processor system with two 2-subtask tasks whose
+// PD ordering is known by construction.
+func chainSystem() *model.System {
+	b := model.NewBuilder()
+	p0 := b.AddProcessor("P0")
+	p1 := b.AddProcessor("P1")
+	// Task A: D=10, execs 1 and 9 -> PD(A,1)=1, PD(A,2)=9.
+	b.AddTask("A", 10, 0).Subtask(p0, 1, 0).Subtask(p1, 9, 0).Done()
+	// Task B: D=20, execs 10 and 10 -> PD(B,1)=10, PD(B,2)=10.
+	b.AddTask("B", 20, 0).Subtask(p0, 10, 0).Subtask(p1, 10, 0).Done()
+	return b.MustBuild()
+}
+
+func TestAssignProportionalDeadline(t *testing.T) {
+	s := chainSystem()
+	if err := Assign(s, ProportionalDeadline); err != nil {
+		t.Fatal(err)
+	}
+	// On P0: A,1 has PD 1 < B,1 PD 10, so A,1 more urgent.
+	if s.Tasks[0].Subtasks[0].Priority <= s.Tasks[1].Subtasks[0].Priority {
+		t.Errorf("P0: A,1 (prio %d) should outrank B,1 (prio %d)",
+			s.Tasks[0].Subtasks[0].Priority, s.Tasks[1].Subtasks[0].Priority)
+	}
+	// On P1: A,2 has PD 9 < B,2 PD 10.
+	if s.Tasks[0].Subtasks[1].Priority <= s.Tasks[1].Subtasks[1].Priority {
+		t.Error("P1: A,2 should outrank B,2")
+	}
+}
+
+func TestAssignRateMonotonic(t *testing.T) {
+	s := chainSystem()
+	if err := Assign(s, RateMonotonic); err != nil {
+		t.Fatal(err)
+	}
+	// A has period 10 < B's 20, so A's subtasks outrank B's on both procs.
+	for j := 0; j < 2; j++ {
+		if s.Tasks[0].Subtasks[j].Priority <= s.Tasks[1].Subtasks[j].Priority {
+			t.Errorf("proc %d: shorter period should outrank", j)
+		}
+	}
+}
+
+func TestAssignDeadlineMonotonic(t *testing.T) {
+	s := chainSystem()
+	s.Tasks[0].Deadline = 30 // now A has the longer deadline
+	if err := Assign(s, DeadlineMonotonic); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if s.Tasks[1].Subtasks[j].Priority <= s.Tasks[0].Subtasks[j].Priority {
+			t.Errorf("proc %d: shorter deadline should outrank", j)
+		}
+	}
+}
+
+func TestAssignDistinctPerProcessor(t *testing.T) {
+	s := chainSystem()
+	if err := Assign(s, ProportionalDeadline); err != nil {
+		t.Fatal(err)
+	}
+	for proc := range s.Procs {
+		seen := map[model.Priority]bool{}
+		ids := s.OnProcessor(proc)
+		for _, id := range ids {
+			p := s.Subtask(id).Priority
+			if p < 1 || int(p) > len(ids) {
+				t.Errorf("priority %d out of range [1,%d]", p, len(ids))
+			}
+			if seen[p] {
+				t.Errorf("duplicate priority %d on processor %d", p, proc)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestAssignTieBreakDeterministic(t *testing.T) {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	// Identical tasks -> identical PD; tie must break by task index.
+	b.AddTask("A", 10, 0).Subtask(p, 2, 0).Done()
+	b.AddTask("B", 10, 0).Subtask(p, 2, 0).Done()
+	s := b.MustBuild()
+	if err := Assign(s, ProportionalDeadline); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tasks[0].Subtasks[0].Priority <= s.Tasks[1].Subtasks[0].Priority {
+		t.Error("tie should break in favor of the lower task index")
+	}
+}
+
+func TestProportionalDeadlinesValues(t *testing.T) {
+	s := chainSystem()
+	pds := ProportionalDeadlines(s)
+	want := map[model.SubtaskID]float64{
+		{Task: 0, Sub: 0}: 1,
+		{Task: 0, Sub: 1}: 9,
+		{Task: 1, Sub: 0}: 10,
+		{Task: 1, Sub: 1}: 10,
+	}
+	for id, w := range want {
+		if got := pds[id]; math.Abs(got-w) > 1e-9 {
+			t.Errorf("PD(%v) = %v, want %v", id, got, w)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"pd", ProportionalDeadline, true},
+		{"proportional-deadline", ProportionalDeadline, true},
+		{"rm", RateMonotonic, true},
+		{"rate-monotonic", RateMonotonic, true},
+		{"dm", DeadlineMonotonic, true},
+		{"deadline-monotonic", DeadlineMonotonic, true},
+		{"", 0, false},
+		{"edf", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := ParsePolicy(tt.in)
+		if tt.ok && (err != nil || got != tt.want) {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", tt.in, got, err, tt.want)
+		}
+		if !tt.ok && err == nil {
+			t.Errorf("ParsePolicy(%q) should fail", tt.in)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if ProportionalDeadline.String() != "pd" || RateMonotonic.String() != "rm" || DeadlineMonotonic.String() != "dm" {
+		t.Error("policy names wrong")
+	}
+	if Policy(0).String() != "Policy(0)" {
+		t.Error("unknown policy should render numerically")
+	}
+}
+
+func TestAssignUnknownPolicyFails(t *testing.T) {
+	s := chainSystem()
+	if err := Assign(s, Policy(0)); err == nil {
+		t.Error("Assign with unknown policy should fail")
+	}
+}
+
+func TestCmp128LargeValues(t *testing.T) {
+	// Values chosen so the int64 cross product would overflow.
+	big1, big2 := int64(1e14), int64(9e7)
+	if cmp128(big1, big2, big1, big2) != 0 {
+		t.Error("equal products should compare 0")
+	}
+	if cmp128(big1, big2, big1+1, big2) != -1 {
+		t.Error("smaller product should compare -1")
+	}
+	if cmp128(big1+1, big2, big1, big2) != 1 {
+		t.Error("larger product should compare +1")
+	}
+}
+
+func TestCmp128MatchesBigArithmetic(t *testing.T) {
+	f := func(a, b, c, d int32) bool {
+		av, bv := int64(abs32(a)), int64(abs32(b))
+		cv, dv := int64(abs32(c)), int64(abs32(d))
+		want := 0
+		l, r := av*bv, cv*dv // int32 products fit easily in int64
+		if l < r {
+			want = -1
+		} else if l > r {
+			want = 1
+		}
+		return cmp128(av, bv, cv, dv) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		if x == math.MinInt32 {
+			return math.MaxInt32
+		}
+		return -x
+	}
+	return x
+}
+
+// TestAssignPDMatchesFloatOrder cross-checks the exact rational comparison
+// against a float computation on random systems.
+func TestAssignPDMatchesFloatOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		b := model.NewBuilder()
+		p := b.AddProcessor("P")
+		n := 2 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			period := model.Duration(100 + rng.Intn(10000))
+			exec := model.Duration(1 + rng.Intn(int(period)))
+			tb := b.AddTask("", period, 0)
+			tb.Subtask(p, exec, 0).Done()
+		}
+		s := b.MustBuild()
+		if err := Assign(s, ProportionalDeadline); err != nil {
+			t.Fatal(err)
+		}
+		pds := ProportionalDeadlines(s)
+		// Any strictly smaller float PD must have strictly higher priority.
+		ids := s.OnProcessor(0)
+		for _, a := range ids {
+			for _, bID := range ids {
+				if pds[a] < pds[bID]-1e-6 && s.Subtask(a).Priority <= s.Subtask(bID).Priority {
+					t.Fatalf("trial %d: PD(%v)=%v < PD(%v)=%v but priority %d <= %d",
+						trial, a, pds[a], bID, pds[bID],
+						s.Subtask(a).Priority, s.Subtask(bID).Priority)
+				}
+			}
+		}
+	}
+}

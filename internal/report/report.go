@@ -1,0 +1,186 @@
+// Package report formats experiment results as aligned text tables and CSV,
+// the output media of the benchmark harness and CLI tools.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table with an optional title.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row; cells beyond the header width are kept, shorter
+// rows are padded when rendered.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends one row of formatted cells; each argument is rendered
+// with %v.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// widths returns per-column display widths.
+func (t *Table) widths() []int {
+	n := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	return w
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := t.widths()
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if len(t.Header) > 0 {
+		if err := writeRow(t.Header); err != nil {
+			return err
+		}
+		rule := make([]string, len(widths))
+		for i, width := range widths {
+			rule[i] = strings.Repeat("-", width)
+		}
+		if err := writeRow(rule); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders to a string; it never fails.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the table (header + rows, no title) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Header) > 0 {
+		if err := cw.Write(t.Header); err != nil {
+			return fmt.Errorf("write csv header: %w", err)
+		}
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// pad right-pads s to width.
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// Grid renders a (N-subtasks × utilization) matrix the way the paper's
+// surface plots tabulate: one row per subtask count, one column per
+// utilization level. Missing cells render as "-".
+type Grid struct {
+	Title string
+	// Ns are the row keys (number of subtasks per task).
+	Ns []int
+	// Us are the column keys (utilization percentages).
+	Us []int
+	// Cells maps (n, u) to a formatted value.
+	Cells map[[2]int]string
+}
+
+// NewGrid creates an empty grid over the given axes.
+func NewGrid(title string, ns, us []int) *Grid {
+	return &Grid{Title: title, Ns: ns, Us: us, Cells: make(map[[2]int]string)}
+}
+
+// Set stores a cell value.
+func (g *Grid) Set(n, u int, value string) { g.Cells[[2]int{n, u}] = value }
+
+// Setf stores a formatted float cell.
+func (g *Grid) Setf(n, u int, value float64) { g.Set(n, u, fmt.Sprintf("%.3f", value)) }
+
+// Table converts the grid to a Table for rendering.
+func (g *Grid) Table() *Table {
+	header := []string{"N\\U%"}
+	for _, u := range g.Us {
+		header = append(header, fmt.Sprintf("%d", u))
+	}
+	t := NewTable(g.Title, header...)
+	for _, n := range g.Ns {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, u := range g.Us {
+			v, ok := g.Cells[[2]int{n, u}]
+			if !ok {
+				v = "-"
+			}
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// String renders the grid via its table form.
+func (g *Grid) String() string { return g.Table().String() }

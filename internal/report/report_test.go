@@ -1,0 +1,112 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("My Title", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("bb", "22")
+	got := tbl.String()
+	if !strings.Contains(got, "My Title") {
+		t.Errorf("missing title:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5 (title, header, rule, 2 rows):\n%s", len(lines), got)
+	}
+	if lines[1] != "name   value" {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "-----") {
+		t.Errorf("rule = %q", lines[2])
+	}
+	if lines[3] != "alpha  1" {
+		t.Errorf("row = %q", lines[3])
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRowf(3, 2.5, "x")
+	if got := tbl.Rows[0]; got[0] != "3" || got[1] != "2.500" || got[2] != "x" {
+		t.Errorf("AddRowf row = %v", got)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("only-one")
+	tbl.AddRow("x", "y", "extra")
+	got := tbl.String()
+	if !strings.Contains(got, "extra") || !strings.Contains(got, "only-one") {
+		t.Errorf("ragged rows mishandled:\n%s", got)
+	}
+}
+
+func TestTableNoTitleNoHeader(t *testing.T) {
+	tbl := &Table{}
+	tbl.AddRow("x")
+	got := tbl.String()
+	if strings.Contains(got, "---") {
+		t.Errorf("headerless table should not draw a rule:\n%s", got)
+	}
+	if !strings.Contains(got, "x") {
+		t.Errorf("row lost:\n%s", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := NewTable("ignored title", "a", "b")
+	tbl.AddRow("1", "two,with comma")
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if strings.Contains(got, "ignored title") {
+		t.Error("CSV must not include the title")
+	}
+	if !strings.Contains(got, `"two,with comma"`) {
+		t.Errorf("CSV quoting wrong: %q", got)
+	}
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", got)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := NewGrid("Failure Rate", []int{2, 3}, []int{50, 60})
+	g.Setf(2, 50, 0)
+	g.Setf(3, 60, 0.25)
+	got := g.String()
+	if !strings.Contains(got, "Failure Rate") {
+		t.Errorf("title missing:\n%s", got)
+	}
+	if !strings.Contains(got, "0.250") {
+		t.Errorf("cell missing:\n%s", got)
+	}
+	if !strings.Contains(got, "-") {
+		t.Errorf("missing cells should render as '-':\n%s", got)
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("grid rendered %d lines, want 5:\n%s", len(lines), got)
+	}
+	if !strings.Contains(lines[1], "N\\U%") {
+		t.Errorf("grid header = %q", lines[1])
+	}
+}
+
+func TestPad(t *testing.T) {
+	if pad("ab", 4) != "ab  " {
+		t.Errorf("pad = %q", pad("ab", 4))
+	}
+	if pad("abcd", 2) != "abcd" {
+		t.Errorf("pad should not truncate: %q", pad("abcd", 2))
+	}
+}

@@ -1,0 +1,45 @@
+package sim
+
+import "rtsync/internal/model"
+
+// DS is the Direct Synchronization protocol (§3): when an instance of a
+// subtask completes, the scheduler releases the corresponding instance of
+// its immediate successor right away. Minimal overhead and the shortest
+// average EER times, but releases of later subtasks inherit all response
+// time variability ("clumping"), which is why Algorithm SA/DS yields the
+// loosest — possibly unbounded — worst-case EER estimates.
+type DS struct{}
+
+// NewDS returns the Direct Synchronization protocol.
+func NewDS() *DS { return &DS{} }
+
+// Name implements Protocol.
+func (*DS) Name() string { return "DS" }
+
+// Init implements Protocol; DS needs no precomputation.
+func (*DS) Init(*Engine) error { return nil }
+
+// OnRelease implements Protocol; DS keeps no per-release state.
+func (*DS) OnRelease(*Engine, *Job, model.Time) {}
+
+// OnComplete implements Protocol: release the successor immediately.
+func (*DS) OnComplete(e *Engine, j *Job, t model.Time) {
+	task := &e.System().Tasks[j.ID.Task]
+	if j.ID.Sub+1 < len(task.Subtasks) {
+		e.ReleaseNow(model.SubtaskID{Task: j.ID.Task, Sub: j.ID.Sub + 1}, j.Instance)
+	}
+}
+
+// OnIdle implements Protocol; DS ignores idle points.
+func (*DS) OnIdle(*Engine, int, model.Time) {}
+
+// Overhead implements Protocol (§3.3: synchronization interrupt only, one
+// interrupt per instance, no per-subtask variables).
+func (*DS) Overhead() Overhead {
+	return Overhead{
+		SyncInterrupt:         true,
+		InterruptsPerInstance: 1,
+	}
+}
+
+var _ Protocol = (*DS)(nil)

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/priority"
+)
+
+func edfExample2(t *testing.T) *model.System {
+	t.Helper()
+	s := model.Example2()
+	if err := priority.AssignLocalDeadlines(s, priority.ProportionalSlice); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEDFRequiresLocalDeadlines(t *testing.T) {
+	s := model.Example2()
+	_, err := Run(s, Config{Protocol: NewRG(), Scheduler: EDF, Horizon: 30})
+	if err == nil {
+		t.Error("EDF without local deadlines accepted")
+	}
+}
+
+func TestEDFRejectsResources(t *testing.T) {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	r := b.AddResource("r")
+	b.AddTask("A", 10, 0).Subtask(p, 1, 1).Locking(r).Done()
+	s := b.MustBuild()
+	if err := priority.AssignLocalDeadlines(s, priority.EqualSlice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(s, Config{Protocol: NewDS(), Scheduler: EDF, Horizon: 30}); err == nil {
+		t.Error("EDF with resources accepted")
+	}
+}
+
+// TestEDFExample2Schedule traces the EDF run of Example 2 under RG. Local
+// deadlines: T1 -> 4, T2 -> (2, 4), T3 -> 6. On P2 at time 8: T3 (abs
+// deadline 10) is running, the held T2,2 would have deadline 13 when
+// released — EDF never lets T2,2 preempt T3's first instance, so T3 meets
+// its deadline even under DS.
+func TestEDFExample2Schedule(t *testing.T) {
+	s := edfExample2(t)
+	for _, protocol := range []Protocol{NewDS(), NewRG()} {
+		out, err := Run(s, Config{Protocol: protocol, Scheduler: EDF, Horizon: 60, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if problems := Validate(out.Trace, ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+			t.Fatalf("%s: trace invalid: %v", protocol.Name(), problems)
+		}
+		if got := out.Metrics.Tasks[2].DeadlineMisses; got != 0 {
+			t.Errorf("%s under EDF: T3 missed %d deadlines", protocol.Name(), got)
+		}
+		if out.Trace.Scheduler != EDF {
+			t.Error("trace should record the EDF scheduler")
+		}
+	}
+}
+
+// TestEDFSoundnessAgainstDemandBound: on random systems certified by the
+// demand-bound test, simulation under EDF with release-guarded subtasks
+// never exceeds the per-subtask local deadlines nor the summed EER bound.
+func TestEDFSoundnessAgainstDemandBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2027))
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	certified := 0
+	for trial := 0; trial < trials; trial++ {
+		s := randomSystem(rng, 2, 4, 3)
+		if err := priority.AssignLocalDeadlines(s, priority.ProportionalSlice); err != nil {
+			t.Fatal(err)
+		}
+		res, err := analysis.AnalyzeEDF(s, analysis.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() {
+			continue
+		}
+		certified++
+		horizon := model.Time(int64(s.MaxPeriod()) * 12)
+		for _, protocol := range []Protocol{NewRG(), NewRGRule1Only()} {
+			out, err := Run(s, Config{Protocol: protocol, Scheduler: EDF, Horizon: horizon, Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if problems := Validate(out.Trace, ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+				t.Fatalf("trial %d %s: %v", trial, protocol.Name(), problems[0])
+			}
+			// Per-subtask: response within the local deadline.
+			for id, sm := range out.Metrics.Subtasks {
+				if d := s.Subtask(id).LocalDeadline; model.Duration(sm.MaxResponse) > d {
+					t.Errorf("trial %d %s: %v response %v exceeds local deadline %v\nsystem: %v",
+						trial, protocol.Name(), id, sm.MaxResponse, d, s)
+				}
+			}
+			// Per-task: EER within the summed bound.
+			for i := range s.Tasks {
+				if model.Duration(out.Metrics.Tasks[i].MaxEER) > res.TaskEER[i] {
+					t.Errorf("trial %d %s: task %d EER %v exceeds bound %v",
+						trial, protocol.Name(), i, out.Metrics.Tasks[i].MaxEER, res.TaskEER[i])
+				}
+			}
+		}
+	}
+	if certified == 0 {
+		t.Error("no system passed the demand test; generator or analysis is off")
+	}
+}
+
+// TestEDFDeterministicReplay mirrors the fixed-priority determinism test.
+func TestEDFDeterministicReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s := randomSystem(rng, 3, 5, 3)
+	if err := priority.AssignLocalDeadlines(s, priority.EqualSlice); err != nil {
+		t.Fatal(err)
+	}
+	horizon := model.Time(int64(s.MaxPeriod()) * 8)
+	run := func() *Metrics {
+		out, err := Run(s, Config{Protocol: NewDS(), Scheduler: EDF, Horizon: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Metrics
+	}
+	a, b := run(), run()
+	if a.Events != b.Events {
+		t.Fatalf("EDF replay diverged: %d vs %d events", a.Events, b.Events)
+	}
+	for i := range a.Tasks {
+		if !a.Tasks[i].EqualAggregates(&b.Tasks[i]) {
+			t.Errorf("task %d metrics diverged", i)
+		}
+	}
+}
+
+func TestSchedulerString(t *testing.T) {
+	if FixedPriority.String() != "FP" || EDF.String() != "EDF" {
+		t.Error("scheduler names wrong")
+	}
+}

@@ -1,0 +1,574 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"rtsync/internal/model"
+)
+
+// Scheduler selects the per-processor dispatching discipline.
+type Scheduler int
+
+const (
+	// FixedPriority is the paper's setting: preemptive fixed-priority
+	// dispatch by subtask priority (with ceiling emulation for locks).
+	FixedPriority Scheduler = iota
+	// EDF dispatches by earliest absolute deadline
+	// (release + LocalDeadline), the discipline of the jitter-EDD line
+	// of work the paper's §1 contrasts itself with. Requires every
+	// subtask to carry a positive LocalDeadline
+	// (priority.AssignLocalDeadlines) and is incompatible with shared
+	// resources.
+	EDF
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	if s == EDF {
+		return "EDF"
+	}
+	return "FP"
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Protocol is the synchronization protocol in force. Required.
+	Protocol Protocol
+	// Scheduler is the dispatching discipline (default FixedPriority).
+	Scheduler Scheduler
+	// Horizon is the end of simulated time; events after it do not run.
+	// Required (positive).
+	Horizon model.Time
+	// Trace enables full execution-trace recording (segments, releases,
+	// completions, idle points) for rendering and validation. Costs
+	// memory proportional to the number of jobs; off by default.
+	Trace bool
+	// FirstReleaseDelay, when non-nil, returns an extra delay (>= 0)
+	// inserted before instance m (m >= 1) of task i's first subtask, on
+	// top of the period. This models sporadic first releases — the
+	// condition under which §3.1 notes the PM protocol "does not work
+	// correctly". Nil means strictly periodic first releases.
+	FirstReleaseDelay func(task int, m int64) model.Duration
+	// ExecTime, when non-nil, returns the ACTUAL execution demand of
+	// instance m of a subtask — §6's "variations in the execution times
+	// of subtasks". Results are clamped to [1, WCET] (the model's Exec
+	// stays the worst case, so WCET-based analyses remain sound). Nil
+	// means every instance consumes its full WCET.
+	ExecTime func(id model.SubtaskID, m int64) model.Duration
+	// CollectSamples retains every completed instance's EER time so that
+	// Metrics.Tasks[i].EERPercentile works. Costs memory proportional to
+	// the number of completed task instances; off by default.
+	CollectSamples bool
+	// ClockOffsets gives each processor's local-clock offset (>= 0)
+	// from global time. Only ABSOLUTE local-clock readings shift:
+	// first-subtask sources start at phase + offset, and the PM
+	// protocol — which releases subtasks at absolute local phases —
+	// drifts apart across processors, violating precedence. Protocols
+	// built on relative timers and signals (DS, MPM, RG) are immune,
+	// which is §3.3's "PM requires a centralized clock or strict clock
+	// synchronization" made executable. Nil or all-zero means
+	// synchronized clocks.
+	ClockOffsets []model.Duration
+	// MaxEvents aborts a runaway simulation; 0 means the default cap.
+	MaxEvents int64
+}
+
+// defaultMaxEvents bounds a single run; generously above any workload the
+// experiments produce.
+const defaultMaxEvents = 200_000_000
+
+// ErrEventBudget reports a simulation aborted by Config.MaxEvents.
+var ErrEventBudget = errors.New("sim: event budget exhausted")
+
+// procState is the dispatch state of one processor.
+type procState struct {
+	ready *readyQueue
+	// running is the job currently holding the processor, nil when idle.
+	running *Job
+	// runStart is when running last started/resumed accumulating time.
+	runStart model.Time
+	// segStart is when running was dispatched (for trace segments;
+	// equals runStart unless the clock advanced without preemption).
+	segStart model.Time
+	// gen invalidates stale completion events: each (re)dispatch bumps
+	// it and tags the new tentative completion event.
+	gen int64
+	// idleNotified suppresses duplicate idle-point hooks while the
+	// processor stays idle; cleared when any job arrives.
+	idleNotified bool
+}
+
+// Engine runs one simulation. Construct with New, drive with Run.
+type Engine struct {
+	sys    *model.System
+	cfg    Config
+	clock  model.Time
+	events eventHeap
+	seq    int64
+	procs  []procState
+	dirty  []int
+	inDirt []bool
+
+	metrics *Metrics
+	trace   *Trace
+
+	// releaseCount tracks the next expected instance per subtask so that
+	// out-of-order protocol releases are caught immediately.
+	releaseCount map[model.SubtaskID]int64
+	// completionOf records completion times for precedence checking and
+	// EER computation: completionOf[key] exists iff that instance
+	// completed.
+	completionOf map[Key]model.Time
+	// taskRelease records the release instant of instance m of each
+	// task's first subtask, the origin for EER measurement.
+	taskRelease []map[int64]model.Time
+
+	// ceilings holds per-resource priority ceilings for the Highest
+	// Locker dispatch rule.
+	ceilings []model.Priority
+
+	eventsRun int64
+}
+
+// New builds an engine for one run over s. The system is validated and
+// cloned; the caller may reuse s freely afterwards.
+func New(s *model.System, cfg Config) (*Engine, error) {
+	if cfg.Protocol == nil {
+		return nil, errors.New("sim: Config.Protocol is required")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon %v is not positive", cfg.Horizon)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.Scheduler == EDF {
+		if len(s.Resources) > 0 {
+			return nil, errors.New("sim: EDF scheduling does not support shared resources")
+		}
+		for _, id := range s.SubtaskIDs() {
+			if s.Subtask(id).LocalDeadline <= 0 {
+				return nil, fmt.Errorf("sim: EDF scheduling requires a positive local deadline for %v (use priority.AssignLocalDeadlines)", id)
+			}
+		}
+	}
+	if cfg.ClockOffsets != nil {
+		if len(cfg.ClockOffsets) != len(s.Procs) {
+			return nil, fmt.Errorf("sim: %d clock offsets for %d processors", len(cfg.ClockOffsets), len(s.Procs))
+		}
+		for p, off := range cfg.ClockOffsets {
+			if off < 0 {
+				return nil, fmt.Errorf("sim: negative clock offset %v for processor %d", off, p)
+			}
+		}
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = defaultMaxEvents
+	}
+	sys := s.Clone()
+	e := &Engine{
+		sys:          sys,
+		cfg:          cfg,
+		procs:        make([]procState, len(sys.Procs)),
+		inDirt:       make([]bool, len(sys.Procs)),
+		metrics:      newMetrics(sys),
+		releaseCount: make(map[model.SubtaskID]int64, sys.NumSubtasks()),
+		completionOf: make(map[Key]model.Time),
+		taskRelease:  make([]map[int64]model.Time, len(sys.Tasks)),
+	}
+	e.ceilings = sys.ResourceCeilings()
+	for p := range e.procs {
+		e.procs[p].ready = newReadyQueue(sys, cfg.Scheduler == EDF)
+	}
+	for i := range e.taskRelease {
+		e.taskRelease[i] = make(map[int64]model.Time)
+	}
+	if cfg.Trace {
+		e.trace = newTrace(sys, cfg.Scheduler)
+	}
+	return e, nil
+}
+
+// System returns the engine's (cloned) system; protocols read parameters
+// from it.
+func (e *Engine) System() *model.System { return e.sys }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() model.Time { return e.clock }
+
+// Horizon returns the configured end of simulated time.
+func (e *Engine) Horizon() model.Time { return e.cfg.Horizon }
+
+// Outcome bundles a run's results.
+type Outcome struct {
+	Metrics *Metrics
+	// Trace is nil unless Config.Trace was set.
+	Trace *Trace
+}
+
+// Run executes the simulation to the horizon and returns its outcome.
+func (e *Engine) Run() (*Outcome, error) {
+	if err := e.cfg.Protocol.Init(e); err != nil {
+		return nil, fmt.Errorf("sim: init %s: %w", e.cfg.Protocol.Name(), err)
+	}
+	// Seed the periodic first-subtask releases, anchored to the local
+	// clock of each task's first processor.
+	for i := range e.sys.Tasks {
+		first := e.sys.Tasks[i].Subtasks[0].Proc
+		e.scheduleFirstRelease(i, 0, e.sys.Tasks[i].Phase.Add(e.ClockOffset(first)))
+	}
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at > e.cfg.Horizon {
+			break
+		}
+		if ev.at < e.clock {
+			return nil, fmt.Errorf("sim: event scheduled in the past (%v < %v)", ev.at, e.clock)
+		}
+		e.clock = ev.at
+		ev.fn(e.clock)
+		e.settleAll(e.clock)
+		e.eventsRun++
+		if e.eventsRun > e.cfg.MaxEvents {
+			return nil, fmt.Errorf("%w (%d events)", ErrEventBudget, e.eventsRun)
+		}
+	}
+	e.metrics.Horizon = e.cfg.Horizon
+	e.metrics.Events = e.eventsRun
+	if e.trace != nil {
+		e.closeOpenSegments()
+	}
+	return &Outcome{Metrics: e.metrics, Trace: e.trace}, nil
+}
+
+// Run is the package-level convenience: build an engine and run it.
+func Run(s *model.System, cfg Config) (*Outcome, error) {
+	e, err := New(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// push schedules an event.
+func (e *Engine) push(at model.Time, kind int8, fn func(model.Time)) {
+	e.seq++
+	heap.Push(&e.events, &event{at: at, kind: kind, seq: e.seq, fn: fn})
+}
+
+// ClockOffset returns processor p's local-clock offset from global time
+// (zero when clocks are synchronized). Protocols that schedule at ABSOLUTE
+// local times (PM) must add it; relative timers need not.
+func (e *Engine) ClockOffset(p int) model.Duration {
+	if e.cfg.ClockOffsets == nil {
+		return 0
+	}
+	return e.cfg.ClockOffsets[p]
+}
+
+// SetTimer schedules fn at time at (>= now). Protocols use it for MPM
+// per-instance timers and RG guard expiries.
+func (e *Engine) SetTimer(at model.Time, fn func(model.Time)) {
+	if at < e.clock {
+		at = e.clock
+	}
+	e.push(at, kindTimer, fn)
+}
+
+// ScheduleRelease schedules the release of instance m of subtask id at time
+// at (>= now). PM uses it to realize the modified-phase periodic releases.
+func (e *Engine) ScheduleRelease(id model.SubtaskID, m int64, at model.Time) {
+	if at < e.clock {
+		at = e.clock
+	}
+	e.push(at, kindRelease, func(t model.Time) { e.ReleaseNow(id, m) })
+}
+
+// scheduleFirstRelease arms instance m of task i's first subtask at time at.
+func (e *Engine) scheduleFirstRelease(task int, m int64, at model.Time) {
+	e.push(at, kindRelease, func(t model.Time) {
+		e.ReleaseNow(model.SubtaskID{Task: task, Sub: 0}, m)
+		period := e.sys.Tasks[task].Period
+		next := t.Add(period)
+		if e.cfg.FirstReleaseDelay != nil {
+			d := e.cfg.FirstReleaseDelay(task, m+1)
+			if d < 0 {
+				d = 0
+			}
+			next = next.Add(d)
+		}
+		if next <= e.cfg.Horizon {
+			e.scheduleFirstRelease(task, m+1, next)
+		}
+	})
+}
+
+// ReleaseNow releases instance m of subtask id at the current time: the job
+// joins its processor's ready queue and the protocol's OnRelease hook runs.
+// Instances of each subtask must be released in order; the engine panics on
+// a protocol bug that violates this.
+func (e *Engine) ReleaseNow(id model.SubtaskID, m int64) {
+	if want := e.releaseCount[id]; m != want {
+		panic(fmt.Sprintf("sim: out-of-order release of %v#%d (expected #%d)", id, m+1, want+1))
+	}
+	e.releaseCount[id] = m + 1
+
+	t := e.clock
+	demand := e.sys.Subtask(id).Exec
+	if e.cfg.ExecTime != nil {
+		actual := e.cfg.ExecTime(id, m)
+		if actual < 1 {
+			actual = 1
+		}
+		if actual < demand {
+			demand = actual
+		}
+	}
+	job := &Job{
+		ID:        id,
+		Instance:  m,
+		Release:   t,
+		Remaining: demand,
+		base:      e.sys.Subtask(id).Priority,
+		eff:       e.sys.EffectivePriority(id, e.ceilings),
+		deadline:  model.TimeInfinity,
+	}
+	if e.cfg.Scheduler == EDF {
+		job.deadline = t.Add(e.sys.Subtask(id).LocalDeadline)
+	}
+	if id.Sub == 0 {
+		e.taskRelease[id.Task][m] = t
+		e.metrics.Tasks[id.Task].Released++
+	}
+	// Precedence accounting: a non-first instance released before its
+	// predecessor instance completed is a protocol-induced violation
+	// (possible for PM under sporadic first releases, §3.1).
+	if id.Sub > 0 {
+		pred := Key{ID: model.SubtaskID{Task: id.Task, Sub: id.Sub - 1}, Instance: m}
+		if _, done := e.completionOf[pred]; !done {
+			e.metrics.PrecedenceViolations++
+			if e.trace != nil {
+				e.trace.Violations = append(e.trace.Violations, Violation{
+					Job:  job.Key(),
+					Time: t,
+				})
+			}
+		}
+	}
+	if e.trace != nil {
+		e.trace.noteRelease(job, e.sys.Subtask(id).Proc)
+	}
+	e.metrics.subtask(id).Released++
+
+	e.cfg.Protocol.OnRelease(e, job, t)
+
+	p := e.sys.Subtask(id).Proc
+	ps := &e.procs[p]
+	ps.ready.push(job)
+	ps.idleNotified = false
+	e.markDirty(p)
+}
+
+// markDirty queues processor p for (re)dispatch at the current instant.
+func (e *Engine) markDirty(p int) {
+	if !e.inDirt[p] {
+		e.inDirt[p] = true
+		e.dirty = append(e.dirty, p)
+	}
+}
+
+// settleAll drains the dirty list, dispatching every touched processor
+// until the configuration is stable at time t.
+func (e *Engine) settleAll(t model.Time) {
+	for len(e.dirty) > 0 {
+		p := e.dirty[len(e.dirty)-1]
+		e.dirty = e.dirty[:len(e.dirty)-1]
+		e.inDirt[p] = false
+		e.settle(p, t)
+	}
+}
+
+// advance charges elapsed wall time to the running job of processor p.
+func (e *Engine) advance(p int, t model.Time) {
+	ps := &e.procs[p]
+	if ps.running == nil || t <= ps.runStart {
+		return
+	}
+	ps.running.Remaining -= t.Sub(ps.runStart)
+	if ps.running.Remaining < 0 {
+		panic(fmt.Sprintf("sim: job %v overran its demand", ps.running.Key()))
+	}
+	ps.runStart = t
+}
+
+// settle brings processor p to a stable dispatch decision at time t:
+// finish any job that has exhausted its demand, then run the most urgent
+// ready job (respecting non-preemptivity), and report an idle point if the
+// processor has gone quiet.
+func (e *Engine) settle(p int, t model.Time) {
+	ps := &e.procs[p]
+	e.advance(p, t)
+	if ps.running != nil && ps.running.Remaining == 0 {
+		e.finishRunning(p, t)
+	}
+	preemptive := e.sys.Procs[p].Preemptive
+	if ps.running == nil {
+		if next := ps.ready.peek(); next != nil {
+			e.dispatch(p, ps.ready.pop(), t)
+		}
+	} else if preemptive {
+		// A challenger preempts only when STRICTLY more urgent: higher
+		// active priority under fixed priority (the running job is
+		// protected at its ceiling-raised priority, which is what
+		// makes lock holders non-preemptable by their contenders), or
+		// a strictly earlier absolute deadline under EDF.
+		if next := ps.ready.peek(); next != nil && e.strictlyMoreUrgent(next, ps.running) {
+			e.preempt(p, t)
+			e.dispatch(p, ps.ready.pop(), t)
+		}
+	}
+	if ps.running == nil && ps.ready.empty() && !ps.idleNotified {
+		ps.idleNotified = true
+		if e.trace != nil {
+			e.trace.noteIdlePoint(p, t)
+		}
+		e.cfg.Protocol.OnIdle(e, p, t)
+		// The hook may have released work here; if so the dirty mark
+		// re-queues this processor and the next settle dispatches it.
+	}
+}
+
+// strictlyMoreUrgent reports whether a should preempt b under the
+// configured scheduler.
+func (e *Engine) strictlyMoreUrgent(a, b *Job) bool {
+	if e.cfg.Scheduler == EDF {
+		return a.deadline < b.deadline
+	}
+	return a.active() > b.active()
+}
+
+// dispatch puts job on processor p and arms its tentative completion event.
+// First dispatch acquires the job's locks, raising it to its effective
+// priority for the rest of its life.
+func (e *Engine) dispatch(p int, job *Job, t model.Time) {
+	ps := &e.procs[p]
+	job.started = true
+	ps.running = job
+	ps.runStart = t
+	ps.segStart = t
+	ps.gen++
+	gen := ps.gen
+	e.push(t.Add(job.Remaining), kindCompletion, func(now model.Time) {
+		if e.procs[p].gen != gen || e.procs[p].running == nil {
+			return // stale: the job was preempted or finished earlier
+		}
+		e.markDirty(p)
+	})
+}
+
+// preempt pushes the running job of p back into the ready queue.
+func (e *Engine) preempt(p int, t model.Time) {
+	ps := &e.procs[p]
+	if e.trace != nil && t > ps.segStart {
+		e.trace.noteSegment(p, ps.running.Key(), ps.segStart, t)
+	}
+	ps.ready.push(ps.running)
+	ps.running = nil
+	ps.gen++
+	e.metrics.Preemptions++
+}
+
+// finishRunning completes the running job of p at time t: bookkeeping,
+// trace, and the protocol's OnComplete hook (which may release successors
+// anywhere in the system).
+func (e *Engine) finishRunning(p int, t model.Time) {
+	ps := &e.procs[p]
+	job := ps.running
+	ps.running = nil
+	ps.gen++
+	job.Completed = true
+	job.Completion = t
+	e.completionOf[job.Key()] = t
+	if e.trace != nil {
+		if t > ps.segStart {
+			e.trace.noteSegment(p, job.Key(), ps.segStart, t)
+		}
+		e.trace.noteCompletion(job)
+	}
+	e.recordCompletionMetrics(job, t)
+	e.cfg.Protocol.OnComplete(e, job, t)
+}
+
+// recordCompletionMetrics updates per-subtask response statistics and, when
+// job ends a task instance, the task's end-to-end statistics.
+func (e *Engine) recordCompletionMetrics(job *Job, t model.Time) {
+	sm := e.metrics.subtask(job.ID)
+	resp := t.Sub(job.Release)
+	sm.Completed++
+	sm.SumResponse += int64(resp)
+	if resp > sm.MaxResponse {
+		sm.MaxResponse = resp
+	}
+
+	task := &e.sys.Tasks[job.ID.Task]
+	if job.ID.Sub != len(task.Subtasks)-1 {
+		return
+	}
+	rel, ok := e.taskRelease[job.ID.Task][job.Instance]
+	if !ok {
+		// The chain outran its own first subtask — possible only when a
+		// protocol violates precedence (PM under sporadic first
+		// releases). There is no EER origin; the violation was already
+		// counted at release time.
+		return
+	}
+	delete(e.taskRelease[job.ID.Task], job.Instance)
+	eer := t.Sub(rel)
+	tm := &e.metrics.Tasks[job.ID.Task]
+	tm.Completed++
+	tm.SumEER += int64(eer)
+	if e.cfg.CollectSamples {
+		tm.eerSamples = append(tm.eerSamples, float64(eer))
+	}
+	if eer > tm.MaxEER {
+		tm.MaxEER = eer
+	}
+	if eer > task.Deadline {
+		tm.DeadlineMisses++
+	}
+	if tm.Completed > 1 && job.Instance == tm.lastInstance+1 {
+		jitter := eer - tm.lastEER
+		if jitter < 0 {
+			jitter = -jitter
+		}
+		if jitter > tm.MaxOutputJitter {
+			tm.MaxOutputJitter = jitter
+		}
+	}
+	tm.lastEER = eer
+	tm.lastInstance = job.Instance
+}
+
+// JobCompleted reports whether instance m of subtask id has completed. MPM
+// uses it from timers to detect overruns.
+func (e *Engine) JobCompleted(id model.SubtaskID, m int64) bool {
+	_, ok := e.completionOf[Key{ID: id, Instance: m}]
+	return ok
+}
+
+// CountOverrun increments the overrun counter (MPM timers firing before
+// their instance completed — a sign the supplied bounds were wrong).
+func (e *Engine) CountOverrun() { e.metrics.Overruns++ }
+
+// closeOpenSegments flushes the in-progress execution segments at the
+// horizon so traces account for partially executed jobs.
+func (e *Engine) closeOpenSegments() {
+	for p := range e.procs {
+		ps := &e.procs[p]
+		if ps.running != nil && e.cfg.Horizon > ps.segStart {
+			e.trace.noteSegment(p, ps.running.Key(), ps.segStart, e.cfg.Horizon)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"rtsync/internal/model"
+)
+
+// misbehavingProtocol releases instances out of order to provoke the
+// engine's protocol-bug detection.
+type misbehavingProtocol struct{ DS }
+
+func (*misbehavingProtocol) Name() string { return "broken" }
+
+func (*misbehavingProtocol) OnComplete(e *Engine, j *Job, t model.Time) {
+	task := &e.System().Tasks[j.ID.Task]
+	if j.ID.Sub+1 < len(task.Subtasks) {
+		// Skip ahead to instance m+1 without releasing m: out of order.
+		e.ReleaseNow(model.SubtaskID{Task: j.ID.Task, Sub: j.ID.Sub + 1}, j.Instance+1)
+	}
+}
+
+func TestEngineDetectsOutOfOrderReleases(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-order release did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "out-of-order release") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	_, _ = Run(model.Example2(), Config{Protocol: &misbehavingProtocol{}, Horizon: 60})
+}
+
+// pastTimerProtocol asks for a timer in the past; the engine must clamp it
+// to "now" rather than travel backwards.
+type pastTimerProtocol struct {
+	DS
+	fired []model.Time
+}
+
+func (p *pastTimerProtocol) Name() string { return "past-timer" }
+
+func (p *pastTimerProtocol) OnComplete(e *Engine, j *Job, t model.Time) {
+	e.SetTimer(t-5, func(now model.Time) { p.fired = append(p.fired, now) })
+	p.DS.OnComplete(e, j, t)
+}
+
+func TestSetTimerClampsToNow(t *testing.T) {
+	p := &pastTimerProtocol{}
+	out, err := Run(model.Example2(), Config{Protocol: p, Horizon: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.fired) == 0 {
+		t.Fatal("clamped timers never fired")
+	}
+	if out.Metrics.TotalCompleted() == 0 {
+		t.Error("simulation stalled")
+	}
+}
+
+func TestScheduleReleaseClampsToNow(t *testing.T) {
+	// ScheduleRelease with a past time must release at the current
+	// instant, preserving instance order.
+	s := model.Example2()
+	e, err := New(s, Config{Protocol: NewDS(), Horizon: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineRunTwiceIsolated(t *testing.T) {
+	// New clones the system: mutating it after construction must not
+	// affect the run.
+	s := model.Example2()
+	e, err := New(s, Config{Protocol: NewDS(), Horizon: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tasks[0].Subtasks[0].Exec = 999 // sabotage the original
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.Tasks[0].MaxEER != 2 {
+		t.Errorf("engine observed the mutation: max EER %v", out.Metrics.Tasks[0].MaxEER)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e, err := New(model.Example2(), Config{Protocol: NewDS(), Horizon: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Horizon() != 42 {
+		t.Errorf("Horizon = %v", e.Horizon())
+	}
+	if e.Now() != 0 {
+		t.Errorf("Now before run = %v", e.Now())
+	}
+	if e.System() == nil {
+		t.Error("System nil")
+	}
+	if e.ClockOffset(0) != 0 {
+		t.Errorf("default clock offset = %v", e.ClockOffset(0))
+	}
+}

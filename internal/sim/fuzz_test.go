@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rtsync/internal/model"
+)
+
+// FuzzReadTraceJSON hardens the trace decoder: arbitrary input must never
+// panic, and accepted traces must survive the validator without panicking
+// and re-serialize cleanly.
+func FuzzReadTraceJSON(f *testing.F) {
+	out, err := Run(model.Example2(), Config{Protocol: NewRG(), Horizon: 30, Trace: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := out.Trace.WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"version": 1}`)
+	f.Add(`{}`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadTraceJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// The validator must not panic on any accepted trace; its
+		// verdict (valid or not) is unconstrained for fuzzed inputs.
+		_ = Validate(tr, ValidateOptions{CheckPrecedence: true, CheckRGSpacing: true})
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rtsync/internal/model"
+)
+
+// TestEventHeapOrderingProperty: popping the event heap always yields
+// events sorted by (time, kind, seq), whatever the insertion order.
+func TestEventHeapOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h eventHeap
+		n := 50 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			heap.Push(&h, &event{
+				at:   model.Time(rng.Intn(20)),
+				kind: int8(rng.Intn(3)),
+				seq:  int64(i),
+			})
+		}
+		var prev *event
+		for h.Len() > 0 {
+			ev := heap.Pop(&h).(*event)
+			if prev != nil {
+				if ev.at < prev.at {
+					return false
+				}
+				if ev.at == prev.at && ev.kind < prev.kind {
+					return false
+				}
+				if ev.at == prev.at && ev.kind == prev.kind && ev.seq < prev.seq {
+					return false
+				}
+			}
+			prev = ev
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadyQueueFixedPriorityProperty: the ready queue pops jobs in
+// non-increasing active priority, with the deterministic tie-break.
+func TestReadyQueueFixedPriorityProperty(t *testing.T) {
+	sys := model.Example2()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := newReadyQueue(sys, false)
+		n := 20 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			q.push(&Job{
+				ID:       model.SubtaskID{Task: rng.Intn(3), Sub: 0},
+				Instance: int64(rng.Intn(10)),
+				base:     model.Priority(rng.Intn(5)),
+				deadline: model.TimeInfinity,
+			})
+		}
+		var prev *Job
+		for !q.empty() {
+			j := q.pop()
+			if prev != nil && j.active() > prev.active() {
+				return false
+			}
+			prev = j
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadyQueueEDFProperty: under EDF the queue pops by non-decreasing
+// absolute deadline.
+func TestReadyQueueEDFProperty(t *testing.T) {
+	sys := model.Example2()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := newReadyQueue(sys, true)
+		n := 20 + rng.Intn(50)
+		var deadlines []model.Time
+		for i := 0; i < n; i++ {
+			d := model.Time(rng.Intn(100))
+			deadlines = append(deadlines, d)
+			q.push(&Job{
+				ID:       model.SubtaskID{Task: rng.Intn(3), Sub: 0},
+				Instance: int64(i),
+				deadline: d,
+			})
+		}
+		sort.Slice(deadlines, func(i, j int) bool { return deadlines[i] < deadlines[j] })
+		for k := 0; !q.empty(); k++ {
+			if q.pop().deadline != deadlines[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadyQueuePeekMatchesPop: peek never disagrees with the next pop.
+func TestReadyQueuePeekMatchesPop(t *testing.T) {
+	sys := model.Example2()
+	rng := rand.New(rand.NewSource(12))
+	q := newReadyQueue(sys, false)
+	if q.peek() != nil {
+		t.Error("peek on empty queue should be nil")
+	}
+	for i := 0; i < 100; i++ {
+		q.push(&Job{
+			ID:       model.SubtaskID{Task: rng.Intn(3), Sub: 0},
+			Instance: int64(i),
+			base:     model.Priority(rng.Intn(4)),
+			deadline: model.TimeInfinity,
+		})
+	}
+	if q.len() != 100 {
+		t.Errorf("len = %d, want 100", q.len())
+	}
+	for !q.empty() {
+		want := q.peek()
+		if got := q.pop(); got != want {
+			t.Fatal("peek disagreed with pop")
+		}
+	}
+}
+
+// TestJobActivePriority: active() switches from base to effective at start.
+func TestJobActivePriority(t *testing.T) {
+	j := &Job{base: 2, eff: 5}
+	if j.active() != 2 {
+		t.Errorf("unstarted active = %v, want base 2", j.active())
+	}
+	j.started = true
+	if j.active() != 5 {
+		t.Errorf("started active = %v, want eff 5", j.active())
+	}
+}

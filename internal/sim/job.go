@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"rtsync/internal/model"
+)
+
+// Job is one released instance of a subtask, alive from release to
+// completion.
+type Job struct {
+	// ID names the subtask this job instantiates.
+	ID model.SubtaskID
+	// Instance is the 0-based instance index m.
+	Instance int64
+	// Release is the instant the job was released on its processor.
+	Release model.Time
+	// Remaining is the execution demand not yet served.
+	Remaining model.Duration
+	// Completed is set when the job finishes.
+	Completed bool
+	// Completion is the finish instant; meaningful only when Completed.
+	Completion model.Time
+
+	// base is the subtask's assigned priority; eff is base raised to the
+	// ceilings of the resources the subtask locks. Before the job first
+	// runs it competes at base; once dispatched it holds its locks and
+	// competes at eff until completion (Highest Locker emulation).
+	base, eff model.Priority
+	// started records whether the job has ever been dispatched.
+	started bool
+	// deadline is the absolute deadline (release + local deadline) used
+	// by EDF dispatch; TimeInfinity under fixed-priority scheduling.
+	deadline model.Time
+}
+
+// active returns the priority the job currently competes at.
+func (j *Job) active() model.Priority {
+	if j.started {
+		return j.eff
+	}
+	return j.base
+}
+
+// Key identifies a job across maps and traces.
+type Key struct {
+	ID       model.SubtaskID
+	Instance int64
+}
+
+// String renders the key as T(i,j)#m with a 1-based instance index, the
+// paper's convention.
+func (k Key) String() string {
+	return fmt.Sprintf("%v#%d", k.ID, k.Instance+1)
+}
+
+// Key returns the job's identity.
+func (j *Job) Key() Key { return Key{ID: j.ID, Instance: j.Instance} }
+
+// jobOrder captures the deterministic dispatch order on a processor. Under
+// fixed priority: active priority first (so a preempted lock holder keeps
+// its ceiling). Under EDF: earlier absolute deadline first. Ties break by
+// (task, sub, instance) for determinism.
+type jobOrder struct {
+	sys  *model.System
+	edf  bool
+	jobs []*Job
+}
+
+func (o *jobOrder) Len() int { return len(o.jobs) }
+
+func (o *jobOrder) Less(i, j int) bool {
+	a, b := o.jobs[i], o.jobs[j]
+	if o.edf {
+		if a.deadline != b.deadline {
+			return a.deadline < b.deadline
+		}
+	} else if pa, pb := a.active(), b.active(); pa != pb {
+		return pa > pb
+	}
+	if a.ID.Task != b.ID.Task {
+		return a.ID.Task < b.ID.Task
+	}
+	if a.ID.Sub != b.ID.Sub {
+		return a.ID.Sub < b.ID.Sub
+	}
+	return a.Instance < b.Instance
+}
+
+func (o *jobOrder) Swap(i, j int) { o.jobs[i], o.jobs[j] = o.jobs[j], o.jobs[i] }
+
+func (o *jobOrder) Push(x any) { o.jobs = append(o.jobs, x.(*Job)) }
+
+func (o *jobOrder) Pop() any {
+	n := len(o.jobs)
+	j := o.jobs[n-1]
+	o.jobs[n-1] = nil
+	o.jobs = o.jobs[:n-1]
+	return j
+}
+
+var _ heap.Interface = (*jobOrder)(nil)
+
+// readyQueue is a priority-ordered set of released, incomplete jobs on one
+// processor.
+type readyQueue struct {
+	order jobOrder
+}
+
+func newReadyQueue(sys *model.System, edf bool) *readyQueue {
+	return &readyQueue{order: jobOrder{sys: sys, edf: edf}}
+}
+
+func (q *readyQueue) push(j *Job) { heap.Push(&q.order, j) }
+
+func (q *readyQueue) pop() *Job { return heap.Pop(&q.order).(*Job) }
+
+// peek returns the most urgent ready job without removing it, or nil.
+func (q *readyQueue) peek() *Job {
+	if len(q.order.jobs) == 0 {
+		return nil
+	}
+	return q.order.jobs[0]
+}
+
+func (q *readyQueue) empty() bool { return len(q.order.jobs) == 0 }
+
+func (q *readyQueue) len() int { return len(q.order.jobs) }

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"rtsync/internal/model"
+	"rtsync/internal/stats"
+)
+
+// TaskMetrics aggregates one task's end-to-end behaviour over a run.
+type TaskMetrics struct {
+	// Released counts instances of the first subtask released.
+	Released int64
+	// Completed counts task instances whose last subtask finished.
+	Completed int64
+	// SumEER is the sum of completed instances' EER times, in ticks.
+	SumEER int64
+	// MaxEER is the largest observed EER time.
+	MaxEER model.Duration
+	// MaxOutputJitter is the largest |EER(m) − EER(m−1)| over
+	// consecutive completed instances (§2's output-jitter criterion).
+	MaxOutputJitter model.Duration
+	// DeadlineMisses counts completed instances whose EER time exceeded
+	// the task's relative deadline.
+	DeadlineMisses int64
+
+	lastEER      model.Duration
+	lastInstance int64
+	// eerSamples holds per-instance EER times when
+	// Config.CollectSamples is on.
+	eerSamples []float64
+}
+
+// AvgEER returns the mean end-to-end response time of completed instances,
+// or 0 when none completed.
+func (tm *TaskMetrics) AvgEER() float64 {
+	if tm.Completed == 0 {
+		return 0
+	}
+	return float64(tm.SumEER) / float64(tm.Completed)
+}
+
+// EERPercentile returns the q-th percentile (0..100) of the task's
+// per-instance EER times. It requires Config.CollectSamples; without it
+// (or with no completions) it returns 0, false.
+func (tm *TaskMetrics) EERPercentile(q float64) (float64, bool) {
+	if len(tm.eerSamples) == 0 {
+		return 0, false
+	}
+	return stats.Percentile(tm.eerSamples, q), true
+}
+
+// EERSampleCount returns how many per-instance EER times were retained.
+func (tm *TaskMetrics) EERSampleCount() int { return len(tm.eerSamples) }
+
+// SubtaskMetrics aggregates one subtask's response behaviour.
+type SubtaskMetrics struct {
+	Released    int64
+	Completed   int64
+	SumResponse int64
+	MaxResponse model.Duration
+}
+
+// AvgResponse returns the subtask's mean response time, or 0.
+func (sm *SubtaskMetrics) AvgResponse() float64 {
+	if sm.Completed == 0 {
+		return 0
+	}
+	return float64(sm.SumResponse) / float64(sm.Completed)
+}
+
+// Metrics is the quantitative outcome of one simulation run.
+type Metrics struct {
+	// Horizon is the simulated time span.
+	Horizon model.Time
+	// Tasks holds per-task aggregates, indexed like System.Tasks.
+	Tasks []TaskMetrics
+	// Subtasks holds per-subtask aggregates.
+	Subtasks map[model.SubtaskID]*SubtaskMetrics
+	// PrecedenceViolations counts non-first instances released before
+	// their predecessor instance completed (only PM under sporadic first
+	// releases should ever produce these).
+	PrecedenceViolations int64
+	// Overruns counts MPM timers that fired before their instance
+	// completed, i.e. supplied bounds that the run falsified.
+	Overruns int64
+	// Preemptions counts jobs displaced from a processor mid-execution.
+	Preemptions int64
+	// Events counts simulator events processed.
+	Events int64
+}
+
+func newMetrics(s *model.System) *Metrics {
+	m := &Metrics{
+		Tasks:    make([]TaskMetrics, len(s.Tasks)),
+		Subtasks: make(map[model.SubtaskID]*SubtaskMetrics, s.NumSubtasks()),
+	}
+	for _, id := range s.SubtaskIDs() {
+		m.Subtasks[id] = &SubtaskMetrics{}
+	}
+	return m
+}
+
+// subtask returns the aggregate record for id, creating it if a protocol
+// released a subtask the constructor did not know about (impossible for
+// valid systems, but cheap to be safe).
+func (m *Metrics) subtask(id model.SubtaskID) *SubtaskMetrics {
+	sm, ok := m.Subtasks[id]
+	if !ok {
+		sm = &SubtaskMetrics{}
+		m.Subtasks[id] = sm
+	}
+	return sm
+}
+
+// TotalCompleted returns the number of completed task instances across all
+// tasks.
+func (m *Metrics) TotalCompleted() int64 {
+	var n int64
+	for i := range m.Tasks {
+		n += m.Tasks[i].Completed
+	}
+	return n
+}
+
+// TotalDeadlineMisses sums deadline misses across tasks.
+func (m *Metrics) TotalDeadlineMisses() int64 {
+	var n int64
+	for i := range m.Tasks {
+		n += m.Tasks[i].DeadlineMisses
+	}
+	return n
+}
+
+// EqualAggregates reports whether two task aggregates agree on every
+// deterministic counter (used by replay tests; ignores retained samples).
+func (tm *TaskMetrics) EqualAggregates(o *TaskMetrics) bool {
+	return tm.Released == o.Released &&
+		tm.Completed == o.Completed &&
+		tm.SumEER == o.SumEER &&
+		tm.MaxEER == o.MaxEER &&
+		tm.MaxOutputJitter == o.MaxOutputJitter &&
+		tm.DeadlineMisses == o.DeadlineMisses
+}

@@ -1,0 +1,68 @@
+package sim
+
+import "rtsync/internal/model"
+
+// MPM is the Modified Phase Modification protocol (§3.1): instead of
+// absolute phases, the scheduler sets a local timer for R(i,j) ticks when an
+// instance of T(i,j) is released; when the timer fires — by which time the
+// instance must have completed, since R(i,j) bounds its response time — a
+// synchronization signal releases the successor instance immediately.
+//
+// Under ideal conditions MPM produces exactly the PM schedule, but it needs
+// neither a global clock nor strictly periodic first releases, because each
+// successor release is anchored to the predecessor's actual release instant.
+type MPM struct {
+	bounds Bounds
+}
+
+// NewMPM returns the MPM protocol configured with per-subtask response-time
+// bounds (from Algorithm SA/PM).
+func NewMPM(bounds Bounds) *MPM { return &MPM{bounds: bounds} }
+
+// Name implements Protocol.
+func (*MPM) Name() string { return "MPM" }
+
+// Init implements Protocol.
+func (mpm *MPM) Init(e *Engine) error {
+	return mpm.bounds.validate(e.System(), "MPM")
+}
+
+// OnRelease implements Protocol: arm the timer that will release the
+// successor R(i,j) ticks from now. The timer doubles as an overrun monitor:
+// if the instance has not completed when it fires, the supplied bound was
+// wrong, and the engine counts it.
+func (mpm *MPM) OnRelease(e *Engine, j *Job, t model.Time) {
+	task := &e.System().Tasks[j.ID.Task]
+	if j.ID.Sub+1 >= len(task.Subtasks) {
+		return // last subtask: nothing to synchronize
+	}
+	id, m := j.ID, j.Instance
+	succ := model.SubtaskID{Task: id.Task, Sub: id.Sub + 1}
+	e.SetTimer(t.Add(mpm.bounds[id]), func(now model.Time) {
+		if !e.JobCompleted(id, m) {
+			e.CountOverrun()
+		}
+		e.ReleaseNow(succ, m)
+	})
+}
+
+// OnComplete implements Protocol; MPM waits for the timer even when the
+// instance finishes early (the "delay in sending synchronization signals"
+// of Figure 6).
+func (*MPM) OnComplete(*Engine, *Job, model.Time) {}
+
+// OnIdle implements Protocol; MPM ignores idle points.
+func (*MPM) OnIdle(*Engine, int, model.Time) {}
+
+// Overhead implements Protocol (§3.3: both interrupt kinds, two interrupts
+// per instance, one stored bound per subtask, local clocks suffice).
+func (*MPM) Overhead() Overhead {
+	return Overhead{
+		SyncInterrupt:         true,
+		TimerInterrupt:        true,
+		InterruptsPerInstance: 2,
+		VariablesPerSubtask:   1,
+	}
+}
+
+var _ Protocol = (*MPM)(nil)

@@ -1,0 +1,82 @@
+package sim
+
+import "rtsync/internal/model"
+
+// PM is the Phase Modification protocol (§3.1, after Bettati): every
+// subtask is released strictly periodically from its own modified phase,
+//
+//	f(i,1) = f(i)    and    f(i,j) = f(i) + Σ_{k<j} R(i,k)  for j > 1,
+//
+// where R(i,k) are upper bounds on subtask response times (from Algorithm
+// SA/PM). Under ideal conditions — synchronized clocks and strictly
+// periodic first releases — precedence constraints hold by construction.
+// When first releases are sporadic (inter-release > period), PM releases
+// successors too early and violates precedence; the engine counts those
+// violations rather than masking them, as the paper's critique predicts.
+type PM struct {
+	bounds Bounds
+}
+
+// NewPM returns the PM protocol configured with per-subtask response-time
+// bounds (use analysis.AnalyzePM, then the Bounds of its result).
+func NewPM(bounds Bounds) *PM { return &PM{bounds: bounds} }
+
+// Name implements Protocol.
+func (*PM) Name() string { return "PM" }
+
+// Init implements Protocol: validate the bounds and schedule the first
+// instance of every later subtask at its modified phase. Subsequent
+// instances chain from OnRelease, period by period.
+func (pm *PM) Init(e *Engine) error {
+	s := e.System()
+	if err := pm.bounds.validate(s, "PM"); err != nil {
+		return err
+	}
+	for i := range s.Tasks {
+		offset := model.Duration(0)
+		for j := range s.Tasks[i].Subtasks {
+			id := model.SubtaskID{Task: i, Sub: j}
+			if j > 0 {
+				// The modified phase is an ABSOLUTE reading of the
+				// local clock of the subtask's processor; unsynchronized
+				// clocks therefore skew PM's releases (§3.3's global
+				// clock requirement).
+				local := s.Tasks[i].Phase.Add(offset)
+				e.ScheduleRelease(id, 0, local.Add(e.ClockOffset(s.Subtask(id).Proc)))
+			}
+			offset = offset.AddSat(pm.bounds[id])
+		}
+	}
+	return nil
+}
+
+// OnRelease implements Protocol: keep each later subtask strictly periodic
+// by scheduling its next instance one period out.
+func (*PM) OnRelease(e *Engine, j *Job, t model.Time) {
+	if j.ID.Sub == 0 {
+		return // first subtasks are released by the engine's generator
+	}
+	period := e.System().Tasks[j.ID.Task].Period
+	e.ScheduleRelease(j.ID, j.Instance+1, t.Add(period))
+}
+
+// OnComplete implements Protocol; PM ignores completions entirely — that is
+// its defining property and the source of its long average EER times.
+func (*PM) OnComplete(*Engine, *Job, model.Time) {}
+
+// OnIdle implements Protocol; PM ignores idle points.
+func (*PM) OnIdle(*Engine, int, model.Time) {}
+
+// Overhead implements Protocol (§3.3: timer interrupt only, one interrupt
+// per instance, one stored bound per subtask, and — uniquely — a global
+// clock requirement).
+func (*PM) Overhead() Overhead {
+	return Overhead{
+		TimerInterrupt:        true,
+		InterruptsPerInstance: 1,
+		VariablesPerSubtask:   1,
+		NeedsGlobalClock:      true,
+	}
+}
+
+var _ Protocol = (*PM)(nil)

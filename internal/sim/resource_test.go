@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/priority"
+)
+
+// ceilingScenario builds the classic bounded-inversion scenario: lo (prio
+// 1) locks the resource at t=0; hi (prio 3, same resource) arrives at t=1
+// and must wait for lo's whole critical section; mid (prio 2, no locks)
+// arrives at t=1 and must NOT run before hi (that would be unbounded
+// inversion — exactly what ceiling emulation prevents).
+func ceilingScenario() *model.System {
+	b := model.NewBuilder()
+	p := b.AddProcessor("cpu")
+	r := b.AddResource("shared")
+	b.AddTask("lo", 100, 0).Subtask(p, 5, 1).Locking(r).Done()
+	b.AddTask("hi", 100, 1).Subtask(p, 2, 3).Locking(r).Done()
+	b.AddTask("mid", 100, 1).Subtask(p, 3, 2).Done()
+	return b.MustBuild()
+}
+
+func TestCeilingEmulationSchedule(t *testing.T) {
+	s := ceilingScenario()
+	out, err := Run(s, Config{Protocol: NewDS(), Horizon: 60, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := out.Trace
+	// lo runs [0,5) non-preempted (it holds the ceiling), hi [5,7),
+	// mid [7,10).
+	completions := map[string]model.Time{"lo": 5, "hi": 7, "mid": 10}
+	for i := range s.Tasks {
+		c, ok := tr.CompletionOf(model.SubtaskID{Task: i, Sub: 0}, 0)
+		want := completions[s.Tasks[i].Name]
+		if !ok || c != want {
+			t.Errorf("%s completion = %v (%v), want %v", s.Tasks[i].Name, c, ok, want)
+		}
+	}
+	// lo must execute in one piece — no preemption while holding.
+	if got := len(tr.SegmentsOn(0)); got != 3 {
+		t.Errorf("expected 3 contiguous segments, got %d: %v", got, tr.SegmentsOn(0))
+	}
+	if problems := Validate(tr, ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+		t.Errorf("trace invalid: %v", problems)
+	}
+	if out.Metrics.Preemptions != 0 {
+		t.Errorf("ceiling run should have no preemptions, got %d", out.Metrics.Preemptions)
+	}
+}
+
+func TestCeilingBlockedJobStaysBlockedAfterPreemption(t *testing.T) {
+	// lo locks r and is the lowest priority; top (no locks, highest
+	// priority) preempts... no: under ceiling emulation top CAN preempt
+	// lo only if its priority exceeds the ceiling. Make the ceiling sit
+	// between: ceiling(r) = hi's priority 3, top has 4 and preempts;
+	// while top runs, hi (3, locks r) arrives. When top finishes, the
+	// dispatcher must resume LO (active priority 3, ties broken by
+	// earlier start... lo started, so active = ceiling 3 = hi's 3; tie
+	// break by task index gives lo, which was started first) — hi must
+	// not slip into the critical section.
+	b := model.NewBuilder()
+	p := b.AddProcessor("cpu")
+	r := b.AddResource("shared")
+	b.AddTask("lo", 100, 0).Subtask(p, 6, 1).Locking(r).Done() // task 0
+	b.AddTask("top", 100, 1).Subtask(p, 2, 4).Done()           // task 1
+	b.AddTask("hi", 100, 2).Subtask(p, 2, 3).Locking(r).Done() // task 2
+	s := b.MustBuild()
+	out, err := Run(s, Config{Protocol: NewDS(), Horizon: 60, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := out.Trace
+	// top preempts lo at 1, runs [1,3); lo resumes [3,8); hi runs [8,10).
+	cTop, _ := tr.CompletionOf(model.SubtaskID{Task: 1, Sub: 0}, 0)
+	cLo, _ := tr.CompletionOf(model.SubtaskID{Task: 0, Sub: 0}, 0)
+	cHi, _ := tr.CompletionOf(model.SubtaskID{Task: 2, Sub: 0}, 0)
+	if cTop != 3 || cLo != 8 || cHi != 10 {
+		t.Errorf("completions top=%v lo=%v hi=%v, want 3, 8, 10", cTop, cLo, cHi)
+	}
+	if problems := Validate(tr, ValidateOptions{}); len(problems) > 0 {
+		t.Errorf("trace invalid: %v", problems)
+	}
+}
+
+func TestEqualPrioritiesDoNotPreempt(t *testing.T) {
+	// Two equal-priority tasks: the second arrives mid-execution of the
+	// first and must wait (run-to-completion among equals).
+	b := model.NewBuilder()
+	p := b.AddProcessor("cpu")
+	b.AddTask("a", 100, 0).Subtask(p, 5, 1).Done()
+	b.AddTask("b", 100, 2).Subtask(p, 3, 1).Done()
+	s := b.MustBuild()
+	out, err := Run(s, Config{Protocol: NewDS(), Horizon: 50, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cA, _ := out.Trace.CompletionOf(model.SubtaskID{Task: 0, Sub: 0}, 0)
+	cB, _ := out.Trace.CompletionOf(model.SubtaskID{Task: 1, Sub: 0}, 0)
+	if cA != 5 || cB != 8 {
+		t.Errorf("completions a=%v b=%v, want 5, 8", cA, cB)
+	}
+	if out.Metrics.Preemptions != 0 {
+		t.Errorf("equal priorities must not preempt; got %d", out.Metrics.Preemptions)
+	}
+}
+
+// randomResourceSystem builds a random single-processor-per-resource system
+// with shared resources and PD priorities.
+func randomResourceSystem(rng *rand.Rand) *model.System {
+	b := model.NewBuilder()
+	procs := make([]int, 2)
+	for i := range procs {
+		procs[i] = b.AddProcessor(fmt.Sprintf("P%d", i+1))
+	}
+	// One resource per processor; subtasks on that processor may lock it.
+	resources := make([]int, len(procs))
+	for i := range resources {
+		resources[i] = b.AddResource(fmt.Sprintf("r%d", i+1))
+	}
+	for i := 0; i < 4; i++ {
+		period := model.Duration(40 + rng.Intn(200))
+		tb := b.AddTask(fmt.Sprintf("T%d", i+1), period, model.Time(rng.Intn(int(period))))
+		n := 1 + rng.Intn(2)
+		prev := -1
+		for j := 0; j < n; j++ {
+			proc := rng.Intn(len(procs))
+			if proc == prev {
+				proc = (proc + 1) % len(procs)
+			}
+			prev = proc
+			exec := model.Duration(1 + rng.Intn(int(period)/8+1))
+			tb.Subtask(procs[proc], exec, 0)
+			if rng.Intn(2) == 0 {
+				tb.Locking(resources[proc])
+			}
+		}
+		tb.Done()
+	}
+	s := b.MustBuild()
+	if err := priority.Assign(s, priority.ProportionalDeadline); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestResourceSystemsInvariants: on random systems with shared resources,
+// every protocol's trace must satisfy mutual exclusion, the ceiling-aware
+// dispatch invariant, and the blocking-aware analysis bounds.
+func TestResourceSystemsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		s := randomResourceSystem(rng)
+		horizon := model.Time(int64(s.MaxPeriod()) * 12)
+		pmRes, err := analysis.AnalyzePM(s, analysis.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsRes, err := analysis.AnalyzeDS(s, analysis.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range allProtocols(t, s) {
+			out, err := Run(s, Config{Protocol: p, Horizon: horizon, Trace: true})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, p.Name(), err)
+			}
+			if problems := Validate(out.Trace, ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+				t.Fatalf("trial %d %s: %v\nsystem: %v", trial, p.Name(), problems[0], s)
+			}
+			bounds := pmRes.TaskEER
+			if p.Name() == "DS" {
+				bounds = dsRes.TaskEER
+			}
+			for i := range s.Tasks {
+				if bounds[i].IsInfinite() {
+					continue
+				}
+				if model.Duration(out.Metrics.Tasks[i].MaxEER) > bounds[i] {
+					t.Fatalf("trial %d %s task %d: max EER %v exceeds blocking-aware bound %v\nsystem: %v",
+						trial, p.Name(), i, out.Metrics.Tasks[i].MaxEER, bounds[i], s)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateCatchesMutualExclusionViolation(t *testing.T) {
+	s := ceilingScenario()
+	out, err := Run(s, Config{Protocol: NewDS(), Horizon: 60, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := out.Trace
+	// Forge an overlapping segment for hi inside lo's critical section.
+	tr.Segments = append(tr.Segments, Segment{
+		Proc:  0,
+		Job:   Key{ID: model.SubtaskID{Task: 1, Sub: 0}, Instance: 0},
+		Start: 2, End: 3,
+	})
+	problems := Validate(tr, ValidateOptions{})
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p, "mutual exclusion") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mutual-exclusion violation not caught: %v", problems)
+	}
+}

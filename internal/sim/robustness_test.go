@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+)
+
+// halfExec returns an ExecTime hook that halves every demand.
+func halfExec(s *model.System) func(model.SubtaskID, int64) model.Duration {
+	return func(id model.SubtaskID, m int64) model.Duration {
+		return s.Subtask(id).Exec / 2
+	}
+}
+
+func TestExecVariationShortensResponses(t *testing.T) {
+	s := model.Example2()
+	full, err := Run(s, Config{Protocol: NewDS(), Horizon: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied, err := Run(s, Config{Protocol: NewDS(), Horizon: 600, ExecTime: halfExec(s), Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Tasks {
+		if varied.Metrics.Tasks[i].AvgEER() >= full.Metrics.Tasks[i].AvgEER() {
+			t.Errorf("task %d: halved demands did not shorten avg EER (%v vs %v)",
+				i, varied.Metrics.Tasks[i].AvgEER(), full.Metrics.Tasks[i].AvgEER())
+		}
+	}
+	if problems := Validate(varied.Trace, ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+		t.Errorf("trace invalid: %v", problems)
+	}
+	// With half demands T3 never misses (DS missed with full WCETs).
+	if varied.Metrics.Tasks[2].DeadlineMisses != 0 {
+		t.Errorf("T3 missed %d deadlines at half load", varied.Metrics.Tasks[2].DeadlineMisses)
+	}
+}
+
+func TestExecVariationClamps(t *testing.T) {
+	s := model.Example2()
+	out, err := Run(s, Config{
+		Protocol: NewDS(),
+		Horizon:  60,
+		Trace:    true,
+		// Demands both below 1 and above WCET must clamp to [1, WCET].
+		ExecTime: func(id model.SubtaskID, m int64) model.Duration {
+			if m%2 == 0 {
+				return 0
+			}
+			return 1 << 40
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range out.Trace.Jobs {
+		wcet := s.Subtask(rec.Job.ID).Exec
+		if rec.Demand < 1 || rec.Demand > wcet {
+			t.Errorf("job %v demand %v outside [1, %v]", rec.Job, rec.Demand, wcet)
+		}
+	}
+}
+
+// TestExecVariationBoundsStillSound: the analyses are WCET-based, so any
+// per-instance demand reduction keeps observed EER within the bounds, for
+// every protocol.
+func TestExecVariationBoundsStillSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3030))
+	for trial := 0; trial < 10; trial++ {
+		s := randomSystem(rng, 2, 4, 3)
+		pmRes, err := analysis.AnalyzePM(s, analysis.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsRes, err := analysis.AnalyzeDS(s, analysis.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := model.Time(int64(s.MaxPeriod()) * 10)
+		execVar := func(id model.SubtaskID, m int64) model.Duration {
+			r := rand.New(rand.NewSource(int64(id.Task)*7919 + int64(id.Sub)*104729 + m))
+			wcet := s.Subtask(id).Exec
+			return model.Duration(1 + r.Int63n(int64(wcet)))
+		}
+		for _, p := range allProtocols(t, s) {
+			out, err := Run(s, Config{Protocol: p, Horizon: horizon, ExecTime: execVar, Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if problems := Validate(out.Trace, ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+				t.Fatalf("trial %d %s: %v", trial, p.Name(), problems[0])
+			}
+			bounds := pmRes.TaskEER
+			if p.Name() == "DS" {
+				bounds = dsRes.TaskEER
+			}
+			for i := range s.Tasks {
+				if bounds[i].IsInfinite() {
+					continue
+				}
+				if model.Duration(out.Metrics.Tasks[i].MaxEER) > bounds[i] {
+					t.Fatalf("trial %d %s task %d: EER %v exceeds bound %v under exec variation",
+						trial, p.Name(), i, out.Metrics.Tasks[i].MaxEER, bounds[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMPMDelaysSignalsUnderExecVariation reproduces Figure 6's "delay in
+// sending synchronization signals": with shortened executions MPM still
+// releases successors at release + R, so its schedule matches PM's, while
+// DS releases successors earlier.
+func TestMPMDelaysSignalsUnderExecVariation(t *testing.T) {
+	s := model.Example2()
+	b := example2Bounds(t, s)
+	ev := halfExec(s)
+	mpm, err := Run(s, Config{Protocol: NewMPM(b), Horizon: 60, ExecTime: ev, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := Run(s, Config{Protocol: NewPM(b), Horizon: 60, ExecTime: ev, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Run(s, Config{Protocol: NewDS(), Horizon: 60, ExecTime: ev, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := model.SubtaskID{Task: 1, Sub: 1}
+	mpmRel := mpm.Trace.ReleasesOf(id)
+	pmRel := pm.Trace.ReleasesOf(id)
+	dsRel := ds.Trace.ReleasesOf(id)
+	for k := range mpmRel {
+		if mpmRel[k] != pmRel[k] {
+			t.Errorf("release %d: MPM %v != PM %v", k, mpmRel[k], pmRel[k])
+		}
+		if dsRel[k] >= mpmRel[k] {
+			t.Errorf("release %d: DS %v should precede MPM %v under shortened executions",
+				k, dsRel[k], mpmRel[k])
+		}
+	}
+	if mpm.Metrics.Overruns != 0 {
+		t.Errorf("MPM overruns = %d with demands below bounds", mpm.Metrics.Overruns)
+	}
+}
+
+func TestClockOffsetsValidation(t *testing.T) {
+	s := model.Example2()
+	if _, err := Run(s, Config{Protocol: NewDS(), Horizon: 30, ClockOffsets: []model.Duration{1}}); err == nil {
+		t.Error("wrong-length offsets accepted")
+	}
+	if _, err := Run(s, Config{Protocol: NewDS(), Horizon: 30, ClockOffsets: []model.Duration{0, -1}}); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+// TestClockSkewBreaksPMOnly executes §3.3's global-clock requirement: with
+// processor clocks 3 ticks apart, PM violates precedence while DS, MPM and
+// RG — whose synchronization is signal- or relative-timer-based — stay
+// correct.
+func TestClockSkewBreaksPMOnly(t *testing.T) {
+	s := model.Example2()
+	b := example2Bounds(t, s)
+	// P1's clock runs 3 ticks ahead: T2,1 is released at global time 3
+	// and completes at 7, but P2 (on its own clock) releases T2,2 at
+	// the unshifted phase 4 — before the predecessor completed.
+	offsets := []model.Duration{3, 0}
+	for _, tc := range []struct {
+		p          Protocol
+		violations bool
+	}{
+		{NewPM(b), true},
+		{NewMPM(b), false},
+		{NewDS(), false},
+		{NewRG(), false},
+	} {
+		out, err := Run(s, Config{Protocol: tc.p, Horizon: 600, ClockOffsets: offsets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := out.Metrics.PrecedenceViolations > 0
+		if got != tc.violations {
+			t.Errorf("%s with skewed clocks: violations=%v, want %v (count %d)",
+				tc.p.Name(), got, tc.violations, out.Metrics.PrecedenceViolations)
+		}
+	}
+}
+
+// TestClockSkewEqualOffsetsHarmless: identical offsets shift the whole
+// timeline without changing any protocol's relative behaviour.
+func TestClockSkewEqualOffsetsHarmless(t *testing.T) {
+	s := model.Example2()
+	b := example2Bounds(t, s)
+	out, err := Run(s, Config{
+		Protocol:     NewPM(b),
+		Horizon:      600,
+		ClockOffsets: []model.Duration{5, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.PrecedenceViolations != 0 {
+		t.Errorf("equal offsets caused %d violations", out.Metrics.PrecedenceViolations)
+	}
+	base, err := Run(s, Config{Protocol: NewPM(b), Horizon: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Tasks {
+		if out.Metrics.Tasks[i].MaxEER != base.Metrics.Tasks[i].MaxEER {
+			t.Errorf("task %d: max EER changed under uniform offset (%v vs %v)",
+				i, out.Metrics.Tasks[i].MaxEER, base.Metrics.Tasks[i].MaxEER)
+		}
+	}
+}
+
+func TestEERPercentiles(t *testing.T) {
+	s := model.Example2()
+	out, err := Run(s, Config{Protocol: NewDS(), Horizon: 600, CollectSamples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := &out.Metrics.Tasks[1] // T2: EER alternates over instances
+	if tm.EERSampleCount() != int(tm.Completed) {
+		t.Errorf("samples %d != completed %d", tm.EERSampleCount(), tm.Completed)
+	}
+	p0, ok := tm.EERPercentile(0)
+	if !ok {
+		t.Fatal("percentile unavailable with CollectSamples on")
+	}
+	p100, _ := tm.EERPercentile(100)
+	p50, _ := tm.EERPercentile(50)
+	if p0 > p50 || p50 > p100 {
+		t.Errorf("percentiles unordered: p0=%v p50=%v p100=%v", p0, p50, p100)
+	}
+	if model.Duration(p100) != tm.MaxEER {
+		t.Errorf("p100 %v != max EER %v", p100, tm.MaxEER)
+	}
+	// The mean of the samples matches AvgEER.
+	if avg := tm.AvgEER(); avg <= 0 {
+		t.Errorf("avg EER = %v", avg)
+	}
+
+	// Without CollectSamples, percentiles are unavailable.
+	out2, err := Run(s, Config{Protocol: NewDS(), Horizon: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out2.Metrics.Tasks[1].EERPercentile(50); ok {
+		t.Error("percentile available without CollectSamples")
+	}
+}
+
+func TestMPMOverrunDetection(t *testing.T) {
+	// Feed MPM deliberately optimistic bounds: R(2,1) = 2 equals the
+	// execution time but T2,1's true response is 4 (preempted by T1),
+	// so the timer fires before completion and the overrun is counted —
+	// the "check if the subtask overruns" role §3.1 assigns the timer.
+	s := model.Example2()
+	bad := Bounds{
+		{Task: 0, Sub: 0}: 2,
+		{Task: 1, Sub: 0}: 2, // too small: true worst response is 4
+		{Task: 1, Sub: 1}: 3,
+		{Task: 2, Sub: 0}: 5,
+	}
+	out, err := Run(s, Config{Protocol: NewMPM(bad), Horizon: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.Overruns == 0 {
+		t.Error("optimistic bounds should trigger overrun detection")
+	}
+	// The precedence violations these early releases cause are counted
+	// too (T2,2 released while T2,1 still runs).
+	if out.Metrics.PrecedenceViolations == 0 {
+		t.Error("early MPM releases should violate precedence")
+	}
+}
+
+func TestTotalDeadlineMisses(t *testing.T) {
+	out, err := Run(model.Example2(), Config{Protocol: NewDS(), Horizon: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := range out.Metrics.Tasks {
+		want += out.Metrics.Tasks[i].DeadlineMisses
+	}
+	if got := out.Metrics.TotalDeadlineMisses(); got != want || got == 0 {
+		t.Errorf("TotalDeadlineMisses = %d, want %d (nonzero)", got, want)
+	}
+}
+
+// TestBoundsSoundUnderSporadicReleases: sporadic (delayed) first releases
+// only remove load, so the SA/PM bounds stay valid for MPM and RG — the
+// §6 release-jitter regime those protocols were designed for.
+func TestBoundsSoundUnderSporadicReleases(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 8; trial++ {
+		s := randomSystem(rng, 2, 4, 3)
+		pmRes, err := analysis.AnalyzePM(s, analysis.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds := make(Bounds, len(pmRes.Subtasks))
+		finite := true
+		for id, sb := range pmRes.Subtasks {
+			if sb.Response.IsInfinite() {
+				finite = false
+				break
+			}
+			bounds[id] = sb.Response
+		}
+		if !finite {
+			continue
+		}
+		delay := func(task int, m int64) model.Duration {
+			r := rand.New(rand.NewSource(int64(task)*31 + m))
+			return model.Duration(r.Int63n(int64(s.Tasks[task].Period) / 2))
+		}
+		horizon := model.Time(int64(s.MaxPeriod()) * 15)
+		for _, p := range []Protocol{NewMPM(bounds), NewRG()} {
+			out, err := Run(s, Config{Protocol: p, Horizon: horizon, FirstReleaseDelay: delay})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Metrics.PrecedenceViolations != 0 || out.Metrics.Overruns != 0 {
+				t.Fatalf("trial %d %s: violations=%d overruns=%d",
+					trial, p.Name(), out.Metrics.PrecedenceViolations, out.Metrics.Overruns)
+			}
+			for i := range s.Tasks {
+				if model.Duration(out.Metrics.Tasks[i].MaxEER) > pmRes.TaskEER[i] {
+					t.Errorf("trial %d %s task %d: EER %v exceeds bound %v under sporadic releases",
+						trial, p.Name(), i, out.Metrics.Tasks[i].MaxEER, pmRes.TaskEER[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"sort"
+
+	"rtsync/internal/model"
+)
+
+// Segment is one contiguous stretch of execution of a job on a processor.
+type Segment struct {
+	Proc  int
+	Job   Key
+	Start model.Time
+	End   model.Time
+}
+
+// JobRecord is the lifecycle of one job as observed by the trace.
+type JobRecord struct {
+	Job     Key
+	Proc    int
+	Release model.Time
+	// Completion is TimeInfinity for jobs still incomplete at the
+	// horizon.
+	Completion model.Time
+	// Deadline is the absolute EDF deadline; TimeInfinity under fixed
+	// priority.
+	Deadline model.Time
+	// Demand is the job's actual execution demand — the subtask's WCET
+	// unless Config.ExecTime shortened it.
+	Demand model.Duration
+}
+
+// Violation records a precedence violation: a job released before its
+// predecessor instance completed.
+type Violation struct {
+	Job  Key
+	Time model.Time
+}
+
+// Trace is a complete record of one run: every release, completion,
+// execution segment, idle point, and violation. It feeds the gantt
+// renderer and the Validate invariant checker.
+type Trace struct {
+	sys *model.System
+
+	// Scheduler records the dispatching discipline of the run, so the
+	// validator checks the right ordering invariant.
+	Scheduler  Scheduler
+	Segments   []Segment
+	Jobs       map[Key]*JobRecord
+	jobOrder   []Key
+	IdlePoints [][]model.Time
+	Violations []Violation
+}
+
+func newTrace(s *model.System, sched Scheduler) *Trace {
+	return &Trace{
+		sys:        s,
+		Scheduler:  sched,
+		Jobs:       make(map[Key]*JobRecord),
+		IdlePoints: make([][]model.Time, len(s.Procs)),
+	}
+}
+
+// System returns the traced system.
+func (tr *Trace) System() *model.System { return tr.sys }
+
+func (tr *Trace) noteRelease(j *Job, proc int) {
+	k := j.Key()
+	tr.Jobs[k] = &JobRecord{
+		Job:        k,
+		Proc:       proc,
+		Release:    j.Release,
+		Completion: model.TimeInfinity,
+		Deadline:   j.deadline,
+		Demand:     j.Remaining,
+	}
+	tr.jobOrder = append(tr.jobOrder, k)
+}
+
+func (tr *Trace) noteCompletion(j *Job) {
+	if rec, ok := tr.Jobs[j.Key()]; ok {
+		rec.Completion = j.Completion
+	}
+}
+
+func (tr *Trace) noteSegment(proc int, job Key, start, end model.Time) {
+	tr.Segments = append(tr.Segments, Segment{Proc: proc, Job: job, Start: start, End: end})
+}
+
+func (tr *Trace) noteIdlePoint(proc int, t model.Time) {
+	tr.IdlePoints[proc] = append(tr.IdlePoints[proc], t)
+}
+
+// JobsInOrder returns all job records in release order.
+func (tr *Trace) JobsInOrder() []*JobRecord {
+	out := make([]*JobRecord, 0, len(tr.jobOrder))
+	for _, k := range tr.jobOrder {
+		out = append(out, tr.Jobs[k])
+	}
+	return out
+}
+
+// SegmentsOn returns processor p's segments sorted by start time.
+func (tr *Trace) SegmentsOn(p int) []Segment {
+	var out []Segment
+	for _, s := range tr.Segments {
+		if s.Proc == p {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// ReleasesOf returns the release times of id's instances in instance order.
+func (tr *Trace) ReleasesOf(id model.SubtaskID) []model.Time {
+	var keys []Key
+	for k := range tr.Jobs {
+		if k.ID == id {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Instance < keys[j].Instance })
+	out := make([]model.Time, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, tr.Jobs[k].Release)
+	}
+	return out
+}
+
+// CompletionOf returns the completion time of one instance and whether it
+// completed within the horizon.
+func (tr *Trace) CompletionOf(id model.SubtaskID, m int64) (model.Time, bool) {
+	rec, ok := tr.Jobs[Key{ID: id, Instance: m}]
+	if !ok || rec.Completion == model.TimeInfinity {
+		return 0, false
+	}
+	return rec.Completion, true
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"rtsync/internal/model"
+)
+
+// traceFile is the on-disk JSON envelope for a trace: the system it was
+// recorded against plus every event, so a trace file is self-contained and
+// can be rendered or validated offline (cmd/rttrace).
+type traceFile struct {
+	Version   int            `json:"version"`
+	Scheduler string         `json:"scheduler"`
+	System    *model.System  `json:"system"`
+	Jobs      []*JobRecord   `json:"jobs"`
+	Segments  []Segment      `json:"segments"`
+	Idle      [][]model.Time `json:"idlePoints"`
+	Violation []Violation    `json:"violations,omitempty"`
+}
+
+// traceFileVersion is the current trace format version.
+const traceFileVersion = 1
+
+// WriteJSON serializes the trace (with its system) to w.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	jobs := make([]*JobRecord, 0, len(tr.Jobs))
+	for _, k := range tr.jobOrder {
+		jobs = append(jobs, tr.Jobs[k])
+	}
+	f := traceFile{
+		Version:   traceFileVersion,
+		Scheduler: tr.Scheduler.String(),
+		System:    tr.sys,
+		Jobs:      jobs,
+		Segments:  tr.Segments,
+		Idle:      tr.IdlePoints,
+		Violation: tr.Violations,
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("encode trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTraceJSON deserializes a trace written by WriteJSON and rebuilds its
+// indexes. The embedded system is validated.
+func ReadTraceJSON(r io.Reader) (*Trace, error) {
+	var f traceFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("decode trace: %w", err)
+	}
+	if f.Version != traceFileVersion {
+		return nil, fmt.Errorf("decode trace: unsupported version %d (want %d)", f.Version, traceFileVersion)
+	}
+	if f.System == nil {
+		return nil, fmt.Errorf("decode trace: missing system")
+	}
+	if err := f.System.Validate(); err != nil {
+		return nil, fmt.Errorf("decode trace: %w", err)
+	}
+	sched := FixedPriority
+	if f.Scheduler == EDF.String() {
+		sched = EDF
+	}
+	tr := newTrace(f.System, sched)
+	tr.Segments = f.Segments
+	tr.Violations = f.Violation
+	if f.Idle != nil {
+		if len(f.Idle) != len(f.System.Procs) {
+			return nil, fmt.Errorf("decode trace: %d idle-point lists for %d processors", len(f.Idle), len(f.System.Procs))
+		}
+		tr.IdlePoints = f.Idle
+	}
+	// Rebuild the job index in release order (ties by key for stability).
+	sort.SliceStable(f.Jobs, func(i, j int) bool { return f.Jobs[i].Release < f.Jobs[j].Release })
+	for _, rec := range f.Jobs {
+		if rec == nil {
+			return nil, fmt.Errorf("decode trace: null job record")
+		}
+		if rec.Job.ID.Task < 0 || rec.Job.ID.Task >= len(f.System.Tasks) ||
+			rec.Job.ID.Sub < 0 || rec.Job.ID.Sub >= len(f.System.Tasks[rec.Job.ID.Task].Subtasks) {
+			return nil, fmt.Errorf("decode trace: job %v references an unknown subtask", rec.Job)
+		}
+		if _, dup := tr.Jobs[rec.Job]; dup {
+			return nil, fmt.Errorf("decode trace: duplicate job %v", rec.Job)
+		}
+		tr.Jobs[rec.Job] = rec
+		tr.jobOrder = append(tr.jobOrder, rec.Job)
+	}
+	for _, seg := range f.Segments {
+		if seg.Proc < 0 || seg.Proc >= len(f.System.Procs) {
+			return nil, fmt.Errorf("decode trace: segment on unknown processor %d", seg.Proc)
+		}
+	}
+	return tr, nil
+}
+
+// SaveFile writes the trace to path as JSON.
+func (tr *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save trace: %w", err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSON(f); err != nil {
+		return fmt.Errorf("save trace %q: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadTraceFile reads a trace from a JSON file written by SaveFile.
+func LoadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load trace: %w", err)
+	}
+	defer f.Close()
+	tr, err := ReadTraceJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("load trace %q: %w", path, err)
+	}
+	return tr, nil
+}

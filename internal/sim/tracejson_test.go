@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rtsync/internal/model"
+	"rtsync/internal/priority"
+)
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	out, err := Run(model.Example2(), Config{Protocol: NewRG(), Horizon: 60, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheduler != FixedPriority {
+		t.Error("scheduler lost")
+	}
+	if len(got.Jobs) != len(out.Trace.Jobs) {
+		t.Fatalf("jobs: %d vs %d", len(got.Jobs), len(out.Trace.Jobs))
+	}
+	for k, want := range out.Trace.Jobs {
+		if gotRec, ok := got.Jobs[k]; !ok || *gotRec != *want {
+			t.Errorf("job %v: %+v vs %+v", k, gotRec, want)
+		}
+	}
+	if !reflect.DeepEqual(got.Segments, out.Trace.Segments) {
+		t.Error("segments differ")
+	}
+	if !reflect.DeepEqual(got.IdlePoints, out.Trace.IdlePoints) {
+		t.Error("idle points differ")
+	}
+	// The round-tripped trace still validates fully.
+	if problems := Validate(got, ValidateOptions{CheckPrecedence: true, CheckRGSpacing: true}); len(problems) > 0 {
+		t.Errorf("round-tripped trace invalid: %v", problems)
+	}
+}
+
+func TestTraceJSONRoundTripEDF(t *testing.T) {
+	s := model.Example2()
+	if err := priority.AssignLocalDeadlines(s, priority.ProportionalSlice); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(s, Config{Protocol: NewDS(), Scheduler: EDF, Horizon: 60, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheduler != EDF {
+		t.Error("EDF scheduler lost in round trip")
+	}
+	if problems := Validate(got, ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+		t.Errorf("EDF trace invalid after round trip: %v", problems)
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	out, err := Run(model.Example2(), Config{Protocol: NewDS(), Horizon: 30, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := out.Trace.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Segments) != len(out.Trace.Segments) {
+		t.Error("file round trip lost segments")
+	}
+}
+
+func TestReadTraceJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"version": 9}`,
+		`{"version": 1, "system": null}`,
+		`{"version": 1, "scheduler": "FP", "system": {"procs": [], "tasks": []}}`,
+	}
+	for _, text := range cases {
+		if _, err := ReadTraceJSON(strings.NewReader(text)); err == nil {
+			t.Errorf("accepted %q", text)
+		}
+	}
+}
+
+func TestReadTraceJSONRejectsInconsistentRecords(t *testing.T) {
+	out, err := Run(model.Example2(), Config{Protocol: NewDS(), Horizon: 30, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.String()
+
+	// Unknown subtask reference.
+	broken := strings.Replace(base, `"Task":0,"Sub":0`, `"Task":99,"Sub":0`, 1)
+	if _, err := ReadTraceJSON(strings.NewReader(broken)); err == nil {
+		t.Error("unknown subtask accepted")
+	}
+}
+
+func TestLoadTraceFileMissing(t *testing.T) {
+	if _, err := LoadTraceFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"rtsync/internal/model"
+)
+
+// ValidateOptions selects which trace invariants to check.
+type ValidateOptions struct {
+	// CheckPrecedence verifies releases never precede predecessor
+	// completions. Disable when deliberately running PM under sporadic
+	// first releases (the violation is the experiment's point).
+	CheckPrecedence bool
+	// CheckRGSpacing verifies the Release Guard invariant: consecutive
+	// releases of a subtask are at least one period apart unless an idle
+	// point intervened (rule 2). Only meaningful for RG runs.
+	CheckRGSpacing bool
+}
+
+// Validate checks the structural invariants of a trace and returns every
+// violation found (empty means the trace is consistent). Checks:
+//
+//   - segments on a processor never overlap;
+//   - a job never executes before its release or after its completion;
+//   - a completed job's segments sum exactly to its execution time;
+//   - on preemptive processors, a lower-priority job never runs while a
+//     higher-priority job is released and incomplete (fixed-priority
+//     dispatch);
+//   - optional precedence and RG-spacing invariants.
+func Validate(tr *Trace, opts ValidateOptions) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	s := tr.sys
+
+	// Per-processor segment sanity.
+	for p := range s.Procs {
+		segs := tr.SegmentsOn(p)
+		for i, seg := range segs {
+			if seg.End <= seg.Start {
+				addf("proc %d: empty or inverted segment %v [%v,%v)", p, seg.Job, seg.Start, seg.End)
+			}
+			if i > 0 && seg.Start < segs[i-1].End {
+				addf("proc %d: segments overlap: %v [%v,%v) and %v [%v,%v)",
+					p, segs[i-1].Job, segs[i-1].Start, segs[i-1].End, seg.Job, seg.Start, seg.End)
+			}
+		}
+	}
+
+	// Per-job accounting.
+	bySum := make(map[Key]model.Duration)
+	for _, seg := range tr.Segments {
+		rec, ok := tr.Jobs[seg.Job]
+		if !ok {
+			addf("segment for unknown job %v", seg.Job)
+			continue
+		}
+		if seg.Start < rec.Release {
+			addf("job %v ran at %v before its release %v", seg.Job, seg.Start, rec.Release)
+		}
+		if rec.Completion != model.TimeInfinity && seg.End > rec.Completion {
+			addf("job %v ran at %v after its completion %v", seg.Job, seg.End, rec.Completion)
+		}
+		bySum[seg.Job] += seg.End.Sub(seg.Start)
+	}
+	for k, rec := range tr.Jobs {
+		demand := rec.Demand
+		if demand == 0 {
+			demand = s.Subtask(k.ID).Exec // traces from older producers
+		}
+		got := bySum[k]
+		if rec.Completion != model.TimeInfinity && got != demand {
+			addf("job %v executed %v ticks, want %v", k, got, demand)
+		}
+		if rec.Completion == model.TimeInfinity && got > demand {
+			addf("incomplete job %v executed %v ticks, exceeding %v", k, got, demand)
+		}
+	}
+
+	problems = append(problems, validateDispatchOrder(tr)...)
+	problems = append(problems, validateMutualExclusion(tr)...)
+
+	if opts.CheckPrecedence {
+		for k, rec := range tr.Jobs {
+			if k.ID.Sub == 0 {
+				continue
+			}
+			pred := model.SubtaskID{Task: k.ID.Task, Sub: k.ID.Sub - 1}
+			c, done := tr.CompletionOf(pred, k.Instance)
+			if !done {
+				addf("job %v released but predecessor never completed", k)
+				continue
+			}
+			if rec.Release < c {
+				addf("precedence violation: %v released at %v before %v completed at %v",
+					k, rec.Release, model.SubtaskID{Task: k.ID.Task, Sub: k.ID.Sub - 1}, c)
+			}
+		}
+	}
+
+	if opts.CheckRGSpacing {
+		problems = append(problems, validateRGSpacing(tr)...)
+	}
+
+	return problems
+}
+
+// validateDispatchOrder checks the dispatch invariant on preemptive
+// processors. Under fixed priority: while a job is released and incomplete,
+// the processor may only run jobs whose EFFECTIVE (ceiling-raised) priority
+// is at least the waiting job's base priority — plain fixed-priority
+// dispatch for lock-free systems, bounded ceiling inversion otherwise.
+// Under EDF: the running job's absolute deadline must not exceed the
+// waiting job's.
+func validateDispatchOrder(tr *Trace) []string {
+	var problems []string
+	s := tr.sys
+	ceilings := s.ResourceCeilings()
+	for p := range s.Procs {
+		if !s.Procs[p].Preemptive {
+			continue
+		}
+		segs := tr.SegmentsOn(p)
+		var recs []*JobRecord
+		for _, rec := range tr.Jobs {
+			if rec.Proc == p {
+				recs = append(recs, rec)
+			}
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Release < recs[j].Release })
+		for _, rec := range recs {
+			end := rec.Completion
+			if end == model.TimeInfinity {
+				end = tr.lastEventTime()
+			}
+			for _, seg := range segs {
+				if seg.End <= rec.Release || seg.Start >= end {
+					continue
+				}
+				if seg.Job == rec.Job {
+					continue
+				}
+				var inverted bool
+				if tr.Scheduler == EDF {
+					running := tr.Jobs[seg.Job]
+					inverted = running != nil && running.Deadline > rec.Deadline
+				} else {
+					inverted = s.EffectivePriority(seg.Job.ID, ceilings) < s.Subtask(rec.Job.ID).Priority
+				}
+				if inverted {
+					problems = append(problems, fmt.Sprintf(
+						"proc %d: priority inversion: %v ran [%v,%v) while %v was ready (released %v, done %v)",
+						p, seg.Job, seg.Start, seg.End, rec.Job, rec.Release, rec.Completion))
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// validateMutualExclusion checks that execution segments of jobs locking a
+// common resource never overlap.
+func validateMutualExclusion(tr *Trace) []string {
+	s := tr.sys
+	if len(s.Resources) == 0 {
+		return nil
+	}
+	var problems []string
+	// Collect segments per resource, sorted by start.
+	byResource := make(map[int][]Segment)
+	for _, seg := range tr.Segments {
+		for _, r := range s.Subtask(seg.Job.ID).Locks {
+			byResource[r] = append(byResource[r], seg)
+		}
+	}
+	for r, segs := range byResource {
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+		for i := 1; i < len(segs); i++ {
+			prev, cur := segs[i-1], segs[i]
+			if cur.Start < prev.End && prev.Job != cur.Job {
+				problems = append(problems, fmt.Sprintf(
+					"resource %s: mutual exclusion violated: %v [%v,%v) overlaps %v [%v,%v)",
+					s.Resources[r].Name, prev.Job, prev.Start, prev.End, cur.Job, cur.Start, cur.End))
+			}
+		}
+	}
+	return problems
+}
+
+// validateRGSpacing checks the Release Guard invariant: consecutive
+// releases of the same subtask are at least one period apart, except when
+// an idle point of the subtask's processor lies in between (rule 2 resets
+// the guard there).
+func validateRGSpacing(tr *Trace) []string {
+	var problems []string
+	s := tr.sys
+	for _, id := range s.SubtaskIDs() {
+		if id.Sub == 0 {
+			continue // first subtasks are the engine's periodic source
+		}
+		period := s.Task(id).Period
+		proc := s.Subtask(id).Proc
+		rels := tr.ReleasesOf(id)
+		for m := 1; m < len(rels); m++ {
+			if rels[m].Sub(rels[m-1]) >= period {
+				continue
+			}
+			if !idlePointIn(tr.IdlePoints[proc], rels[m-1], rels[m]) {
+				problems = append(problems, fmt.Sprintf(
+					"RG spacing: %v released at %v then %v (< period %v) with no idle point between",
+					id, rels[m-1], rels[m], period))
+			}
+		}
+	}
+	return problems
+}
+
+// idlePointIn reports whether any idle point t satisfies lo < t <= hi.
+func idlePointIn(points []model.Time, lo, hi model.Time) bool {
+	i := sort.Search(len(points), func(i int) bool { return points[i] > lo })
+	return i < len(points) && points[i] <= hi
+}
+
+// lastEventTime returns the latest segment end in the trace, a stand-in for
+// the horizon when bounding incomplete jobs.
+func (tr *Trace) lastEventTime() model.Time {
+	var last model.Time
+	for _, seg := range tr.Segments {
+		if seg.End > last {
+			last = seg.End
+		}
+	}
+	return last
+}

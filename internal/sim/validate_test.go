@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"rtsync/internal/model"
+)
+
+// validTrace produces a known-good RG trace of Example 2.
+func validTrace(t *testing.T) *Trace {
+	t.Helper()
+	out, err := Run(model.Example2(), Config{Protocol: NewRG(), Horizon: 60, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Trace
+}
+
+func TestValidateAcceptsGoodTrace(t *testing.T) {
+	tr := validTrace(t)
+	if problems := Validate(tr, ValidateOptions{CheckPrecedence: true, CheckRGSpacing: true}); len(problems) > 0 {
+		t.Errorf("good trace rejected: %v", problems)
+	}
+}
+
+func mustProblem(t *testing.T, problems []string, want string) {
+	t.Helper()
+	for _, p := range problems {
+		if strings.Contains(p, want) {
+			return
+		}
+	}
+	t.Errorf("no problem mentioning %q in %v", want, problems)
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	tr := validTrace(t)
+	segs := tr.SegmentsOn(0)
+	// Duplicate the first segment shifted by one tick: overlaps.
+	tr.Segments = append(tr.Segments, Segment{
+		Proc: 0, Job: segs[0].Job, Start: segs[0].Start + 1, End: segs[0].End + 1,
+	})
+	mustProblem(t, Validate(tr, ValidateOptions{}), "overlap")
+}
+
+func TestValidateCatchesEmptySegment(t *testing.T) {
+	tr := validTrace(t)
+	seg := tr.Segments[0]
+	tr.Segments = append(tr.Segments, Segment{Proc: seg.Proc, Job: seg.Job, Start: 50, End: 50})
+	mustProblem(t, Validate(tr, ValidateOptions{}), "empty or inverted")
+}
+
+func TestValidateCatchesRunBeforeRelease(t *testing.T) {
+	tr := validTrace(t)
+	// Move a job's recorded release after its first segment.
+	seg := tr.SegmentsOn(0)[0]
+	tr.Jobs[seg.Job].Release = seg.Start + 1
+	mustProblem(t, Validate(tr, ValidateOptions{}), "before its release")
+}
+
+func TestValidateCatchesWrongExecutionTotal(t *testing.T) {
+	tr := validTrace(t)
+	seg := tr.SegmentsOn(0)[0]
+	// Record a spurious extra segment on an unused span of another
+	// processor so only the per-job total breaks.
+	tr.Segments = append(tr.Segments, Segment{Proc: 1, Job: seg.Job, Start: 1000, End: 1001})
+	mustProblem(t, Validate(tr, ValidateOptions{}), "executed")
+}
+
+func TestValidateCatchesUnknownJobSegment(t *testing.T) {
+	tr := validTrace(t)
+	tr.Segments = append(tr.Segments, Segment{
+		Proc:  0,
+		Job:   Key{ID: model.SubtaskID{Task: 0, Sub: 0}, Instance: 9999},
+		Start: 500, End: 501,
+	})
+	mustProblem(t, Validate(tr, ValidateOptions{}), "unknown job")
+}
+
+func TestValidateCatchesPriorityInversion(t *testing.T) {
+	tr := validTrace(t)
+	// Claim the low-priority T2,1 ran while T1 (higher priority, same
+	// processor) was released-but-incomplete by moving one T1 job's
+	// completion later, overlapping the T2,1 segment that follows it.
+	t1 := Key{ID: model.SubtaskID{Task: 0, Sub: 0}, Instance: 0}
+	tr.Jobs[t1].Completion = tr.Jobs[t1].Completion.Add(2)
+	problems := Validate(tr, ValidateOptions{})
+	mustProblem(t, problems, "priority inversion")
+}
+
+func TestValidateCatchesPrecedenceViolation(t *testing.T) {
+	tr := validTrace(t)
+	// Pretend T2,2#1 was released before T2,1#1 completed.
+	k := Key{ID: model.SubtaskID{Task: 1, Sub: 1}, Instance: 0}
+	tr.Jobs[k].Release = 0
+	problems := Validate(tr, ValidateOptions{CheckPrecedence: true})
+	mustProblem(t, problems, "precedence")
+}
+
+func TestValidateCatchesRGSpacing(t *testing.T) {
+	tr := validTrace(t)
+	// Move T2,2#2's release one tick after #1's with no idle point
+	// in between.
+	k1 := Key{ID: model.SubtaskID{Task: 1, Sub: 1}, Instance: 0}
+	k2 := Key{ID: model.SubtaskID{Task: 1, Sub: 1}, Instance: 1}
+	tr.Jobs[k2].Release = tr.Jobs[k1].Release + 1
+	tr.IdlePoints[1] = nil
+	problems := Validate(tr, ValidateOptions{CheckRGSpacing: true})
+	mustProblem(t, problems, "RG spacing")
+}
+
+func TestIdlePointIn(t *testing.T) {
+	points := []model.Time{5, 10, 20}
+	tests := []struct {
+		lo, hi model.Time
+		want   bool
+	}{
+		{0, 4, false},
+		{0, 5, true},
+		{5, 10, true},  // strictly after lo
+		{5, 9, false},  // 10 not <= 9
+		{10, 20, true}, // 20 included
+		{20, 30, false},
+	}
+	for _, tt := range tests {
+		if got := idlePointIn(points, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("idlePointIn(%v, %v) = %v, want %v", tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr := validTrace(t)
+	if tr.System() == nil {
+		t.Error("System() nil")
+	}
+	jobs := tr.JobsInOrder()
+	if len(jobs) == 0 {
+		t.Fatal("no jobs recorded")
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Release < jobs[i-1].Release {
+			t.Error("JobsInOrder not sorted by release")
+			break
+		}
+	}
+	if _, ok := tr.CompletionOf(model.SubtaskID{Task: 0, Sub: 0}, 99999); ok {
+		t.Error("CompletionOf for absent instance should report false")
+	}
+	if got := (Key{ID: model.SubtaskID{Task: 1, Sub: 1}, Instance: 0}).String(); got != "T(2,2)#1" {
+		t.Errorf("Key.String() = %q", got)
+	}
+}

@@ -1,0 +1,196 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: means, standard deviations, Student-t confidence intervals (the
+// paper quotes 90% intervals for its ratio plots), and percentiles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations incrementally using Welford's method, so
+// it is numerically stable over long runs.
+type Sample struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddSample merges another accumulated sample (Chan et al. parallel merge).
+func (s *Sample) AddSample(o Sample) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += delta * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// N returns the observation count.
+func (s *Sample) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean (0 for n < 2).
+func (s *Sample) StdErr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI returns the half-width of the two-sided Student-t confidence interval
+// for the mean at the given confidence level (e.g. 0.90). Zero for n < 2.
+func (s *Sample) CI(level float64) float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return tQuantile(1-(1-level)/2, s.n-1) * s.StdErr()
+}
+
+// String summarizes the sample for logs.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g [%.4g, %.4g]", s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// tQuantile approximates the quantile function of Student's t distribution
+// with df degrees of freedom via the Cornish-Fisher expansion around the
+// normal quantile (Abramowitz & Stegun 26.7.5). Accurate to ~1e-3 for
+// df >= 3, which is ample for confidence-interval reporting.
+func tQuantile(p float64, df int64) float64 {
+	z := normQuantile(p)
+	if df <= 0 {
+		return z
+	}
+	d := float64(df)
+	z3 := z * z * z
+	z5 := z3 * z * z
+	z7 := z5 * z * z
+	g1 := (z3 + z) / 4
+	g2 := (5*z5 + 16*z3 + 3*z) / 96
+	g3 := (3*z7 + 19*z5 + 17*z3 - 15*z) / 384
+	return z + g1/d + g2/(d*d) + g3/(d*d*d)
+}
+
+// normQuantile is the standard normal quantile (Acklam's rational
+// approximation, |relative error| < 1.15e-9).
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// Percentile returns the q-th percentile (0 <= q <= 100) of xs using linear
+// interpolation between order statistics. It copies and sorts; the input is
+// untouched. NaN for an empty slice.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// MeanOf returns the mean of xs, NaN for empty input.
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 || s.CI(0.9) != 0 {
+		t.Error("empty sample should report zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Variance() != 0 || s.CI(0.9) != 0 {
+		t.Error("single observation should have zero spread")
+	}
+}
+
+func TestSampleMergeMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var all, a, b Sample
+		for i := 0; i < 100; i++ {
+			x := rng.NormFloat64()*3 + 10
+			all.Add(x)
+			if i%2 == 0 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.AddSample(b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-9 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleMergeEdges(t *testing.T) {
+	var a, b Sample
+	b.Add(1)
+	b.Add(3)
+	a.AddSample(b) // into empty
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Errorf("merge into empty: %v", a.String())
+	}
+	var c Sample
+	a.AddSample(c) // empty into full: no-op
+	if a.N() != 2 {
+		t.Error("merging empty sample changed N")
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	tests := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.95, 1.6448536},
+		{0.975, 1.9599640},
+		{0.05, -1.6448536},
+		{0.005, -2.5758293},
+	}
+	for _, tt := range tests {
+		if got := normQuantile(tt.p); math.Abs(got-tt.want) > 1e-6 {
+			t.Errorf("normQuantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsInf(normQuantile(0), -1) || !math.IsInf(normQuantile(1), 1) {
+		t.Error("edge quantiles should be infinite")
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	// Reference values for t_{0.95, df}.
+	tests := []struct {
+		df   int64
+		want float64
+	}{
+		{5, 2.015},
+		{10, 1.812},
+		{30, 1.697},
+		{120, 1.658},
+	}
+	for _, tt := range tests {
+		if got := tQuantile(0.95, tt.df); math.Abs(got-tt.want) > 5e-3 {
+			t.Errorf("tQuantile(0.95, %d) = %v, want %v", tt.df, got, tt.want)
+		}
+	}
+	// Converges to the normal quantile.
+	if got := tQuantile(0.95, 1_000_000); math.Abs(got-1.6448536) > 1e-4 {
+		t.Errorf("tQuantile large df = %v", got)
+	}
+}
+
+func TestCIShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var small, large Sample
+	for i := 0; i < 10; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if small.CI(0.9) <= large.CI(0.9) {
+		t.Errorf("CI should shrink with n: n=10 %v vs n=1000 %v", small.CI(0.9), large.CI(0.9))
+	}
+}
+
+func TestCICoversTrueMean(t *testing.T) {
+	// 90% CI should cover the true mean roughly 90% of the time; allow a
+	// generous band for 200 repetitions.
+	rng := rand.New(rand.NewSource(8))
+	cover := 0
+	const reps = 200
+	for r := 0; r < reps; r++ {
+		var s Sample
+		for i := 0; i < 30; i++ {
+			s.Add(rng.NormFloat64()*2 + 7)
+		}
+		ci := s.CI(0.90)
+		if math.Abs(s.Mean()-7) <= ci {
+			cover++
+		}
+	}
+	frac := float64(cover) / reps
+	if frac < 0.82 || frac > 0.97 {
+		t.Errorf("90%% CI covered the mean %.0f%% of the time", frac*100)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{-5, 15},
+		{105, 50},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile of empty slice should be NaN")
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if got := MeanOf([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("MeanOf = %v, want 2", got)
+	}
+	if !math.IsNaN(MeanOf(nil)) {
+		t.Error("MeanOf(nil) should be NaN")
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	if s.String() == "" {
+		t.Error("String should render")
+	}
+}

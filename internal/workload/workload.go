@@ -1,0 +1,219 @@
+// Package workload synthesizes the distributed real-time systems of the
+// paper's simulation study (§5.1):
+//
+//   - 4 processors, 12 tasks per system (configurable);
+//   - every task has the same number of subtasks N ∈ {2..8};
+//   - every processor has the same nominal utilization U ∈ {50..90%};
+//   - task periods follow a truncated exponential distribution on
+//     [100, 10000];
+//   - subtasks are placed on random processors with no two consecutive
+//     subtasks of a task co-located;
+//   - each processor's utilization is split among its subtasks by random
+//     weights drawn from [0.001, 1];
+//   - subtask priorities are Proportional-Deadline-Monotonic;
+//   - deadlines equal periods; phases are random in [0, period).
+//
+// Periods are scaled to integer ticks (×1000 by default) so that execution
+// times round with negligible utilization error.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rtsync/internal/model"
+	"rtsync/internal/priority"
+)
+
+// Config describes one experimental configuration — the paper's (N, U)
+// 2-tuple plus the fixed population parameters.
+type Config struct {
+	// Processors is the processor count (paper: 4).
+	Processors int
+	// Tasks is the task count (paper: 12).
+	Tasks int
+	// SubtasksPerTask is N, identical for every task (paper: 2..8).
+	SubtasksPerTask int
+	// Utilization is U, the nominal utilization of every processor
+	// (paper: 0.50..0.90).
+	Utilization float64
+	// PeriodMin and PeriodMax bound the period distribution before tick
+	// scaling (paper: 100 and 10000).
+	PeriodMin, PeriodMax float64
+	// PeriodMean is the mean of the exponential distribution before
+	// truncation. The paper does not state it; 2000 is the library
+	// default (see DESIGN.md).
+	PeriodMean float64
+	// TickScale converts distribution units to integer ticks.
+	TickScale int64
+	// Seed drives all randomness; the same seed reproduces the same
+	// system bit-for-bit.
+	Seed int64
+	// RandomPhases draws each task's phase uniformly from [0, period),
+	// as the paper does for the average-EER simulations. When false all
+	// phases are zero (the critical-instant-friendly setting).
+	RandomPhases bool
+}
+
+// DefaultConfig returns the paper's population parameters for a given
+// (N, U) configuration.
+func DefaultConfig(subtasks int, utilization float64) Config {
+	return Config{
+		Processors:      4,
+		Tasks:           12,
+		SubtasksPerTask: subtasks,
+		Utilization:     utilization,
+		PeriodMin:       100,
+		PeriodMax:       10000,
+		PeriodMean:      2000,
+		TickScale:       1000,
+		RandomPhases:    true,
+	}
+}
+
+// Validate checks the configuration is generable.
+func (c Config) Validate() error {
+	switch {
+	case c.Processors < 2:
+		return fmt.Errorf("workload: need at least 2 processors, have %d (chains must alternate)", c.Processors)
+	case c.Tasks < 1:
+		return fmt.Errorf("workload: need at least 1 task, have %d", c.Tasks)
+	case c.SubtasksPerTask < 1:
+		return fmt.Errorf("workload: need at least 1 subtask per task, have %d", c.SubtasksPerTask)
+	case c.Utilization <= 0 || c.Utilization > 1:
+		return fmt.Errorf("workload: utilization %v outside (0, 1]", c.Utilization)
+	case c.PeriodMin <= 0 || c.PeriodMax < c.PeriodMin:
+		return fmt.Errorf("workload: bad period range [%v, %v]", c.PeriodMin, c.PeriodMax)
+	case c.PeriodMean <= 0:
+		return fmt.Errorf("workload: period mean %v is not positive", c.PeriodMean)
+	case c.TickScale < 1:
+		return fmt.Errorf("workload: tick scale %d below 1", c.TickScale)
+	}
+	return nil
+}
+
+// Label renders the paper's (N, U%) configuration notation.
+func (c Config) Label() string {
+	return fmt.Sprintf("(%d,%d)", c.SubtasksPerTask, int(math.Round(c.Utilization*100)))
+}
+
+// Generate synthesizes one system from the configuration. Generation is
+// deterministic in Config.Seed.
+func Generate(c Config) (*model.System, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	b := model.NewBuilder()
+	for p := 0; p < c.Processors; p++ {
+		b.AddProcessor(fmt.Sprintf("P%d", p+1))
+	}
+
+	// Draw periods and chain placements.
+	periods := make([]model.Duration, c.Tasks)
+	placement := make([][]int, c.Tasks)
+	for i := 0; i < c.Tasks; i++ {
+		periods[i] = model.Duration(math.Round(truncExp(rng, c.PeriodMean, c.PeriodMin, c.PeriodMax) * float64(c.TickScale)))
+		placement[i] = placeChain(rng, c.SubtasksPerTask, c.Processors)
+	}
+
+	// Split each processor's utilization among the subtasks assigned to
+	// it: each subtask draws a weight in [0.001, 1] and receives
+	// U * weight / (sum of weights on the processor).
+	type slot struct{ task, sub int }
+	perProc := make([][]slot, c.Processors)
+	for i, chain := range placement {
+		for j, p := range chain {
+			perProc[p] = append(perProc[p], slot{task: i, sub: j})
+		}
+	}
+	util := make([][]float64, c.Tasks)
+	for i := range util {
+		util[i] = make([]float64, c.SubtasksPerTask)
+	}
+	for _, slots := range perProc {
+		if len(slots) == 0 {
+			continue
+		}
+		weights := make([]float64, len(slots))
+		total := 0.0
+		for k := range slots {
+			weights[k] = 0.001 + rng.Float64()*0.999
+			total += weights[k]
+		}
+		for k, sl := range slots {
+			util[sl.task][sl.sub] = c.Utilization * weights[k] / total
+		}
+	}
+
+	// Materialize tasks: execution time = subtask utilization × period,
+	// rounded, clamped to at least one tick.
+	for i := 0; i < c.Tasks; i++ {
+		phase := model.Time(0)
+		if c.RandomPhases {
+			phase = model.Time(rng.Int63n(int64(periods[i])))
+		}
+		tb := b.AddTask(fmt.Sprintf("T%d", i+1), periods[i], phase)
+		for j := 0; j < c.SubtasksPerTask; j++ {
+			exec := model.Duration(math.Round(util[i][j] * float64(periods[i])))
+			if exec < 1 {
+				exec = 1
+			}
+			tb.Subtask(placement[i][j], exec, 0)
+		}
+		tb.Done()
+	}
+
+	s, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	if err := priority.Assign(s, priority.ProportionalDeadline); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return s, nil
+}
+
+// truncExp draws from an exponential distribution with the given mean,
+// truncated to [lo, hi] by inverse-CDF sampling (exact, no rejection loop):
+// u is drawn uniformly from [F(lo), F(hi)] and mapped through F⁻¹.
+func truncExp(rng *rand.Rand, mean, lo, hi float64) float64 {
+	lambda := 1 / mean
+	fLo := 1 - math.Exp(-lambda*lo)
+	fHi := 1 - math.Exp(-lambda*hi)
+	u := fLo + rng.Float64()*(fHi-fLo)
+	x := -math.Log(1-u) / lambda
+	// Guard the edges against floating-point drift.
+	return math.Min(math.Max(x, lo), hi)
+}
+
+// placeChain assigns n subtasks to processors uniformly at random with no
+// two consecutive subtasks co-located.
+func placeChain(rng *rand.Rand, n, procs int) []int {
+	chain := make([]int, n)
+	chain[0] = rng.Intn(procs)
+	for j := 1; j < n; j++ {
+		// Draw from the procs-1 processors other than the predecessor.
+		p := rng.Intn(procs - 1)
+		if p >= chain[j-1] {
+			p++
+		}
+		chain[j] = p
+	}
+	return chain
+}
+
+// PaperConfigurations returns the paper's full 35-configuration grid:
+// N ∈ {2..8} × U ∈ {50, 60, 70, 80, 90}%. Seeds are left zero; the
+// experiment harness assigns one per generated system.
+func PaperConfigurations() []Config {
+	var out []Config
+	for n := 2; n <= 8; n++ {
+		for _, u := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+			out = append(out, DefaultConfig(n, u))
+		}
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rtsync/internal/model"
+)
+
+func TestGenerateShape(t *testing.T) {
+	c := DefaultConfig(5, 0.6)
+	c.Seed = 1
+	s, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Procs) != 4 {
+		t.Errorf("procs = %d, want 4", len(s.Procs))
+	}
+	if len(s.Tasks) != 12 {
+		t.Errorf("tasks = %d, want 12", len(s.Tasks))
+	}
+	for i := range s.Tasks {
+		if n := len(s.Tasks[i].Subtasks); n != 5 {
+			t.Errorf("task %d has %d subtasks, want 5", i, n)
+		}
+		if s.Tasks[i].Deadline != s.Tasks[i].Period {
+			t.Errorf("task %d deadline %v != period %v", i, s.Tasks[i].Deadline, s.Tasks[i].Period)
+		}
+	}
+}
+
+func TestGeneratePeriodsWithinRange(t *testing.T) {
+	c := DefaultConfig(3, 0.5)
+	for seed := int64(0); seed < 20; seed++ {
+		c.Seed = seed
+		s, err := Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range s.Tasks {
+			p := float64(s.Tasks[i].Period) / float64(c.TickScale)
+			if p < c.PeriodMin-1 || p > c.PeriodMax+1 {
+				t.Errorf("seed %d task %d: period %v outside [%v, %v]",
+					seed, i, p, c.PeriodMin, c.PeriodMax)
+			}
+		}
+	}
+}
+
+func TestGeneratePeriodsSkewedTowardShort(t *testing.T) {
+	// The truncated exponential should put clearly more than half of the
+	// mass below the midpoint of [100, 10000] (that is the "more
+	// variation than uniform" property the paper wants).
+	c := DefaultConfig(2, 0.5)
+	below, total := 0, 0
+	for seed := int64(0); seed < 50; seed++ {
+		c.Seed = seed
+		s, err := Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range s.Tasks {
+			total++
+			if float64(s.Tasks[i].Period) < (c.PeriodMin+c.PeriodMax)/2*float64(c.TickScale) {
+				below++
+			}
+		}
+	}
+	if frac := float64(below) / float64(total); frac < 0.7 {
+		t.Errorf("only %.0f%% of periods below the midpoint; expected a strong skew", frac*100)
+	}
+}
+
+func TestGenerateNoConsecutiveCoLocation(t *testing.T) {
+	c := DefaultConfig(8, 0.9)
+	for seed := int64(0); seed < 20; seed++ {
+		c.Seed = seed
+		s, err := Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range s.Tasks {
+			subs := s.Tasks[i].Subtasks
+			for j := 1; j < len(subs); j++ {
+				if subs[j].Proc == subs[j-1].Proc {
+					t.Fatalf("seed %d task %d: consecutive subtasks %d,%d share processor %d",
+						seed, i, j-1, j, subs[j].Proc)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateUtilizationAccuracy(t *testing.T) {
+	// Rounded execution times must keep each processor within a small
+	// tolerance of the nominal utilization (tick scaling guarantees it).
+	for _, u := range []float64{0.5, 0.7, 0.9} {
+		c := DefaultConfig(6, u)
+		c.Seed = 11
+		s, err := Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range s.Procs {
+			got := s.Utilization(p)
+			if math.Abs(got-u) > 0.002 {
+				t.Errorf("U=%v: processor %d utilization %v off by more than 0.002", u, p, got)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := DefaultConfig(4, 0.8)
+	c.Seed = 42
+	a, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different systems")
+	}
+	c.Seed = 43
+	d, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, d) {
+		t.Error("different seeds produced identical systems")
+	}
+}
+
+func TestGeneratePrioritiesDistinctPerProcessor(t *testing.T) {
+	c := DefaultConfig(5, 0.7)
+	c.Seed = 3
+	s, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range s.Procs {
+		seen := map[model.Priority]bool{}
+		for _, id := range s.OnProcessor(p) {
+			pr := s.Subtask(id).Priority
+			if seen[pr] {
+				t.Fatalf("duplicate priority %d on processor %d", pr, p)
+			}
+			seen[pr] = true
+		}
+	}
+}
+
+func TestGeneratePhases(t *testing.T) {
+	c := DefaultConfig(3, 0.5)
+	c.Seed = 9
+	s, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyNonZero := false
+	for i := range s.Tasks {
+		if s.Tasks[i].Phase < 0 || model.Duration(s.Tasks[i].Phase) >= s.Tasks[i].Period {
+			t.Errorf("task %d phase %v outside [0, period %v)", i, s.Tasks[i].Phase, s.Tasks[i].Period)
+		}
+		if s.Tasks[i].Phase != 0 {
+			anyNonZero = true
+		}
+	}
+	if !anyNonZero {
+		t.Error("random phases: all zero is wildly unlikely")
+	}
+	c.RandomPhases = false
+	s2, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s2.Tasks {
+		if s2.Tasks[i].Phase != 0 {
+			t.Errorf("task %d phase %v, want 0 with RandomPhases off", i, s2.Tasks[i].Phase)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(3, 0.5)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []func(*Config){
+		func(c *Config) { c.Processors = 1 },
+		func(c *Config) { c.Tasks = 0 },
+		func(c *Config) { c.SubtasksPerTask = 0 },
+		func(c *Config) { c.Utilization = 0 },
+		func(c *Config) { c.Utilization = 1.2 },
+		func(c *Config) { c.PeriodMin = 0 },
+		func(c *Config) { c.PeriodMax = 10 },
+		func(c *Config) { c.PeriodMean = 0 },
+		func(c *Config) { c.TickScale = 0 },
+	}
+	for i, mutate := range tests {
+		c := DefaultConfig(3, 0.5)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+		if _, err := Generate(c); err == nil {
+			t.Errorf("case %d: Generate accepted invalid config", i)
+		}
+	}
+}
+
+func TestConfigLabel(t *testing.T) {
+	c := DefaultConfig(5, 0.6)
+	if got := c.Label(); got != "(5,60)" {
+		t.Errorf("Label = %q, want (5,60)", got)
+	}
+}
+
+func TestPaperConfigurations(t *testing.T) {
+	cs := PaperConfigurations()
+	if len(cs) != 35 {
+		t.Fatalf("got %d configurations, want 35", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %s invalid: %v", c.Label(), err)
+		}
+		if seen[c.Label()] {
+			t.Errorf("duplicate configuration %s", c.Label())
+		}
+		seen[c.Label()] = true
+	}
+	if !seen["(2,50)"] || !seen["(8,90)"] {
+		t.Error("grid corners missing")
+	}
+}
+
+func TestTruncExpExactBounds(t *testing.T) {
+	// Direct sampling check of the inverse-CDF truncation.
+	c := DefaultConfig(2, 0.5)
+	c.PeriodMin, c.PeriodMax, c.PeriodMean = 100, 150, 10 // extreme truncation
+	for seed := int64(0); seed < 10; seed++ {
+		c.Seed = seed
+		s, err := Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range s.Tasks {
+			p := float64(s.Tasks[i].Period) / float64(c.TickScale)
+			if p < 100-1 || p > 150+1 {
+				t.Errorf("period %v escaped tight truncation [100, 150]", p)
+			}
+		}
+	}
+}
+
+func TestPlaceChainCoversProcessors(t *testing.T) {
+	// With many tasks, all processors should receive load.
+	c := DefaultConfig(4, 0.5)
+	c.Seed = 5
+	s, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range s.Procs {
+		if len(s.OnProcessor(p)) == 0 {
+			t.Errorf("processor %d received no subtasks (12 tasks x 4 subtasks)", p)
+		}
+	}
+}

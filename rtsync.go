@@ -1,0 +1,316 @@
+// Package rtsync implements the synchronization protocols and end-to-end
+// schedulability analyses of Sun & Liu, "Synchronization Protocols in
+// Distributed Real-Time Systems" (ICDCS 1996).
+//
+// A distributed real-time system is a set of processors and a set of
+// independent, preemptable periodic tasks; each task is a chain of subtasks
+// pinned to processors and scheduled by fixed-priority preemptive dispatch.
+// A synchronization protocol decides when instances of non-first subtasks
+// are released:
+//
+//   - DS (Direct Synchronization): release on predecessor completion —
+//     minimal overhead and the shortest average end-to-end response (EER)
+//     times, but the loosest (possibly unbounded) worst-case EER bounds;
+//   - PM / MPM (Phase Modification, after Bettati): strictly periodic
+//     releases from analysis-derived phases — tight worst-case bounds and
+//     small output jitter, long average EER times;
+//   - RG (Release Guard): per-subtask guards keep inter-release times at
+//     least one period apart inside busy periods — the same worst-case
+//     bounds as PM with average EER times close to DS.
+//
+// The package is a façade over the implementation packages: build a system
+// (Builder or the workload generator), assign priorities, compute bounds
+// with AnalyzePM / AnalyzeDS, and run protocols with Simulate. The
+// experiment runners regenerate every figure of the paper's evaluation.
+//
+// A minimal session, reproducing the paper's Example 2:
+//
+//	sys := rtsync.Example2()
+//	pm, _ := rtsync.AnalyzePM(sys)           // SA/PM bounds (valid for RG too)
+//	out, _ := rtsync.Simulate(sys, rtsync.SimConfig{
+//		Protocol: rtsync.NewRG(),
+//		Horizon:  60,
+//	})
+//	fmt.Println(pm.TaskEER, out.Metrics.Tasks[2].MaxEER)
+package rtsync
+
+import (
+	"rtsync/internal/analysis"
+	"rtsync/internal/exhaustive"
+	"rtsync/internal/experiments"
+	"rtsync/internal/gantt"
+	"rtsync/internal/model"
+	"rtsync/internal/priority"
+	"rtsync/internal/sim"
+	"rtsync/internal/workload"
+)
+
+// Core model types.
+type (
+	// System is a distributed real-time system: processors plus periodic
+	// end-to-end tasks.
+	System = model.System
+	// Task is a periodic chain of subtasks.
+	Task = model.Task
+	// Subtask is one link of a task's chain, pinned to a processor.
+	Subtask = model.Subtask
+	// Processor is one processing resource (CPU or prioritized link).
+	Processor = model.Processor
+	// SubtaskID names a subtask by (task index, chain position).
+	SubtaskID = model.SubtaskID
+	// Duration is a span of simulated time in integer ticks.
+	Duration = model.Duration
+	// Time is an instant of simulated time in integer ticks.
+	Time = model.Time
+	// Priority orders subtasks on a processor; larger is more urgent.
+	Priority = model.Priority
+	// Resource is a processor-local shared resource accessed under
+	// priority-ceiling emulation.
+	Resource = model.Resource
+	// Builder assembles systems declaratively.
+	Builder = model.Builder
+)
+
+// Infinite is the sentinel for an unbounded duration (a failed bound).
+const Infinite = model.Infinite
+
+// NewBuilder returns an empty system builder.
+func NewBuilder() *Builder { return model.NewBuilder() }
+
+// Example1 is the paper's Figure 1 monitor task system (sample → transfer →
+// display across three processors, with interfering load).
+func Example1() *System { return model.Example1() }
+
+// Example2 is the paper's Figure 2 system, used throughout §3 to contrast
+// the protocols.
+func Example2() *System { return model.Example2() }
+
+// LoadSystem reads a system from a JSON file written by System.SaveFile.
+func LoadSystem(path string) (*System, error) { return model.LoadFile(path) }
+
+// Priority assignment.
+type PriorityPolicy = priority.Policy
+
+const (
+	// ProportionalDeadline is the paper's PD-monotonic assignment (§5.1).
+	ProportionalDeadline = priority.ProportionalDeadline
+	// RateMonotonic ranks subtasks by parent-task period.
+	RateMonotonic = priority.RateMonotonic
+	// DeadlineMonotonic ranks subtasks by parent-task deadline.
+	DeadlineMonotonic = priority.DeadlineMonotonic
+)
+
+// AssignPriorities installs per-processor subtask priorities in place.
+func AssignPriorities(s *System, p PriorityPolicy) error { return priority.Assign(s, p) }
+
+// DeadlinePolicy selects how end-to-end deadlines slice into per-subtask
+// local deadlines for EDF scheduling.
+type DeadlinePolicy = priority.DeadlinePolicy
+
+const (
+	// ProportionalSlice mirrors the paper's PD assignment on deadlines.
+	ProportionalSlice = priority.ProportionalSlice
+	// EqualSlice gives every subtask D/n.
+	EqualSlice = priority.EqualSlice
+	// EqualFlexibility distributes the chain's slack equally.
+	EqualFlexibility = priority.EqualFlexibility
+)
+
+// AssignLocalDeadlines installs per-subtask local deadlines in place, as
+// EDF scheduling requires.
+func AssignLocalDeadlines(s *System, p DeadlinePolicy) error {
+	return priority.AssignLocalDeadlines(s, p)
+}
+
+// Analysis.
+type (
+	// AnalysisResult carries per-subtask bounds and per-task EER bounds.
+	AnalysisResult = analysis.Result
+	// AnalysisOptions tunes failure caps and iteration budgets.
+	AnalysisOptions = analysis.Options
+)
+
+// DefaultAnalysisOptions returns the paper's settings (failure factor 300).
+func DefaultAnalysisOptions() AnalysisOptions { return analysis.DefaultOptions() }
+
+// AnalyzePM runs Algorithm SA/PM (§4.1). Its bounds are valid for systems
+// synchronized by PM, MPM, and — by Theorem 1 — RG.
+func AnalyzePM(s *System) (*AnalysisResult, error) {
+	return analysis.AnalyzePM(s, analysis.DefaultOptions())
+}
+
+// AnalyzePMWith runs Algorithm SA/PM with explicit options.
+func AnalyzePMWith(s *System, opts AnalysisOptions) (*AnalysisResult, error) {
+	return analysis.AnalyzePM(s, opts)
+}
+
+// AnalyzeDS runs Algorithm SA/DS (§4.3), iterating Algorithm IEERT.
+func AnalyzeDS(s *System) (*AnalysisResult, error) {
+	return analysis.AnalyzeDS(s, analysis.DefaultOptions())
+}
+
+// AnalyzeDSWith runs Algorithm SA/DS with explicit options.
+func AnalyzeDSWith(s *System, opts AnalysisOptions) (*AnalysisResult, error) {
+	return analysis.AnalyzeDS(s, opts)
+}
+
+// AnalyzeDSHolistic bounds EER times under the DS protocol with the
+// holistic analysis of Tindell & Clark (the paper's reference [18]) — an
+// alternative to Algorithm SA/DS whose bounds are never looser.
+func AnalyzeDSHolistic(s *System) (*AnalysisResult, error) {
+	return analysis.AnalyzeDSHolistic(s, analysis.DefaultOptions())
+}
+
+// AnalyzeEDF certifies per-processor EDF schedulability (demand-bound
+// test) over local deadlines and bounds each task's EER time by the sum of
+// its chain's local deadlines. For systems scheduled with
+// SimConfig.Scheduler = EDFScheduler under a release-controlling protocol
+// (PM, MPM, RG).
+func AnalyzeEDF(s *System) (*AnalysisResult, error) {
+	return analysis.AnalyzeEDF(s, analysis.DefaultOptions())
+}
+
+// Scheduler selects the dispatching discipline for Simulate.
+type Scheduler = sim.Scheduler
+
+const (
+	// FixedPriorityScheduler is the paper's setting (default).
+	FixedPriorityScheduler = sim.FixedPriority
+	// EDFScheduler dispatches by earliest absolute local deadline.
+	EDFScheduler = sim.EDF
+)
+
+// PMPhases derives the Phase Modification release phases from an SA/PM
+// result (§3.1).
+func PMPhases(s *System, res *AnalysisResult) (map[SubtaskID]Time, error) {
+	return analysis.PMPhases(s, res)
+}
+
+// Simulation.
+type (
+	// Protocol is a pluggable synchronization protocol.
+	Protocol = sim.Protocol
+	// Bounds maps subtasks to response-time bounds (PM/MPM input).
+	Bounds = sim.Bounds
+	// SimConfig parameterizes one simulation run.
+	SimConfig = sim.Config
+	// SimOutcome bundles metrics and the optional trace.
+	SimOutcome = sim.Outcome
+	// Metrics is the quantitative outcome of a run.
+	Metrics = sim.Metrics
+	// Trace is the full execution record of a run.
+	Trace = sim.Trace
+)
+
+// NewDS returns the Direct Synchronization protocol.
+func NewDS() Protocol { return sim.NewDS() }
+
+// NewPM returns the Phase Modification protocol; it needs SA/PM bounds.
+func NewPM(b Bounds) Protocol { return sim.NewPM(b) }
+
+// NewMPM returns the Modified Phase Modification protocol; it needs SA/PM
+// bounds.
+func NewMPM(b Bounds) Protocol { return sim.NewMPM(b) }
+
+// NewRG returns the Release Guard protocol (rules 1 and 2).
+func NewRG() Protocol { return sim.NewRG() }
+
+// NewRGRule1Only returns the Release Guard ablation without the idle-point
+// rule.
+func NewRGRule1Only() Protocol { return sim.NewRGRule1Only() }
+
+// BoundsFrom extracts the per-subtask response-time bounds of an SA/PM
+// result in the form PM and MPM consume. It fails if any bound is infinite.
+func BoundsFrom(res *AnalysisResult) (Bounds, error) {
+	b := make(Bounds, len(res.Subtasks))
+	for id, sb := range res.Subtasks {
+		if sb.Response.IsInfinite() {
+			return nil, &InfiniteBoundError{Subtask: id}
+		}
+		b[id] = sb.Response
+	}
+	return b, nil
+}
+
+// InfiniteBoundError reports that BoundsFrom met an unbounded subtask.
+type InfiniteBoundError struct {
+	Subtask SubtaskID
+}
+
+// Error implements error.
+func (e *InfiniteBoundError) Error() string {
+	return "rtsync: response-time bound for " + e.Subtask.String() + " is infinite"
+}
+
+// Simulate runs one simulation of s under cfg.
+func Simulate(s *System, cfg SimConfig) (*SimOutcome, error) { return sim.Run(s, cfg) }
+
+// ValidateTrace checks a trace's structural invariants and returns every
+// violation found (empty means consistent).
+func ValidateTrace(tr *Trace, opts sim.ValidateOptions) []string { return sim.Validate(tr, opts) }
+
+// RenderGantt draws a trace as an ASCII schedule chart (Figures 3–7 style).
+func RenderGantt(tr *Trace, opts gantt.Options) string { return gantt.Render(tr, opts) }
+
+// GanttOptions controls RenderGantt windows and scaling.
+type GanttOptions = gantt.Options
+
+// Workload generation.
+type WorkloadConfig = workload.Config
+
+// DefaultWorkloadConfig returns the paper's population parameters for one
+// (N, U) configuration.
+func DefaultWorkloadConfig(subtasks int, utilization float64) WorkloadConfig {
+	return workload.DefaultConfig(subtasks, utilization)
+}
+
+// GenerateWorkload synthesizes one system per §5.1.
+func GenerateWorkload(c WorkloadConfig) (*System, error) { return workload.Generate(c) }
+
+// PaperConfigurations returns the paper's 35-configuration grid.
+func PaperConfigurations() []WorkloadConfig { return workload.PaperConfigurations() }
+
+// Experiments.
+type (
+	// ExperimentParams configures a figure sweep.
+	ExperimentParams = experiments.Params
+	// FailureRateResult is Figure 12's outcome.
+	FailureRateResult = experiments.FailureRateResult
+	// BoundRatioResult is Figure 13's outcome.
+	BoundRatioResult = experiments.BoundRatioResult
+	// AvgEERResult bundles Figures 14–16 and the ablations.
+	AvgEERResult = experiments.AvgEERResult
+)
+
+// Fig12FailureRate reproduces Figure 12.
+func Fig12FailureRate(p ExperimentParams) (*FailureRateResult, error) {
+	return experiments.Fig12FailureRate(p)
+}
+
+// Fig13BoundRatio reproduces Figure 13.
+func Fig13BoundRatio(p ExperimentParams) (*BoundRatioResult, error) {
+	return experiments.Fig13BoundRatio(p)
+}
+
+// AvgEERStudy reproduces Figures 14–16 plus the RG-rule-2 and jitter
+// ablations in one sweep.
+func AvgEERStudy(p ExperimentParams) (*AvgEERResult, error) {
+	return experiments.AvgEERStudy(p)
+}
+
+// Exhaustive worst-case search (for tiny systems only).
+type (
+	// ExhaustiveOptions bounds the phase-space enumeration.
+	ExhaustiveOptions = exhaustive.Options
+	// ExhaustiveResult carries the actual worst-case EER times found.
+	ExhaustiveResult = exhaustive.Result
+)
+
+// ExhaustiveWorstEER enumerates every integer phase assignment of a tiny
+// system and simulates each, returning the actual per-task worst-case EER
+// times under the protocol built by mk — the ground truth the paper's §2
+// says analyses approximate. Practical only when the product of the task
+// periods is small.
+func ExhaustiveWorstEER(s *System, mk func(*System) (Protocol, error), opts ExhaustiveOptions) (*ExhaustiveResult, error) {
+	return exhaustive.WorstEER(s, mk, opts)
+}

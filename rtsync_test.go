@@ -1,0 +1,183 @@
+package rtsync_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rtsync"
+	"rtsync/internal/sim"
+)
+
+// TestQuickstartWorkflow drives the README's end-to-end session: build,
+// analyze, extract bounds, simulate each protocol, render.
+func TestQuickstartWorkflow(t *testing.T) {
+	sys := rtsync.Example2()
+
+	pm, err := rtsync.AnalyzePM(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.TaskEER[2] != 5 {
+		t.Errorf("SA/PM EER(T3) = %v, want 5", pm.TaskEER[2])
+	}
+	ds, err := rtsync.AnalyzeDS(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.TaskEER[2] != 8 {
+		t.Errorf("SA/DS EER(T3) = %v, want 8", ds.TaskEER[2])
+	}
+
+	bounds, err := rtsync.BoundsFrom(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, protocol := range []rtsync.Protocol{
+		rtsync.NewDS(), rtsync.NewPM(bounds), rtsync.NewMPM(bounds),
+		rtsync.NewRG(), rtsync.NewRGRule1Only(),
+	} {
+		out, err := rtsync.Simulate(sys, rtsync.SimConfig{
+			Protocol: protocol,
+			Horizon:  120,
+			Trace:    true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", protocol.Name(), err)
+		}
+		if problems := rtsync.ValidateTrace(out.Trace, sim.ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+			t.Fatalf("%s: %v", protocol.Name(), problems)
+		}
+		chart := rtsync.RenderGantt(out.Trace, rtsync.GanttOptions{To: 12})
+		if !strings.Contains(chart, "P1:") {
+			t.Errorf("%s: gantt malformed:\n%s", protocol.Name(), chart)
+		}
+	}
+}
+
+func TestBuilderThroughFacade(t *testing.T) {
+	b := rtsync.NewBuilder()
+	cpu := b.AddProcessor("cpu")
+	link := b.AddLink("bus")
+	b.AddTask("job", 100, 0).Subtask(cpu, 10, 0).Subtask(link, 5, 0).Done()
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rtsync.AssignPriorities(sys, rtsync.ProportionalDeadline); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rtsync.AnalyzePM(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskEER[0] != 15 {
+		t.Errorf("EER = %v, want 15 (no interference)", res.TaskEER[0])
+	}
+	phases, err := rtsync.PMPhases(sys, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phases[rtsync.SubtaskID{Task: 0, Sub: 1}] != 10 {
+		t.Errorf("f(1,2) = %v, want 10", phases[rtsync.SubtaskID{Task: 0, Sub: 1}])
+	}
+}
+
+func TestBoundsFromInfinite(t *testing.T) {
+	b := rtsync.NewBuilder()
+	p := b.AddProcessor("P")
+	q := b.AddProcessor("Q")
+	b.AddTask("A", 10, 0).Subtask(p, 6, 2).Subtask(q, 1, 1).Done()
+	b.AddTask("B", 10, 0).Subtask(p, 6, 1).Subtask(q, 1, 2).Done()
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rtsync.AnalyzePM(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rtsync.BoundsFrom(res)
+	if err == nil {
+		t.Fatal("BoundsFrom accepted infinite bounds")
+	}
+	var ibe *rtsync.InfiniteBoundError
+	if !errors.As(err, &ibe) {
+		t.Errorf("error is not an InfiniteBoundError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "infinite") {
+		t.Errorf("error text: %v", err)
+	}
+}
+
+func TestWorkloadThroughFacade(t *testing.T) {
+	cfg := rtsync.DefaultWorkloadConfig(3, 0.6)
+	cfg.Seed = 12
+	sys, err := rtsync.GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Tasks) != 12 || len(sys.Procs) != 4 {
+		t.Errorf("workload shape wrong: %v", sys)
+	}
+	if got := len(rtsync.PaperConfigurations()); got != 35 {
+		t.Errorf("PaperConfigurations = %d, want 35", got)
+	}
+}
+
+func TestExperimentsThroughFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	p := rtsync.ExperimentParams{
+		Configs:          []rtsync.WorkloadConfig{rtsync.DefaultWorkloadConfig(2, 0.5)},
+		SystemsPerConfig: 2,
+		Seed:             3,
+		HorizonPeriods:   5,
+	}
+	if _, err := rtsync.Fig12FailureRate(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rtsync.Fig13BoundRatio(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rtsync.AvgEERStudy(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadThroughFacade(t *testing.T) {
+	sys := rtsync.Example2()
+	path := t.TempDir() + "/sys.json"
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rtsync.LoadSystem(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != sys.String() {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestDefaultAnalysisOptions(t *testing.T) {
+	opts := rtsync.DefaultAnalysisOptions()
+	if opts.FailureFactor != 300 {
+		t.Errorf("FailureFactor = %d, want 300", opts.FailureFactor)
+	}
+	res, err := rtsync.AnalyzeDSWith(rtsync.Example2(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskEER[2] != 8 {
+		t.Errorf("EER(T3) = %v", res.TaskEER[2])
+	}
+	res2, err := rtsync.AnalyzePMWith(rtsync.Example2(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TaskEER[2] != 5 {
+		t.Errorf("PM EER(T3) = %v", res2.TaskEER[2])
+	}
+}
