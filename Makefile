@@ -54,5 +54,7 @@ examples: build
 	$(GO) run ./examples/edfstudy
 	$(GO) run ./examples/fleet -systems 3
 
+# The experiments target writes results/*.txt; clean removes those (and any
+# stray profiles), not the *.csv glob that matched nothing.
 clean:
-	rm -f results/*.csv
+	rm -f results/*.txt results/*.csv *.prof cpu.out mem.out

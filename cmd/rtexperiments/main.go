@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"rtsync/internal/experiments"
+	"rtsync/internal/profiling"
 	"rtsync/internal/report"
 	"rtsync/internal/workload"
 )
@@ -46,9 +47,15 @@ func run(args []string, w io.Writer) error {
 		csv     = fs.String("csv", "", "also write CSV files with this path prefix")
 		jitter  = fs.Float64("jitter-fraction", 0.5, "release-jitter study: max extra delay as a fraction of the period")
 	)
+	prof := profiling.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	var configs []workload.Config
 	for n := *nMin; n <= *nMax; n++ {

@@ -18,6 +18,7 @@ import (
 	"rtsync/internal/analysis"
 	"rtsync/internal/gantt"
 	"rtsync/internal/model"
+	"rtsync/internal/profiling"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
 )
@@ -41,9 +42,15 @@ func run(args []string, w io.Writer) error {
 		validate  = fs.Bool("validate", true, "check trace invariants after the run")
 		traceOut  = fs.String("trace-out", "", "save the full execution trace as JSON (inspect with rttrace)")
 	)
+	prof := profiling.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	var sys *model.System
 	switch {

@@ -74,6 +74,9 @@ func WorstEER(s *model.System, mk func(*model.System) (sim.Protocol, error), opt
 	}
 	phases := make([]model.Time, len(s.Tasks))
 	work := s.Clone()
+	// One engine serves the whole enumeration; each phase vector resets it
+	// in place instead of re-allocating queues and per-subtask state.
+	var runner sim.Runner
 	for {
 		for i := range work.Tasks {
 			work.Tasks[i].Phase = phases[i]
@@ -84,7 +87,7 @@ func WorstEER(s *model.System, mk func(*model.System) (sim.Protocol, error), opt
 		}
 		maxPhase := work.MaxPhase()
 		horizon := maxPhase.Add(hyper.MulSat(opts.HyperperiodsPerRun))
-		out, err := sim.Run(work, sim.Config{Protocol: protocol, Horizon: horizon})
+		out, err := runner.Run(work, sim.Config{Protocol: protocol, Horizon: horizon})
 		if err != nil {
 			return nil, fmt.Errorf("exhaustive: phases %v: %w", phases, err)
 		}

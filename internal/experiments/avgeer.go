@@ -57,7 +57,7 @@ func AvgEERStudy(p Params) (*AvgEERResult, error) {
 			}
 		})
 	}
-	sweep(p, func(cfg workload.Config, record func(func())) {
+	sweep(p, func(r *sim.Runner, cfg workload.Config, record func(func())) {
 		sys, err := workload.Generate(cfg)
 		if err != nil {
 			fail(record, err)
@@ -86,7 +86,7 @@ func AvgEERStudy(p Params) (*AvgEERResult, error) {
 
 		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
 		runOne := func(protocol sim.Protocol) (*sim.Metrics, error) {
-			out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: horizon})
+			out, err := r.Run(sys, sim.Config{Protocol: protocol, Horizon: horizon})
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s seed %d: %w", protocol.Name(), cfg.Label(), cfg.Seed, err)
 			}

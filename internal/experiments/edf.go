@@ -42,7 +42,7 @@ func EDFStudy(p Params) (*EDFResult, error) {
 			}
 		})
 	}
-	sweep(p, func(cfg workload.Config, record func(func())) {
+	sweep(p, func(r *sim.Runner, cfg workload.Config, record func(func())) {
 		sys, err := workload.Generate(cfg)
 		if err != nil {
 			fail(record, err)
@@ -73,12 +73,12 @@ func EDFStudy(p Params) (*EDFResult, error) {
 		}
 
 		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
-		fpOut, err := sim.Run(sys, sim.Config{Protocol: sim.NewRG(), Horizon: horizon})
+		fpOut, err := r.Run(sys, sim.Config{Protocol: sim.NewRG(), Horizon: horizon})
 		if err != nil {
 			fail(record, err)
 			return
 		}
-		edfOut, err := sim.Run(sys, sim.Config{Protocol: sim.NewRG(), Scheduler: sim.EDF, Horizon: horizon})
+		edfOut, err := r.Run(sys, sim.Config{Protocol: sim.NewRG(), Scheduler: sim.EDF, Horizon: horizon})
 		if err != nil {
 			fail(record, err)
 			return

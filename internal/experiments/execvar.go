@@ -54,7 +54,7 @@ func ExecVariationStudy(p Params, fractions []float64) (*ExecVariationResult, er
 			}
 		})
 	}
-	sweep(p, func(cfg workload.Config, record func(func())) {
+	sweep(p, func(r *sim.Runner, cfg workload.Config, record func(func())) {
 		sys, err := workload.Generate(cfg)
 		if err != nil {
 			fail(record, err)
@@ -83,7 +83,7 @@ func ExecVariationStudy(p Params, fractions []float64) (*ExecVariationResult, er
 		for _, f := range fractions {
 			execVar := demandSampler(sys, cfg.Seed, f)
 			run := func(protocol sim.Protocol) (*sim.Metrics, error) {
-				out, err := sim.Run(sys, sim.Config{
+				out, err := r.Run(sys, sim.Config{
 					Protocol: protocol,
 					Horizon:  horizon,
 					ExecTime: execVar,

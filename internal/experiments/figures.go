@@ -5,6 +5,7 @@ import (
 
 	"rtsync/internal/analysis"
 	"rtsync/internal/report"
+	"rtsync/internal/sim"
 	"rtsync/internal/workload"
 )
 
@@ -27,7 +28,7 @@ func Fig12FailureRate(p Params) (*FailureRateResult, error) {
 	p.Analysis.StopOnFailure = true
 	res := &FailureRateResult{Rates: NewGrid("DS failure rate")}
 	var firstErr error
-	sweep(p, func(cfg workload.Config, record func(func())) {
+	sweep(p, func(_ *sim.Runner, cfg workload.Config, record func(func())) {
 		sys, err := workload.Generate(cfg)
 		if err != nil {
 			record(func() {
@@ -96,7 +97,7 @@ func Fig13BoundRatio(p Params) (*BoundRatioResult, error) {
 		TotalSystems:   make(map[CellKey]int),
 	}
 	var firstErr error
-	sweep(p, func(cfg workload.Config, record func(func())) {
+	sweep(p, func(_ *sim.Runner, cfg workload.Config, record func(func())) {
 		sys, err := workload.Generate(cfg)
 		if err != nil {
 			record(func() {

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"rtsync/internal/analysis"
+	"rtsync/internal/sim"
 	"rtsync/internal/stats"
 	"rtsync/internal/workload"
 )
@@ -137,9 +138,11 @@ func (g *Grid) Axes() (ns, us []int) {
 
 // sweep runs fn once per (config, system index) pair across a worker pool,
 // serializing result recording through a mutex held by record callbacks.
-// fn receives the configuration (with the per-system seed already set) and
-// a locked recorder via record.
-func sweep(p Params, fn func(cfg workload.Config, record func(func()))) {
+// fn receives a per-worker simulation runner (so one engine's queues and
+// dense state are recycled across the worker's whole share of the sweep),
+// the configuration (with the per-system seed already set), and a locked
+// recorder via record.
+func sweep(p Params, fn func(r *sim.Runner, cfg workload.Config, record func(func()))) {
 	type unit struct {
 		cfg workload.Config
 	}
@@ -155,8 +158,9 @@ func sweep(p Params, fn func(cfg workload.Config, record func(func()))) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var r sim.Runner
 			for u := range units {
-				fn(u.cfg, record)
+				fn(&r, u.cfg, record)
 			}
 		}()
 	}

@@ -44,7 +44,7 @@ func ReleaseJitterStudy(p Params, jitterFraction float64) (*ReleaseJitterResult,
 		res.SystemsWithViolations[n] = make(map[CellKey]int)
 	}
 	var firstErr error
-	sweep(p, func(cfg workload.Config, record func(func())) {
+	sweep(p, func(r *sim.Runner, cfg workload.Config, record func(func())) {
 		sys, err := workload.Generate(cfg)
 		if err != nil {
 			record(func() {
@@ -103,7 +103,7 @@ func ReleaseJitterStudy(p Params, jitterFraction float64) (*ReleaseJitterResult,
 		}
 		var vios []vio
 		for name, protocol := range protocols {
-			out, err := sim.Run(sys, sim.Config{
+			out, err := r.Run(sys, sim.Config{
 				Protocol:          protocol,
 				Horizon:           horizon,
 				FirstReleaseDelay: delayFor(cfg.Seed),

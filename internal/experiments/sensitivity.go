@@ -47,6 +47,7 @@ func SensitivityStudy(p Params, n int, utilization float64, shapes [][2]int) (*S
 			return nil, fmt.Errorf("sensitivity study: shape %v: %w", shape, err)
 		}
 		row := SensitivityRow{Processors: shape[0], Tasks: shape[1]}
+		var runner sim.Runner
 		for k := 0; k < p.SystemsPerConfig; k++ {
 			cfg.Seed = p.Seed + int64(k)*7919 + int64(shape[0])*101 + int64(shape[1])
 			sys, err := workload.Generate(cfg)
@@ -84,7 +85,7 @@ func SensitivityStudy(p Params, n int, utilization float64, shapes [][2]int) (*S
 			}
 			horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
 			run := func(protocol sim.Protocol) (*sim.Metrics, error) {
-				out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: horizon})
+				out, err := runner.Run(sys, sim.Config{Protocol: protocol, Horizon: horizon})
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,64 @@
+package model
+
+import "fmt"
+
+// SubtaskIndex is a dense indexing of a system's subtasks: every SubtaskID
+// maps to a unique integer in [0, NumSubtasks()), assigned in (task, chain)
+// order. It is the canonical key for per-subtask state in hot paths — flat
+// slices indexed by it replace maps keyed by SubtaskID.
+//
+// Within one task the indices of consecutive subtasks are consecutive, so
+// the dense index of T(i,j)'s predecessor is IndexOf(id)-1 and of its
+// successor IndexOf(id)+1.
+type SubtaskIndex struct {
+	// offsets[i] is the dense index of task i's first subtask; the extra
+	// trailing entry equals Len().
+	offsets []int
+	// ids is the inverse mapping, in dense order.
+	ids []SubtaskID
+}
+
+// NewSubtaskIndex builds the dense index for s. The index is positional: it
+// stays valid as long as the system's task/subtask shape is unchanged.
+func NewSubtaskIndex(s *System) *SubtaskIndex {
+	ix := &SubtaskIndex{
+		offsets: make([]int, len(s.Tasks)+1),
+		ids:     make([]SubtaskID, 0, s.NumSubtasks()),
+	}
+	for i := range s.Tasks {
+		ix.offsets[i] = len(ix.ids)
+		for j := range s.Tasks[i].Subtasks {
+			ix.ids = append(ix.ids, SubtaskID{Task: i, Sub: j})
+		}
+	}
+	ix.offsets[len(s.Tasks)] = len(ix.ids)
+	return ix
+}
+
+// Len returns the number of indexed subtasks.
+func (ix *SubtaskIndex) Len() int { return len(ix.ids) }
+
+// IndexOf returns id's dense index. It panics on an out-of-range ID, which
+// can only come from a corrupted caller.
+func (ix *SubtaskIndex) IndexOf(id SubtaskID) int {
+	i := ix.offsets[id.Task] + id.Sub
+	if id.Sub < 0 || i >= ix.offsets[id.Task+1] {
+		panic(fmt.Sprintf("model: subtask %v not in index", id))
+	}
+	return i
+}
+
+// ID returns the SubtaskID at dense index i (the inverse of IndexOf).
+func (ix *SubtaskIndex) ID(i int) SubtaskID { return ix.ids[i] }
+
+// TaskOffset returns the dense index of task i's first subtask.
+func (ix *SubtaskIndex) TaskOffset(i int) int { return ix.offsets[i] }
+
+// ChainLen returns the number of subtasks of task i.
+func (ix *SubtaskIndex) ChainLen(i int) int { return ix.offsets[i+1] - ix.offsets[i] }
+
+// IsLast reports whether dense index i is the last subtask of its task.
+func (ix *SubtaskIndex) IsLast(i int) bool {
+	id := ix.ids[i]
+	return ix.offsets[id.Task+1] == i+1
+}

@@ -22,11 +22,12 @@ func (*DS) Init(*Engine) error { return nil }
 // OnRelease implements Protocol; DS keeps no per-release state.
 func (*DS) OnRelease(*Engine, *Job, model.Time) {}
 
-// OnComplete implements Protocol: release the successor immediately.
+// OnComplete implements Protocol: release the successor immediately. Dense
+// subtask indices are chain-contiguous, so the successor is si+1.
 func (*DS) OnComplete(e *Engine, j *Job, t model.Time) {
-	task := &e.System().Tasks[j.ID.Task]
-	if j.ID.Sub+1 < len(task.Subtasks) {
-		e.ReleaseNow(model.SubtaskID{Task: j.ID.Task, Sub: j.ID.Sub + 1}, j.Instance)
+	si := int(j.idx)
+	if !e.subs[si].isLast {
+		e.release(si+1, j.Instance)
 	}
 }
 

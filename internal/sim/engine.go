@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -100,12 +99,36 @@ type procState struct {
 	idleNotified bool
 }
 
-// Engine runs one simulation. Construct with New, drive with Run.
+// subInfo caches the per-subtask parameters the event loop reads on every
+// release, flattened out of the model's nested task structures.
+type subInfo struct {
+	proc   int32
+	isLast bool
+	exec   model.Duration
+	local  model.Duration
+	base   model.Priority
+	eff    model.Priority
+}
+
+// TimerFunc is a protocol timer callback registered once per run with
+// RegisterTimer. The engine invokes it with the dense subtask index and
+// instance the timer was armed with — the typed replacement for per-timer
+// closures.
+type TimerFunc func(e *Engine, sub int, inst int64, now model.Time)
+
+// TimerID names a registered TimerFunc for StartTimer.
+type TimerID int32
+
+// Engine runs one simulation. Construct with New, drive with Run, and
+// recycle across runs with Reset: all steady-state event-loop state lives
+// in dense, index-keyed slices whose backing arrays survive resets, so the
+// per-event hot path performs no heap allocations.
 type Engine struct {
 	sys    *model.System
+	idx    *model.SubtaskIndex
 	cfg    Config
 	clock  model.Time
-	events eventHeap
+	events eventQueue
 	seq    int64
 	procs  []procState
 	dirty  []int
@@ -114,86 +137,175 @@ type Engine struct {
 	metrics *Metrics
 	trace   *Trace
 
-	// releaseCount tracks the next expected instance per subtask so that
+	// subs caches per-subtask dispatch parameters, densely indexed.
+	subs []subInfo
+	// releaseCount[i] is the next expected instance of subtask i, so
 	// out-of-order protocol releases are caught immediately.
-	releaseCount map[model.SubtaskID]int64
-	// completionOf records completion times for precedence checking and
-	// EER computation: completionOf[key] exists iff that instance
-	// completed.
-	completionOf map[Key]model.Time
-	// taskRelease records the release instant of instance m of each
-	// task's first subtask, the origin for EER measurement.
-	taskRelease []map[int64]model.Time
+	releaseCount []int64
+	// completedThrough[i] is subtask i's completion watermark: instances
+	// [0, completedThrough[i]) have completed. Per-subtask completions
+	// are in instance order under both FP tie-breaking and EDF (the
+	// engine asserts it), so a watermark replaces the old ever-growing
+	// completion map.
+	completedThrough []int64
+	// firstRelease[i] holds task i's pending EER origins: the release
+	// instants of first-subtask instances not yet consumed by a
+	// last-subtask completion. Bounded by the task's in-flight
+	// instances, unlike the old per-run map.
+	firstRelease []relRing
+
+	// timers holds the protocol timer callbacks registered this run.
+	timers []TimerFunc
+	// free is the Job free list; completed jobs are recycled through it.
+	free []*Job
 
 	// ceilings holds per-resource priority ceilings for the Highest
 	// Locker dispatch rule.
 	ceilings []model.Priority
 
 	eventsRun int64
+	ran       bool
 }
 
 // New builds an engine for one run over s. The system is validated and
 // cloned; the caller may reuse s freely afterwards.
 func New(s *model.System, cfg Config) (*Engine, error) {
+	e := &Engine{}
+	if err := e.Reset(s, cfg); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reset re-arms the engine for a fresh run over s, reusing the event queue,
+// ready queues, job free list, and dense per-subtask state of earlier runs.
+// Metrics and Trace are freshly allocated so outcomes from prior runs stay
+// valid. An engine must not be shared across goroutines.
+func (e *Engine) Reset(s *model.System, cfg Config) error {
 	if cfg.Protocol == nil {
-		return nil, errors.New("sim: Config.Protocol is required")
+		return errors.New("sim: Config.Protocol is required")
 	}
 	if cfg.Horizon <= 0 {
-		return nil, fmt.Errorf("sim: horizon %v is not positive", cfg.Horizon)
+		return fmt.Errorf("sim: horizon %v is not positive", cfg.Horizon)
 	}
 	if err := s.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+		return fmt.Errorf("sim: %w", err)
 	}
 	if cfg.Scheduler == EDF {
 		if len(s.Resources) > 0 {
-			return nil, errors.New("sim: EDF scheduling does not support shared resources")
+			return errors.New("sim: EDF scheduling does not support shared resources")
 		}
 		for _, id := range s.SubtaskIDs() {
 			if s.Subtask(id).LocalDeadline <= 0 {
-				return nil, fmt.Errorf("sim: EDF scheduling requires a positive local deadline for %v (use priority.AssignLocalDeadlines)", id)
+				return fmt.Errorf("sim: EDF scheduling requires a positive local deadline for %v (use priority.AssignLocalDeadlines)", id)
 			}
 		}
 	}
 	if cfg.ClockOffsets != nil {
 		if len(cfg.ClockOffsets) != len(s.Procs) {
-			return nil, fmt.Errorf("sim: %d clock offsets for %d processors", len(cfg.ClockOffsets), len(s.Procs))
+			return fmt.Errorf("sim: %d clock offsets for %d processors", len(cfg.ClockOffsets), len(s.Procs))
 		}
 		for p, off := range cfg.ClockOffsets {
 			if off < 0 {
-				return nil, fmt.Errorf("sim: negative clock offset %v for processor %d", off, p)
+				return fmt.Errorf("sim: negative clock offset %v for processor %d", off, p)
 			}
 		}
 	}
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = defaultMaxEvents
 	}
+
 	sys := s.Clone()
-	e := &Engine{
-		sys:          sys,
-		cfg:          cfg,
-		procs:        make([]procState, len(sys.Procs)),
-		inDirt:       make([]bool, len(sys.Procs)),
-		metrics:      newMetrics(sys),
-		releaseCount: make(map[model.SubtaskID]int64, sys.NumSubtasks()),
-		completionOf: make(map[Key]model.Time),
-		taskRelease:  make([]map[int64]model.Time, len(sys.Tasks)),
+	e.sys = sys
+	e.cfg = cfg
+	e.idx = model.NewSubtaskIndex(sys)
+	e.clock = 0
+	e.seq = 0
+	e.eventsRun = 0
+	e.ran = false
+	e.events.reset()
+	e.timers = e.timers[:0]
+	e.dirty = e.dirty[:0]
+
+	edf := cfg.Scheduler == EDF
+	if len(e.procs) != len(sys.Procs) {
+		e.procs = make([]procState, len(sys.Procs))
+		e.inDirt = make([]bool, len(sys.Procs))
+	}
+	for p := range e.procs {
+		ps := &e.procs[p]
+		if ps.ready == nil {
+			ps.ready = newReadyQueue(sys, edf)
+		} else {
+			ps.ready.reset(edf)
+		}
+		ps.running = nil
+		ps.runStart = 0
+		ps.segStart = 0
+		ps.gen = 0
+		ps.idleNotified = false
+		e.inDirt[p] = false
+	}
+
+	n := e.idx.Len()
+	e.releaseCount = resetInt64s(e.releaseCount, n)
+	e.completedThrough = resetInt64s(e.completedThrough, n)
+	if cap(e.subs) < n {
+		e.subs = make([]subInfo, n)
+	} else {
+		e.subs = e.subs[:n]
 	}
 	e.ceilings = sys.ResourceCeilings()
-	for p := range e.procs {
-		e.procs[p].ready = newReadyQueue(sys, cfg.Scheduler == EDF)
+	for i := 0; i < n; i++ {
+		id := e.idx.ID(i)
+		st := sys.Subtask(id)
+		e.subs[i] = subInfo{
+			proc:   int32(st.Proc),
+			isLast: e.idx.IsLast(i),
+			exec:   st.Exec,
+			local:  st.LocalDeadline,
+			base:   st.Priority,
+			eff:    sys.EffectivePriority(id, e.ceilings),
+		}
 	}
-	for i := range e.taskRelease {
-		e.taskRelease[i] = make(map[int64]model.Time)
+	if cap(e.firstRelease) < len(sys.Tasks) {
+		e.firstRelease = make([]relRing, len(sys.Tasks))
+	} else {
+		e.firstRelease = e.firstRelease[:len(sys.Tasks)]
 	}
+	for i := range e.firstRelease {
+		e.firstRelease[i].reset()
+	}
+
+	e.metrics = newMetrics(sys, e.idx)
+	e.trace = nil
 	if cfg.Trace {
 		e.trace = newTrace(sys, cfg.Scheduler)
 	}
-	return e, nil
+	return nil
+}
+
+// resetInt64s returns a zeroed slice of length n, reusing s's backing array
+// when it is large enough.
+func resetInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // System returns the engine's (cloned) system; protocols read parameters
 // from it.
 func (e *Engine) System() *model.System { return e.sys }
+
+// Index returns the dense subtask index over the engine's system. Protocols
+// use it to key their per-subtask state by flat slice position instead of
+// SubtaskID maps.
+func (e *Engine) Index() *model.SubtaskIndex { return e.idx }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() model.Time { return e.clock }
@@ -208,8 +320,13 @@ type Outcome struct {
 	Trace *Trace
 }
 
-// Run executes the simulation to the horizon and returns its outcome.
+// Run executes the simulation to the horizon and returns its outcome. Each
+// New or Reset permits exactly one Run.
 func (e *Engine) Run() (*Outcome, error) {
+	if e.ran {
+		return nil, errors.New("sim: Run called again without Reset")
+	}
+	e.ran = true
 	if err := e.cfg.Protocol.Init(e); err != nil {
 		return nil, fmt.Errorf("sim: init %s: %w", e.cfg.Protocol.Name(), err)
 	}
@@ -217,10 +334,10 @@ func (e *Engine) Run() (*Outcome, error) {
 	// clock of each task's first processor.
 	for i := range e.sys.Tasks {
 		first := e.sys.Tasks[i].Subtasks[0].Proc
-		e.scheduleFirstRelease(i, 0, e.sys.Tasks[i].Phase.Add(e.ClockOffset(first)))
+		e.pushFirstRelease(i, 0, e.sys.Tasks[i].Phase.Add(e.ClockOffset(first)))
 	}
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for e.events.len() > 0 {
+		ev := e.events.pop()
 		if ev.at > e.cfg.Horizon {
 			break
 		}
@@ -228,7 +345,7 @@ func (e *Engine) Run() (*Outcome, error) {
 			return nil, fmt.Errorf("sim: event scheduled in the past (%v < %v)", ev.at, e.clock)
 		}
 		e.clock = ev.at
-		ev.fn(e.clock)
+		e.exec(&ev)
 		e.settleAll(e.clock)
 		e.eventsRun++
 		if e.eventsRun > e.cfg.MaxEvents {
@@ -243,6 +360,38 @@ func (e *Engine) Run() (*Outcome, error) {
 	return &Outcome{Metrics: e.metrics, Trace: e.trace}, nil
 }
 
+// exec dispatches one popped event by its op.
+func (e *Engine) exec(ev *event) {
+	switch ev.op {
+	case opCompletion:
+		ps := &e.procs[ev.a]
+		if ps.gen != ev.inst || ps.running == nil {
+			return // stale: the job was preempted or finished earlier
+		}
+		e.markDirty(int(ev.a))
+	case opTimer:
+		e.timers[ev.a](e, int(ev.b), ev.inst, e.clock)
+	case opRelease:
+		e.release(int(ev.b), ev.inst)
+	case opFirstRelease:
+		task := int(ev.b)
+		e.release(e.idx.TaskOffset(task), ev.inst)
+		next := e.clock.Add(e.sys.Tasks[task].Period)
+		if e.cfg.FirstReleaseDelay != nil {
+			d := e.cfg.FirstReleaseDelay(task, ev.inst+1)
+			if d < 0 {
+				d = 0
+			}
+			next = next.Add(d)
+		}
+		if next <= e.cfg.Horizon {
+			e.pushFirstRelease(task, ev.inst+1, next)
+		}
+	case opFunc:
+		ev.fn(e.clock)
+	}
+}
+
 // Run is the package-level convenience: build an engine and run it.
 func Run(s *model.System, cfg Config) (*Outcome, error) {
 	e, err := New(s, cfg)
@@ -252,10 +401,39 @@ func Run(s *model.System, cfg Config) (*Outcome, error) {
 	return e.Run()
 }
 
-// push schedules an event.
-func (e *Engine) push(at model.Time, kind int8, fn func(model.Time)) {
+// Runner reuses one engine across many runs: the first Run constructs it,
+// later Runs reset it in place so queues, free lists, and dense state keep
+// their allocations. Outcomes remain independently valid because Reset
+// gives each run fresh Metrics/Trace storage. A Runner is single-goroutine,
+// like the Engine it wraps; sweeps use one Runner per worker.
+type Runner struct {
+	e *Engine
+}
+
+// Run simulates s under cfg, recycling the wrapped engine.
+func (r *Runner) Run(s *model.System, cfg Config) (*Outcome, error) {
+	if r.e == nil {
+		e, err := New(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.e = e
+	} else if err := r.e.Reset(s, cfg); err != nil {
+		return nil, err
+	}
+	return r.e.Run()
+}
+
+// push schedules an event, stamping its sequence number.
+func (e *Engine) push(ev event) {
 	e.seq++
-	heap.Push(&e.events, &event{at: at, kind: kind, seq: e.seq, fn: fn})
+	ev.seq = e.seq
+	e.events.push(ev)
+}
+
+// pushFirstRelease arms instance m of task i's first subtask at time at.
+func (e *Engine) pushFirstRelease(task int, m int64, at model.Time) {
+	e.push(event{at: at, kind: kindRelease, op: opFirstRelease, b: int32(task), inst: m})
 }
 
 // ClockOffset returns processor p's local-clock offset from global time
@@ -268,41 +446,45 @@ func (e *Engine) ClockOffset(p int) model.Duration {
 	return e.cfg.ClockOffsets[p]
 }
 
-// SetTimer schedules fn at time at (>= now). Protocols use it for MPM
-// per-instance timers and RG guard expiries.
-func (e *Engine) SetTimer(at model.Time, fn func(model.Time)) {
+// RegisterTimer registers a protocol timer callback for this run and
+// returns its id. Protocols call it once in Init and then arm instances
+// with StartTimer — the pair replaces per-timer closures in the hot path.
+func (e *Engine) RegisterTimer(fn TimerFunc) TimerID {
+	e.timers = append(e.timers, fn)
+	return TimerID(len(e.timers) - 1)
+}
+
+// StartTimer schedules the registered timer id at time at (>= now), to be
+// invoked with the given dense subtask index and instance.
+func (e *Engine) StartTimer(at model.Time, id TimerID, sub int, inst int64) {
 	if at < e.clock {
 		at = e.clock
 	}
-	e.push(at, kindTimer, fn)
+	e.push(event{at: at, kind: kindTimer, op: opTimer, a: int32(id), b: int32(sub), inst: inst})
+}
+
+// SetTimer schedules fn at time at (>= now). This is the compatibility path
+// for external protocols; it carries a closure per call, so the built-in
+// protocols use RegisterTimer/StartTimer instead.
+func (e *Engine) SetTimer(at model.Time, fn func(t model.Time)) {
+	if at < e.clock {
+		at = e.clock
+	}
+	e.push(event{at: at, kind: kindTimer, op: opFunc, fn: fn})
 }
 
 // ScheduleRelease schedules the release of instance m of subtask id at time
 // at (>= now). PM uses it to realize the modified-phase periodic releases.
 func (e *Engine) ScheduleRelease(id model.SubtaskID, m int64, at model.Time) {
+	e.scheduleReleaseDense(e.idx.IndexOf(id), m, at)
+}
+
+// scheduleReleaseDense is ScheduleRelease keyed by dense subtask index.
+func (e *Engine) scheduleReleaseDense(si int, m int64, at model.Time) {
 	if at < e.clock {
 		at = e.clock
 	}
-	e.push(at, kindRelease, func(t model.Time) { e.ReleaseNow(id, m) })
-}
-
-// scheduleFirstRelease arms instance m of task i's first subtask at time at.
-func (e *Engine) scheduleFirstRelease(task int, m int64, at model.Time) {
-	e.push(at, kindRelease, func(t model.Time) {
-		e.ReleaseNow(model.SubtaskID{Task: task, Sub: 0}, m)
-		period := e.sys.Tasks[task].Period
-		next := t.Add(period)
-		if e.cfg.FirstReleaseDelay != nil {
-			d := e.cfg.FirstReleaseDelay(task, m+1)
-			if d < 0 {
-				d = 0
-			}
-			next = next.Add(d)
-		}
-		if next <= e.cfg.Horizon {
-			e.scheduleFirstRelease(task, m+1, next)
-		}
-	})
+	e.push(event{at: at, kind: kindRelease, op: opRelease, b: int32(si), inst: m})
 }
 
 // ReleaseNow releases instance m of subtask id at the current time: the job
@@ -310,13 +492,31 @@ func (e *Engine) scheduleFirstRelease(task int, m int64, at model.Time) {
 // Instances of each subtask must be released in order; the engine panics on
 // a protocol bug that violates this.
 func (e *Engine) ReleaseNow(id model.SubtaskID, m int64) {
-	if want := e.releaseCount[id]; m != want {
+	e.release(e.idx.IndexOf(id), m)
+}
+
+// newJob takes a job from the free list, or allocates one.
+func (e *Engine) newJob() *Job {
+	if n := len(e.free); n > 0 {
+		j := e.free[n-1]
+		e.free = e.free[:n-1]
+		return j
+	}
+	return &Job{}
+}
+
+// release is ReleaseNow keyed by dense subtask index — the engine's and the
+// built-in protocols' hot path.
+func (e *Engine) release(si int, m int64) {
+	id := e.idx.ID(si)
+	if want := e.releaseCount[si]; m != want {
 		panic(fmt.Sprintf("sim: out-of-order release of %v#%d (expected #%d)", id, m+1, want+1))
 	}
-	e.releaseCount[id] = m + 1
+	e.releaseCount[si] = m + 1
 
 	t := e.clock
-	demand := e.sys.Subtask(id).Exec
+	info := &e.subs[si]
+	demand := info.exec
 	if e.cfg.ExecTime != nil {
 		actual := e.cfg.ExecTime(id, m)
 		if actual < 1 {
@@ -326,45 +526,45 @@ func (e *Engine) ReleaseNow(id model.SubtaskID, m int64) {
 			demand = actual
 		}
 	}
-	job := &Job{
+	job := e.newJob()
+	*job = Job{
 		ID:        id,
 		Instance:  m,
 		Release:   t,
 		Remaining: demand,
-		base:      e.sys.Subtask(id).Priority,
-		eff:       e.sys.EffectivePriority(id, e.ceilings),
+		idx:       int32(si),
+		base:      info.base,
+		eff:       info.eff,
 		deadline:  model.TimeInfinity,
 	}
 	if e.cfg.Scheduler == EDF {
-		job.deadline = t.Add(e.sys.Subtask(id).LocalDeadline)
+		job.deadline = t.Add(info.local)
 	}
 	if id.Sub == 0 {
-		e.taskRelease[id.Task][m] = t
+		e.firstRelease[id.Task].push(m, t)
 		e.metrics.Tasks[id.Task].Released++
 	}
 	// Precedence accounting: a non-first instance released before its
 	// predecessor instance completed is a protocol-induced violation
-	// (possible for PM under sporadic first releases, §3.1).
-	if id.Sub > 0 {
-		pred := Key{ID: model.SubtaskID{Task: id.Task, Sub: id.Sub - 1}, Instance: m}
-		if _, done := e.completionOf[pred]; !done {
-			e.metrics.PrecedenceViolations++
-			if e.trace != nil {
-				e.trace.Violations = append(e.trace.Violations, Violation{
-					Job:  job.Key(),
-					Time: t,
-				})
-			}
+	// (possible for PM under sporadic first releases, §3.1). Dense
+	// indices are chain-contiguous, so si-1 is the predecessor.
+	if id.Sub > 0 && m >= e.completedThrough[si-1] {
+		e.metrics.PrecedenceViolations++
+		if e.trace != nil {
+			e.trace.Violations = append(e.trace.Violations, Violation{
+				Job:  job.Key(),
+				Time: t,
+			})
 		}
 	}
 	if e.trace != nil {
-		e.trace.noteRelease(job, e.sys.Subtask(id).Proc)
+		e.trace.noteRelease(job, int(info.proc))
 	}
-	e.metrics.subtask(id).Released++
+	e.metrics.subtaskAt(si).Released++
 
 	e.cfg.Protocol.OnRelease(e, job, t)
 
-	p := e.sys.Subtask(id).Proc
+	p := int(info.proc)
 	ps := &e.procs[p]
 	ps.ready.push(job)
 	ps.idleNotified = false
@@ -459,13 +659,7 @@ func (e *Engine) dispatch(p int, job *Job, t model.Time) {
 	ps.runStart = t
 	ps.segStart = t
 	ps.gen++
-	gen := ps.gen
-	e.push(t.Add(job.Remaining), kindCompletion, func(now model.Time) {
-		if e.procs[p].gen != gen || e.procs[p].running == nil {
-			return // stale: the job was preempted or finished earlier
-		}
-		e.markDirty(p)
-	})
+	e.push(event{at: t.Add(job.Remaining), kind: kindCompletion, op: opCompletion, a: int32(p), inst: ps.gen})
 }
 
 // preempt pushes the running job of p back into the ready queue.
@@ -482,7 +676,7 @@ func (e *Engine) preempt(p int, t model.Time) {
 
 // finishRunning completes the running job of p at time t: bookkeeping,
 // trace, and the protocol's OnComplete hook (which may release successors
-// anywhere in the system).
+// anywhere in the system). The job returns to the free list afterwards.
 func (e *Engine) finishRunning(p int, t model.Time) {
 	ps := &e.procs[p]
 	job := ps.running
@@ -490,7 +684,15 @@ func (e *Engine) finishRunning(p int, t model.Time) {
 	ps.gen++
 	job.Completed = true
 	job.Completion = t
-	e.completionOf[job.Key()] = t
+	si := int(job.idx)
+	// Per-subtask completions are in instance order (earlier instances
+	// always dispatch ahead of later ones of the same subtask), which is
+	// what lets a watermark replace a completion map; assert it.
+	if e.completedThrough[si] != job.Instance {
+		panic(fmt.Sprintf("sim: out-of-order completion of %v (watermark #%d)",
+			job.Key(), e.completedThrough[si]+1))
+	}
+	e.completedThrough[si] = job.Instance + 1
 	if e.trace != nil {
 		if t > ps.segStart {
 			e.trace.noteSegment(p, job.Key(), ps.segStart, t)
@@ -499,12 +701,14 @@ func (e *Engine) finishRunning(p int, t model.Time) {
 	}
 	e.recordCompletionMetrics(job, t)
 	e.cfg.Protocol.OnComplete(e, job, t)
+	e.free = append(e.free, job)
 }
 
 // recordCompletionMetrics updates per-subtask response statistics and, when
 // job ends a task instance, the task's end-to-end statistics.
 func (e *Engine) recordCompletionMetrics(job *Job, t model.Time) {
-	sm := e.metrics.subtask(job.ID)
+	si := int(job.idx)
+	sm := e.metrics.subtaskAt(si)
 	resp := t.Sub(job.Release)
 	sm.Completed++
 	sm.SumResponse += int64(resp)
@@ -512,11 +716,10 @@ func (e *Engine) recordCompletionMetrics(job *Job, t model.Time) {
 		sm.MaxResponse = resp
 	}
 
-	task := &e.sys.Tasks[job.ID.Task]
-	if job.ID.Sub != len(task.Subtasks)-1 {
+	if !e.subs[si].isLast {
 		return
 	}
-	rel, ok := e.taskRelease[job.ID.Task][job.Instance]
+	rel, ok := e.firstRelease[job.ID.Task].consume(job.Instance)
 	if !ok {
 		// The chain outran its own first subtask — possible only when a
 		// protocol violates precedence (PM under sporadic first
@@ -524,7 +727,6 @@ func (e *Engine) recordCompletionMetrics(job *Job, t model.Time) {
 		// counted at release time.
 		return
 	}
-	delete(e.taskRelease[job.ID.Task], job.Instance)
 	eer := t.Sub(rel)
 	tm := &e.metrics.Tasks[job.ID.Task]
 	tm.Completed++
@@ -535,7 +737,7 @@ func (e *Engine) recordCompletionMetrics(job *Job, t model.Time) {
 	if eer > tm.MaxEER {
 		tm.MaxEER = eer
 	}
-	if eer > task.Deadline {
+	if eer > e.sys.Tasks[job.ID.Task].Deadline {
 		tm.DeadlineMisses++
 	}
 	if tm.Completed > 1 && job.Instance == tm.lastInstance+1 {
@@ -554,8 +756,12 @@ func (e *Engine) recordCompletionMetrics(job *Job, t model.Time) {
 // JobCompleted reports whether instance m of subtask id has completed. MPM
 // uses it from timers to detect overruns.
 func (e *Engine) JobCompleted(id model.SubtaskID, m int64) bool {
-	_, ok := e.completionOf[Key{ID: id, Instance: m}]
-	return ok
+	return m < e.completedThrough[e.idx.IndexOf(id)]
+}
+
+// jobCompletedDense is JobCompleted keyed by dense index.
+func (e *Engine) jobCompletedDense(si int, m int64) bool {
+	return m < e.completedThrough[si]
 }
 
 // CountOverrun increments the overrun counter (MPM timers firing before

@@ -9,11 +9,7 @@
 // exact, so a run is reproducible bit-for-bit.
 package sim
 
-import (
-	"container/heap"
-
-	"rtsync/internal/model"
-)
+import "rtsync/internal/model"
 
 // Event kinds order simultaneous events deterministically: completions are
 // settled before timers, timers before releases. Correctness does not hinge
@@ -25,42 +21,103 @@ const (
 	kindRelease
 )
 
-// event is one scheduled occurrence. The closure fn runs with the engine
-// clock already advanced to at.
+// Event ops discriminate what a popped event does. The op is independent of
+// the kind (which only orders the heap): protocol-scheduled releases and the
+// engine's periodic first-release generator both sort as kindRelease, for
+// example, so refactoring the dispatch never perturbs event order.
+const (
+	// opCompletion is a tentative job completion: a is the processor,
+	// inst the dispatch generation that armed it.
+	opCompletion = iota
+	// opTimer invokes a registered protocol timer: a is the TimerID, b
+	// the dense subtask index, inst the instance.
+	opTimer
+	// opRelease releases instance inst of the subtask with dense index b.
+	opRelease
+	// opFirstRelease releases instance inst of task b's first subtask and
+	// chains the next periodic release.
+	opFirstRelease
+	// opFunc runs a caller-supplied closure — the compatibility path for
+	// external protocols using SetTimer; built-in protocols never take it.
+	opFunc
+)
+
+// event is one scheduled occurrence, a plain value: the queue stores events
+// by value, so pushing and popping allocate nothing in the steady state.
 type event struct {
 	at   model.Time
-	kind int8
 	seq  int64
+	inst int64
+	kind int8
+	op   int8
+	a    int32
+	b    int32
 	fn   func(t model.Time)
 }
 
-// eventHeap is a min-heap on (at, kind, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.at != b.at {
-		return a.at < b.at
+// before orders events by (at, kind, seq): time first, then the kind rank,
+// then insertion order.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	if a.kind != b.kind {
-		return a.kind < b.kind
+	if e.kind != o.kind {
+		return e.kind < o.kind
 	}
-	return a.seq < b.seq
+	return e.seq < o.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// eventQueue is a hand-rolled binary min-heap of event values. It replaces
+// container/heap over *event: no per-event allocation, no interface boxing,
+// and the backing array is reused across Engine.Reset.
+type eventQueue struct {
+	items []event
 }
 
-var _ heap.Interface = (*eventHeap)(nil)
+func (q *eventQueue) len() int { return len(q.items) }
+
+func (q *eventQueue) push(ev event) {
+	q.items = append(q.items, ev)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.items[i].before(&q.items[parent]) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items[n] = event{} // release any closure
+	q.items = q.items[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.items[l].before(&q.items[smallest]) {
+			smallest = l
+		}
+		if r < n && q.items[r].before(&q.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// reset empties the queue, keeping its capacity for reuse.
+func (q *eventQueue) reset() {
+	for i := range q.items {
+		q.items[i] = event{}
+	}
+	q.items = q.items[:0]
+}

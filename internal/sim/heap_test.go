@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"sort"
 	"testing"
@@ -10,23 +9,23 @@ import (
 	"rtsync/internal/model"
 )
 
-// TestEventHeapOrderingProperty: popping the event heap always yields
+// TestEventHeapOrderingProperty: popping the event queue always yields
 // events sorted by (time, kind, seq), whatever the insertion order.
 func TestEventHeapOrderingProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		var h eventHeap
+		var q eventQueue
 		n := 50 + rng.Intn(100)
 		for i := 0; i < n; i++ {
-			heap.Push(&h, &event{
+			q.push(event{
 				at:   model.Time(rng.Intn(20)),
 				kind: int8(rng.Intn(3)),
 				seq:  int64(i),
 			})
 		}
 		var prev *event
-		for h.Len() > 0 {
-			ev := heap.Pop(&h).(*event)
+		for q.len() > 0 {
+			ev := q.pop()
 			if prev != nil {
 				if ev.at < prev.at {
 					return false
@@ -38,7 +37,7 @@ func TestEventHeapOrderingProperty(t *testing.T) {
 					return false
 				}
 			}
-			prev = ev
+			prev = &ev
 		}
 		return true
 	}

@@ -1,14 +1,15 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"rtsync/internal/model"
 )
 
 // Job is one released instance of a subtask, alive from release to
-// completion.
+// completion. The engine recycles completed Jobs through a free list, so
+// protocol hooks must not retain a *Job past the hook invocation; copy the
+// identifying fields instead.
 type Job struct {
 	// ID names the subtask this job instantiates.
 	ID model.SubtaskID
@@ -23,6 +24,9 @@ type Job struct {
 	// Completion is the finish instant; meaningful only when Completed.
 	Completion model.Time
 
+	// idx is the subtask's dense index (model.SubtaskIndex); per-subtask
+	// engine state is keyed by it.
+	idx int32
 	// base is the subtask's assigned priority; eff is base raised to the
 	// ceilings of the resources the subtask locks. Before the job first
 	// runs it competes at base; once dispatched it holds its locks and
@@ -43,6 +47,9 @@ func (j *Job) active() model.Priority {
 	return j.base
 }
 
+// Dense returns the job's dense subtask index (see model.SubtaskIndex).
+func (j *Job) Dense() int { return int(j.idx) }
+
 // Key identifies a job across maps and traces.
 type Key struct {
 	ID       model.SubtaskID
@@ -58,21 +65,25 @@ func (k Key) String() string {
 // Key returns the job's identity.
 func (j *Job) Key() Key { return Key{ID: j.ID, Instance: j.Instance} }
 
-// jobOrder captures the deterministic dispatch order on a processor. Under
-// fixed priority: active priority first (so a preempted lock holder keeps
-// its ceiling). Under EDF: earlier absolute deadline first. Ties break by
-// (task, sub, instance) for determinism.
-type jobOrder struct {
-	sys  *model.System
+// readyQueue is a priority-ordered set of released, incomplete jobs on one
+// processor: a hand-rolled binary heap over the deterministic dispatch
+// order. Under fixed priority: active priority first (so a preempted lock
+// holder keeps its ceiling). Under EDF: earlier absolute deadline first.
+// Ties break by (task, sub, instance) for determinism.
+type readyQueue struct {
 	edf  bool
 	jobs []*Job
 }
 
-func (o *jobOrder) Len() int { return len(o.jobs) }
+func newReadyQueue(sys *model.System, edf bool) *readyQueue {
+	// Pre-size for the common case: a handful of in-flight jobs per
+	// subtask of the system. The slice grows (amortized) past that.
+	return &readyQueue{edf: edf, jobs: make([]*Job, 0, 2*sys.NumSubtasks())}
+}
 
-func (o *jobOrder) Less(i, j int) bool {
-	a, b := o.jobs[i], o.jobs[j]
-	if o.edf {
+// less reports whether a dispatches strictly before b.
+func (q *readyQueue) less(a, b *Job) bool {
+	if q.edf {
 		if a.deadline != b.deadline {
 			return a.deadline < b.deadline
 		}
@@ -88,42 +99,62 @@ func (o *jobOrder) Less(i, j int) bool {
 	return a.Instance < b.Instance
 }
 
-func (o *jobOrder) Swap(i, j int) { o.jobs[i], o.jobs[j] = o.jobs[j], o.jobs[i] }
-
-func (o *jobOrder) Push(x any) { o.jobs = append(o.jobs, x.(*Job)) }
-
-func (o *jobOrder) Pop() any {
-	n := len(o.jobs)
-	j := o.jobs[n-1]
-	o.jobs[n-1] = nil
-	o.jobs = o.jobs[:n-1]
-	return j
+func (q *readyQueue) push(j *Job) {
+	q.jobs = append(q.jobs, j)
+	i := len(q.jobs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.jobs[i], q.jobs[parent]) {
+			break
+		}
+		q.jobs[i], q.jobs[parent] = q.jobs[parent], q.jobs[i]
+		i = parent
+	}
 }
 
-var _ heap.Interface = (*jobOrder)(nil)
-
-// readyQueue is a priority-ordered set of released, incomplete jobs on one
-// processor.
-type readyQueue struct {
-	order jobOrder
+func (q *readyQueue) pop() *Job {
+	top := q.jobs[0]
+	n := len(q.jobs) - 1
+	q.jobs[0] = q.jobs[n]
+	q.jobs[n] = nil
+	q.jobs = q.jobs[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(q.jobs[l], q.jobs[smallest]) {
+			smallest = l
+		}
+		if r < n && q.less(q.jobs[r], q.jobs[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.jobs[i], q.jobs[smallest] = q.jobs[smallest], q.jobs[i]
+		i = smallest
+	}
+	return top
 }
-
-func newReadyQueue(sys *model.System, edf bool) *readyQueue {
-	return &readyQueue{order: jobOrder{sys: sys, edf: edf}}
-}
-
-func (q *readyQueue) push(j *Job) { heap.Push(&q.order, j) }
-
-func (q *readyQueue) pop() *Job { return heap.Pop(&q.order).(*Job) }
 
 // peek returns the most urgent ready job without removing it, or nil.
 func (q *readyQueue) peek() *Job {
-	if len(q.order.jobs) == 0 {
+	if len(q.jobs) == 0 {
 		return nil
 	}
-	return q.order.jobs[0]
+	return q.jobs[0]
 }
 
-func (q *readyQueue) empty() bool { return len(q.order.jobs) == 0 }
+func (q *readyQueue) empty() bool { return len(q.jobs) == 0 }
 
-func (q *readyQueue) len() int { return len(q.order.jobs) }
+func (q *readyQueue) len() int { return len(q.jobs) }
+
+// reset empties the queue in place, keeping capacity, and updates the
+// dispatch discipline for the next run.
+func (q *readyQueue) reset(edf bool) {
+	for i := range q.jobs {
+		q.jobs[i] = nil
+	}
+	q.jobs = q.jobs[:0]
+	q.edf = edf
+}

@@ -86,30 +86,27 @@ type Metrics struct {
 	Preemptions int64
 	// Events counts simulator events processed.
 	Events int64
+
+	// dense is the flat per-subtask backing store; the Subtasks map points
+	// into it. The engine addresses it by dense index (subtaskAt), so the
+	// hot path never hashes a SubtaskID.
+	dense []SubtaskMetrics
 }
 
-func newMetrics(s *model.System) *Metrics {
+func newMetrics(s *model.System, ix *model.SubtaskIndex) *Metrics {
 	m := &Metrics{
 		Tasks:    make([]TaskMetrics, len(s.Tasks)),
-		Subtasks: make(map[model.SubtaskID]*SubtaskMetrics, s.NumSubtasks()),
+		Subtasks: make(map[model.SubtaskID]*SubtaskMetrics, ix.Len()),
+		dense:    make([]SubtaskMetrics, ix.Len()),
 	}
-	for _, id := range s.SubtaskIDs() {
-		m.Subtasks[id] = &SubtaskMetrics{}
+	for i := range m.dense {
+		m.Subtasks[ix.ID(i)] = &m.dense[i]
 	}
 	return m
 }
 
-// subtask returns the aggregate record for id, creating it if a protocol
-// released a subtask the constructor did not know about (impossible for
-// valid systems, but cheap to be safe).
-func (m *Metrics) subtask(id model.SubtaskID) *SubtaskMetrics {
-	sm, ok := m.Subtasks[id]
-	if !ok {
-		sm = &SubtaskMetrics{}
-		m.Subtasks[id] = sm
-	}
-	return sm
-}
+// subtaskAt returns the aggregate record at dense index i.
+func (m *Metrics) subtaskAt(i int) *SubtaskMetrics { return &m.dense[i] }
 
 // TotalCompleted returns the number of completed task instances across all
 // tasks.

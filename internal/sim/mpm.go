@@ -13,6 +13,11 @@ import "rtsync/internal/model"
 // successor release is anchored to the predecessor's actual release instant.
 type MPM struct {
 	bounds Bounds
+
+	// boundAt is bounds re-keyed by dense subtask index, and timer the
+	// registered per-run release callback; both are rebuilt in Init.
+	boundAt []model.Duration
+	timer   TimerID
 }
 
 // NewMPM returns the MPM protocol configured with per-subtask response-time
@@ -22,9 +27,28 @@ func NewMPM(bounds Bounds) *MPM { return &MPM{bounds: bounds} }
 // Name implements Protocol.
 func (*MPM) Name() string { return "MPM" }
 
-// Init implements Protocol.
+// Init implements Protocol: validate the bounds, flatten them onto dense
+// subtask indices, and register the one timer callback all instances share.
 func (mpm *MPM) Init(e *Engine) error {
-	return mpm.bounds.validate(e.System(), "MPM")
+	if err := mpm.bounds.validate(e.System(), "MPM"); err != nil {
+		return err
+	}
+	ix := e.Index()
+	if cap(mpm.boundAt) < ix.Len() {
+		mpm.boundAt = make([]model.Duration, ix.Len())
+	} else {
+		mpm.boundAt = mpm.boundAt[:ix.Len()]
+	}
+	for i := range mpm.boundAt {
+		mpm.boundAt[i] = mpm.bounds[ix.ID(i)]
+	}
+	mpm.timer = e.RegisterTimer(func(e *Engine, sub int, inst int64, now model.Time) {
+		if !e.jobCompletedDense(sub, inst) {
+			e.CountOverrun()
+		}
+		e.release(sub+1, inst)
+	})
+	return nil
 }
 
 // OnRelease implements Protocol: arm the timer that will release the
@@ -32,18 +56,11 @@ func (mpm *MPM) Init(e *Engine) error {
 // if the instance has not completed when it fires, the supplied bound was
 // wrong, and the engine counts it.
 func (mpm *MPM) OnRelease(e *Engine, j *Job, t model.Time) {
-	task := &e.System().Tasks[j.ID.Task]
-	if j.ID.Sub+1 >= len(task.Subtasks) {
+	si := int(j.idx)
+	if e.subs[si].isLast {
 		return // last subtask: nothing to synchronize
 	}
-	id, m := j.ID, j.Instance
-	succ := model.SubtaskID{Task: id.Task, Sub: id.Sub + 1}
-	e.SetTimer(t.Add(mpm.bounds[id]), func(now model.Time) {
-		if !e.JobCompleted(id, m) {
-			e.CountOverrun()
-		}
-		e.ReleaseNow(succ, m)
-	})
+	e.StartTimer(t.Add(mpm.boundAt[si]), mpm.timer, si, j.Instance)
 }
 
 // OnComplete implements Protocol; MPM waits for the timer even when the

@@ -56,8 +56,8 @@ func (*PM) OnRelease(e *Engine, j *Job, t model.Time) {
 	if j.ID.Sub == 0 {
 		return // first subtasks are released by the engine's generator
 	}
-	period := e.System().Tasks[j.ID.Task].Period
-	e.ScheduleRelease(j.ID, j.Instance+1, t.Add(period))
+	period := e.sys.Tasks[j.ID.Task].Period
+	e.scheduleReleaseDense(int(j.idx), j.Instance+1, t.Add(period))
 }
 
 // OnComplete implements Protocol; PM ignores completions entirely — that is

@@ -1,0 +1,69 @@
+package sim
+
+import "rtsync/internal/model"
+
+// relRing holds one task's pending end-to-end-response origins: the release
+// instants of first-subtask instances whose last subtask has not completed
+// yet. Both producers are in instance order — first-subtask releases by the
+// engine's release-order invariant, last-subtask completions by the
+// completion-watermark invariant — so a FIFO ring over a contiguous
+// instance range suffices, and its size is bounded by the task's in-flight
+// instances (the old map retained every instance of the run).
+type relRing struct {
+	// base is the instance number of the entry at head.
+	base int64
+	head int
+	n    int
+	buf  []model.Time
+}
+
+// push records the release instant of instance m, which must extend the
+// contiguous range.
+func (r *relRing) push(m int64, t model.Time) {
+	if r.n == 0 {
+		r.base = m
+	} else if m != r.base+int64(r.n) {
+		panic("sim: non-contiguous first-subtask release")
+	}
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = t
+	r.n++
+}
+
+// consume returns instance m's release instant and removes it. Entries older
+// than m are dropped first: they belong to instances whose chain completion
+// was swallowed by a precedence violation (PM under sporadic first releases)
+// and will never be consumed — exactly the entries the old map leaked.
+func (r *relRing) consume(m int64) (model.Time, bool) {
+	for r.n > 0 && r.base < m {
+		r.head = (r.head + 1) % len(r.buf)
+		r.base++
+		r.n--
+	}
+	if r.n == 0 || r.base != m {
+		return 0, false
+	}
+	t := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.base++
+	r.n--
+	return t, true
+}
+
+func (r *relRing) grow() {
+	next := make([]model.Time, 2*len(r.buf)+4)
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = next
+	r.head = 0
+}
+
+// reset empties the ring, keeping its buffer.
+func (r *relRing) reset() {
+	r.head = 0
+	r.n = 0
+	r.base = 0
+}

@@ -25,11 +25,16 @@ type RG struct {
 	// NewRGRule1Only for the ablation variant.
 	rule2 bool
 
-	guard map[model.SubtaskID]model.Time
-	// pending holds, per subtask, the instances whose synchronization
-	// signal arrived before the guard; they are released in order as the
-	// guard allows.
-	pending map[model.SubtaskID][]int64
+	// guard[si] is g(i,j) keyed by dense subtask index.
+	guard []model.Time
+	// pending[si] holds the instances whose synchronization signal arrived
+	// before the guard; they are released in order as the guard allows.
+	pending [][]int64
+	// onProc[p] lists the dense indices of processor p's subtasks (rule 2
+	// iterates them in the same task-major order as System.OnProcessor).
+	onProc [][]int32
+	// timer is the registered drain callback.
+	timer TimerID
 }
 
 // NewRG returns the full Release Guard protocol (rules 1 and 2).
@@ -47,47 +52,75 @@ func (rg *RG) Name() string {
 }
 
 // Init implements Protocol: all guards start at zero so first instances
-// release as soon as their predecessors complete.
+// release as soon as their predecessors complete. Per-subtask state is
+// dense slices whose backing arrays survive across runs of the same value.
 func (rg *RG) Init(e *Engine) error {
 	s := e.System()
-	rg.guard = make(map[model.SubtaskID]model.Time, s.NumSubtasks())
-	rg.pending = make(map[model.SubtaskID][]int64)
+	ix := e.Index()
+	n := ix.Len()
+	if cap(rg.guard) < n {
+		rg.guard = make([]model.Time, n)
+		rg.pending = make([][]int64, n)
+	} else {
+		rg.guard = rg.guard[:n]
+		rg.pending = rg.pending[:n]
+	}
+	for i := 0; i < n; i++ {
+		rg.guard[i] = 0
+		rg.pending[i] = rg.pending[i][:0]
+	}
+	if cap(rg.onProc) < len(s.Procs) {
+		rg.onProc = make([][]int32, len(s.Procs))
+	} else {
+		rg.onProc = rg.onProc[:len(s.Procs)]
+	}
+	for p := range rg.onProc {
+		rg.onProc[p] = rg.onProc[p][:0]
+	}
+	for i := 0; i < n; i++ {
+		p := s.Subtask(ix.ID(i)).Proc
+		rg.onProc[p] = append(rg.onProc[p], int32(i))
+	}
+	rg.timer = e.RegisterTimer(func(e *Engine, sub int, _ int64, now model.Time) {
+		rg.drain(e, sub, now)
+	})
 	return nil
 }
 
 // OnRelease implements Protocol: rule 1.
 func (rg *RG) OnRelease(e *Engine, j *Job, t model.Time) {
-	period := e.System().Tasks[j.ID.Task].Period
-	rg.guard[j.ID] = t.Add(period)
+	period := e.sys.Tasks[j.ID.Task].Period
+	rg.guard[j.idx] = t.Add(period)
 }
 
 // OnComplete implements Protocol: signal the successor; release it now if
 // its guard has passed, otherwise hold the signal until the guard expires
 // (or an idle point lowers it).
 func (rg *RG) OnComplete(e *Engine, j *Job, t model.Time) {
-	task := &e.System().Tasks[j.ID.Task]
-	if j.ID.Sub+1 >= len(task.Subtasks) {
+	si := int(j.idx)
+	if e.subs[si].isLast {
 		return
 	}
-	succ := model.SubtaskID{Task: j.ID.Task, Sub: j.ID.Sub + 1}
-	rg.pending[succ] = append(rg.pending[succ], j.Instance)
-	rg.drain(e, succ, t)
+	rg.pending[si+1] = append(rg.pending[si+1], j.Instance)
+	rg.drain(e, si+1, t)
 }
 
-// drain releases held instances of id whose guard has passed, re-arming a
-// timer for the earliest remaining one.
-func (rg *RG) drain(e *Engine, id model.SubtaskID, t model.Time) {
-	for len(rg.pending[id]) > 0 && rg.guard[id] <= t {
-		m := rg.pending[id][0]
-		rg.pending[id] = rg.pending[id][1:]
-		// ReleaseNow triggers OnRelease, which advances the guard by
+// drain releases held instances of the subtask at dense index si whose
+// guard has passed, re-arming a timer for the earliest remaining one.
+func (rg *RG) drain(e *Engine, si int, t model.Time) {
+	for len(rg.pending[si]) > 0 && rg.guard[si] <= t {
+		p := rg.pending[si]
+		m := p[0]
+		copy(p, p[1:])
+		rg.pending[si] = p[:len(p)-1]
+		// The release triggers OnRelease, which advances the guard by
 		// rule 1, naturally spacing any remaining held instances.
-		e.ReleaseNow(id, m)
+		e.release(si, m)
 	}
-	if len(rg.pending[id]) > 0 {
+	if len(rg.pending[si]) > 0 {
 		// Wake up when the (possibly advanced) guard expires. Stale
 		// timers from earlier arrivals drain nothing and are harmless.
-		e.SetTimer(rg.guard[id], func(now model.Time) { rg.drain(e, id, now) })
+		e.StartTimer(rg.guard[si], rg.timer, si, 0)
 	}
 }
 
@@ -97,12 +130,12 @@ func (rg *RG) OnIdle(e *Engine, proc int, t model.Time) {
 	if !rg.rule2 {
 		return
 	}
-	for _, id := range e.System().OnProcessor(proc) {
-		if rg.guard[id] > t {
-			rg.guard[id] = t
+	for _, si := range rg.onProc[proc] {
+		if rg.guard[si] > t {
+			rg.guard[si] = t
 		}
-		if len(rg.pending[id]) > 0 {
-			rg.drain(e, id, t)
+		if len(rg.pending[si]) > 0 {
+			rg.drain(e, int(si), t)
 		}
 	}
 }
