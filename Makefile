@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt cover experiments examples clean
+.PHONY: all build test test-short bench bench-analysis vet fmt cover experiments examples clean
 
 all: build test
 
@@ -23,6 +23,12 @@ test-short:
 
 bench:
 	$(GO) test -run NONE -bench=. -benchmem ./...
+
+# Rerun the analysis hot-path benchmarks and rewrite the "after" section of
+# BENCH_analysis.json in place (description, "before" and notes survive).
+bench-analysis:
+	$(GO) run ./tools/benchjson -out BENCH_analysis.json \
+		-pkg ./internal/analysis -bench BenchmarkAnalyze -benchtime 10x
 
 cover:
 	$(GO) test -cover ./...
@@ -54,7 +60,10 @@ examples: build
 	$(GO) run ./examples/edfstudy
 	$(GO) run ./examples/fleet -systems 3
 
-# The experiments target writes results/*.txt; clean removes those (and any
-# stray profiles), not the *.csv glob that matched nothing.
+# The experiments target writes results/*.txt; clean removes those plus
+# profiling and test-binary droppings. The golden fixtures under
+# internal/*/testdata are committed INPUTS — regenerated only by a
+# deliberate `go test ./internal/analysis -run Golden -update` (CI never
+# passes -update) — so clean must never reach into testdata.
 clean:
-	rm -f results/*.txt results/*.csv *.prof cpu.out mem.out
+	rm -f results/*.txt results/*.csv *.prof *.test cpu.out mem.out

@@ -60,45 +60,28 @@ func run(args []string, w io.Writer) error {
 	opts := analysis.DefaultOptions()
 	opts.FailureFactor = *factor
 
+	// One Analyzer and one Reset serve every requested analysis.
+	an, err := analysis.NewAnalyzer(sys, opts)
+	if err != nil {
+		return err
+	}
 	switch *algo {
 	case "sapm":
-		res, err := analysis.AnalyzePM(sys, opts)
-		if err != nil {
-			return err
-		}
-		return printResult(w, sys, res)
+		return printResult(w, sys, an.AnalyzePM())
 	case "sads":
-		res, err := analysis.AnalyzeDS(sys, opts)
-		if err != nil {
-			return err
-		}
-		return printResult(w, sys, res)
+		return printResult(w, sys, an.AnalyzeDS())
 	case "holistic":
-		res, err := analysis.AnalyzeDSHolistic(sys, opts)
-		if err != nil {
-			return err
-		}
-		return printResult(w, sys, res)
+		return printResult(w, sys, an.AnalyzeHolistic())
 	case "both":
-		pm, err := analysis.AnalyzePM(sys, opts)
-		if err != nil {
-			return err
-		}
+		pm := an.AnalyzePM()
 		if err := printResult(w, sys, pm); err != nil {
 			return err
 		}
-		ds, err := analysis.AnalyzeDS(sys, opts)
-		if err != nil {
-			return err
-		}
+		ds := an.AnalyzeDS()
 		if err := printResult(w, sys, ds); err != nil {
 			return err
 		}
-		hol, err := analysis.AnalyzeDSHolistic(sys, opts)
-		if err != nil {
-			return err
-		}
-		return printComparison(w, sys, pm, ds, hol)
+		return printComparison(w, sys, pm, ds, an.AnalyzeHolistic())
 	default:
 		return fmt.Errorf("unknown -algo %q (want sapm, sads, holistic, or both)", *algo)
 	}
@@ -111,7 +94,7 @@ func printResult(w io.Writer, sys *model.System, res *analysis.Result) error {
 	for _, id := range sys.SubtaskIDs() {
 		st := sys.Subtask(id)
 		sub.AddRowf(id.String(), sys.Procs[st.Proc].Name, st.Exec.String(),
-			int(st.Priority), res.Subtasks[id].Response.String())
+			int(st.Priority), res.Bound(id).Response.String())
 	}
 	if err := sub.Render(w); err != nil {
 		return err

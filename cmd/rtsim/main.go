@@ -187,8 +187,9 @@ func buildProtocol(name string, sys *model.System) (sim.Protocol, error) {
 		if err != nil {
 			return nil, err
 		}
-		b := make(sim.Bounds, len(res.Subtasks))
-		for id, sb := range res.Subtasks {
+		b := make(sim.Bounds, len(res.Bounds))
+		for i, sb := range res.Bounds {
+			id := res.Index.ID(i)
 			if sb.Response.IsInfinite() {
 				return nil, fmt.Errorf("cannot run %s: SA/PM bound for %v is infinite", name, id)
 			}

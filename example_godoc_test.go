@@ -15,7 +15,7 @@ func ExampleAnalyzePM() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("R(2,1) =", res.Subtasks[rtsync.SubtaskID{Task: 1, Sub: 0}].Response)
+	fmt.Println("R(2,1) =", res.Bound(rtsync.SubtaskID{Task: 1, Sub: 0}).Response)
 	fmt.Println("EER bounds:", res.TaskEER)
 	phases, err := rtsync.PMPhases(sys, res)
 	if err != nil {

@@ -61,7 +61,7 @@ func run() error {
 	var pmWorse int
 	for i := range sys.Tasks {
 		lastID := rtsync.SubtaskID{Task: i, Sub: len(sys.Tasks[i].Subtasks) - 1}
-		lastBound := pmRes.Subtasks[lastID].Response
+		lastBound := pmRes.Bound(lastID).Response
 		t.AddRowf(sys.Tasks[i].Name, sys.Tasks[i].Period.String(),
 			jitter["DS"][i].String(), jitter["RG"][i].String(),
 			jitter["PM"][i].String(), lastBound.String())

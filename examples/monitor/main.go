@@ -128,7 +128,7 @@ func run() error {
 		id := rtsync.SubtaskID{Task: 0, Sub: j}
 		st := sys.Subtask(id)
 		sub.AddRowf(id.String(), sys.Procs[st.Proc].Name, st.Exec.String(),
-			res.Subtasks[id].Response.String())
+			res.Bound(id).Response.String())
 	}
 	return sub.Render(os.Stdout)
 }

@@ -42,9 +42,11 @@ func AnalyzeEDF(s *model.System, opts Options) (*Result, error) {
 		}
 	}
 
+	ix := model.NewSubtaskIndex(s)
 	res := &Result{
 		Protocol:   "EDF-DBF",
-		Subtasks:   make(map[model.SubtaskID]SubtaskBound, s.NumSubtasks()),
+		Index:      ix,
+		Bounds:     make([]SubtaskBound, ix.Len()),
 		TaskEER:    make([]model.Duration, len(s.Tasks)),
 		Iterations: 1,
 	}
@@ -71,7 +73,7 @@ func AnalyzeEDF(s *model.System, opts Options) (*Result, error) {
 				bound = model.Infinite
 				feasible = false
 			}
-			res.Subtasks[id] = SubtaskBound{Response: bound}
+			res.Bounds[ix.IndexOf(id)] = SubtaskBound{Response: bound}
 			eer = eer.AddSat(bound)
 		}
 		if !feasible || eer > opts.failureCap(s.Tasks[i].Period) {
@@ -105,8 +107,8 @@ func edfDemandTest(s *model.System, p int, opts Options) bool {
 			maxPeriod = s.Task(id).Period
 		}
 	}
-	cap := opts.failureCap(maxPeriod).MulSat(2)
-	l := solveFixpoint(0, terms, cap, opts.MaxFixpointIter, 0)
+	horizonCap := opts.failureCap(maxPeriod).MulSat(2)
+	l := solveFixpoint(0, terms, horizonCap, opts.MaxFixpointIter, 0)
 	if l.IsInfinite() {
 		return false
 	}

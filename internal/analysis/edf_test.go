@@ -157,8 +157,8 @@ func TestEDFSchedulesWhatSAPMSchedules(t *testing.T) {
 		// question ("does every subtask meet its local deadline?").
 		comparable := true
 		for _, id := range s.SubtaskIDs() {
-			if pm.Subtasks[id].Response.IsInfinite() ||
-				pm.Subtasks[id].Response > s.Subtask(id).LocalDeadline {
+			if pm.Bound(id).Response.IsInfinite() ||
+				pm.Bound(id).Response > s.Subtask(id).LocalDeadline {
 				comparable = false
 				break
 			}

@@ -11,6 +11,9 @@
 package analysis
 
 import (
+	"math"
+	"math/big"
+
 	"rtsync/internal/model"
 )
 
@@ -179,14 +182,137 @@ func blockingTerm(s *model.System, id model.SubtaskID, opts Options) model.Durat
 
 // procOverUtilized reports whether the level-(i,j) utilization (self plus
 // interferers) exceeds 1, in which case no busy-period bound exists. The
-// check is exact: Σ e/p > 1  <=>  Σ e·L/p·(p) ... computed with rationals
-// via a common comparison against the product is overflow-prone, so we use
-// the safe float check with a small epsilon on the conservative side (only
-// used as a fast-path; the fixed-point solver itself detects divergence).
+// test is exact: an int64 numerator/denominator fast path kept reduced by
+// gcd, a float64 screen with a rigorous error margin once the integers
+// overflow (pseudo-random co-prime periods overflow the common denominator
+// quickly), and a math/big replay only when the screen lands inside its
+// margin of exactly 1 — so borderline-utilization systems cannot flicker
+// between analyzable and not across platforms the way the former
+// float-with-epsilon check allowed, and the big allocations stay off every
+// realistic path.
 func procOverUtilized(s *model.System, id model.SubtaskID) bool {
-	u := float64(s.Subtask(id).Exec) / float64(s.Task(id).Period)
-	for _, other := range interferers(s, id) {
-		u += float64(s.Subtask(other).Exec) / float64(s.Task(other).Period)
+	u := newUtilSum(int64(s.Subtask(id).Exec), int64(s.Task(id).Period))
+	ints := interferers(s, id)
+	for _, other := range ints {
+		u.add(int64(s.Subtask(other).Exec), int64(s.Task(other).Period))
 	}
-	return u > 1.0+1e-9
+	switch u.compareOne() {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	// Ambiguous: replay in exact rational arithmetic.
+	sum := new(big.Rat).SetFrac64(int64(s.Subtask(id).Exec), int64(s.Task(id).Period))
+	var t big.Rat
+	for _, other := range ints {
+		sum.Add(sum, t.SetFrac64(int64(s.Subtask(other).Exec), int64(s.Task(other).Period)))
+	}
+	return sum.Cmp(ratOne) > 0
+}
+
+var ratOne = big.NewRat(1, 1)
+
+// utilSum accumulates a sum of exec/period fractions. The reduced int64
+// fraction is exact until an addition overflows; a float64 shadow of the
+// sum and the number of terms survive past that point so compareOne can
+// still decide all but pathologically borderline sums without math/big.
+type utilSum struct {
+	num, den int64
+	overflow bool
+	f        float64
+	terms    int
+}
+
+// newUtilSum starts the sum at e/p. Periods are validated positive.
+func newUtilSum(e, p int64) utilSum {
+	g := gcd64(e, p)
+	if g > 1 {
+		e, p = e/g, p/g
+	}
+	return utilSum{num: e, den: p, f: float64(e) / float64(p), terms: 1}
+}
+
+// add accumulates e/p into the sum.
+func (u *utilSum) add(e, p int64) {
+	u.f += float64(e) / float64(p)
+	u.terms++
+	if u.overflow {
+		return
+	}
+	// num/den + e/p = (num·(p/g) + e·(den/g)) / (den·(p/g)), g = gcd(den,p).
+	g := gcd64(u.den, p)
+	pg, dg := p/g, u.den/g
+	n1, ok1 := mul64(u.num, pg)
+	n2, ok2 := mul64(e, dg)
+	den, ok3 := mul64(u.den, pg)
+	num, ok4 := add64(n1, n2)
+	if !(ok1 && ok2 && ok3 && ok4) {
+		u.overflow = true
+		return
+	}
+	if g = gcd64(num, den); g > 1 {
+		num, den = num/g, den/g
+	}
+	u.num, u.den = num, den
+}
+
+// compareOne compares the accumulated sum against 1: +1 above, -1 not
+// above, 0 undecidable here (the integers overflowed and the float shadow
+// is within its error margin of 1 — the caller must replay exactly). Each
+// of the ~2·terms floating operations contributes at most one ulp of
+// relative error, so 4e-16·terms·sum comfortably over-bounds the total.
+func (u *utilSum) compareOne() int {
+	if !u.overflow {
+		if u.num > u.den {
+			return 1
+		}
+		return -1
+	}
+	eps := 4e-16 * float64(u.terms) * u.f
+	switch {
+	case u.f > 1+eps:
+		return 1
+	case u.f < 1-eps:
+		return -1
+	}
+	return 0
+}
+
+// utilExceedsOneExact decides Σ Exec/Period > 1 over a term slice in exact
+// rational arithmetic. Only the ambiguous compareOne branch reaches it.
+func utilExceedsOneExact(terms []term) bool {
+	var sum, t big.Rat
+	for _, tm := range terms {
+		sum.Add(&sum, t.SetFrac64(int64(tm.Exec), int64(tm.Period)))
+	}
+	return sum.Cmp(ratOne) > 0
+}
+
+// gcd64 returns the greatest common divisor of two non-negative int64s
+// (gcd(x, 0) = x).
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// mul64 multiplies non-negative int64s, reporting whether the product fits.
+func mul64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a > math.MaxInt64/b {
+		return 0, false
+	}
+	return a * b, true
+}
+
+// add64 adds non-negative int64s, reporting whether the sum fits.
+func add64(a, b int64) (int64, bool) {
+	if a > math.MaxInt64-b {
+		return 0, false
+	}
+	return a + b, true
 }

@@ -1,0 +1,253 @@
+// Golden-fixture parity tests for the schedulability analyses: every case
+// runs one analysis over one system and digests the complete result —
+// per-subtask bounds (Response, BusyPeriod, Instances), per-task EER bounds,
+// and the outer iteration count — into a canonical text form. The SHA-256 of
+// each digest is checked into testdata/golden.json; the digests of the small
+// example systems are additionally stored verbatim under testdata/golden/ so
+// a mismatch is diffable.
+//
+// The fixtures were captured from the map-based analyses BEFORE the dense
+// Analyzer refactor (run with -update), so this test proves the dense core
+// reproduces the original bounds and iteration counts bit for bit. CI never
+// passes -update; regenerating fixtures is a deliberate local act.
+package analysis_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden analysis fixtures from the current implementation")
+
+// goldenAnalysis names one analysis variant applied to a system.
+type goldenAnalysis struct {
+	name string
+	run  func(*model.System) (*analysis.Result, error)
+}
+
+func goldenAnalyses() []goldenAnalysis {
+	stopOpts := analysis.DefaultOptions()
+	stopOpts.StopOnFailure = true
+	return []goldenAnalysis{
+		{"sapm", func(s *model.System) (*analysis.Result, error) {
+			return analysis.AnalyzePM(s, analysis.DefaultOptions())
+		}},
+		{"sads", func(s *model.System) (*analysis.Result, error) {
+			return analysis.AnalyzeDS(s, analysis.DefaultOptions())
+		}},
+		{"sads-stop", func(s *model.System) (*analysis.Result, error) {
+			return analysis.AnalyzeDS(s, stopOpts)
+		}},
+		{"holistic", func(s *model.System) (*analysis.Result, error) {
+			return analysis.AnalyzeDSHolistic(s, analysis.DefaultOptions())
+		}},
+	}
+}
+
+// digestResult renders an analysis result canonically: one line per task and
+// per subtask, in dense (task, chain) order, integers only.
+func digestResult(s *model.System, res *analysis.Result) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "protocol=%s iterations=%d\n", res.Protocol, res.Iterations)
+	for i := range s.Tasks {
+		fmt.Fprintf(&b, "task %d: eer=%d schedulable=%v\n", i, int64(res.TaskEER[i]), res.Schedulable(s, i))
+	}
+	for _, id := range s.SubtaskIDs() {
+		sb := res.Bound(id)
+		fmt.Fprintf(&b, "sub (%d,%d): r=%d bp=%d m=%d\n",
+			id.Task, id.Sub, int64(sb.Response), int64(sb.BusyPeriod), sb.Instances)
+	}
+	return b.String()
+}
+
+// goldenSystem is one fixture system.
+type goldenSystem struct {
+	name string
+	sys  *model.System
+	// fullDump stores the digest verbatim (diffable), not just its hash.
+	fullDump bool
+}
+
+// goldenSystems returns the fixture population: both paper examples, three
+// hand-built systems exercising the blocking-term extensions, and 50 seeded
+// systems from the paper's (N, U) workload generator.
+func goldenSystems(t testing.TB) []goldenSystem {
+	t.Helper()
+	systems := []goldenSystem{
+		{name: "example1", sys: model.Example1(), fullDump: true},
+		{name: "example2", sys: model.Example2(), fullDump: true},
+		{name: "link-bus", sys: linkSystem(), fullDump: true},
+		{name: "ceiling", sys: ceilingSystem(), fullDump: true},
+		{name: "overutil", sys: overUtilSystem(), fullDump: true},
+	}
+	// 5 configurations x 10 seeds = 50 generated systems spanning the
+	// paper grid corners plus the (8, 90%) stress shape.
+	grid := []struct {
+		n int
+		u float64
+	}{
+		{2, 0.5}, {3, 0.7}, {5, 0.7}, {5, 0.9}, {8, 0.9},
+	}
+	for _, g := range grid {
+		for seed := int64(1); seed <= 10; seed++ {
+			cfg := workload.DefaultConfig(g.n, g.u)
+			cfg.Seed = seed * 7919
+			sys, err := workload.Generate(cfg)
+			if err != nil {
+				t.Fatalf("generate (%d,%d%%) seed %d: %v", g.n, int(g.u*100), seed, err)
+			}
+			systems = append(systems, goldenSystem{
+				name: fmt.Sprintf("gen-n%d-u%d-s%d", g.n, int(g.u*100), seed),
+				sys:  sys,
+			})
+		}
+	}
+	return systems
+}
+
+// linkSystem exercises the non-preemptive (link processor) blocking term.
+func linkSystem() *model.System {
+	b := model.NewBuilder()
+	cpu := b.AddProcessor("CPU")
+	bus := b.AddLink("CAN")
+	b.AddTask("hi", 20, 0).Subtask(cpu, 2, 3).Subtask(bus, 1, 3).Done()
+	b.AddTask("mid", 30, 0).Subtask(bus, 2, 2).Subtask(cpu, 3, 2).Done()
+	b.AddTask("lo", 40, 0).Subtask(cpu, 4, 1).Subtask(bus, 4, 1).Done()
+	return b.MustBuild()
+}
+
+// ceilingSystem exercises the priority-ceiling-emulation blocking term.
+func ceilingSystem() *model.System {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	q := b.AddProcessor("Q")
+	r := b.AddResource("sensor")
+	b.AddTask("hi", 15, 0).Subtask(p, 1, 3).Locking(r).Subtask(q, 2, 2).Done()
+	b.AddTask("mid", 20, 0).Subtask(p, 2, 2).Done()
+	b.AddTask("lo", 30, 0).Subtask(p, 4, 1).Locking(r).Subtask(q, 3, 1).Done()
+	return b.MustBuild()
+}
+
+// overUtilSystem has a 1.2-utilized level, so bounds go infinite and the
+// failure/poisoning paths are pinned by the fixtures too.
+func overUtilSystem() *model.System {
+	b := model.NewBuilder()
+	p := b.AddProcessor("P")
+	q := b.AddProcessor("Q")
+	b.AddTask("A", 10, 0).Subtask(p, 6, 1).Subtask(q, 2, 1).Subtask(p, 1, 3).Done()
+	b.AddTask("B", 10, 0).Subtask(p, 6, 2).Subtask(q, 2, 2).Done()
+	return b.MustBuild()
+}
+
+const goldenDir = "testdata"
+
+// TestGoldenBounds checks every (system, analysis) digest against the
+// committed fixtures.
+func TestGoldenBounds(t *testing.T) {
+	hashes := map[string]string{}
+	dumps := map[string]string{}
+	for _, gs := range goldenSystems(t) {
+		for _, ga := range goldenAnalyses() {
+			res, err := ga.run(gs.sys)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gs.name, ga.name, err)
+			}
+			name := gs.name + "/" + ga.name
+			d := digestResult(gs.sys, res)
+			sum := sha256.Sum256([]byte(d))
+			hashes[name] = hex.EncodeToString(sum[:])
+			if gs.fullDump {
+				dumps[name] = d
+			}
+		}
+	}
+
+	hashPath := filepath.Join(goldenDir, "golden.json")
+	if *updateGolden {
+		writeGolden(t, hashPath, hashes, dumps)
+		t.Logf("rewrote %s (%d cases)", hashPath, len(hashes))
+		return
+	}
+
+	raw, err := os.ReadFile(hashPath)
+	if err != nil {
+		t.Fatalf("read golden fixtures (run with -update to create them): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse %s: %v", hashPath, err)
+	}
+	if len(want) != len(hashes) {
+		t.Errorf("fixture count mismatch: %d committed, %d computed", len(want), len(hashes))
+	}
+	for name, got := range hashes {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no committed fixture", name)
+			continue
+		}
+		if got != w {
+			t.Errorf("%s: digest hash %s != committed %s", name, got[:12], w[:12])
+			if d, ok := dumps[name]; ok {
+				wantDump, err := os.ReadFile(filepath.Join(goldenDir, "golden", dumpFile(name)))
+				if err == nil {
+					t.Errorf("%s: got digest:\n%s\nwant:\n%s", name, d, wantDump)
+				}
+			}
+		}
+	}
+}
+
+func dumpFile(name string) string {
+	out := make([]byte, 0, len(name)+4)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '/' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out) + ".txt"
+}
+
+func writeGolden(t testing.TB, hashPath string, hashes, dumps map[string]string) {
+	t.Helper()
+	names := make([]string, 0, len(hashes))
+	for n := range hashes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	for i, n := range names {
+		fmt.Fprintf(&buf, "  %q: %q", n, hashes[n])
+		if i < len(names)-1 {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n")
+	}
+	buf.WriteString("}\n")
+	if err := os.MkdirAll(filepath.Join(goldenDir, "golden"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(hashPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range dumps {
+		if err := os.WriteFile(filepath.Join(goldenDir, "golden", dumpFile(name)), []byte(d), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -28,58 +28,20 @@ import (
 // Since the holistic jitter is never larger, its interference terms — and
 // therefore its bounds — are never larger than SA/DS's (asserted by the
 // test suite, alongside soundness against exhaustive search).
+//
+// The function runs a fresh Analyzer; see Analyzer.AnalyzeHolistic.
 func AnalyzeDSHolistic(s *model.System, opts Options) (*Result, error) {
-	if err := s.Validate(); err != nil {
+	var a Analyzer
+	if err := a.Reset(s, opts); err != nil {
 		return nil, fmt.Errorf("holistic: %w", err)
 	}
-	// L[id] is the IEER bound (worst completion offset from the chain's
-	// release); best[id] is the best-case completion offset.
-	best := make(map[model.SubtaskID]model.Duration, s.NumSubtasks())
-	for i := range s.Tasks {
-		var acc model.Duration
-		for j := range s.Tasks[i].Subtasks {
-			acc = acc.AddSat(s.Tasks[i].Subtasks[j].Exec)
-			best[model.SubtaskID{Task: i, Sub: j}] = acc
-		}
-	}
-	l := initialIEER(s)
-
-	iterations := 0
-	for {
-		iterations++
-		next := holisticPass(s, l, best, opts)
-		if boundsEqual(l, next) {
-			l = next
-			break
-		}
-		l = next
-		if iterations >= opts.MaxOuterIter {
-			for k := range l {
-				l[k] = model.Infinite
-			}
-			break
-		}
-	}
-
-	res := &Result{
-		Protocol:   "Holistic",
-		Subtasks:   make(map[model.SubtaskID]SubtaskBound, len(l)),
-		TaskEER:    make([]model.Duration, len(s.Tasks)),
-		Iterations: iterations,
-	}
-	for id, d := range l {
-		res.Subtasks[id] = SubtaskBound{Response: d}
-	}
-	for i := range s.Tasks {
-		last := model.SubtaskID{Task: i, Sub: len(s.Tasks[i].Subtasks) - 1}
-		res.TaskEER[i] = l[last]
-	}
-	return res, nil
+	return a.AnalyzeHolistic(), nil
 }
 
 // holisticJitter returns the release jitter charged for id under bounds l:
 // the width of its predecessor's completion window, or 0 for first
-// subtasks.
+// subtasks. (Map-based companion of the dense computation inside
+// Analyzer.holisticSubtask, kept as the documented definition.)
 func holisticJitter(l IEERBounds, best map[model.SubtaskID]model.Duration, id model.SubtaskID) model.Duration {
 	if id.Sub == 0 {
 		return 0
@@ -90,93 +52,4 @@ func holisticJitter(l IEERBounds, best map[model.SubtaskID]model.Duration, id mo
 		return model.Infinite
 	}
 	return lp - best[pred]
-}
-
-// holisticPass recomputes every subtask's IEER bound once.
-func holisticPass(s *model.System, l IEERBounds, best map[model.SubtaskID]model.Duration, opts Options) IEERBounds {
-	out := make(IEERBounds, len(l))
-	for _, id := range s.SubtaskIDs() {
-		out[id] = holisticSubtask(s, l, best, id, opts)
-	}
-	return out
-}
-
-// holisticSubtask computes the new bound L'(i,j) = L(i,j−1) + R(i,j) where
-// R(i,j) is the jitter-aware worst response time of the subtask from its
-// own release.
-func holisticSubtask(s *model.System, l IEERBounds, best map[model.SubtaskID]model.Duration, id model.SubtaskID, opts Options) model.Duration {
-	selfJitter := holisticJitter(l, best, id)
-	if selfJitter.IsInfinite() {
-		return model.Infinite
-	}
-	predL := model.Duration(0)
-	if id.Sub > 0 {
-		predL = l[model.SubtaskID{Task: id.Task, Sub: id.Sub - 1}]
-		if predL.IsInfinite() {
-			return model.Infinite
-		}
-	}
-	if procOverUtilized(s, id) {
-		return model.Infinite
-	}
-	self := s.Subtask(id)
-	period := s.Task(id).Period
-	block := blockingTerm(s, id, opts)
-	cap := opts.failureCap(period).MulSat(2)
-
-	hi := interferers(s, id)
-	intTerms := make([]term, 0, len(hi))
-	for _, o := range hi {
-		j := holisticJitter(l, best, o)
-		if j.IsInfinite() {
-			return model.Infinite
-		}
-		intTerms = append(intTerms, term{
-			Period: s.Task(o).Period,
-			Exec:   s.Subtask(o).Exec,
-			Jitter: j,
-		})
-	}
-
-	// Busy period at this level, self term with its own release jitter.
-	busyTerms := append([]term{{Period: period, Exec: self.Exec, Jitter: selfJitter}}, intTerms...)
-	d := solveFixpoint(block, busyTerms, cap, opts.MaxFixpointIter, 0)
-	if d.IsInfinite() {
-		return model.Infinite
-	}
-	m := model.CeilDiv(d.AddSat(selfJitter), period)
-	if m > opts.MaxInstances {
-		return model.Infinite
-	}
-
-	// Worst response from the subtask's own release:
-	// R = max_k (C(k) + J − (k−1)·p).
-	var worstResp, prev model.Duration
-	for k := int64(1); k <= m; k++ {
-		base := block.AddSat(self.Exec.MulSat(k))
-		c := solveFixpoint(base, intTerms, cap, opts.MaxFixpointIter, prev)
-		if c.IsInfinite() {
-			return model.Infinite
-		}
-		prev = c
-		rk := c.AddSat(selfJitter) - period.MulSat(k-1)
-		if rk > worstResp {
-			worstResp = rk
-		}
-	}
-	// New completion-offset bound: the predecessor's worst completion
-	// plus this subtask's worst response from release. The response
-	// already contains the release jitter relative to the earliest
-	// possible release, so anchor at the predecessor's BEST completion.
-	var lNew model.Duration
-	if id.Sub == 0 {
-		lNew = worstResp
-	} else {
-		pred := model.SubtaskID{Task: id.Task, Sub: id.Sub - 1}
-		lNew = best[pred].AddSat(worstResp)
-	}
-	if lNew > opts.failureCap(period) {
-		return model.Infinite
-	}
-	return lNew
 }

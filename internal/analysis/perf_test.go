@@ -1,0 +1,126 @@
+// Analysis hot-path benchmarks on the paper-grid (8, 90%) configuration —
+// the workload shape that dominates the Figure 12/13 sweeps. BENCH_analysis
+// .json records the before/after trajectory of the dense-Analyzer refactor.
+package analysis_test
+
+import (
+	"testing"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/workload"
+)
+
+// benchSystem generates the (8, 90%) paper-grid system the benchmarks
+// analyze: 4 processors, 12 tasks, 96 subtasks at utilization 0.9.
+func benchSystem(tb testing.TB) *model.System {
+	tb.Helper()
+	cfg := workload.DefaultConfig(8, 0.9)
+	cfg.Seed = 17
+	sys, err := workload.Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkAnalyzePM measures Algorithm SA/PM through the package-level
+// entry point (fresh per-call state, as rtsync.AnalyzePM uses it).
+func BenchmarkAnalyzePM(b *testing.B) {
+	sys := benchSystem(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.AnalyzePM(sys, analysis.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeDS measures Algorithm SA/DS (iterated IEERT) through the
+// package-level entry point.
+func BenchmarkAnalyzeDS(b *testing.B) {
+	sys := benchSystem(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.AnalyzeDS(sys, analysis.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeDSStopOnFailure measures the Figure 12 configuration:
+// only Failed() matters, so SA/DS may stop at the first infinite bound.
+func BenchmarkAnalyzeDSStopOnFailure(b *testing.B) {
+	sys := benchSystem(b)
+	opts := analysis.DefaultOptions()
+	opts.StopOnFailure = true
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.AnalyzeDS(sys, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeHolistic measures the Tindell & Clark comparator.
+func BenchmarkAnalyzeHolistic(b *testing.B) {
+	sys := benchSystem(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.AnalyzeDSHolistic(sys, analysis.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAnalysisSteadyStateZeroAllocs asserts the tentpole property of the
+// dense Analyzer, mirroring sim's TestSteadyStateZeroAllocs: once Reset has
+// built the per-system structures, re-running every analysis allocates
+// nothing — the sweeps' steady state when a worker recycles one Analyzer.
+func TestAnalysisSteadyStateZeroAllocs(t *testing.T) {
+	sys := benchSystem(t)
+	an, err := analysis.NewAnalyzer(sys, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every code path (and any lazily grown scratch) once.
+	an.AnalyzePM()
+	an.AnalyzeDS()
+	an.AnalyzeHolistic()
+	allocs := testing.AllocsPerRun(5, func() {
+		if an.AnalyzePM().Failed() && an.AnalyzeDS().Failed() && an.AnalyzeHolistic().Failed() {
+			t.Fatal("benchmark system unexpectedly unanalyzable")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warm re-analysis allocates %.1f times per run (want 0)", allocs)
+	}
+}
+
+// BenchmarkAnalyzeDSReuse measures SA/DS on a recycled Analyzer — the cost
+// the experiment sweeps actually pay per system after the refactor. Reset is
+// inside the loop, as a sweep worker Resets per generated system.
+func BenchmarkAnalyzeDSReuse(b *testing.B) {
+	sys := benchSystem(b)
+	var an analysis.Analyzer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := an.Reset(sys, analysis.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+		an.AnalyzeDS()
+	}
+}
+
+// BenchmarkAnalyzePMReuse is the SA/PM companion of BenchmarkAnalyzeDSReuse.
+func BenchmarkAnalyzePMReuse(b *testing.B) {
+	sys := benchSystem(b)
+	var an analysis.Analyzer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := an.Reset(sys, analysis.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+		an.AnalyzePM()
+	}
+}

@@ -2,14 +2,15 @@ package analysis
 
 import (
 	"fmt"
-	"sort"
 
 	"rtsync/internal/model"
 )
 
 // IEERBounds maps every subtask to an upper bound on its intermediate
 // end-to-end response (IEER) time: the completion time of the m-th instance
-// of T(i,j) minus the release time of the m-th instance of T(i,1).
+// of T(i,j) minus the release time of the m-th instance of T(i,1). The
+// Analyzer works on dense slices internally; this map form remains the
+// convenient currency of the exported single-pass IEERT.
 type IEERBounds map[model.SubtaskID]model.Duration
 
 // initialIEER returns the optimistic seed of Algorithm SA/DS: for each
@@ -37,208 +38,35 @@ func predecessorIEER(r IEERBounds, id model.SubtaskID) model.Duration {
 
 // IEERT runs one pass of Algorithm IEERT (Figure 10 of the paper): given
 // bounds r on the IEER times of all subtasks, it computes a set of new
-// bounds. Under the DS protocol an instance of T(u,v) is released when
-// T(u,v-1) completes, so its release deviates from strict periodicity by up
-// to R(u,v-1); the interference terms therefore charge
-// ceil((t + R(u,v-1)) / p_u) instances — the "clumping effect".
+// bounds. Every new bound reads only r (Jacobi), unlike the Gauss-Seidel
+// iteration inside AnalyzeDS.
 //
 // A subtask whose new bound cannot be established (divergence, or past the
 // per-task failure cap) gets model.Infinite, which poisons its successors.
 func IEERT(s *model.System, r IEERBounds, opts Options) IEERBounds {
+	var a Analyzer
+	a.init(s, opts)
+	n := a.ix.Len()
+	in := make([]model.Duration, n)
+	for i := 0; i < n; i++ {
+		in[i] = r[a.ix.ID(i)]
+	}
 	out := make(IEERBounds, len(r))
-	for _, id := range s.SubtaskIDs() {
-		out[id] = ieertSubtask(s, r, id, opts)
+	for i := 0; i < n; i++ {
+		out[a.ix.ID(i)] = a.ieertSubtask(i, in)
 	}
 	return out
 }
 
-// ieertSubtask computes the new IEER bound R'(i,j) for one subtask.
-func ieertSubtask(s *model.System, r IEERBounds, id model.SubtaskID, opts Options) model.Duration {
-	selfJitter := predecessorIEER(r, id)
-	if selfJitter.IsInfinite() {
-		return model.Infinite
-	}
-	if procOverUtilized(s, id) {
-		return model.Infinite
-	}
-	self := s.Subtask(id)
-	period := s.Task(id).Period
-	block := blockingTerm(s, id, opts)
-	cap := opts.failureCap(period).MulSat(2)
-
-	hi := interferers(s, id)
-	intTerms := make([]term, 0, len(hi))
-	for _, o := range hi {
-		j := predecessorIEER(r, o)
-		if j.IsInfinite() {
-			return model.Infinite
-		}
-		intTerms = append(intTerms, term{
-			Period: s.Task(o).Period,
-			Exec:   s.Subtask(o).Exec,
-			Jitter: j,
-		})
-	}
-
-	// Step 1: busy-period duration D(i,j), self term included with its
-	// own release jitter.
-	busyTerms := append([]term{{Period: period, Exec: self.Exec, Jitter: selfJitter}}, intTerms...)
-	d := solveFixpoint(block, busyTerms, cap, opts.MaxFixpointIter, 0)
-	if d.IsInfinite() {
-		return model.Infinite
-	}
-
-	// Step 2: M(i,j) = ceil((D + R(i,j-1)) / p).
-	m := model.CeilDiv(d.AddSat(selfJitter), period)
-	if m > opts.MaxInstances {
-		return model.Infinite
-	}
-
-	// Step 3: per-instance completion bounds and IEER times
-	// R(i,j)(m) = C(i,j)(m) + R(i,j-1) − (m−1)·p. Completion times are
-	// strictly increasing in the instance index, so each solve
-	// warm-starts from the previous one.
-	var worst, prev model.Duration
-	for k := int64(1); k <= m; k++ {
-		base := block.AddSat(self.Exec.MulSat(k))
-		c := solveFixpoint(base, intTerms, cap, opts.MaxFixpointIter, prev)
-		if c.IsInfinite() {
-			return model.Infinite
-		}
-		prev = c
-		rk := c.AddSat(selfJitter) - period.MulSat(k-1)
-		if rk > worst {
-			worst = rk
-		}
-	}
-	// Step 4 happened in the loop; apply the failure cap.
-	if worst > opts.failureCap(period) {
-		return model.Infinite
-	}
-	return worst
-}
-
-// AnalyzeDS runs Algorithm SA/DS (Figure 11): seed every subtask's IEER
-// bound with the sum of its prefix execution times, then iterate
-// R = IEERT(T, R) until a fixed point. The bound on the IEER time of a
-// task's last subtask is the bound on the task's EER time (Theorem 2).
-//
-// The iteration is monotone non-decreasing from the optimistic seed, so it
-// either converges or grows past the failure cap; either way it terminates.
-// Tasks whose bound reaches model.Infinite are reported as failures but the
-// iteration continues for the remaining tasks, as in the paper's experiment
-// (bound ratios are averaged over tasks with finite bounds).
+// AnalyzeDS runs Algorithm SA/DS (Figure 11) with a fresh Analyzer; see
+// Analyzer.AnalyzeDS. Reusing one Analyzer across systems amortizes all
+// per-call allocation.
 func AnalyzeDS(s *model.System, opts Options) (*Result, error) {
-	if err := s.Validate(); err != nil {
+	var a Analyzer
+	if err := a.Reset(s, opts); err != nil {
 		return nil, fmt.Errorf("SA/DS: %w", err)
 	}
-	// consumers[x] lists the subtasks whose IEERT recurrences read x's
-	// bound (as release jitter): x's successor, and every subtask that
-	// x's successor can interfere with on its processor. Only subtasks
-	// with a changed input need recomputation on the next pass.
-	consumers := make(map[model.SubtaskID][]model.SubtaskID, s.NumSubtasks())
-	for _, id := range s.SubtaskIDs() {
-		if id.Sub+1 >= len(s.Tasks[id.Task].Subtasks) {
-			continue
-		}
-		succ := model.SubtaskID{Task: id.Task, Sub: id.Sub + 1}
-		deps := []model.SubtaskID{succ}
-		for _, other := range s.OnProcessor(s.Subtask(succ).Proc) {
-			if other != succ && s.Subtask(succ).Priority >= s.Subtask(other).Priority {
-				deps = append(deps, other)
-			}
-		}
-		consumers[id] = deps
-	}
-
-	r := initialIEER(s)
-	dirty := make(map[model.SubtaskID]bool, s.NumSubtasks())
-	for _, id := range s.SubtaskIDs() {
-		dirty[id] = true
-	}
-	iterations := 0
-	for len(dirty) > 0 {
-		iterations++
-		nextDirty := make(map[model.SubtaskID]bool)
-		sawInfinite := false
-		// Process in a deterministic order: the in-place (Gauss-Seidel)
-		// updates make per-pass progress order-dependent, and although
-		// the least fixed point itself is order-independent, the
-		// MaxOuterIter cutoff is not — map-order iteration would make
-		// borderline systems flicker between "failed" and "converged"
-		// across runs.
-		order := make([]model.SubtaskID, 0, len(dirty))
-		for id := range dirty {
-			order = append(order, id)
-		}
-		sort.Slice(order, func(i, j int) bool {
-			if order[i].Task != order[j].Task {
-				return order[i].Task < order[j].Task
-			}
-			return order[i].Sub < order[j].Sub
-		})
-		for _, id := range order {
-			nv := ieertSubtask(s, r, id, opts)
-			if nv == r[id] {
-				continue
-			}
-			// The subtask itself only needs re-evaluation when one
-			// of its inputs changes, which its predecessor's
-			// consumer edges cover.
-			r[id] = nv
-			if nv.IsInfinite() {
-				sawInfinite = true
-			}
-			for _, c := range consumers[id] {
-				nextDirty[c] = true
-			}
-		}
-		dirty = nextDirty
-		if opts.StopOnFailure && sawInfinite {
-			// The caller only cares whether the system fails; poison
-			// everything still in flux — including the chain suffixes
-			// of infinite subtasks, which would have gone infinite on
-			// later passes — so no unsound intermediate value leaks
-			// out, and stop early.
-			for k := range dirty {
-				r[k] = model.Infinite
-			}
-			for i := range s.Tasks {
-				poisoned := false
-				for j := range s.Tasks[i].Subtasks {
-					id := model.SubtaskID{Task: i, Sub: j}
-					if r[id].IsInfinite() {
-						poisoned = true
-					} else if poisoned {
-						r[id] = model.Infinite
-					}
-				}
-			}
-			break
-		}
-		if iterations >= opts.MaxOuterIter {
-			// Non-convergence within the budget: poison every bound
-			// that is still moving by marking all tasks infinite.
-			for k := range r {
-				r[k] = model.Infinite
-			}
-			break
-		}
-	}
-	res := &Result{
-		Protocol:   "SA/DS",
-		Subtasks:   make(map[model.SubtaskID]SubtaskBound, len(r)),
-		TaskEER:    make([]model.Duration, len(s.Tasks)),
-		Iterations: iterations,
-	}
-	for id, d := range r {
-		res.Subtasks[id] = SubtaskBound{Response: d}
-	}
-	for i := range s.Tasks {
-		last := model.SubtaskID{Task: i, Sub: len(s.Tasks[i].Subtasks) - 1}
-		res.TaskEER[i] = r[last]
-	}
-	return res, nil
+	return a.AnalyzeDS(), nil
 }
 
 // boundsEqual reports whether two bound sets agree on every subtask.

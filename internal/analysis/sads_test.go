@@ -33,10 +33,10 @@ func TestSADSExample2(t *testing.T) {
 		t.Error("T3 must not be assertable schedulable under DS (bound 8 > deadline 6)")
 	}
 	// Converged IEER bounds along T2's chain: 4 then 7.
-	if got := res.Subtasks[model.SubtaskID{Task: 1, Sub: 0}].Response; got != 4 {
+	if got := res.Bound(model.SubtaskID{Task: 1, Sub: 0}).Response; got != 4 {
 		t.Errorf("IEER(T2,1) = %v, want 4", got)
 	}
-	if got := res.Subtasks[model.SubtaskID{Task: 1, Sub: 1}].Response; got != 7 {
+	if got := res.Bound(model.SubtaskID{Task: 1, Sub: 1}).Response; got != 7 {
 		t.Errorf("IEER(T2,2) = %v, want 7", got)
 	}
 	if res.Iterations < 2 {
@@ -264,8 +264,8 @@ func TestSADSStopOnFailurePoisonsSuffix(t *testing.T) {
 	// Every subtask after A's poisoned head must be infinite as well.
 	for j := 0; j < 3; j++ {
 		id := model.SubtaskID{Task: 0, Sub: j}
-		if !res.Subtasks[id].Response.IsInfinite() {
-			t.Errorf("bound for %v = %v, want Infinite (suffix poisoning)", id, res.Subtasks[id].Response)
+		if !res.Bound(id).Response.IsInfinite() {
+			t.Errorf("bound for %v = %v, want Infinite (suffix poisoning)", id, res.Bound(id).Response)
 		}
 	}
 }

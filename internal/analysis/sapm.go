@@ -21,19 +21,39 @@ type SubtaskBound struct {
 
 // Result is the outcome of a schedulability analysis over a whole system.
 type Result struct {
-	// Protocol names the analysis that produced the result ("SA/PM" or
-	// "SA/DS").
+	// Protocol names the analysis that produced the result ("SA/PM",
+	// "SA/DS", "Holistic" or "EDF-DBF").
 	Protocol string
-	// Subtasks maps each subtask to its established bounds. For SA/PM,
+	// Index maps SubtaskIDs to positions in Bounds.
+	Index *model.SubtaskIndex
+	// Bounds holds each subtask's established bounds in dense (task,
+	// chain) order — Index.IndexOf(id) is id's position. For SA/PM,
 	// Response is the response-time bound R(i,j); for SA/DS it is the
-	// IEER-time bound.
-	Subtasks map[model.SubtaskID]SubtaskBound
+	// IEER-time bound. Use Bound for keyed access.
+	Bounds []SubtaskBound
 	// TaskEER[i] is the upper bound on task i's end-to-end response time;
 	// model.Infinite when the analysis failed to bound it.
 	TaskEER []model.Duration
 	// Iterations counts outer iterations (1 for SA/PM; the number of
 	// IEERT passes for SA/DS).
 	Iterations int
+}
+
+// Bound returns the bounds established for one subtask, panicking on an ID
+// outside the analyzed system (like a map access, minus the silent zero
+// value for misses).
+func (r *Result) Bound(id model.SubtaskID) SubtaskBound {
+	return r.Bounds[r.Index.IndexOf(id)]
+}
+
+// Lookup is the non-panicking variant of Bound for callers that must
+// report foreign IDs gracefully.
+func (r *Result) Lookup(id model.SubtaskID) (SubtaskBound, bool) {
+	i, ok := r.Index.Lookup(id)
+	if !ok {
+		return SubtaskBound{}, false
+	}
+	return r.Bounds[i], true
 }
 
 // Schedulable reports whether task i's EER bound is within its deadline.
@@ -63,90 +83,15 @@ func (r *Result) Failed() bool {
 	return false
 }
 
-// AnalyzePM runs Algorithm SA/PM (§4.1): for every subtask, bound the
-// φ(i,j)-level busy period (step 1), the number of instances in it (step 2),
-// each instance's response time (step 3), take the maximum (step 4), and sum
-// along each chain for the task EER bound (step 5). By Theorem 1 the same
-// bounds are valid under the RG protocol, and by construction under PM/MPM.
+// AnalyzePM runs Algorithm SA/PM (§4.1) with a fresh Analyzer; see
+// Analyzer.AnalyzePM. Reusing one Analyzer across systems amortizes all
+// per-call allocation.
 func AnalyzePM(s *model.System, opts Options) (*Result, error) {
-	if err := s.Validate(); err != nil {
+	var a Analyzer
+	if err := a.Reset(s, opts); err != nil {
 		return nil, fmt.Errorf("SA/PM: %w", err)
 	}
-	res := &Result{
-		Protocol:   "SA/PM",
-		Subtasks:   make(map[model.SubtaskID]SubtaskBound, s.NumSubtasks()),
-		TaskEER:    make([]model.Duration, len(s.Tasks)),
-		Iterations: 1,
-	}
-	for _, id := range s.SubtaskIDs() {
-		res.Subtasks[id] = boundSubtaskPM(s, id, opts)
-	}
-	for i := range s.Tasks {
-		eer := model.Duration(0)
-		for j := range s.Tasks[i].Subtasks {
-			eer = eer.AddSat(res.Subtasks[model.SubtaskID{Task: i, Sub: j}].Response)
-		}
-		if eer > opts.failureCap(s.Tasks[i].Period) {
-			eer = model.Infinite
-		}
-		res.TaskEER[i] = eer
-	}
-	return res, nil
-}
-
-// boundSubtaskPM computes R(i,j) for one strictly periodic subtask.
-func boundSubtaskPM(s *model.System, id model.SubtaskID, opts Options) SubtaskBound {
-	if procOverUtilized(s, id) {
-		return SubtaskBound{Response: model.Infinite, BusyPeriod: model.Infinite}
-	}
-	self := s.Subtask(id)
-	period := s.Task(id).Period
-	block := blockingTerm(s, id, opts)
-
-	hi := interferers(s, id)
-	// Step 1: D(i,j) = min{t>0 : t = B + Σ_{H ∪ {ij}} ceil(t/p)·e}.
-	busyTerms := make([]term, 0, len(hi)+1)
-	busyTerms = append(busyTerms, term{Period: period, Exec: self.Exec})
-	for _, o := range hi {
-		busyTerms = append(busyTerms, term{Period: s.Task(o).Period, Exec: s.Subtask(o).Exec})
-	}
-	// The busy period itself is capped generously: FailureFactor periods
-	// of demand can never produce a per-instance response under the cap
-	// once exceeded.
-	busyCap := opts.failureCap(period).MulSat(2)
-	d := solveFixpoint(block, busyTerms, busyCap, opts.MaxFixpointIter, 0)
-	if d.IsInfinite() {
-		return SubtaskBound{Response: model.Infinite, BusyPeriod: model.Infinite}
-	}
-
-	// Step 2: M(i,j) = ceil(D / p).
-	m := model.CeilDiv(d, period)
-	if m > opts.MaxInstances {
-		return SubtaskBound{Response: model.Infinite, BusyPeriod: d, Instances: m}
-	}
-
-	// Steps 3–4: bound each instance's completion and take the worst
-	// response R(i,j)(k) = C(i,j)(k) − (k−1)·p.
-	intTerms := make([]term, 0, len(hi))
-	for _, o := range hi {
-		intTerms = append(intTerms, term{Period: s.Task(o).Period, Exec: s.Subtask(o).Exec})
-	}
-	var worst, prev model.Duration
-	for k := int64(1); k <= m; k++ {
-		base := block.AddSat(self.Exec.MulSat(k))
-		// The completion series is strictly increasing in k, so the
-		// previous solution warm-starts the next solve.
-		c := solveFixpoint(base, intTerms, busyCap, opts.MaxFixpointIter, prev)
-		if c.IsInfinite() {
-			return SubtaskBound{Response: model.Infinite, BusyPeriod: d, Instances: m}
-		}
-		prev = c
-		r := c - period.MulSat(k-1)
-		if r > worst {
-			worst = r
-		}
-	}
-	return SubtaskBound{Response: worst, BusyPeriod: d, Instances: m}
+	return a.AnalyzePM(), nil
 }
 
 // PMPhases returns the per-subtask release phases the PM protocol derives
@@ -161,7 +106,7 @@ func PMPhases(s *model.System, res *Result) (map[model.SubtaskID]model.Time, err
 		for j := range s.Tasks[i].Subtasks {
 			id := model.SubtaskID{Task: i, Sub: j}
 			phases[id] = s.Tasks[i].Phase.Add(offset)
-			b, ok := res.Subtasks[id]
+			b, ok := res.Lookup(id)
 			if !ok {
 				return nil, fmt.Errorf("PM phases: no bound for %v", id)
 			}
@@ -182,7 +127,7 @@ func EERLowerBoundPM(s *model.System, res *Result, i int) model.Duration {
 	n := len(s.Tasks[i].Subtasks)
 	lower := model.Duration(0)
 	for j := 0; j < n-1; j++ {
-		lower = lower.AddSat(res.Subtasks[model.SubtaskID{Task: i, Sub: j}].Response)
+		lower = lower.AddSat(res.Bound(model.SubtaskID{Task: i, Sub: j}).Response)
 	}
 	return lower.AddSat(s.Tasks[i].Subtasks[n-1].Exec)
 }

@@ -23,7 +23,7 @@ func TestSAPMExample2(t *testing.T) {
 		{Task: 2, Sub: 0}: 5, // T3: preempted once by T2,2
 	}
 	for id, want := range wantR {
-		if got := res.Subtasks[id].Response; got != want {
+		if got := res.Bound(id).Response; got != want {
 			t.Errorf("R%v = %v, want %v", id, got, want)
 		}
 	}
@@ -58,7 +58,7 @@ func TestSAPMExample1(t *testing.T) {
 	want := []model.Duration{2, 3, 2}
 	for j, w := range want {
 		id := model.SubtaskID{Task: 0, Sub: j}
-		if got := res.Subtasks[id].Response; got != w {
+		if got := res.Bound(id).Response; got != w {
 			t.Errorf("R%v = %v, want %v", id, got, w)
 		}
 	}
@@ -104,7 +104,7 @@ func TestSAPMArbitraryDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	idB := model.SubtaskID{Task: 1, Sub: 0}
-	sb := res.Subtasks[idB]
+	sb := res.Bound(idB)
 	if sb.BusyPeriod != 60 {
 		t.Errorf("D(B) = %v, want 60", sb.BusyPeriod)
 	}

@@ -19,8 +19,9 @@ func mkPM(s *model.System) (sim.Protocol, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := make(sim.Bounds, len(res.Subtasks))
-	for id, sb := range res.Subtasks {
+	b := make(sim.Bounds, len(res.Bounds))
+	for i, sb := range res.Bounds {
+		id := res.Index.ID(i)
 		b[id] = sb.Response
 	}
 	return sim.NewPM(b), nil
@@ -100,7 +101,7 @@ func TestBoundsSoundOnRandomTinySystems(t *testing.T) {
 			t.Fatal(err)
 		}
 		pmRunnable := true
-		for _, sb := range pm.Subtasks {
+		for _, sb := range pm.Bounds {
 			if sb.Response.IsInfinite() {
 				pmRunnable = false // over-utilized: PM cannot be configured
 				break

@@ -57,7 +57,7 @@ func AvgEERStudy(p Params) (*AvgEERResult, error) {
 			}
 		})
 	}
-	sweep(p, func(r *sim.Runner, cfg workload.Config, record func(func())) {
+	sweep(p, func(r *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func())) {
 		sys, err := workload.Generate(cfg)
 		if err != nil {
 			fail(record, err)
@@ -65,20 +65,11 @@ func AvgEERStudy(p Params) (*AvgEERResult, error) {
 		}
 		cell := cellOf(cfg)
 
-		pmRes, err := analysis.AnalyzePM(sys, p.Analysis)
-		if err != nil {
+		if err := an.Reset(sys, p.Analysis); err != nil {
 			fail(record, err)
 			return
 		}
-		bounds := make(sim.Bounds, len(pmRes.Subtasks))
-		finite := true
-		for id, sb := range pmRes.Subtasks {
-			if sb.Response.IsInfinite() {
-				finite = false
-				break
-			}
-			bounds[id] = sb.Response
-		}
+		bounds, finite := pmBounds(an.AnalyzePM())
 		if !finite {
 			record(func() { res.Skipped[cell]++ })
 			return

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"rtsync/internal/analysis"
+	"rtsync/internal/sim"
+)
+
+// pmBounds converts an SA/PM result into the per-subtask response-time
+// bounds the PM and MPM protocols consume. ok is false when any bound is
+// infinite, in which case PM cannot be configured for the system and the
+// sweeps skip it.
+func pmBounds(res *analysis.Result) (b sim.Bounds, ok bool) {
+	b = make(sim.Bounds, len(res.Bounds))
+	for i, sb := range res.Bounds {
+		if sb.Response.IsInfinite() {
+			return nil, false
+		}
+		b[res.Index.ID(i)] = sb.Response
+	}
+	return b, true
+}

@@ -42,7 +42,7 @@ func EDFStudy(p Params) (*EDFResult, error) {
 			}
 		})
 	}
-	sweep(p, func(r *sim.Runner, cfg workload.Config, record func(func())) {
+	sweep(p, func(r *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func())) {
 		sys, err := workload.Generate(cfg)
 		if err != nil {
 			fail(record, err)
@@ -54,11 +54,11 @@ func EDFStudy(p Params) (*EDFResult, error) {
 		}
 		cell := cellOf(cfg)
 
-		pmRes, err := analysis.AnalyzePM(sys, p.Analysis)
-		if err != nil {
+		if err := an.Reset(sys, p.Analysis); err != nil {
 			fail(record, err)
 			return
 		}
+		pmRes := an.AnalyzePM()
 		edfRes, err := analysis.AnalyzeEDF(sys, p.Analysis)
 		if err != nil {
 			fail(record, err)

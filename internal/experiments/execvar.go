@@ -54,24 +54,20 @@ func ExecVariationStudy(p Params, fractions []float64) (*ExecVariationResult, er
 			}
 		})
 	}
-	sweep(p, func(r *sim.Runner, cfg workload.Config, record func(func())) {
+	sweep(p, func(r *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func())) {
 		sys, err := workload.Generate(cfg)
 		if err != nil {
 			fail(record, err)
 			return
 		}
 		cell := cellOf(cfg)
-		pmRes, err := analysis.AnalyzePM(sys, p.Analysis)
-		if err != nil {
+		if err := an.Reset(sys, p.Analysis); err != nil {
 			fail(record, err)
 			return
 		}
-		bounds := make(sim.Bounds, len(pmRes.Subtasks))
-		for id, sb := range pmRes.Subtasks {
-			if sb.Response.IsInfinite() {
-				return // skip: PM not runnable
-			}
-			bounds[id] = sb.Response
+		bounds, finite := pmBounds(an.AnalyzePM())
+		if !finite {
+			return // skip: PM not runnable
 		}
 		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
 

@@ -28,7 +28,7 @@ func Fig12FailureRate(p Params) (*FailureRateResult, error) {
 	p.Analysis.StopOnFailure = true
 	res := &FailureRateResult{Rates: NewGrid("DS failure rate")}
 	var firstErr error
-	sweep(p, func(_ *sim.Runner, cfg workload.Config, record func(func())) {
+	sweep(p, func(_ *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func())) {
 		sys, err := workload.Generate(cfg)
 		if err != nil {
 			record(func() {
@@ -38,8 +38,7 @@ func Fig12FailureRate(p Params) (*FailureRateResult, error) {
 			})
 			return
 		}
-		ds, err := analysis.AnalyzeDS(sys, p.Analysis)
-		if err != nil {
+		if err := an.Reset(sys, p.Analysis); err != nil {
 			record(func() {
 				if firstErr == nil {
 					firstErr = err
@@ -48,7 +47,7 @@ func Fig12FailureRate(p Params) (*FailureRateResult, error) {
 			return
 		}
 		failed := 0.0
-		if ds.Failed() {
+		if an.AnalyzeDS().Failed() {
 			failed = 1.0
 		}
 		cell := cellOf(cfg)
@@ -97,7 +96,7 @@ func Fig13BoundRatio(p Params) (*BoundRatioResult, error) {
 		TotalSystems:   make(map[CellKey]int),
 	}
 	var firstErr error
-	sweep(p, func(_ *sim.Runner, cfg workload.Config, record func(func())) {
+	sweep(p, func(_ *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func())) {
 		sys, err := workload.Generate(cfg)
 		if err != nil {
 			record(func() {
@@ -107,8 +106,9 @@ func Fig13BoundRatio(p Params) (*BoundRatioResult, error) {
 			})
 			return
 		}
-		ds, err := analysis.AnalyzeDS(sys, p.Analysis)
-		if err != nil {
+		// One Reset serves all three analyses: each Analyze method owns a
+		// distinct Result, so ds/pm/hol stay valid side by side.
+		if err := an.Reset(sys, p.Analysis); err != nil {
 			record(func() {
 				if firstErr == nil {
 					firstErr = err
@@ -116,29 +116,14 @@ func Fig13BoundRatio(p Params) (*BoundRatioResult, error) {
 			})
 			return
 		}
+		ds := an.AnalyzeDS()
 		cell := cellOf(cfg)
 		if ds.Failed() {
 			record(func() { res.TotalSystems[cell]++ })
 			return
 		}
-		pm, err := analysis.AnalyzePM(sys, p.Analysis)
-		if err != nil {
-			record(func() {
-				if firstErr == nil {
-					firstErr = err
-				}
-			})
-			return
-		}
-		hol, err := analysis.AnalyzeDSHolistic(sys, p.Analysis)
-		if err != nil {
-			record(func() {
-				if firstErr == nil {
-					firstErr = err
-				}
-			})
-			return
-		}
+		pm := an.AnalyzePM()
+		hol := an.AnalyzeHolistic()
 		ratios := make([]float64, 0, len(sys.Tasks))
 		holRatios := make([]float64, 0, len(sys.Tasks))
 		for i := range sys.Tasks {

@@ -138,11 +138,15 @@ func (g *Grid) Axes() (ns, us []int) {
 
 // sweep runs fn once per (config, system index) pair across a worker pool,
 // serializing result recording through a mutex held by record callbacks.
-// fn receives a per-worker simulation runner (so one engine's queues and
-// dense state are recycled across the worker's whole share of the sweep),
-// the configuration (with the per-system seed already set), and a locked
-// recorder via record.
-func sweep(p Params, fn func(r *sim.Runner, cfg workload.Config, record func(func()))) {
+// fn receives a per-worker simulation runner and a per-worker analyzer (so
+// one engine's queues and one analyzer's dense state are recycled across
+// the worker's whole share of the sweep), the configuration (with the
+// per-system seed already set), and a locked recorder via record.
+//
+// The analyzer arrives un-Reset: fn must Reset it for each system before
+// calling its Analyze methods, and must not retain their Results past the
+// next Reset.
+func sweep(p Params, fn func(r *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func()))) {
 	type unit struct {
 		cfg workload.Config
 	}
@@ -159,8 +163,9 @@ func sweep(p Params, fn func(r *sim.Runner, cfg workload.Config, record func(fun
 		go func() {
 			defer wg.Done()
 			var r sim.Runner
+			var an analysis.Analyzer
 			for u := range units {
-				fn(&r, u.cfg, record)
+				fn(&r, &an, u.cfg, record)
 			}
 		}()
 	}

@@ -44,7 +44,7 @@ func ReleaseJitterStudy(p Params, jitterFraction float64) (*ReleaseJitterResult,
 		res.SystemsWithViolations[n] = make(map[CellKey]int)
 	}
 	var firstErr error
-	sweep(p, func(r *sim.Runner, cfg workload.Config, record func(func())) {
+	sweep(p, func(r *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func())) {
 		sys, err := workload.Generate(cfg)
 		if err != nil {
 			record(func() {
@@ -55,8 +55,7 @@ func ReleaseJitterStudy(p Params, jitterFraction float64) (*ReleaseJitterResult,
 			return
 		}
 		cell := cellOf(cfg)
-		pmRes, err := analysis.AnalyzePM(sys, p.Analysis)
-		if err != nil {
+		if err := an.Reset(sys, p.Analysis); err != nil {
 			record(func() {
 				if firstErr == nil {
 					firstErr = err
@@ -64,15 +63,7 @@ func ReleaseJitterStudy(p Params, jitterFraction float64) (*ReleaseJitterResult,
 			})
 			return
 		}
-		bounds := make(sim.Bounds, len(pmRes.Subtasks))
-		finite := true
-		for id, sb := range pmRes.Subtasks {
-			if sb.Response.IsInfinite() {
-				finite = false
-				break
-			}
-			bounds[id] = sb.Response
-		}
+		bounds, finite := pmBounds(an.AnalyzePM())
 		if !finite {
 			record(func() { res.Skipped[cell]++ })
 			return

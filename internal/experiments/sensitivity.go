@@ -48,37 +48,31 @@ func SensitivityStudy(p Params, n int, utilization float64, shapes [][2]int) (*S
 		}
 		row := SensitivityRow{Processors: shape[0], Tasks: shape[1]}
 		var runner sim.Runner
+		var an analysis.Analyzer
 		for k := 0; k < p.SystemsPerConfig; k++ {
 			cfg.Seed = p.Seed + int64(k)*7919 + int64(shape[0])*101 + int64(shape[1])
 			sys, err := workload.Generate(cfg)
 			if err != nil {
 				return nil, err
 			}
+			// DS runs with StopOnFailure (only Failed matters), PM with the
+			// caller's options — two Resets, with the DS result consumed
+			// before the second one invalidates it.
 			dsOpts := p.Analysis
 			dsOpts.StopOnFailure = true
-			dsRes, err := analysis.AnalyzeDS(sys, dsOpts)
-			if err != nil {
+			if err := an.Reset(sys, dsOpts); err != nil {
 				return nil, err
 			}
-			if dsRes.Failed() {
+			if an.AnalyzeDS().Failed() {
 				row.FailureRate.Add(1)
 			} else {
 				row.FailureRate.Add(0)
 			}
 
-			pmRes, err := analysis.AnalyzePM(sys, p.Analysis)
-			if err != nil {
+			if err := an.Reset(sys, p.Analysis); err != nil {
 				return nil, err
 			}
-			bounds := make(sim.Bounds, len(pmRes.Subtasks))
-			finite := true
-			for id, sb := range pmRes.Subtasks {
-				if sb.Response.IsInfinite() {
-					finite = false
-					break
-				}
-				bounds[id] = sb.Response
-			}
+			bounds, finite := pmBounds(an.AnalyzePM())
 			if !finite {
 				row.SkippedForInfinite++
 				continue

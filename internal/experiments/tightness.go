@@ -46,22 +46,19 @@ func TightnessStudy(systems int, seed int64) (*TightnessResult, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	res := &TightnessResult{}
+	var an analysis.Analyzer
 	for k := 0; k < systems; k++ {
 		s := tinySystem(rng)
-		pm, err := analysis.AnalyzePM(s, analysis.DefaultOptions())
-		if err != nil {
+		// One Reset per system serves all three analyses; every result is
+		// consumed before the next iteration's Reset invalidates it.
+		if err := an.Reset(s, analysis.DefaultOptions()); err != nil {
 			return nil, err
 		}
-		ds, err := analysis.AnalyzeDS(s, analysis.DefaultOptions())
-		if err != nil {
-			return nil, err
-		}
-		hol, err := analysis.AnalyzeDSHolistic(s, analysis.DefaultOptions())
-		if err != nil {
-			return nil, err
-		}
+		pm := an.AnalyzePM()
+		ds := an.AnalyzeDS()
+		hol := an.AnalyzeHolistic()
 		pmRunnable := true
-		for _, sb := range pm.Subtasks {
+		for _, sb := range pm.Bounds {
 			if sb.Response.IsInfinite() {
 				pmRunnable = false
 				break
@@ -83,10 +80,7 @@ func TightnessStudy(systems int, seed int64) (*TightnessResult, error) {
 		var actualPM *exhaustive.Result
 		if pmRunnable {
 			actualPM, err = exhaustive.WorstEER(s, func(sys *model.System) (sim.Protocol, error) {
-				b := make(sim.Bounds, len(pm.Subtasks))
-				for id, sb := range pm.Subtasks {
-					b[id] = sb.Response
-				}
+				b, _ := pmBounds(pm)
 				return sim.NewPM(b), nil
 			}, exhaustive.Options{})
 			if err != nil {

@@ -35,6 +35,29 @@ func NewSubtaskIndex(s *System) *SubtaskIndex {
 	return ix
 }
 
+// Reset rebuilds the index for s in place, reusing the backing arrays when
+// they are large enough. It leaves ix equivalent to NewSubtaskIndex(s) and
+// is the allocation-free path for callers that recycle an index across
+// systems (sim.Engine.Reset, analysis.Analyzer.Reset).
+func (ix *SubtaskIndex) Reset(s *System) {
+	if cap(ix.offsets) >= len(s.Tasks)+1 {
+		ix.offsets = ix.offsets[:len(s.Tasks)+1]
+	} else {
+		ix.offsets = make([]int, len(s.Tasks)+1)
+	}
+	ix.ids = ix.ids[:0]
+	if n := s.NumSubtasks(); cap(ix.ids) < n {
+		ix.ids = make([]SubtaskID, 0, n)
+	}
+	for i := range s.Tasks {
+		ix.offsets[i] = len(ix.ids)
+		for j := range s.Tasks[i].Subtasks {
+			ix.ids = append(ix.ids, SubtaskID{Task: i, Sub: j})
+		}
+	}
+	ix.offsets[len(s.Tasks)] = len(ix.ids)
+}
+
 // Len returns the number of indexed subtasks.
 func (ix *SubtaskIndex) Len() int { return len(ix.ids) }
 
@@ -46,6 +69,20 @@ func (ix *SubtaskIndex) IndexOf(id SubtaskID) int {
 		panic(fmt.Sprintf("model: subtask %v not in index", id))
 	}
 	return i
+}
+
+// Lookup returns id's dense index, or (0, false) when id is not a subtask
+// of the indexed system — the non-panicking variant of IndexOf for callers
+// that must report bad IDs gracefully.
+func (ix *SubtaskIndex) Lookup(id SubtaskID) (int, bool) {
+	if id.Task < 0 || id.Task >= len(ix.offsets)-1 || id.Sub < 0 {
+		return 0, false
+	}
+	i := ix.offsets[id.Task] + id.Sub
+	if i >= ix.offsets[id.Task+1] {
+		return 0, false
+	}
+	return i, true
 }
 
 // ID returns the SubtaskID at dense index i (the inverse of IndexOf).

@@ -1,0 +1,67 @@
+package model_test
+
+import (
+	"testing"
+
+	"rtsync/internal/model"
+)
+
+func TestSubtaskIndexRoundTrip(t *testing.T) {
+	s := model.Example2()
+	ix := model.NewSubtaskIndex(s)
+	if ix.Len() != s.NumSubtasks() {
+		t.Fatalf("Len = %d, want %d", ix.Len(), s.NumSubtasks())
+	}
+	for i := 0; i < ix.Len(); i++ {
+		id := ix.ID(i)
+		if got := ix.IndexOf(id); got != i {
+			t.Errorf("IndexOf(ID(%d)) = %d", i, got)
+		}
+		j, ok := ix.Lookup(id)
+		if !ok || j != i {
+			t.Errorf("Lookup(%v) = (%d, %v), want (%d, true)", id, j, ok, i)
+		}
+	}
+}
+
+func TestSubtaskIndexLookupRejectsForeignIDs(t *testing.T) {
+	ix := model.NewSubtaskIndex(model.Example2())
+	for _, id := range []model.SubtaskID{
+		{Task: -1, Sub: 0},
+		{Task: 0, Sub: -1},
+		{Task: 99, Sub: 0},
+		{Task: 0, Sub: 99},
+	} {
+		if _, ok := ix.Lookup(id); ok {
+			t.Errorf("Lookup(%v) = ok, want miss", id)
+		}
+	}
+}
+
+// TestSubtaskIndexReset checks that an index recycled across systems of
+// different shapes is equivalent to a freshly built one, and that a warm
+// re-Reset (capacity already grown) does not allocate.
+func TestSubtaskIndexReset(t *testing.T) {
+	big, small := model.Example1(), model.Example2()
+	ix := model.NewSubtaskIndex(small)
+	for _, s := range []*model.System{big, small, big} {
+		ix.Reset(s)
+		want := model.NewSubtaskIndex(s)
+		if ix.Len() != want.Len() {
+			t.Fatalf("after Reset: Len = %d, want %d", ix.Len(), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			if ix.ID(i) != want.ID(i) {
+				t.Fatalf("after Reset: ID(%d) = %v, want %v", i, ix.ID(i), want.ID(i))
+			}
+		}
+		for ti := range s.Tasks {
+			if ix.TaskOffset(ti) != want.TaskOffset(ti) || ix.ChainLen(ti) != want.ChainLen(ti) {
+				t.Fatalf("after Reset: task %d offset/len mismatch", ti)
+			}
+		}
+	}
+	if allocs := testing.AllocsPerRun(10, func() { ix.Reset(big) }); allocs > 0 {
+		t.Errorf("warm Reset allocates %.1f times", allocs)
+	}
+}

@@ -16,8 +16,9 @@ func example2Bounds(t *testing.T, s *model.System) Bounds {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := make(Bounds, len(res.Subtasks))
-	for id, sb := range res.Subtasks {
+	b := make(Bounds, len(res.Bounds))
+	for i, sb := range res.Bounds {
+		id := res.Index.ID(i)
 		b[id] = sb.Response
 	}
 	return b

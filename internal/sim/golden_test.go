@@ -103,8 +103,9 @@ func pmBoundsOf(t *testing.T, sys *model.System) (sim.Bounds, bool) {
 	if err != nil {
 		t.Fatalf("AnalyzePM: %v", err)
 	}
-	b := make(sim.Bounds, len(res.Subtasks))
-	for id, sb := range res.Subtasks {
+	b := make(sim.Bounds, len(res.Bounds))
+	for i, sb := range res.Bounds {
+		id := res.Index.ID(i)
 		if sb.Response.IsInfinite() {
 			return nil, false
 		}

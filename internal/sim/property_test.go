@@ -49,9 +49,10 @@ func allProtocols(t *testing.T, s *model.System) []Protocol {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := make(Bounds, len(res.Subtasks))
+	b := make(Bounds, len(res.Bounds))
 	finite := true
-	for id, sb := range res.Subtasks {
+	for i, sb := range res.Bounds {
+		id := res.Index.ID(i)
 		if sb.Response.IsInfinite() {
 			finite = false
 			break
@@ -134,7 +135,8 @@ func TestDSAverageNeverWorse(t *testing.T) {
 		}
 		b := make(Bounds)
 		finite := true
-		for id, sb := range res.Subtasks {
+		for i, sb := range res.Bounds {
+			id := res.Index.ID(i)
 			if sb.Response.IsInfinite() {
 				finite = false
 				break

@@ -307,9 +307,10 @@ func TestBoundsSoundUnderSporadicReleases(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bounds := make(Bounds, len(pmRes.Subtasks))
+		bounds := make(Bounds, len(pmRes.Bounds))
 		finite := true
-		for id, sb := range pmRes.Subtasks {
+		for i, sb := range pmRes.Bounds {
+			id := pmRes.Index.ID(i)
 			if sb.Response.IsInfinite() {
 				finite = false
 				break

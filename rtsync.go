@@ -222,8 +222,9 @@ func NewRGRule1Only() Protocol { return sim.NewRGRule1Only() }
 // BoundsFrom extracts the per-subtask response-time bounds of an SA/PM
 // result in the form PM and MPM consume. It fails if any bound is infinite.
 func BoundsFrom(res *AnalysisResult) (Bounds, error) {
-	b := make(Bounds, len(res.Subtasks))
-	for id, sb := range res.Subtasks {
+	b := make(Bounds, len(res.Bounds))
+	for i, sb := range res.Bounds {
+		id := res.Index.ID(i)
 		if sb.Response.IsInfinite() {
 			return nil, &InfiniteBoundError{Subtask: id}
 		}

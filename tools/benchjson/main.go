@@ -1,0 +1,106 @@
+// Command benchjson reruns a benchmark package and rewrites the "after"
+// section of a BENCH_*.json trajectory file in place, preserving the
+// hand-written description, the frozen "before" capture, and the notes.
+//
+// Usage (what `make bench-analysis` runs):
+//
+//	go run ./tools/benchjson -out BENCH_analysis.json \
+//	    -pkg ./internal/analysis -bench BenchmarkAnalyze -benchtime 10x
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+)
+
+// benchLine matches `go test -benchmem` output, e.g.
+// BenchmarkAnalyzeDS-8   10   9264590 ns/op   125884 B/op   77 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+type measurement struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"B_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+type trajectory struct {
+	Description string                 `json:"description"`
+	Before      map[string]measurement `json:"before"`
+	After       map[string]measurement `json:"after"`
+	Notes       []string               `json:"notes"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_analysis.json", "trajectory file to update in place")
+		pkg       = flag.String("pkg", "./internal/analysis", "package whose benchmarks to run")
+		bench     = flag.String("bench", "BenchmarkAnalyze", "benchmark name regexp")
+		benchtime = flag.String("benchtime", "10x", "go test -benchtime value")
+	)
+	flag.Parse()
+	if err := run(*out, *pkg, *bench, *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, pkg, bench, benchtime string) error {
+	cmd := exec.Command("go", "test", "-run", "NONE", "-bench", bench,
+		"-benchmem", "-benchtime", benchtime, pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go test: %w", err)
+	}
+	after := parse(string(raw))
+	if len(after) == 0 {
+		return fmt.Errorf("no benchmark lines matched %q in %s", bench, pkg)
+	}
+
+	var t trajectory
+	if prev, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(prev, &t); err != nil {
+			return fmt.Errorf("parse existing %s: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	t.After = after
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false) // keep "->" in notes readable
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&t); err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("updated %s: %d after-benchmarks\n", out, len(after))
+	return nil
+}
+
+// parse extracts name -> measurement from go test -benchmem output.
+func parse(out string) map[string]measurement {
+	res := make(map[string]measurement)
+	start := 0
+	for i := 0; i <= len(out); i++ {
+		if i == len(out) || out[i] == '\n' {
+			if m := benchLine.FindStringSubmatch(out[start:i]); m != nil {
+				ns, _ := strconv.ParseFloat(m[2], 64)
+				b, _ := strconv.ParseInt(m[3], 10, 64)
+				a, _ := strconv.ParseInt(m[4], 10, 64)
+				res[m[1]] = measurement{NsOp: ns, BOp: b, AllocsOp: a}
+			}
+			start = i + 1
+		}
+	}
+	return res
+}
