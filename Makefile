@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-analysis vet fmt cover experiments examples clean
+.PHONY: all build test test-short bench bench-analysis bench-experiments vet fmt cover experiments examples clean
 
 all: build test
 
@@ -29,6 +29,10 @@ bench:
 bench-analysis:
 	$(GO) run ./tools/benchjson -out BENCH_analysis.json \
 		-pkg ./internal/analysis -bench BenchmarkAnalyze -benchtime 10x
+
+bench-experiments:
+	$(GO) run ./tools/benchjson -out BENCH_experiments.json \
+		-pkg ./internal/experiments -bench BenchmarkSweep -benchtime 10x
 
 cover:
 	$(GO) test -cover ./...

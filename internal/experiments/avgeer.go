@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"rtsync/internal/analysis"
 	"rtsync/internal/model"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
@@ -50,103 +49,116 @@ func AvgEERStudy(p Params) (*AvgEERResult, error) {
 		Skipped:  make(map[CellKey]int),
 	}
 	var firstErr error
-	fail := func(record func(func()), err error) {
-		record(func() {
-			if firstErr == nil {
-				firstErr = err
+	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
+		sc, ok := w.scratch.(*avgeerScratch)
+		if !ok {
+			sc = &avgeerScratch{
+				bounds: make(sim.Bounds),
+				dsP:    sim.NewDS(),
+				pmP:    sim.NewPM(nil),
+				rgP:    sim.NewRG(),
+				rg1P:   sim.NewRGRule1Only(),
 			}
-		})
-	}
-	sweep(p, func(r *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func())) {
-		sys, err := workload.Generate(cfg)
+			w.scratch = sc
+		}
+		sys, err := w.gen.Generate(cfg)
 		if err != nil {
-			fail(record, err)
+			recordErr(rec, &firstErr, err)
 			return
 		}
 		cell := cellOf(cfg)
 
-		if err := an.Reset(sys, p.Analysis); err != nil {
-			fail(record, err)
+		if err := w.an.Reset(sys, p.Analysis); err != nil {
+			recordErr(rec, &firstErr, err)
 			return
 		}
-		bounds, finite := pmBounds(an.AnalyzePM())
-		if !finite {
-			record(func() { res.Skipped[cell]++ })
+		if !fillPMBounds(sc.bounds, w.an.AnalyzePM()) {
+			rec.Begin()
+			res.Skipped[cell]++
 			return
 		}
+		sc.pmP.SetBounds(sc.bounds)
 
 		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
-		runOne := func(protocol sim.Protocol) (*sim.Metrics, error) {
-			out, err := r.Run(sys, sim.Config{Protocol: protocol, Horizon: horizon})
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s seed %d: %w", protocol.Name(), cfg.Label(), cfg.Seed, err)
-			}
-			return out.Metrics, nil
-		}
-		ds, err := runOne(sim.NewDS())
-		if err != nil {
-			fail(record, err)
+		// Each run's Outcome is invalidated by the next, so every run is
+		// snapshotted into the worker's retained Metrics before the next.
+		if err := runSnapshot(w, &sc.ds, sc.dsP, sys, horizon, cfg); err != nil {
+			recordErr(rec, &firstErr, err)
 			return
 		}
-		pm, err := runOne(sim.NewPM(bounds))
-		if err != nil {
-			fail(record, err)
+		if err := runSnapshot(w, &sc.pm, sc.pmP, sys, horizon, cfg); err != nil {
+			recordErr(rec, &firstErr, err)
 			return
 		}
-		rg, err := runOne(sim.NewRG())
-		if err != nil {
-			fail(record, err)
+		if err := runSnapshot(w, &sc.rg, sc.rgP, sys, horizon, cfg); err != nil {
+			recordErr(rec, &firstErr, err)
 			return
 		}
-		rg1, err := runOne(sim.NewRGRule1Only())
-		if err != nil {
-			fail(record, err)
+		if err := runSnapshot(w, &sc.rg1, sc.rg1P, sys, horizon, cfg); err != nil {
+			recordErr(rec, &firstErr, err)
 			return
 		}
 
-		type obs struct {
-			grid *Grid
-			v    float64
-		}
-		var observations []obs
-		addRatio := func(g *Grid, num, den *sim.Metrics, i int) {
-			if num.Tasks[i].Completed == 0 || den.Tasks[i].Completed == 0 {
-				return
-			}
-			d := den.Tasks[i].AvgEER()
-			if d <= 0 {
-				return
-			}
-			observations = append(observations, obs{grid: g, v: num.Tasks[i].AvgEER() / d})
-		}
+		rec.Begin()
 		for i := range sys.Tasks {
-			addRatio(res.PMDS, pm, ds, i)
-			addRatio(res.RGDS, rg, ds, i)
-			addRatio(res.PMRG, pm, rg, i)
-			addRatio(res.RG1RG, rg1, rg, i)
+			addRatio(res.PMDS, cell, &sc.pm, &sc.ds, i)
+			addRatio(res.RGDS, cell, &sc.rg, &sc.ds, i)
+			addRatio(res.PMRG, cell, &sc.pm, &sc.rg, i)
+			addRatio(res.RG1RG, cell, &sc.rg1, &sc.rg, i)
 			period := float64(sys.Tasks[i].Period)
-			for _, jo := range []struct {
-				g *Grid
-				m *sim.Metrics
-			}{{res.JitterPM, pm}, {res.JitterRG, rg}, {res.JitterDS, ds}} {
-				if jo.m.Tasks[i].Completed >= 2 {
-					observations = append(observations, obs{
-						grid: jo.g,
-						v:    float64(jo.m.Tasks[i].MaxOutputJitter) / period,
-					})
-				}
-			}
+			addJitter(res.JitterPM, cell, &sc.pm, i, period)
+			addJitter(res.JitterRG, cell, &sc.rg, i, period)
+			addJitter(res.JitterDS, cell, &sc.ds, i, period)
 		}
-		record(func() {
-			for _, o := range observations {
-				o.grid.Sample(cell).Add(o.v)
-			}
-		})
 	})
 	if firstErr != nil {
 		return nil, fmt.Errorf("average-EER study: %w", firstErr)
 	}
 	return res, nil
+}
+
+// avgeerScratch is AvgEERStudy's per-worker retained state: one refilled
+// bounds map, one reused instance of each protocol, and one Metrics
+// snapshot per protocol so all four runs' results coexist.
+type avgeerScratch struct {
+	bounds          sim.Bounds
+	ds, pm, rg, rg1 sim.Metrics
+	dsP             *sim.DS
+	pmP             *sim.PM
+	rgP             *sim.RG
+	rg1P            *sim.RG
+}
+
+// runSnapshot simulates sys under protocol on the worker's Runner and
+// deep-copies the outcome's metrics into dst (backing arrays reused).
+func runSnapshot(w *worker, dst *sim.Metrics, protocol sim.Protocol, sys *model.System, horizon model.Time, cfg workload.Config) error {
+	out, err := w.sim.Run(sys, sim.Config{Protocol: protocol, Horizon: horizon})
+	if err != nil {
+		return fmt.Errorf("%s on %s seed %d: %w", protocol.Name(), cfg.Label(), cfg.Seed, err)
+	}
+	dst.CopyFrom(out.Metrics)
+	return nil
+}
+
+// addRatio records num's/den's average-EER ratio for task i when both
+// protocols completed instances and the denominator is positive.
+func addRatio(g *Grid, cell CellKey, num, den *sim.Metrics, i int) {
+	if num.Tasks[i].Completed == 0 || den.Tasks[i].Completed == 0 {
+		return
+	}
+	d := den.Tasks[i].AvgEER()
+	if d <= 0 {
+		return
+	}
+	g.Sample(cell).Add(num.Tasks[i].AvgEER() / d)
+}
+
+// addJitter records task i's period-normalized max output jitter when at
+// least two instances completed.
+func addJitter(g *Grid, cell CellKey, m *sim.Metrics, i int, period float64) {
+	if m.Tasks[i].Completed >= 2 {
+		g.Sample(cell).Add(float64(m.Tasks[i].MaxOutputJitter) / period)
+	}
 }
 
 // ratioTable renders one ratio grid.

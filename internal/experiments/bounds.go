@@ -5,17 +5,31 @@ import (
 	"rtsync/internal/sim"
 )
 
-// pmBounds converts an SA/PM result into the per-subtask response-time
-// bounds the PM and MPM protocols consume. ok is false when any bound is
-// infinite, in which case PM cannot be configured for the system and the
-// sweeps skip it.
-func pmBounds(res *analysis.Result) (b sim.Bounds, ok bool) {
-	b = make(sim.Bounds, len(res.Bounds))
+// fillPMBounds refills b in place from an SA/PM result with the
+// per-subtask response-time bounds the PM and MPM protocols consume. ok is
+// false when any bound is infinite, in which case PM cannot be configured
+// for the system and the sweeps skip it (b is then partially filled and
+// must be refilled before use). Sweep workers retain one Bounds map and
+// refill it per system, so the steady state allocates nothing.
+func fillPMBounds(b sim.Bounds, res *analysis.Result) (ok bool) {
+	for k := range b {
+		delete(b, k)
+	}
 	for i, sb := range res.Bounds {
 		if sb.Response.IsInfinite() {
-			return nil, false
+			return false
 		}
 		b[res.Index.ID(i)] = sb.Response
+	}
+	return true
+}
+
+// pmBounds is the one-shot convenience over fillPMBounds for sequential
+// studies: it allocates a fresh map per call.
+func pmBounds(res *analysis.Result) (sim.Bounds, bool) {
+	b := make(sim.Bounds, len(res.Bounds))
+	if !fillPMBounds(b, res) {
+		return nil, false
 	}
 	return b, true
 }

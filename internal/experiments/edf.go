@@ -35,33 +35,31 @@ func EDFStudy(p Params) (*EDFResult, error) {
 		AvgEERRatio:    NewGrid("EDF/FP avg EER"),
 	}
 	var firstErr error
-	fail := func(record func(func()), err error) {
-		record(func() {
-			if firstErr == nil {
-				firstErr = err
-			}
-		})
-	}
-	sweep(p, func(r *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func())) {
-		sys, err := workload.Generate(cfg)
+	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
+		sc, ok := w.scratch.(*edfScratch)
+		if !ok {
+			sc = &edfScratch{rgP: sim.NewRG()}
+			w.scratch = sc
+		}
+		sys, err := w.gen.Generate(cfg)
 		if err != nil {
-			fail(record, err)
+			recordErr(rec, &firstErr, err)
 			return
 		}
 		if err := priority.AssignLocalDeadlines(sys, priority.ProportionalSlice); err != nil {
-			fail(record, err)
+			recordErr(rec, &firstErr, err)
 			return
 		}
 		cell := cellOf(cfg)
 
-		if err := an.Reset(sys, p.Analysis); err != nil {
-			fail(record, err)
+		if err := w.an.Reset(sys, p.Analysis); err != nil {
+			recordErr(rec, &firstErr, err)
 			return
 		}
-		pmRes := an.AnalyzePM()
+		pmRes := w.an.AnalyzePM()
 		edfRes, err := analysis.AnalyzeEDF(sys, p.Analysis)
 		if err != nil {
-			fail(record, err)
+			recordErr(rec, &firstErr, err)
 			return
 		}
 		fpOK, edfOK := 0.0, 0.0
@@ -72,40 +70,46 @@ func EDFStudy(p Params) (*EDFResult, error) {
 			edfOK = 1
 		}
 
+		// Both runs reuse one RG instance; each run's metrics are
+		// snapshotted so the FP and EDF results coexist.
 		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
-		fpOut, err := r.Run(sys, sim.Config{Protocol: sim.NewRG(), Horizon: horizon})
+		fpOut, err := w.sim.Run(sys, sim.Config{Protocol: sc.rgP, Horizon: horizon})
 		if err != nil {
-			fail(record, err)
+			recordErr(rec, &firstErr, err)
 			return
 		}
-		edfOut, err := r.Run(sys, sim.Config{Protocol: sim.NewRG(), Scheduler: sim.EDF, Horizon: horizon})
+		sc.fp.CopyFrom(fpOut.Metrics)
+		edfOut, err := w.sim.Run(sys, sim.Config{Protocol: sc.rgP, Scheduler: sim.EDF, Horizon: horizon})
 		if err != nil {
-			fail(record, err)
+			recordErr(rec, &firstErr, err)
 			return
 		}
-		var ratios []float64
+		sc.edf.CopyFrom(edfOut.Metrics)
+		rec.Begin()
+		res.FPSchedulable.Sample(cell).Add(fpOK)
+		res.EDFSchedulable.Sample(cell).Add(edfOK)
 		for i := range sys.Tasks {
-			if fpOut.Metrics.Tasks[i].Completed == 0 || edfOut.Metrics.Tasks[i].Completed == 0 {
+			if sc.fp.Tasks[i].Completed == 0 || sc.edf.Tasks[i].Completed == 0 {
 				continue
 			}
-			den := fpOut.Metrics.Tasks[i].AvgEER()
+			den := sc.fp.Tasks[i].AvgEER()
 			if den <= 0 {
 				continue
 			}
-			ratios = append(ratios, edfOut.Metrics.Tasks[i].AvgEER()/den)
+			res.AvgEERRatio.Sample(cell).Add(sc.edf.Tasks[i].AvgEER() / den)
 		}
-		record(func() {
-			res.FPSchedulable.Sample(cell).Add(fpOK)
-			res.EDFSchedulable.Sample(cell).Add(edfOK)
-			for _, r := range ratios {
-				res.AvgEERRatio.Sample(cell).Add(r)
-			}
-		})
 	})
 	if firstErr != nil {
 		return nil, fmt.Errorf("EDF study: %w", firstErr)
 	}
 	return res, nil
+}
+
+// edfScratch is EDFStudy's per-worker retained state: one RG instance and
+// the FP/EDF metrics snapshots.
+type edfScratch struct {
+	fp, edf sim.Metrics
+	rgP     *sim.RG
 }
 
 // Table summarizes A8 per configuration.

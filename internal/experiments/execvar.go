@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"rtsync/internal/analysis"
 	"rtsync/internal/model"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
@@ -47,87 +46,78 @@ func ExecVariationStudy(p Params, fractions []float64) (*ExecVariationResult, er
 		res.RGDS[f] = NewGrid(fmt.Sprintf("RG/DS f=%v", f))
 	}
 	var firstErr error
-	fail := func(record func(func()), err error) {
-		record(func() {
-			if firstErr == nil {
-				firstErr = err
+	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
+		sc, ok := w.scratch.(*execvarScratch)
+		if !ok {
+			sc = &execvarScratch{
+				bounds: make(sim.Bounds),
+				dsP:    sim.NewDS(),
+				pmP:    sim.NewPM(nil),
+				rgP:    sim.NewRG(),
+				pmds:   make([][]float64, len(fractions)),
+				rgds:   make([][]float64, len(fractions)),
 			}
-		})
-	}
-	sweep(p, func(r *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func())) {
-		sys, err := workload.Generate(cfg)
+			sc.demand.rng = rand.New(rand.NewSource(0))
+			sc.demandFn = sc.demand.sample
+			w.scratch = sc
+		}
+		sys, err := w.gen.Generate(cfg)
 		if err != nil {
-			fail(record, err)
+			recordErr(rec, &firstErr, err)
 			return
 		}
 		cell := cellOf(cfg)
-		if err := an.Reset(sys, p.Analysis); err != nil {
-			fail(record, err)
+		if err := w.an.Reset(sys, p.Analysis); err != nil {
+			recordErr(rec, &firstErr, err)
 			return
 		}
-		bounds, finite := pmBounds(an.AnalyzePM())
-		if !finite {
+		if !fillPMBounds(sc.bounds, w.an.AnalyzePM()) {
 			return // skip: PM not runnable
 		}
+		sc.pmP.SetBounds(sc.bounds)
 		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
 
-		type obs struct {
-			f          float64
-			pmds, rgds []float64
-		}
-		var all []obs
-		for _, f := range fractions {
-			execVar := demandSampler(sys, cfg.Seed, f)
-			run := func(protocol sim.Protocol) (*sim.Metrics, error) {
-				out, err := r.Run(sys, sim.Config{
-					Protocol: protocol,
-					Horizon:  horizon,
-					ExecTime: execVar,
-				})
-				if err != nil {
-					return nil, err
-				}
-				return out.Metrics, nil
-			}
-			ds, err := run(sim.NewDS())
-			if err != nil {
-				fail(record, err)
+		// All fractions simulate before the commit, so the per-fraction
+		// ratios buffer in retained slices until rec.Begin().
+		sc.demand.sys = sys
+		sc.demand.seed = cfg.Seed
+		for fi, f := range fractions {
+			sc.demand.f = f
+			sc.pmds[fi] = sc.pmds[fi][:0]
+			sc.rgds[fi] = sc.rgds[fi][:0]
+			if err := runVariedInto(w, &sc.ds, sc.dsP, sys, horizon, sc.demandFn); err != nil {
+				recordErr(rec, &firstErr, err)
 				return
 			}
-			pm, err := run(sim.NewPM(bounds))
-			if err != nil {
-				fail(record, err)
+			if err := runVariedInto(w, &sc.pm, sc.pmP, sys, horizon, sc.demandFn); err != nil {
+				recordErr(rec, &firstErr, err)
 				return
 			}
-			rg, err := run(sim.NewRG())
-			if err != nil {
-				fail(record, err)
+			if err := runVariedInto(w, &sc.rg, sc.rgP, sys, horizon, sc.demandFn); err != nil {
+				recordErr(rec, &firstErr, err)
 				return
 			}
-			o := obs{f: f}
 			for i := range sys.Tasks {
-				if ds.Tasks[i].Completed == 0 || ds.Tasks[i].AvgEER() <= 0 {
+				if sc.ds.Tasks[i].Completed == 0 || sc.ds.Tasks[i].AvgEER() <= 0 {
 					continue
 				}
-				if pm.Tasks[i].Completed > 0 {
-					o.pmds = append(o.pmds, pm.Tasks[i].AvgEER()/ds.Tasks[i].AvgEER())
+				if sc.pm.Tasks[i].Completed > 0 {
+					sc.pmds[fi] = append(sc.pmds[fi], sc.pm.Tasks[i].AvgEER()/sc.ds.Tasks[i].AvgEER())
 				}
-				if rg.Tasks[i].Completed > 0 {
-					o.rgds = append(o.rgds, rg.Tasks[i].AvgEER()/ds.Tasks[i].AvgEER())
+				if sc.rg.Tasks[i].Completed > 0 {
+					sc.rgds[fi] = append(sc.rgds[fi], sc.rg.Tasks[i].AvgEER()/sc.ds.Tasks[i].AvgEER())
 				}
 			}
-			all = append(all, o)
 		}
-		record(func() {
-			for _, o := range all {
-				for _, v := range o.pmds {
-					res.PMDS[o.f].Sample(cell).Add(v)
-				}
-				for _, v := range o.rgds {
-					res.RGDS[o.f].Sample(cell).Add(v)
-				}
+		rec.Begin()
+		for fi, f := range fractions {
+			for _, v := range sc.pmds[fi] {
+				res.PMDS[f].Sample(cell).Add(v)
 			}
-		})
+			for _, v := range sc.rgds[fi] {
+				res.RGDS[f].Sample(cell).Add(v)
+			}
+		}
 	})
 	if firstErr != nil {
 		return nil, fmt.Errorf("exec-variation study: %w", firstErr)
@@ -135,21 +125,57 @@ func ExecVariationStudy(p Params, fractions []float64) (*ExecVariationResult, er
 	return res, nil
 }
 
-// demandSampler draws instance demands uniformly from [f·WCET, WCET],
-// deterministically in (seed, subtask, instance).
-func demandSampler(s *model.System, seed int64, f float64) func(model.SubtaskID, int64) model.Duration {
-	return func(id model.SubtaskID, m int64) model.Duration {
-		wcet := int64(s.Subtask(id).Exec)
-		lo := int64(float64(wcet) * f)
-		if lo < 1 {
-			lo = 1
-		}
-		if lo >= wcet {
-			return model.Duration(wcet)
-		}
-		rng := rand.New(rand.NewSource(seed ^ (int64(id.Task)*1_000_003 + int64(id.Sub)*7919 + m*31)))
-		return model.Duration(lo + rng.Int63n(wcet-lo+1))
+// execvarScratch is ExecVariationStudy's per-worker retained state:
+// bounds map, protocol instances, per-protocol metrics snapshots, the
+// reused demand sampler, and per-fraction ratio buffers.
+type execvarScratch struct {
+	bounds     sim.Bounds
+	ds, pm, rg sim.Metrics
+	dsP        *sim.DS
+	pmP        *sim.PM
+	rgP        *sim.RG
+	demand     demandState
+	demandFn   func(model.SubtaskID, int64) model.Duration
+	pmds, rgds [][]float64
+}
+
+// runVariedInto simulates sys with varied execution demands and snapshots
+// the metrics into dst.
+func runVariedInto(w *worker, dst *sim.Metrics, protocol sim.Protocol, sys *model.System, horizon model.Time, execVar func(model.SubtaskID, int64) model.Duration) error {
+	out, err := w.sim.Run(sys, sim.Config{
+		Protocol: protocol,
+		Horizon:  horizon,
+		ExecTime: execVar,
+	})
+	if err != nil {
+		return err
 	}
+	dst.CopyFrom(out.Metrics)
+	return nil
+}
+
+// demandState draws instance demands uniformly from [f·WCET, WCET],
+// deterministically in (seed, subtask, instance), reseeding a retained
+// rng per call — the same draw the old per-call rand.New produced,
+// without its allocation.
+type demandState struct {
+	rng  *rand.Rand
+	sys  *model.System
+	seed int64
+	f    float64
+}
+
+func (d *demandState) sample(id model.SubtaskID, m int64) model.Duration {
+	wcet := int64(d.sys.Subtask(id).Exec)
+	lo := int64(float64(wcet) * d.f)
+	if lo < 1 {
+		lo = 1
+	}
+	if lo >= wcet {
+		return model.Duration(wcet)
+	}
+	d.rng.Seed(d.seed ^ (int64(id.Task)*1_000_003 + int64(id.Sub)*7919 + m*31))
+	return model.Duration(lo + d.rng.Int63n(wcet-lo+1))
 }
 
 // Table renders the A9 summary: mean PM/DS and RG/DS across the whole grid

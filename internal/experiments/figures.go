@@ -3,9 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"rtsync/internal/analysis"
 	"rtsync/internal/report"
-	"rtsync/internal/sim"
 	"rtsync/internal/workload"
 )
 
@@ -28,30 +26,22 @@ func Fig12FailureRate(p Params) (*FailureRateResult, error) {
 	p.Analysis.StopOnFailure = true
 	res := &FailureRateResult{Rates: NewGrid("DS failure rate")}
 	var firstErr error
-	sweep(p, func(_ *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func())) {
-		sys, err := workload.Generate(cfg)
+	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
+		sys, err := w.gen.Generate(cfg)
 		if err != nil {
-			record(func() {
-				if firstErr == nil {
-					firstErr = err
-				}
-			})
+			recordErr(rec, &firstErr, err)
 			return
 		}
-		if err := an.Reset(sys, p.Analysis); err != nil {
-			record(func() {
-				if firstErr == nil {
-					firstErr = err
-				}
-			})
+		if err := w.an.Reset(sys, p.Analysis); err != nil {
+			recordErr(rec, &firstErr, err)
 			return
 		}
 		failed := 0.0
-		if an.AnalyzeDS().Failed() {
+		if w.an.AnalyzeDS().Failed() {
 			failed = 1.0
 		}
-		cell := cellOf(cfg)
-		record(func() { res.Rates.Sample(cell).Add(failed) })
+		rec.Begin()
+		res.Rates.Sample(cellOf(cfg)).Add(failed)
 	})
 	if firstErr != nil {
 		return nil, fmt.Errorf("figure 12: %w", firstErr)
@@ -96,55 +86,41 @@ func Fig13BoundRatio(p Params) (*BoundRatioResult, error) {
 		TotalSystems:   make(map[CellKey]int),
 	}
 	var firstErr error
-	sweep(p, func(_ *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func())) {
-		sys, err := workload.Generate(cfg)
+	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
+		sys, err := w.gen.Generate(cfg)
 		if err != nil {
-			record(func() {
-				if firstErr == nil {
-					firstErr = err
-				}
-			})
+			recordErr(rec, &firstErr, err)
 			return
 		}
 		// One Reset serves all three analyses: each Analyze method owns a
-		// distinct Result, so ds/pm/hol stay valid side by side.
-		if err := an.Reset(sys, p.Analysis); err != nil {
-			record(func() {
-				if firstErr == nil {
-					firstErr = err
-				}
-			})
+		// distinct Result, so ds/pm/hol stay valid side by side — and
+		// stay readable after rec.Begin(), since only this worker touches
+		// its analyzer.
+		if err := w.an.Reset(sys, p.Analysis); err != nil {
+			recordErr(rec, &firstErr, err)
 			return
 		}
-		ds := an.AnalyzeDS()
+		ds := w.an.AnalyzeDS()
 		cell := cellOf(cfg)
 		if ds.Failed() {
-			record(func() { res.TotalSystems[cell]++ })
+			rec.Begin()
+			res.TotalSystems[cell]++
 			return
 		}
-		pm := an.AnalyzePM()
-		hol := an.AnalyzeHolistic()
-		ratios := make([]float64, 0, len(sys.Tasks))
-		holRatios := make([]float64, 0, len(sys.Tasks))
+		pm := w.an.AnalyzePM()
+		hol := w.an.AnalyzeHolistic()
+		rec.Begin()
+		res.TotalSystems[cell]++
+		res.FiniteSystems[cell]++
 		for i := range sys.Tasks {
 			if pm.TaskEER[i].IsInfinite() || pm.TaskEER[i] == 0 {
 				continue
 			}
-			ratios = append(ratios, float64(ds.TaskEER[i])/float64(pm.TaskEER[i]))
+			res.Ratios.Sample(cell).Add(float64(ds.TaskEER[i]) / float64(pm.TaskEER[i]))
 			if !hol.TaskEER[i].IsInfinite() {
-				holRatios = append(holRatios, float64(hol.TaskEER[i])/float64(pm.TaskEER[i]))
+				res.HolisticRatios.Sample(cell).Add(float64(hol.TaskEER[i]) / float64(pm.TaskEER[i]))
 			}
 		}
-		record(func() {
-			res.TotalSystems[cell]++
-			res.FiniteSystems[cell]++
-			for _, r := range ratios {
-				res.Ratios.Sample(cell).Add(r)
-			}
-			for _, r := range holRatios {
-				res.HolisticRatios.Sample(cell).Add(r)
-			}
-		})
 	})
 	if firstErr != nil {
 		return nil, fmt.Errorf("figure 13: %w", firstErr)

@@ -7,8 +7,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
@@ -136,44 +138,145 @@ func (g *Grid) Axes() (ns, us []int) {
 	return ns, us
 }
 
-// sweep runs fn once per (config, system index) pair across a worker pool,
-// serializing result recording through a mutex held by record callbacks.
-// fn receives a per-worker simulation runner and a per-worker analyzer (so
-// one engine's queues and one analyzer's dense state are recycled across
-// the worker's whole share of the sweep), the configuration (with the
-// per-system seed already set), and a locked recorder via record.
+// worker owns one sweep goroutine's recycled pipeline state: a workload
+// Generator, a simulation Runner, and an Analyzer, each reusing its
+// retained storage across the worker's whole share of the sweep. scratch
+// holds study-specific per-worker state (bounds maps, metrics snapshots,
+// ratio buffers); a study lazily installs its own type on first use.
+type worker struct {
+	gen workload.Generator
+	sim sim.Runner
+	an  analysis.Analyzer
+
+	scratch any
+}
+
+// unit is one sweep work item: a configuration with the per-system seed
+// installed, its config index (for the pprof label), and its global commit
+// order g = configIdx*SystemsPerConfig + sysIdx.
+type unit struct {
+	cfg workload.Config
+	ci  int
+	g   int64
+}
+
+// gate is an ordered-commit turnstile: enter(g) blocks until every unit
+// before g has left, so commits apply in global unit order no matter how
+// the worker pool interleaves. The mutex hand-off in enter/leave also
+// publishes unit g's writes to unit g+1's worker.
+type gate struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	next int64
+}
+
+func newGate() *gate {
+	g := &gate{}
+	g.cond.L = &g.mu
+	return g
+}
+
+func (g *gate) enter(unit int64) {
+	g.mu.Lock()
+	for g.next != unit {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+func (g *gate) leave() {
+	g.mu.Lock()
+	g.next++
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Recorder gates one unit's result commit. Begin blocks until every
+// earlier unit has committed; from then until the unit function returns,
+// the study owns the shared result state exclusively and mutates it
+// directly (no per-unit closures, no observation slices). Begin is
+// idempotent, and sweep itself calls it after the unit function returns,
+// so units that record nothing still take their turn and the turnstile
+// never stalls.
+type Recorder struct {
+	g       *gate
+	unit    int64
+	entered bool
+}
+
+// Begin claims this unit's commit turn (see Recorder).
+func (r *Recorder) Begin() {
+	if !r.entered {
+		r.entered = true
+		r.g.enter(r.unit)
+	}
+}
+
+// recordErr claims the unit's commit turn and records the sweep's first
+// error — "first" in deterministic global unit order, not completion order.
+func recordErr(rec *Recorder, firstErr *error, err error) {
+	rec.Begin()
+	if *firstErr == nil {
+		*firstErr = err
+	}
+}
+
+// sweep runs fn once per (config, system index) pair across a worker pool.
+// fn receives the per-worker pipeline (Generator + Runner + Analyzer,
+// recycled across the worker's whole share so the steady state allocates
+// nothing per system), the configuration with the per-system seed already
+// installed, and a Recorder.
+//
+// Results are committed in global unit order (config-major, then system
+// index) via the Recorder's turnstile, so every figure — including the
+// order-sensitive floating-point accumulations — is bit-identical across
+// Parallelism settings, and matches a fully sequential run.
 //
 // The analyzer arrives un-Reset: fn must Reset it for each system before
 // calling its Analyze methods, and must not retain their Results past the
-// next Reset.
-func sweep(p Params, fn func(r *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func()))) {
-	type unit struct {
-		cfg workload.Config
+// next Reset. Likewise the Generator's System and the Runner's Outcome are
+// valid only until the worker's next unit.
+//
+// Each worker goroutine carries a pprof label ("cell" = the unit's (N,U)
+// grid point, updated when the worker crosses a config boundary), so
+// -cpuprofile output from cmd/rtexperiments attributes time per
+// configuration.
+func sweep(p Params, fn func(w *worker, cfg workload.Config, rec *Recorder)) {
+	bg := context.Background()
+	labels := make([]context.Context, len(p.Configs))
+	for ci, cfg := range p.Configs {
+		labels[ci] = pprof.WithLabels(bg, pprof.Labels("cell", cfg.Label()))
 	}
 	units := make(chan unit)
-	var mu sync.Mutex
-	record := func(apply func()) {
-		mu.Lock()
-		defer mu.Unlock()
-		apply()
-	}
+	gt := newGate()
 	var wg sync.WaitGroup
-	for w := 0; w < p.Parallelism; w++ {
+	for i := 0; i < p.Parallelism; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var r sim.Runner
-			var an analysis.Analyzer
+			var w worker
+			rec := Recorder{g: gt}
+			lastCI := -1
 			for u := range units {
-				fn(&r, &an, u.cfg, record)
+				if u.ci != lastCI {
+					pprof.SetGoroutineLabels(labels[u.ci])
+					lastCI = u.ci
+				}
+				rec.unit, rec.entered = u.g, false
+				fn(&w, u.cfg, &rec)
+				rec.Begin() // take the turn even when fn recorded nothing
+				gt.leave()
 			}
+			pprof.SetGoroutineLabels(bg)
 		}()
 	}
+	g := int64(0)
 	for ci, cfg := range p.Configs {
 		for k := 0; k < p.SystemsPerConfig; k++ {
 			c := cfg
 			c.Seed = p.systemSeed(ci, k)
-			units <- unit{cfg: c}
+			units <- unit{cfg: c, ci: ci, g: g}
+			g++
 		}
 	}
 	close(units)

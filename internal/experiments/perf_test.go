@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"rtsync/internal/model"
+	"rtsync/internal/sim"
+	"rtsync/internal/workload"
+)
+
+// benchSweepParams is a small fixed grid for the end-to-end pipeline
+// benchmark: 2 configurations x 8 systems = 16 sweep units per iteration,
+// each unit covering generate -> analyze -> simulate (DS, PM, RG, RG1) ->
+// aggregate. Parallelism 1 keeps the numbers comparable across machines.
+func benchSweepParams() Params {
+	return Params{
+		Configs: []workload.Config{
+			workload.DefaultConfig(3, 0.5),
+			workload.DefaultConfig(5, 0.7),
+		},
+		SystemsPerConfig: 8,
+		Seed:             1,
+		HorizonPeriods:   5,
+		Parallelism:      1,
+	}
+}
+
+// TestSweepDeterminism checks the ordered-commit turnstile: for a fixed
+// Params.Seed, figure-runner output is bit-identical (reflect.DeepEqual
+// over the float accumulators, not approximate) across Parallelism
+// settings, including the fully sequential run.
+func TestSweepDeterminism(t *testing.T) {
+	base := benchSweepParams()
+	base.SystemsPerConfig = 6
+	parallelisms := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	var sims []*AvgEERResult
+	var figs []*BoundRatioResult
+	for _, par := range parallelisms {
+		p := base
+		p.Parallelism = par
+		res, err := AvgEERStudy(p)
+		if err != nil {
+			t.Fatalf("AvgEERStudy(parallelism=%d): %v", par, err)
+		}
+		sims = append(sims, res)
+		fig, err := Fig13BoundRatio(p)
+		if err != nil {
+			t.Fatalf("Fig13BoundRatio(parallelism=%d): %v", par, err)
+		}
+		figs = append(figs, fig)
+	}
+	for i := 1; i < len(parallelisms); i++ {
+		if !reflect.DeepEqual(sims[0], sims[i]) {
+			t.Errorf("AvgEERStudy output at parallelism %d differs from sequential", parallelisms[i])
+		}
+		if !reflect.DeepEqual(figs[0], figs[i]) {
+			t.Errorf("Fig13BoundRatio output at parallelism %d differs from sequential", parallelisms[i])
+		}
+	}
+}
+
+// TestSweepSteadyStateZeroAllocs proves the tentpole: a warm worker's
+// per-system loop — generate, analyze, fill bounds, simulate two
+// protocols, snapshot metrics — allocates nothing per additional system.
+func TestSweepSteadyStateZeroAllocs(t *testing.T) {
+	cfg := workload.DefaultConfig(4, 0.6)
+	p := Params{}.withDefaults()
+	var w worker
+	bounds := make(sim.Bounds)
+	dsP := sim.NewDS()
+	pmP := sim.NewPM(nil)
+	var ds, pm sim.Metrics
+
+	// Rotate over a fixed seed set so the measured runs retrace warmed
+	// capacities instead of growing them.
+	seeds := []int64{11, 12, 13, 14, 15}
+	iter := 0
+	var unitErr error
+	unit := func() {
+		cfg.Seed = seeds[iter%len(seeds)]
+		iter++
+		sys, err := w.gen.Generate(cfg)
+		if err != nil {
+			unitErr = err
+			return
+		}
+		if err := w.an.Reset(sys, p.Analysis); err != nil {
+			unitErr = err
+			return
+		}
+		if !fillPMBounds(bounds, w.an.AnalyzePM()) {
+			return
+		}
+		pmP.SetBounds(bounds)
+		horizon := model.Time(int64(sys.MaxPeriod()) * 5)
+		out, err := w.sim.Run(sys, sim.Config{Protocol: dsP, Horizon: horizon})
+		if err != nil {
+			unitErr = err
+			return
+		}
+		ds.CopyFrom(out.Metrics)
+		out, err = w.sim.Run(sys, sim.Config{Protocol: pmP, Horizon: horizon})
+		if err != nil {
+			unitErr = err
+			return
+		}
+		pm.CopyFrom(out.Metrics)
+	}
+	for i := 0; i < 2*len(seeds); i++ {
+		unit()
+	}
+	if unitErr != nil {
+		t.Fatalf("warm-up unit failed: %v", unitErr)
+	}
+	if avg := testing.AllocsPerRun(2*len(seeds), unit); avg != 0 {
+		t.Fatalf("warm sweep unit allocates %.1f times per system, want 0", avg)
+	}
+	if unitErr != nil {
+		t.Fatalf("measured unit failed: %v", unitErr)
+	}
+}
+
+// BenchmarkSweep measures the whole experiments pipeline per sweep; divide
+// B/op and allocs/op by 16 for the per-swept-system cost tracked in
+// BENCH_experiments.json.
+func BenchmarkSweep(b *testing.B) {
+	p := benchSweepParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AvgEERStudy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

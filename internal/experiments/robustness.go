@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"rtsync/internal/analysis"
 	"rtsync/internal/model"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
@@ -44,84 +43,95 @@ func ReleaseJitterStudy(p Params, jitterFraction float64) (*ReleaseJitterResult,
 		res.SystemsWithViolations[n] = make(map[CellKey]int)
 	}
 	var firstErr error
-	sweep(p, func(r *sim.Runner, an *analysis.Analyzer, cfg workload.Config, record func(func())) {
-		sys, err := workload.Generate(cfg)
+	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
+		sc, ok := w.scratch.(*jitterScratch)
+		if !ok {
+			sc = &jitterScratch{bounds: make(sim.Bounds)}
+			sc.delay.rng = rand.New(rand.NewSource(0))
+			sc.delay.frac = jitterFraction
+			sc.delayFn = sc.delay.delay
+			sc.protocols = [4]sim.Protocol{sim.NewDS(), sim.NewPM(nil), sim.NewMPM(nil), sim.NewRG()}
+			w.scratch = sc
+		}
+		sys, err := w.gen.Generate(cfg)
 		if err != nil {
-			record(func() {
-				if firstErr == nil {
-					firstErr = err
-				}
-			})
+			recordErr(rec, &firstErr, err)
 			return
 		}
 		cell := cellOf(cfg)
-		if err := an.Reset(sys, p.Analysis); err != nil {
-			record(func() {
-				if firstErr == nil {
-					firstErr = err
-				}
-			})
+		if err := w.an.Reset(sys, p.Analysis); err != nil {
+			recordErr(rec, &firstErr, err)
 			return
 		}
-		bounds, finite := pmBounds(an.AnalyzePM())
-		if !finite {
-			record(func() { res.Skipped[cell]++ })
+		if !fillPMBounds(sc.bounds, w.an.AnalyzePM()) {
+			rec.Begin()
+			res.Skipped[cell]++
 			return
 		}
+		sc.protocols[1].(*sim.PM).SetBounds(sc.bounds)
+		sc.protocols[2].(*sim.MPM).SetBounds(sc.bounds)
 
 		// One jitter sequence shared by all protocols so the comparison
 		// is paired: delay(i, m) is deterministic in (seed, i, m).
-		delayFor := func(seed int64) func(int, int64) model.Duration {
-			return func(task int, m int64) model.Duration {
-				rng := rand.New(rand.NewSource(seed + int64(task)*104729 + m*31))
-				maxd := int64(float64(sys.Tasks[task].Period) * jitterFraction)
-				if maxd <= 0 {
-					return 0
-				}
-				return model.Duration(rng.Int63n(maxd + 1))
-			}
-		}
+		sc.delay.sys = sys
+		sc.delay.seed = cfg.Seed
 		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
-		protocols := map[string]sim.Protocol{
-			"DS":  sim.NewDS(),
-			"PM":  sim.NewPM(bounds),
-			"MPM": sim.NewMPM(bounds),
-			"RG":  sim.NewRG(),
-		}
-		type vio struct {
-			name string
-			n    int64
-		}
-		var vios []vio
-		for name, protocol := range protocols {
-			out, err := r.Run(sys, sim.Config{
+		for pi, protocol := range sc.protocols {
+			out, err := w.sim.Run(sys, sim.Config{
 				Protocol:          protocol,
 				Horizon:           horizon,
-				FirstReleaseDelay: delayFor(cfg.Seed),
+				FirstReleaseDelay: sc.delayFn,
 			})
 			if err != nil {
-				record(func() {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%s: %w", name, err)
-					}
-				})
+				recordErr(rec, &firstErr, fmt.Errorf("%s: %w", names[pi], err))
 				return
 			}
-			vios = append(vios, vio{name: name, n: out.Metrics.PrecedenceViolations})
+			sc.vios[pi] = out.Metrics.PrecedenceViolations
 		}
-		record(func() {
-			for _, v := range vios {
-				res.ViolationsPerSystem[v.name].Sample(cell).Add(float64(v.n))
-				if v.n > 0 {
-					res.SystemsWithViolations[v.name][cell]++
-				}
+		rec.Begin()
+		for pi, name := range names {
+			res.ViolationsPerSystem[name].Sample(cell).Add(float64(sc.vios[pi]))
+			if sc.vios[pi] > 0 {
+				res.SystemsWithViolations[name][cell]++
 			}
-		})
+		}
 	})
 	if firstErr != nil {
 		return nil, fmt.Errorf("release-jitter study: %w", firstErr)
 	}
 	return res, nil
+}
+
+// jitterScratch is ReleaseJitterStudy's per-worker retained state: a
+// refilled bounds map, the four protocol instances in the fixed DS, PM,
+// MPM, RG order, the reused delay sampler (and its cached function value),
+// and the per-protocol violation counts of the current system.
+type jitterScratch struct {
+	bounds    sim.Bounds
+	protocols [4]sim.Protocol
+	delay     jitterDelay
+	delayFn   func(int, int64) model.Duration
+	vios      [4]int64
+}
+
+// jitterDelay samples the sporadic first-release delay deterministically
+// in (seed, task, instance), reseeding a retained rng per call — the same
+// draw a fresh rand.New(rand.NewSource(...)) would produce, without the
+// per-call allocation.
+type jitterDelay struct {
+	rng  *rand.Rand
+	sys  *model.System
+	seed int64
+	frac float64
+}
+
+func (d *jitterDelay) delay(task int, m int64) model.Duration {
+	d.rng.Seed(d.seed + int64(task)*104729 + m*31)
+	maxd := int64(float64(d.sys.Tasks[task].Period) * d.frac)
+	if maxd <= 0 {
+		return 0
+	}
+	return model.Duration(d.rng.Int63n(maxd + 1))
 }
 
 // Table summarizes A3: mean violations per system for each protocol.

@@ -39,6 +39,16 @@ func SensitivityStudy(p Params, n int, utilization float64, shapes [][2]int) (*S
 		return nil, fmt.Errorf("sensitivity study: no shapes given")
 	}
 	res := &SensitivityResult{N: n, UtilizationPct: int(utilization*100 + 0.5)}
+	// The whole sequential sweep shares one recycled pipeline: a workload
+	// Generator, a Runner, an Analyzer, a refilled bounds map, one instance
+	// of each protocol, and per-protocol metrics snapshots (runs invalidate
+	// each other's Outcome, so each is copied before the next).
+	var gen workload.Generator
+	var runner sim.Runner
+	var an analysis.Analyzer
+	bounds := make(sim.Bounds)
+	dsP, pmP, rgP := sim.NewDS(), sim.NewPM(nil), sim.NewRG()
+	var ds, pm, rg sim.Metrics
 	for _, shape := range shapes {
 		cfg := workload.DefaultConfig(n, utilization)
 		cfg.Processors = shape[0]
@@ -47,11 +57,9 @@ func SensitivityStudy(p Params, n int, utilization float64, shapes [][2]int) (*S
 			return nil, fmt.Errorf("sensitivity study: shape %v: %w", shape, err)
 		}
 		row := SensitivityRow{Processors: shape[0], Tasks: shape[1]}
-		var runner sim.Runner
-		var an analysis.Analyzer
 		for k := 0; k < p.SystemsPerConfig; k++ {
 			cfg.Seed = p.Seed + int64(k)*7919 + int64(shape[0])*101 + int64(shape[1])
-			sys, err := workload.Generate(cfg)
+			sys, err := gen.Generate(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -72,29 +80,27 @@ func SensitivityStudy(p Params, n int, utilization float64, shapes [][2]int) (*S
 			if err := an.Reset(sys, p.Analysis); err != nil {
 				return nil, err
 			}
-			bounds, finite := pmBounds(an.AnalyzePM())
-			if !finite {
+			if !fillPMBounds(bounds, an.AnalyzePM()) {
 				row.SkippedForInfinite++
 				continue
 			}
+			pmP.SetBounds(bounds)
 			horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
-			run := func(protocol sim.Protocol) (*sim.Metrics, error) {
+			run := func(dst *sim.Metrics, protocol sim.Protocol) error {
 				out, err := runner.Run(sys, sim.Config{Protocol: protocol, Horizon: horizon})
 				if err != nil {
-					return nil, err
+					return err
 				}
-				return out.Metrics, nil
+				dst.CopyFrom(out.Metrics)
+				return nil
 			}
-			ds, err := run(sim.NewDS())
-			if err != nil {
+			if err := run(&ds, dsP); err != nil {
 				return nil, err
 			}
-			pm, err := run(sim.NewPM(bounds))
-			if err != nil {
+			if err := run(&pm, pmP); err != nil {
 				return nil, err
 			}
-			rg, err := run(sim.NewRG())
-			if err != nil {
+			if err := run(&rg, rgP); err != nil {
 				return nil, err
 			}
 			for i := range sys.Tasks {

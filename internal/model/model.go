@@ -313,19 +313,23 @@ func (s *System) Validate() error {
 	}
 	// Resources are processor-local: every subtask locking a resource
 	// must live on the same processor (ceiling emulation serializes on
-	// one dispatcher only).
-	resProc := make(map[int]int, len(s.Resources))
-	for i := range s.Tasks {
-		for j := range s.Tasks[i].Subtasks {
-			st := &s.Tasks[i].Subtasks[j]
-			for _, r := range st.Locks {
-				if r < 0 || r >= len(s.Resources) {
-					continue
-				}
-				if prev, ok := resProc[r]; ok && prev != st.Proc {
-					addf("resource %d is locked from processors %d and %d; resources must be processor-local", r, prev, st.Proc)
-				} else {
-					resProc[r] = st.Proc
+	// one dispatcher only). Resource-free systems — the common case on
+	// the sweep hot path, where Validate runs once per generated system —
+	// skip the tracking map entirely.
+	if len(s.Resources) > 0 {
+		resProc := make(map[int]int, len(s.Resources))
+		for i := range s.Tasks {
+			for j := range s.Tasks[i].Subtasks {
+				st := &s.Tasks[i].Subtasks[j]
+				for _, r := range st.Locks {
+					if r < 0 || r >= len(s.Resources) {
+						continue
+					}
+					if prev, ok := resProc[r]; ok && prev != st.Proc {
+						addf("resource %d is locked from processors %d and %d; resources must be processor-local", r, prev, st.Proc)
+					} else {
+						resProc[r] = st.Proc
+					}
 				}
 			}
 		}

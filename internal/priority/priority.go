@@ -112,28 +112,59 @@ func cmp128(a, b, c, d int64) int {
 // policy metric and given distinct priorities: the most urgent subtask on a
 // processor with n subtasks receives priority n, the least urgent 1.
 func Assign(s *model.System, p Policy) error {
+	var a Assigner
+	return a.Assign(s, p)
+}
+
+// Assigner is a reusable priority assigner: the sort keys are kept in a
+// retained buffer, so a warm Assigner allocates nothing per call. Sweep
+// workers (via workload.Generator) hold one Assigner each.
+type Assigner struct {
+	keys keySlice
+}
+
+// Assign is Assign with the Assigner's retained key buffer. The key
+// comparator is a strict total order ((task, sub) tie-break), so the
+// unstable sort yields the exact assignment the one-shot Assign produces.
+func (a *Assigner) Assign(s *model.System, p Policy) error {
 	metric, err := metricFor(p)
 	if err != nil {
 		return err
 	}
 	for proc := range s.Procs {
-		ids := s.OnProcessor(proc)
-		keys := make([]key, len(ids))
-		for i, id := range ids {
-			num, den := metric(s, id)
-			if den <= 0 {
-				return fmt.Errorf("assign priorities: subtask %v has non-positive metric denominator", id)
+		a.keys = a.keys[:0]
+		// Gather in (task, sub) order — the order OnProcessor returns —
+		// without its per-call slice.
+		for ti := range s.Tasks {
+			for j := range s.Tasks[ti].Subtasks {
+				if s.Tasks[ti].Subtasks[j].Proc != proc {
+					continue
+				}
+				id := model.SubtaskID{Task: ti, Sub: j}
+				num, den := metric(s, id)
+				if den <= 0 {
+					return fmt.Errorf("assign priorities: subtask %v has non-positive metric denominator", id)
+				}
+				a.keys = append(a.keys, key{id: id, num: num, den: den})
 			}
-			keys[i] = key{id: id, num: num, den: den}
 		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
-		for rank, k := range keys {
+		sort.Sort(&a.keys)
+		for rank, k := range a.keys {
 			// rank 0 is most urgent; larger Priority value = more urgent.
-			s.Subtask(k.id).Priority = model.Priority(len(keys) - rank)
+			s.Subtask(k.id).Priority = model.Priority(len(a.keys) - rank)
 		}
 	}
 	return nil
 }
+
+// keySlice implements sort.Interface; sorting through the *keySlice
+// pointer avoids both sort.Slice's reflect.Swapper allocation and the
+// slice-header boxing a value conversion to sort.Interface would pay.
+type keySlice []key
+
+func (k keySlice) Len() int           { return len(k) }
+func (k keySlice) Less(i, j int) bool { return k[i].less(k[j]) }
+func (k keySlice) Swap(i, j int)      { k[i], k[j] = k[j], k[i] }
 
 // metricFor returns the policy's metric as an exact rational num/den,
 // smaller = more urgent.

@@ -158,6 +158,14 @@ type Engine struct {
 	timers []TimerFunc
 	// free is the Job free list; completed jobs are recycled through it.
 	free []*Job
+	// jobs is the arena of every Job this engine ever allocated. Reset
+	// rebuilds free from it, reclaiming jobs still in flight (queued or
+	// running) when a run stops at the horizon.
+	jobs []*Job
+
+	// out is the reused Outcome returned by Run; each Reset invalidates
+	// the previous run's view of it.
+	out Outcome
 
 	// ceilings holds per-resource priority ceilings for the Highest
 	// Locker dispatch rule.
@@ -171,16 +179,24 @@ type Engine struct {
 // cloned; the caller may reuse s freely afterwards.
 func New(s *model.System, cfg Config) (*Engine, error) {
 	e := &Engine{}
-	if err := e.Reset(s, cfg); err != nil {
+	if err := e.Reset(s.Clone(), cfg); err != nil {
 		return nil, err
 	}
 	return e, nil
 }
 
 // Reset re-arms the engine for a fresh run over s, reusing the event queue,
-// ready queues, job free list, and dense per-subtask state of earlier runs.
-// Metrics and Trace are freshly allocated so outcomes from prior runs stay
-// valid. An engine must not be shared across goroutines.
+// ready queues, job free list, metrics, and dense per-subtask state of
+// earlier runs.
+//
+// Aliasing contract: the engine aliases s directly — it is NOT cloned — and
+// reads it throughout the run, so the caller must not mutate s before the
+// run finishes (mutating it between runs is fine; the next Reset re-reads
+// everything). The previous run's Outcome is invalidated: its Metrics are
+// reset in place and refilled. Callers needing several runs' metrics at
+// once must Metrics.CopyFrom each into a retained snapshot. Only the
+// public one-shot entry points (New, Run) clone. An engine must not be
+// shared across goroutines.
 func (e *Engine) Reset(s *model.System, cfg Config) error {
 	if cfg.Protocol == nil {
 		return errors.New("sim: Config.Protocol is required")
@@ -195,9 +211,12 @@ func (e *Engine) Reset(s *model.System, cfg Config) error {
 		if len(s.Resources) > 0 {
 			return errors.New("sim: EDF scheduling does not support shared resources")
 		}
-		for _, id := range s.SubtaskIDs() {
-			if s.Subtask(id).LocalDeadline <= 0 {
-				return fmt.Errorf("sim: EDF scheduling requires a positive local deadline for %v (use priority.AssignLocalDeadlines)", id)
+		for ti := range s.Tasks {
+			for j := range s.Tasks[ti].Subtasks {
+				if s.Tasks[ti].Subtasks[j].LocalDeadline <= 0 {
+					id := model.SubtaskID{Task: ti, Sub: j}
+					return fmt.Errorf("sim: EDF scheduling requires a positive local deadline for %v (use priority.AssignLocalDeadlines)", id)
+				}
 			}
 		}
 	}
@@ -215,10 +234,14 @@ func (e *Engine) Reset(s *model.System, cfg Config) error {
 		cfg.MaxEvents = defaultMaxEvents
 	}
 
-	sys := s.Clone()
+	sys := s
 	e.sys = sys
 	e.cfg = cfg
-	e.idx = model.NewSubtaskIndex(sys)
+	if e.idx == nil {
+		e.idx = model.NewSubtaskIndex(sys)
+	} else {
+		e.idx.Reset(sys)
+	}
 	e.clock = 0
 	e.seq = 0
 	e.eventsRun = 0
@@ -226,6 +249,10 @@ func (e *Engine) Reset(s *model.System, cfg Config) error {
 	e.events.reset()
 	e.timers = e.timers[:0]
 	e.dirty = e.dirty[:0]
+	// The old ready queues and running slots are about to be cleared, so
+	// every arena job — including ones in flight when the last run hit the
+	// horizon — is free again.
+	e.free = append(e.free[:0], e.jobs...)
 
 	edf := cfg.Scheduler == EDF
 	if len(e.procs) != len(sys.Procs) {
@@ -255,7 +282,11 @@ func (e *Engine) Reset(s *model.System, cfg Config) error {
 	} else {
 		e.subs = e.subs[:n]
 	}
-	e.ceilings = sys.ResourceCeilings()
+	if len(sys.Resources) == 0 {
+		e.ceilings = e.ceilings[:0]
+	} else {
+		e.ceilings = sys.ResourceCeilings()
+	}
 	for i := 0; i < n; i++ {
 		id := e.idx.ID(i)
 		st := sys.Subtask(id)
@@ -277,7 +308,11 @@ func (e *Engine) Reset(s *model.System, cfg Config) error {
 		e.firstRelease[i].reset()
 	}
 
-	e.metrics = newMetrics(sys, e.idx)
+	if e.metrics == nil {
+		e.metrics = newMetrics(sys, e.idx)
+	} else {
+		e.metrics.reset(sys, e.idx)
+	}
 	e.trace = nil
 	if cfg.Trace {
 		e.trace = newTrace(sys, cfg.Scheduler)
@@ -357,7 +392,8 @@ func (e *Engine) Run() (*Outcome, error) {
 	if e.trace != nil {
 		e.closeOpenSegments()
 	}
-	return &Outcome{Metrics: e.metrics, Trace: e.trace}, nil
+	e.out = Outcome{Metrics: e.metrics, Trace: e.trace}
+	return &e.out, nil
 }
 
 // exec dispatches one popped event by its op.
@@ -401,11 +437,15 @@ func Run(s *model.System, cfg Config) (*Outcome, error) {
 	return e.Run()
 }
 
-// Runner reuses one engine across many runs: the first Run constructs it,
-// later Runs reset it in place so queues, free lists, and dense state keep
-// their allocations. Outcomes remain independently valid because Reset
-// gives each run fresh Metrics/Trace storage. A Runner is single-goroutine,
-// like the Engine it wraps; sweeps use one Runner per worker.
+// Runner reuses one engine across many runs: queues, free lists, dense
+// state, and Metrics all keep their allocations, so a warm Runner's
+// per-run setup allocates nothing. It inherits the Engine's aliasing
+// contract: the system is NOT cloned (the caller must not mutate it
+// mid-run), and each Run invalidates the previous Outcome — its Metrics
+// are reset in place and refilled. Callers comparing protocols on one
+// system snapshot each run with Metrics.CopyFrom. A Runner is
+// single-goroutine, like the Engine it wraps; sweeps use one Runner per
+// worker.
 type Runner struct {
 	e *Engine
 }
@@ -413,12 +453,9 @@ type Runner struct {
 // Run simulates s under cfg, recycling the wrapped engine.
 func (r *Runner) Run(s *model.System, cfg Config) (*Outcome, error) {
 	if r.e == nil {
-		e, err := New(s, cfg)
-		if err != nil {
-			return nil, err
-		}
-		r.e = e
-	} else if err := r.e.Reset(s, cfg); err != nil {
+		r.e = &Engine{}
+	}
+	if err := r.e.Reset(s, cfg); err != nil {
 		return nil, err
 	}
 	return r.e.Run()
@@ -502,7 +539,9 @@ func (e *Engine) newJob() *Job {
 		e.free = e.free[:n-1]
 		return j
 	}
-	return &Job{}
+	j := &Job{}
+	e.jobs = append(e.jobs, j)
+	return j
 }
 
 // release is ReleaseNow keyed by dense subtask index — the engine's and the

@@ -89,20 +89,125 @@ type Metrics struct {
 
 	// dense is the flat per-subtask backing store; the Subtasks map points
 	// into it. The engine addresses it by dense index (subtaskAt), so the
-	// hot path never hashes a SubtaskID.
+	// hot path never hashes a SubtaskID. ids records the dense order so
+	// reset and CopyFrom can tell whether the subtask population changed
+	// (only then is the map rebuilt).
 	dense []SubtaskMetrics
+	ids   []model.SubtaskID
 }
 
 func newMetrics(s *model.System, ix *model.SubtaskIndex) *Metrics {
-	m := &Metrics{
-		Tasks:    make([]TaskMetrics, len(s.Tasks)),
-		Subtasks: make(map[model.SubtaskID]*SubtaskMetrics, ix.Len()),
-		dense:    make([]SubtaskMetrics, ix.Len()),
-	}
-	for i := range m.dense {
-		m.Subtasks[ix.ID(i)] = &m.dense[i]
-	}
+	m := &Metrics{}
+	m.reset(s, ix)
 	return m
+}
+
+// reset re-arms m for a fresh run over s, reusing every backing array
+// whose capacity suffices; the Subtasks map is rebuilt only when the
+// subtask population (or the dense backing array) changes. Engine.Reset
+// calls this, which is why a Runner's Outcome is only valid until the
+// next Run.
+func (m *Metrics) reset(s *model.System, ix *model.SubtaskIndex) {
+	n := ix.Len()
+	m.Horizon = 0
+	m.PrecedenceViolations = 0
+	m.Overruns = 0
+	m.Preemptions = 0
+	m.Events = 0
+
+	if cap(m.Tasks) < len(s.Tasks) {
+		m.Tasks = make([]TaskMetrics, len(s.Tasks))
+	} else {
+		m.Tasks = m.Tasks[:len(s.Tasks)]
+	}
+	for i := range m.Tasks {
+		samples := m.Tasks[i].eerSamples[:0]
+		m.Tasks[i] = TaskMetrics{eerSamples: samples}
+	}
+
+	rebuild := m.Subtasks == nil || len(m.Subtasks) != n
+	if cap(m.dense) < n {
+		m.dense = make([]SubtaskMetrics, n)
+		rebuild = true
+	} else {
+		m.dense = m.dense[:n]
+		for i := range m.dense {
+			m.dense[i] = SubtaskMetrics{}
+		}
+	}
+	if !rebuild {
+		for i := 0; i < n; i++ {
+			if m.ids[i] != ix.ID(i) {
+				rebuild = true
+				break
+			}
+		}
+	}
+	if rebuild {
+		if cap(m.ids) < n {
+			m.ids = make([]model.SubtaskID, n)
+		} else {
+			m.ids = m.ids[:n]
+		}
+		m.Subtasks = make(map[model.SubtaskID]*SubtaskMetrics, n)
+		for i := 0; i < n; i++ {
+			m.ids[i] = ix.ID(i)
+			m.Subtasks[m.ids[i]] = &m.dense[i]
+		}
+	}
+}
+
+// CopyFrom deep-copies src into m, reusing m's backing arrays. Studies
+// that compare several protocols on one system copy each run's Metrics
+// into a retained snapshot before the next Run invalidates it; a warm
+// snapshot of an unchanged-shape system allocates nothing.
+func (m *Metrics) CopyFrom(src *Metrics) {
+	m.Horizon = src.Horizon
+	m.PrecedenceViolations = src.PrecedenceViolations
+	m.Overruns = src.Overruns
+	m.Preemptions = src.Preemptions
+	m.Events = src.Events
+
+	if cap(m.Tasks) < len(src.Tasks) {
+		m.Tasks = make([]TaskMetrics, len(src.Tasks))
+	} else {
+		m.Tasks = m.Tasks[:len(src.Tasks)]
+	}
+	for i := range m.Tasks {
+		samples := append(m.Tasks[i].eerSamples[:0], src.Tasks[i].eerSamples...)
+		m.Tasks[i] = src.Tasks[i]
+		m.Tasks[i].eerSamples = samples
+	}
+
+	n := len(src.dense)
+	rebuild := m.Subtasks == nil || len(m.Subtasks) != n
+	if cap(m.dense) < n {
+		m.dense = make([]SubtaskMetrics, n)
+		rebuild = true
+	} else {
+		m.dense = m.dense[:n]
+	}
+	copy(m.dense, src.dense)
+	if !rebuild {
+		for i := 0; i < n; i++ {
+			if m.ids[i] != src.ids[i] {
+				rebuild = true
+				break
+			}
+		}
+	}
+	if rebuild {
+		if cap(m.ids) < n {
+			m.ids = make([]model.SubtaskID, n)
+		} else {
+			m.ids = m.ids[:n]
+		}
+		copy(m.ids, src.ids)
+		m.Subtasks = make(map[model.SubtaskID]*SubtaskMetrics, n)
+		for i := 0; i < n; i++ {
+			m.Subtasks[m.ids[i]] = &m.dense[i]
+		}
+	}
 }
 
 // subtaskAt returns the aggregate record at dense index i.

@@ -24,6 +24,10 @@ type MPM struct {
 // bounds (from Algorithm SA/PM).
 func NewMPM(bounds Bounds) *MPM { return &MPM{bounds: bounds} }
 
+// SetBounds replaces the protocol's response-time bounds before the next
+// run (see PM.SetBounds).
+func (mpm *MPM) SetBounds(bounds Bounds) { mpm.bounds = bounds }
+
 // Name implements Protocol.
 func (*MPM) Name() string { return "MPM" }
 

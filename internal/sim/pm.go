@@ -21,6 +21,11 @@ type PM struct {
 // bounds (use analysis.AnalyzePM, then the Bounds of its result).
 func NewPM(bounds Bounds) *PM { return &PM{bounds: bounds} }
 
+// SetBounds replaces the protocol's response-time bounds before the next
+// run. Sweep workers reuse one PM instance (and one Bounds map, refilled
+// per system) instead of constructing both per run.
+func (pm *PM) SetBounds(bounds Bounds) { pm.bounds = bounds }
+
 // Name implements Protocol.
 func (*PM) Name() string { return "PM" }
 

@@ -63,17 +63,20 @@ type Bounds map[model.SubtaskID]model.Duration
 
 // boundsFor validates that b covers every subtask of s with a finite bound.
 func (b Bounds) validate(s *model.System, protocol string) error {
-	for _, id := range s.SubtaskIDs() {
-		d, ok := b[id]
-		if !ok {
-			return fmt.Errorf("%s: missing response-time bound for %v", protocol, id)
-		}
-		if d.IsInfinite() {
-			return fmt.Errorf("%s: response-time bound for %v is infinite", protocol, id)
-		}
-		if d < s.Subtask(id).Exec {
-			return fmt.Errorf("%s: bound %v for %v is below its execution time %v",
-				protocol, d, id, s.Subtask(id).Exec)
+	for ti := range s.Tasks {
+		for j := range s.Tasks[ti].Subtasks {
+			id := model.SubtaskID{Task: ti, Sub: j}
+			d, ok := b[id]
+			if !ok {
+				return fmt.Errorf("%s: missing response-time bound for %v", protocol, id)
+			}
+			if d.IsInfinite() {
+				return fmt.Errorf("%s: response-time bound for %v is infinite", protocol, id)
+			}
+			if d < s.Tasks[ti].Subtasks[j].Exec {
+				return fmt.Errorf("%s: bound %v for %v is below its execution time %v",
+					protocol, d, id, s.Tasks[ti].Subtasks[j].Exec)
+			}
 		}
 	}
 	return nil

@@ -33,8 +33,10 @@ type RG struct {
 	// onProc[p] lists the dense indices of processor p's subtasks (rule 2
 	// iterates them in the same task-major order as System.OnProcessor).
 	onProc [][]int32
-	// timer is the registered drain callback.
-	timer TimerID
+	// timer is the registered drain callback; timerFn caches the closure
+	// so re-Init on a reused instance never reallocates it.
+	timer   TimerID
+	timerFn TimerFunc
 }
 
 // NewRG returns the full Release Guard protocol (rules 1 and 2).
@@ -60,20 +62,15 @@ func (rg *RG) Init(e *Engine) error {
 	n := ix.Len()
 	if cap(rg.guard) < n {
 		rg.guard = make([]model.Time, n)
-		rg.pending = make([][]int64, n)
 	} else {
 		rg.guard = rg.guard[:n]
-		rg.pending = rg.pending[:n]
 	}
+	rg.pending = growRings(rg.pending, n)
 	for i := 0; i < n; i++ {
 		rg.guard[i] = 0
 		rg.pending[i] = rg.pending[i][:0]
 	}
-	if cap(rg.onProc) < len(s.Procs) {
-		rg.onProc = make([][]int32, len(s.Procs))
-	} else {
-		rg.onProc = rg.onProc[:len(s.Procs)]
-	}
+	rg.onProc = growProcLists(rg.onProc, len(s.Procs))
 	for p := range rg.onProc {
 		rg.onProc[p] = rg.onProc[p][:0]
 	}
@@ -81,10 +78,36 @@ func (rg *RG) Init(e *Engine) error {
 		p := s.Subtask(ix.ID(i)).Proc
 		rg.onProc[p] = append(rg.onProc[p], int32(i))
 	}
-	rg.timer = e.RegisterTimer(func(e *Engine, sub int, _ int64, now model.Time) {
-		rg.drain(e, sub, now)
-	})
+	if rg.timerFn == nil {
+		rg.timerFn = func(e *Engine, sub int, _ int64, now model.Time) {
+			rg.drain(e, sub, now)
+		}
+	}
+	rg.timer = e.RegisterTimer(rg.timerFn)
 	return nil
+}
+
+// growRings resizes a slice-of-slices to length n, preserving the inner
+// backing arrays of every previously used entry.
+func growRings(s [][]int64, n int) [][]int64 {
+	if cap(s) < n {
+		old := s[:cap(s)]
+		s = make([][]int64, n)
+		copy(s, old)
+		return s
+	}
+	return s[:n]
+}
+
+// growProcLists is growRings for the per-processor index lists.
+func growProcLists(s [][]int32, n int) [][]int32 {
+	if cap(s) < n {
+		old := s[:cap(s)]
+		s = make([][]int32, n)
+		copy(s, old)
+		return s
+	}
+	return s[:n]
 }
 
 // OnRelease implements Protocol: rule 1.

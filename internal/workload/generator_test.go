@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGeneratorMatchesGenerate reuses one Generator across a shape-varied
+// sequence of configurations and checks every system is deeply identical
+// to the one-shot Generate output — including after the retained buffers
+// shrink and regrow.
+func TestGeneratorMatchesGenerate(t *testing.T) {
+	var g Generator
+	cases := []struct {
+		n    int
+		u    float64
+		seed int64
+	}{
+		{8, 0.9, 1}, {2, 0.5, 2}, {5, 0.7, 3}, {8, 0.9, 4},
+		{3, 0.6, 99}, {2, 0.5, 2}, // repeat an earlier config+seed
+	}
+	for _, tc := range cases {
+		c := DefaultConfig(tc.n, tc.u)
+		c.Seed = tc.seed
+		want, err := Generate(c)
+		if err != nil {
+			t.Fatalf("Generate(%v): %v", c.Label(), err)
+		}
+		got, err := g.Generate(c)
+		if err != nil {
+			t.Fatalf("Generator.Generate(%v): %v", c.Label(), err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Generator output differs from Generate for %v seed %d:\ngot  %+v\nwant %+v",
+				c.Label(), tc.seed, got, want)
+		}
+	}
+}
+
+// TestGeneratorPhaseVariants covers the RandomPhases=false branch.
+func TestGeneratorPhaseVariants(t *testing.T) {
+	var g Generator
+	c := DefaultConfig(4, 0.8)
+	c.Seed = 7
+	c.RandomPhases = false
+	want, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Generator output differs from Generate with RandomPhases=false")
+	}
+}
+
+// TestGeneratorRejectsBadConfig mirrors Generate's validation behavior.
+func TestGeneratorRejectsBadConfig(t *testing.T) {
+	var g Generator
+	c := DefaultConfig(3, 0.5)
+	c.PeriodMean = -1
+	if _, err := g.Generate(c); err == nil {
+		t.Fatal("Generator accepted invalid config")
+	}
+}
+
+// TestGeneratorSteadyStateZeroAllocs: a warm Generator regenerates without
+// touching the heap, even as the seed (and hence every drawn value)
+// changes per call.
+func TestGeneratorSteadyStateZeroAllocs(t *testing.T) {
+	var g Generator
+	c := DefaultConfig(6, 0.7)
+	seed := int64(1)
+	gen := func() {
+		c.Seed = seed
+		seed++
+		if _, err := g.Generate(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		gen() // reach the high-water mark of every retained buffer
+	}
+	if avg := testing.AllocsPerRun(10, gen); avg != 0 {
+		t.Fatalf("warm Generator allocates %.1f times per system, want 0", avg)
+	}
+}
+
+// BenchmarkGeneratorReuse measures regeneration into retained storage;
+// compare with BenchmarkGenerate's fresh-allocation path.
+func BenchmarkGeneratorReuse(b *testing.B) {
+	var g Generator
+	c := DefaultConfig(6, 0.7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Seed = int64(i + 1)
+		if _, err := g.Generate(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerate measures the one-shot compatibility path.
+func BenchmarkGenerate(b *testing.B) {
+	c := DefaultConfig(6, 0.7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Seed = int64(i + 1)
+		if _, err := Generate(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -99,81 +99,220 @@ func (c Config) Label() string {
 }
 
 // Generate synthesizes one system from the configuration. Generation is
-// deterministic in Config.Seed.
+// deterministic in Config.Seed. Each call uses a fresh Generator, so the
+// returned system is independently owned by the caller; sweeps that
+// generate thousands of systems should hold a Generator instead.
 func Generate(c Config) (*model.System, error) {
+	var g Generator
+	return g.Generate(c)
+}
+
+// Generator regenerates systems into retained storage: the model.System,
+// its backing arrays, the draw scratch, and the priority assigner are all
+// reused, so a warm Generator allocates nothing per generated system.
+// Experiment sweep workers hold one Generator each, exactly as they hold
+// one sim.Runner and one analysis.Analyzer.
+//
+// The System returned by Generate is owned by the Generator and is
+// overwritten in place by the next Generate call; callers that need to
+// retain it across generations must Clone it.
+type Generator struct {
+	rng *rand.Rand
+	sys model.System
+
+	// Draw scratch, flattened on (task*N + sub). slots is the counting
+	// sort of flat subtask slots by processor ((task, sub) order within
+	// each processor — the order the per-processor weight draws consume
+	// the rng in), with slots[slotOff[p]:slotOff[p+1]] on processor p.
+	periods   []model.Duration
+	placement []int
+	util      []float64
+	weights   []float64
+	slots     []int
+	slotOff   []int
+
+	// Name caches: procNames[p] = "P<p+1>", taskNames[i] = "T<i+1>".
+	procNames []string
+	taskNames []string
+
+	assigner priority.Assigner
+}
+
+// Generate synthesizes one system from the configuration into the
+// Generator's retained System, bit-identical to the package-level Generate
+// (the rng is consumed draw-for-draw in the same order). The result is
+// valid until the next Generate call on this Generator.
+func (g *Generator) Generate(c Config) (*model.System, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(c.Seed))
-
-	b := model.NewBuilder()
-	for p := 0; p < c.Processors; p++ {
-		b.AddProcessor(fmt.Sprintf("P%d", p+1))
+	if g.rng == nil {
+		g.rng = rand.New(rand.NewSource(c.Seed))
+	} else {
+		g.rng.Seed(c.Seed)
 	}
+	rng := g.rng
+	nT, nS, nP := c.Tasks, c.SubtasksPerTask, c.Processors
+	total := nT * nS
 
-	// Draw periods and chain placements.
-	periods := make([]model.Duration, c.Tasks)
-	placement := make([][]int, c.Tasks)
-	for i := 0; i < c.Tasks; i++ {
-		periods[i] = model.Duration(math.Round(truncExp(rng, c.PeriodMean, c.PeriodMin, c.PeriodMax) * float64(c.TickScale)))
-		placement[i] = placeChain(rng, c.SubtasksPerTask, c.Processors)
+	// Draw periods and chain placements, interleaved per task.
+	g.periods = resizeDurations(g.periods, nT)
+	g.placement = resizeInts(g.placement, total)
+	for i := 0; i < nT; i++ {
+		g.periods[i] = model.Duration(math.Round(truncExp(rng, c.PeriodMean, c.PeriodMin, c.PeriodMax) * float64(c.TickScale)))
+		// Uniform placement with no two consecutive subtasks co-located
+		// (placeChain, inlined over the flat slice).
+		chain := g.placement[i*nS : (i+1)*nS]
+		chain[0] = rng.Intn(nP)
+		for j := 1; j < nS; j++ {
+			p := rng.Intn(nP - 1)
+			if p >= chain[j-1] {
+				p++
+			}
+			chain[j] = p
+		}
 	}
 
 	// Split each processor's utilization among the subtasks assigned to
 	// it: each subtask draws a weight in [0.001, 1] and receives
-	// U * weight / (sum of weights on the processor).
-	type slot struct{ task, sub int }
-	perProc := make([][]slot, c.Processors)
-	for i, chain := range placement {
-		for j, p := range chain {
-			perProc[p] = append(perProc[p], slot{task: i, sub: j})
-		}
+	// U * weight / (sum of weights on the processor). The counting sort
+	// visits slots in the same (processor; task, sub) order the old
+	// per-processor append lists did.
+	g.slotOff = resizeInts(g.slotOff, nP+1)
+	for p := 0; p <= nP; p++ {
+		g.slotOff[p] = 0
 	}
-	util := make([][]float64, c.Tasks)
-	for i := range util {
-		util[i] = make([]float64, c.SubtasksPerTask)
+	for _, p := range g.placement {
+		g.slotOff[p]++
 	}
-	for _, slots := range perProc {
-		if len(slots) == 0 {
-			continue
+	for p := 1; p < nP; p++ {
+		g.slotOff[p] += g.slotOff[p-1]
+	}
+	g.slots = resizeInts(g.slots, total)
+	for k := total - 1; k >= 0; k-- {
+		p := g.placement[k]
+		g.slotOff[p]--
+		g.slots[g.slotOff[p]] = k
+	}
+	g.slotOff[nP] = total
+
+	g.util = resizeFloats(g.util, total)
+	g.weights = resizeFloats(g.weights, total)
+	for p := 0; p < nP; p++ {
+		lo, hi := g.slotOff[p], g.slotOff[p+1]
+		sum := 0.0
+		for k := lo; k < hi; k++ {
+			g.weights[k] = 0.001 + rng.Float64()*0.999
+			sum += g.weights[k]
 		}
-		weights := make([]float64, len(slots))
-		total := 0.0
-		for k := range slots {
-			weights[k] = 0.001 + rng.Float64()*0.999
-			total += weights[k]
-		}
-		for k, sl := range slots {
-			util[sl.task][sl.sub] = c.Utilization * weights[k] / total
+		for k := lo; k < hi; k++ {
+			g.util[g.slots[k]] = c.Utilization * g.weights[k] / sum
 		}
 	}
 
-	// Materialize tasks: execution time = subtask utilization × period,
-	// rounded, clamped to at least one tick.
-	for i := 0; i < c.Tasks; i++ {
+	// Materialize tasks into the retained System: execution time =
+	// subtask utilization × period, rounded, clamped to at least one
+	// tick. Deadlines equal periods; processors are preemptive.
+	s := &g.sys
+	s.Resources = nil
+	if cap(s.Procs) >= nP {
+		s.Procs = s.Procs[:nP]
+	} else {
+		s.Procs = make([]model.Processor, nP)
+	}
+	for p := range s.Procs {
+		s.Procs[p] = model.Processor{Name: g.procName(p), Preemptive: true}
+	}
+	s.Tasks = resizeTasks(s.Tasks, nT)
+	for i := 0; i < nT; i++ {
 		phase := model.Time(0)
 		if c.RandomPhases {
-			phase = model.Time(rng.Int63n(int64(periods[i])))
+			phase = model.Time(rng.Int63n(int64(g.periods[i])))
 		}
-		tb := b.AddTask(fmt.Sprintf("T%d", i+1), periods[i], phase)
-		for j := 0; j < c.SubtasksPerTask; j++ {
-			exec := model.Duration(math.Round(util[i][j] * float64(periods[i])))
+		t := &s.Tasks[i]
+		subs := t.Subtasks
+		if cap(subs) >= nS {
+			subs = subs[:nS]
+		} else {
+			subs = make([]model.Subtask, nS)
+		}
+		*t = model.Task{
+			Name:     g.taskName(i),
+			Period:   g.periods[i],
+			Deadline: g.periods[i],
+			Phase:    phase,
+			Subtasks: subs,
+		}
+		for j := 0; j < nS; j++ {
+			exec := model.Duration(math.Round(g.util[i*nS+j] * float64(g.periods[i])))
 			if exec < 1 {
 				exec = 1
 			}
-			tb.Subtask(placement[i][j], exec, 0)
+			subs[j] = model.Subtask{Proc: g.placement[i*nS+j], Exec: exec}
 		}
-		tb.Done()
 	}
 
-	s, err := b.Build()
-	if err != nil {
+	// The system is valid by construction for all sane configurations,
+	// but degenerate ones (e.g. sub-tick periods that round to zero) must
+	// keep failing exactly as the builder-based path did.
+	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
 	}
-	if err := priority.Assign(s, priority.ProportionalDeadline); err != nil {
+	if err := g.assigner.Assign(s, priority.ProportionalDeadline); err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
 	}
 	return s, nil
+}
+
+// procName returns the cached processor name "P<p+1>".
+func (g *Generator) procName(p int) string {
+	for len(g.procNames) <= p {
+		g.procNames = append(g.procNames, fmt.Sprintf("P%d", len(g.procNames)+1))
+	}
+	return g.procNames[p]
+}
+
+// taskName returns the cached task name "T<i+1>".
+func (g *Generator) taskName(i int) string {
+	for len(g.taskNames) <= i {
+		g.taskNames = append(g.taskNames, fmt.Sprintf("T%d", len(g.taskNames)+1))
+	}
+	return g.taskNames[i]
+}
+
+// resizeDurations returns a slice of length n reusing s's backing array
+// when its capacity suffices.
+func resizeDurations(s []model.Duration, n int) []model.Duration {
+	if cap(s) < n {
+		return make([]model.Duration, n)
+	}
+	return s[:n]
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// resizeTasks grows the task slice preserving the retained Subtasks
+// backing arrays of every previously materialized entry.
+func resizeTasks(ts []model.Task, n int) []model.Task {
+	if cap(ts) < n {
+		old := ts[:cap(ts)]
+		ts = make([]model.Task, n)
+		copy(ts, old)
+		return ts
+	}
+	return ts[:n]
 }
 
 // truncExp draws from an exponential distribution with the given mean,
@@ -187,22 +326,6 @@ func truncExp(rng *rand.Rand, mean, lo, hi float64) float64 {
 	x := -math.Log(1-u) / lambda
 	// Guard the edges against floating-point drift.
 	return math.Min(math.Max(x, lo), hi)
-}
-
-// placeChain assigns n subtasks to processors uniformly at random with no
-// two consecutive subtasks co-located.
-func placeChain(rng *rand.Rand, n, procs int) []int {
-	chain := make([]int, n)
-	chain[0] = rng.Intn(procs)
-	for j := 1; j < n; j++ {
-		// Draw from the procs-1 processors other than the predecessor.
-		p := rng.Intn(procs - 1)
-		if p >= chain[j-1] {
-			p++
-		}
-		chain[j] = p
-	}
-	return chain
 }
 
 // PaperConfigurations returns the paper's full 35-configuration grid:
