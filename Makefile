@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-analysis bench-experiments vet fmt cover experiments examples clean
+.PHONY: all build test test-short bench bench-analysis bench-experiments bench-sim vet fmt cover experiments examples clean
 
 all: build test
 
@@ -34,6 +34,14 @@ bench-experiments:
 	$(GO) run ./tools/benchjson -out BENCH_experiments.json \
 		-pkg ./internal/experiments -bench BenchmarkSweep -benchtime 10x
 
+# Engine hot-path benchmarks. These run with observability disabled (the
+# engines' Config.Stats is nil, the zero-cost path); TestSimStatsZeroAllocs
+# separately proves that attaching an obs.SimStats adds zero allocations per
+# event, so the numbers here also describe instrumented runs.
+bench-sim:
+	$(GO) run ./tools/benchjson -out BENCH_sim.json \
+		-pkg ./internal/sim -bench BenchmarkEngine -benchtime 10x
+
 cover:
 	$(GO) test -cover ./...
 
@@ -64,10 +72,11 @@ examples: build
 	$(GO) run ./examples/edfstudy
 	$(GO) run ./examples/fleet -systems 3
 
-# The experiments target writes results/*.txt; clean removes those plus
-# profiling and test-binary droppings. The golden fixtures under
-# internal/*/testdata are committed INPUTS — regenerated only by a
-# deliberate `go test ./internal/analysis -run Golden -update` (CI never
-# passes -update) — so clean must never reach into testdata.
+# The experiments target writes results/*.txt; clean removes those plus run
+# manifests (results/*.json, written by the CLIs' -manifest flag), profiling
+# and test-binary droppings. The golden fixtures under internal/*/testdata
+# are committed INPUTS — regenerated only by a deliberate `go test
+# ./internal/analysis -run Golden -update` (CI never passes -update) — so
+# clean must never reach into testdata.
 clean:
-	rm -f results/*.txt results/*.csv *.prof *.test cpu.out mem.out
+	rm -f results/*.txt results/*.csv results/*.json *.prof *.test cpu.out mem.out

@@ -18,6 +18,7 @@ import (
 
 	"rtsync/internal/analysis"
 	"rtsync/internal/model"
+	"rtsync/internal/obs"
 	"rtsync/internal/report"
 )
 
@@ -35,9 +36,15 @@ func run(args []string, w io.Writer) error {
 		example = fs.Int("example", 0, "use built-in example system (1 or 2) instead of a file")
 		factor  = fs.Int64("failure-factor", 300, "bound > factor*period counts as infinite")
 	)
+	cli := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := cli.Start("rtanalyze", fs)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 
 	var sys *model.System
 	switch {

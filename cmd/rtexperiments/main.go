@@ -13,6 +13,11 @@
 // Figures 14, 15 and 16 come from one shared simulation sweep, so asking
 // for any of them runs the same study. CSV export: -csv prefix writes
 // <prefix>-figNN.csv files.
+//
+// Observability (none of it changes figure output): -progress prints live
+// sweep status lines to stderr, -manifest out.json records the full run
+// (flags, build info, engine counters, output checksums), and -debug-addr
+// serves /debug/pprof and /debug/vars while the sweep runs.
 package main
 
 import (
@@ -23,7 +28,7 @@ import (
 	"time"
 
 	"rtsync/internal/experiments"
-	"rtsync/internal/profiling"
+	"rtsync/internal/obs"
 	"rtsync/internal/report"
 	"rtsync/internal/workload"
 )
@@ -38,24 +43,25 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rtexperiments", flag.ContinueOnError)
 	var (
-		figure  = fs.String("figure", "all", "12, 13, 14, 15, 16, rg-rule2, jitter, release-jitter, tightness, edf, exec-variation, sensitivity, overhead, or all")
-		systems = fs.Int("systems", 50, "systems per configuration (paper: 1000)")
-		seed    = fs.Int64("seed", 1, "sweep seed")
-		hp      = fs.Int64("horizon-periods", 20, "simulation horizon in multiples of the max period")
-		nMin    = fs.Int("nmin", 2, "smallest subtask count")
-		nMax    = fs.Int("nmax", 8, "largest subtask count")
-		csv     = fs.String("csv", "", "also write CSV files with this path prefix")
-		jitter  = fs.Float64("jitter-fraction", 0.5, "release-jitter study: max extra delay as a fraction of the period")
+		figure   = fs.String("figure", "all", "12, 13, 14, 15, 16, rg-rule2, jitter, release-jitter, tightness, edf, exec-variation, sensitivity, overhead, or all")
+		systems  = fs.Int("systems", 50, "systems per configuration (paper: 1000)")
+		seed     = fs.Int64("seed", 1, "sweep seed")
+		hp       = fs.Int64("horizon-periods", 20, "simulation horizon in multiples of the max period")
+		nMin     = fs.Int("nmin", 2, "smallest subtask count")
+		nMax     = fs.Int("nmax", 8, "largest subtask count")
+		csv      = fs.String("csv", "", "also write CSV files with this path prefix")
+		jitter   = fs.Float64("jitter-fraction", 0.5, "release-jitter study: max extra delay as a fraction of the period")
+		progress = fs.Bool("progress", false, "print periodic sweep status lines (cells done, rate, ETA) to stderr")
 	)
-	prof := profiling.Register(fs)
+	cli := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	stopProf, err := prof.Start()
+	stopObs, err := cli.Start("rtexperiments", fs)
 	if err != nil {
 		return err
 	}
-	defer stopProf()
+	defer stopObs()
 
 	var configs []workload.Config
 	for n := *nMin; n <= *nMax; n++ {
@@ -68,6 +74,23 @@ func run(args []string, w io.Writer) error {
 		SystemsPerConfig: *systems,
 		Seed:             *seed,
 		HorizonPeriods:   *hp,
+	}
+	// Telemetry rides outside the ordered-commit turnstile, so enabling any
+	// of this changes no figure output. A plain run leaves both fields nil
+	// and the sweep on its zero-cost path.
+	if *progress || cli.Observing() {
+		sp := obs.NewSweepProgress()
+		p.Progress = sp
+		cli.AttachSweepProgress(sp)
+		if *progress {
+			stopReporter := sp.StartReporter(os.Stderr, 2*time.Second)
+			defer stopReporter()
+		}
+	}
+	if cli.Observing() {
+		st := obs.NewSimStats()
+		p.Stats = st
+		cli.AttachSimStats(st)
 	}
 
 	emit := func(name string, t *report.Table) error {
@@ -88,6 +111,7 @@ func run(args []string, w io.Writer) error {
 			if err := f.Close(); err != nil {
 				return err
 			}
+			cli.AddOutput(path)
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 		return nil
@@ -113,7 +137,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "[figure 12: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[figure 12: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
 		if err := emit("fig12", res.Table()); err != nil {
 			return err
 		}
@@ -125,7 +149,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "[figure 13: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[figure 13: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
 		if err := emit("fig13", res.Table()); err != nil {
 			return err
 		}
@@ -143,7 +167,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "[figures 14-16 + ablations: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[figures 14-16 + ablations: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
 		if want("14") {
 			if err := emit("fig14", res.Fig14Table()); err != nil {
 				return err
@@ -177,7 +201,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "[release-jitter study: %v]\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[release-jitter study: %v]\n", time.Since(start).Round(time.Millisecond))
 		if err := emit("release-jitter", res.Table()); err != nil {
 			return err
 		}
@@ -189,7 +213,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "[EDF study: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[EDF study: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
 		if err := emit("edf", res.Table()); err != nil {
 			return err
 		}
@@ -201,7 +225,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "[exec-variation study: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[exec-variation study: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
 		if err := emit("exec-variation", res.Table()); err != nil {
 			return err
 		}
@@ -213,7 +237,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "[tightness study: %d tiny systems, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[tightness study: %d tiny systems, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
 		if err := emit("tightness", res.Table()); err != nil {
 			return err
 		}
@@ -226,7 +250,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "[sensitivity study: %d systems/shape, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[sensitivity study: %d systems/shape, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
 		if err := emit("sensitivity", res.Table()); err != nil {
 			return err
 		}

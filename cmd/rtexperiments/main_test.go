@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"rtsync/internal/obs"
 )
 
 func miniArgs(extra ...string) []string {
@@ -99,6 +102,85 @@ func TestRunUnknownFigure(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-figure", "99"}, &buf); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+// TestRunObservabilityByteIdentical pins the PR's acceptance criterion:
+// running the same sweep with -progress, -manifest, and -debug-addr produces
+// byte-identical figure output on stdout, and the manifest records the full
+// run (flags, build identity, sweep telemetry, engine counters).
+func TestRunObservabilityByteIdentical(t *testing.T) {
+	var plain bytes.Buffer
+	if err := run(miniArgs("-figure", "12"), &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	mpath := filepath.Join(t.TempDir(), "manifest.json")
+	var observed bytes.Buffer
+	if err := run(miniArgs("-figure", "12",
+		"-progress", "-manifest", mpath, "-debug-addr", "127.0.0.1:0"), &observed); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(plain.Bytes(), observed.Bytes()) {
+		t.Errorf("observability flags changed stdout:\n--- plain ---\n%s\n--- observed ---\n%s",
+			plain.String(), observed.String())
+	}
+
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest is not JSON: %v", err)
+	}
+	if m.Tool != "rtexperiments" || m.GoVersion == "" {
+		t.Errorf("manifest identity: %+v", m)
+	}
+	if m.Flags["figure"] != "12" || m.Flags["systems"] != "2" || m.Flags["progress"] != "true" {
+		t.Errorf("manifest flags: %v", m.Flags)
+	}
+	// miniArgs spans n in 2..3 x 5 utilizations x 2 systems = 20 units.
+	if m.Sweep == nil || m.Sweep.UnitsDone != 20 || m.Sweep.UnitsTotal != 20 {
+		t.Errorf("manifest sweep: %+v", m.Sweep)
+	}
+	if m.Sweep != nil && m.Sweep.Schedulable+m.Sweep.Unschedulable != 20 {
+		t.Errorf("schedulability tallies: %+v", m.Sweep)
+	}
+	// Figure 12 is analysis-only: the engine counter bank is attached but
+	// stays at zero runs.
+	if m.Sim == nil {
+		t.Error("manifest missing sim_stats")
+	}
+	if m.End.Before(m.Start) {
+		t.Errorf("manifest times inverted: %v .. %v", m.Start, m.End)
+	}
+}
+
+// TestRunSimulationManifestCounters checks a simulating figure populates the
+// engine counters in the manifest.
+func TestRunSimulationManifestCounters(t *testing.T) {
+	mpath := filepath.Join(t.TempDir(), "manifest.json")
+	var buf bytes.Buffer
+	if err := run(miniArgs("-figure", "15", "-manifest", mpath), &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	// Each non-skipped system runs 4 protocols (DS, PM, RG, RG1), so runs
+	// is a positive multiple of 4 bounded by 4 x 20 units.
+	if m.Sim == nil || m.Sim.Runs == 0 || m.Sim.Runs%4 != 0 || m.Sim.Runs > 80 {
+		t.Errorf("manifest sim_stats: %+v", m.Sim)
+	}
+	if m.Sim != nil && (m.Sim.EventsTotal == 0 || m.Sim.ContextSwitches == 0) {
+		t.Errorf("engine counters empty: %+v", m.Sim)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"rtsync/internal/obs"
 	"rtsync/internal/workload"
 )
 
@@ -36,9 +37,15 @@ func run(args []string) error {
 		out      = fs.String("o", "-", "output file, directory (count>1), or - for stdout")
 		phases   = fs.Bool("phases", true, "randomize task phases")
 	)
+	cli := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := cli.Start("rtgen", fs)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	if *count < 1 {
 		return fmt.Errorf("-count must be at least 1")
 	}
@@ -63,6 +70,7 @@ func run(args []string) error {
 			if err := sys.SaveFile(*out); err != nil {
 				return err
 			}
+			cli.AddOutput(*out)
 			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *out, cfg.Label())
 		default:
 			dir := strings.TrimSuffix(*out, "/")
@@ -73,6 +81,7 @@ func run(args []string) error {
 			if err := sys.SaveFile(path); err != nil {
 				return err
 			}
+			cli.AddOutput(path)
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}

@@ -18,7 +18,7 @@ import (
 	"rtsync/internal/analysis"
 	"rtsync/internal/gantt"
 	"rtsync/internal/model"
-	"rtsync/internal/profiling"
+	"rtsync/internal/obs"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
 )
@@ -42,15 +42,23 @@ func run(args []string, w io.Writer) error {
 		validate  = fs.Bool("validate", true, "check trace invariants after the run")
 		traceOut  = fs.String("trace-out", "", "save the full execution trace as JSON (inspect with rttrace)")
 	)
-	prof := profiling.Register(fs)
+	cli := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	stopProf, err := prof.Start()
+	stopObs, err := cli.Start("rtsim", fs)
 	if err != nil {
 		return err
 	}
-	defer stopProf()
+	defer stopObs()
+
+	// Engine counters feed the manifest and the debug endpoint; plain runs
+	// keep stats nil so the event loop stays on its zero-cost path.
+	var stats *obs.SimStats
+	if cli.Observing() {
+		stats = obs.NewSimStats()
+		cli.AttachSimStats(stats)
+	}
 
 	var sys *model.System
 	switch {
@@ -75,14 +83,14 @@ func run(args []string, w io.Writer) error {
 		h = model.Time(int64(sys.MaxPeriod()) * 20)
 	}
 	if *protoName == "all" {
-		return runComparison(w, sys, h)
+		return runComparison(w, sys, h, stats)
 	}
 	protocol, err := buildProtocol(*protoName, sys)
 	if err != nil {
 		return err
 	}
 	needTrace := *chart || *validate || *traceOut != ""
-	out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: h, Trace: needTrace})
+	out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: h, Trace: needTrace, Stats: stats})
 	if err != nil {
 		return err
 	}
@@ -90,6 +98,7 @@ func run(args []string, w io.Writer) error {
 		if err := out.Trace.SaveFile(*traceOut); err != nil {
 			return err
 		}
+		cli.AddOutput(*traceOut)
 		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *traceOut)
 	}
 
@@ -145,7 +154,8 @@ func run(args []string, w io.Writer) error {
 
 // runComparison simulates every runnable protocol over the same system and
 // prints a side-by-side summary (avg, p95 and max EER, jitter, misses).
-func runComparison(w io.Writer, sys *model.System, h model.Time) error {
+// stats, when non-nil, aggregates engine counters over all the runs.
+func runComparison(w io.Writer, sys *model.System, h model.Time, stats *obs.SimStats) error {
 	names := []string{"ds", "rg", "rg1", "pm", "mpm"}
 	t := report.NewTable(fmt.Sprintf("protocol comparison (horizon %v)", h),
 		"protocol", "task", "avg EER", "p95 EER", "max EER", "max jitter", "misses")
@@ -155,7 +165,7 @@ func runComparison(w io.Writer, sys *model.System, h model.Time) error {
 			fmt.Fprintf(w, "skipping %s: %v\n", name, err)
 			continue
 		}
-		out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: h, CollectSamples: true})
+		out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: h, CollectSamples: true, Stats: stats})
 		if err != nil {
 			return err
 		}

@@ -18,6 +18,7 @@ import (
 
 	"rtsync/internal/gantt"
 	"rtsync/internal/model"
+	"rtsync/internal/obs"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
 )
@@ -40,9 +41,15 @@ func run(args []string, w io.Writer) error {
 		summary  = fs.Bool("summary", true, "print per-subtask summary")
 		rg       = fs.Bool("check-rg-spacing", false, "also check the Release Guard spacing invariant")
 	)
+	cli := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := cli.Start("rttrace", fs)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: rttrace [flags] trace.json")
 	}

@@ -73,10 +73,12 @@ func AvgEERStudy(p Params) (*AvgEERResult, error) {
 			return
 		}
 		if !fillPMBounds(sc.bounds, w.an.AnalyzePM()) {
+			w.noteSchedulable(false)
 			rec.Begin()
 			res.Skipped[cell]++
 			return
 		}
+		w.noteSchedulable(true)
 		sc.pmP.SetBounds(sc.bounds)
 
 		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)

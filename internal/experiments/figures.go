@@ -40,6 +40,7 @@ func Fig12FailureRate(p Params) (*FailureRateResult, error) {
 		if w.an.AnalyzeDS().Failed() {
 			failed = 1.0
 		}
+		w.noteSchedulable(failed == 0)
 		rec.Begin()
 		res.Rates.Sample(cellOf(cfg)).Add(failed)
 	})
@@ -102,6 +103,7 @@ func Fig13BoundRatio(p Params) (*BoundRatioResult, error) {
 		}
 		ds := w.an.AnalyzeDS()
 		cell := cellOf(cfg)
+		w.noteSchedulable(!ds.Failed())
 		if ds.Failed() {
 			rec.Begin()
 			res.TotalSystems[cell]++

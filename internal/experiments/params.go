@@ -13,8 +13,10 @@ import (
 	"runtime/pprof"
 	"sort"
 	"sync"
+	"time"
 
 	"rtsync/internal/analysis"
+	"rtsync/internal/obs"
 	"rtsync/internal/sim"
 	"rtsync/internal/stats"
 	"rtsync/internal/workload"
@@ -41,6 +43,16 @@ type Params struct {
 	// Analysis tunes the schedulability analyses (default:
 	// analysis.DefaultOptions, i.e. the paper's failure factor 300).
 	Analysis analysis.Options
+	// Progress, when non-nil, receives live sweep telemetry: per-cell
+	// wall time, units done, schedulable tallies, and the current cell.
+	// Workers write through private shards, so attaching it changes no
+	// figure output (the ordered-commit turnstile is untouched) and adds
+	// nothing to the per-system steady-state allocation count.
+	Progress *obs.SweepProgress
+	// Stats, when non-nil, is attached to every worker's simulation
+	// Runner, aggregating engine counters across the whole sweep. Shared
+	// and atomic; nil keeps the engines on their zero-cost path.
+	Stats *obs.SimStats
 }
 
 // withDefaults fills zero fields.
@@ -149,6 +161,18 @@ type worker struct {
 	an  analysis.Analyzer
 
 	scratch any
+
+	// prog is this worker's private telemetry shard, nil when the sweep
+	// runs without Params.Progress.
+	prog *obs.SweepShard
+}
+
+// noteSchedulable tallies one analyzed system's schedulability verdict
+// into the sweep telemetry; a no-op without Params.Progress.
+func (w *worker) noteSchedulable(ok bool) {
+	if w.prog != nil {
+		w.prog.NoteSchedulable(ok)
+	}
 }
 
 // unit is one sweep work item: a configuration with the per-system seed
@@ -241,34 +265,62 @@ func recordErr(rec *Recorder, firstErr *error, err error) {
 // grid point, updated when the worker crosses a config boundary), so
 // -cpuprofile output from cmd/rtexperiments attributes time per
 // configuration.
+//
+// With Params.Progress set, each worker additionally times every unit into
+// its private telemetry shard and announces config-boundary crossings as
+// the "current cell". All of that happens outside the turnstile and writes
+// only worker-private or atomic state: figure output stays byte-identical
+// with telemetry on or off, at any Parallelism.
 func sweep(p Params, fn func(w *worker, cfg workload.Config, rec *Recorder)) {
 	bg := context.Background()
 	labels := make([]context.Context, len(p.Configs))
+	cellLabels := make([]string, len(p.Configs))
 	for ci, cfg := range p.Configs {
 		labels[ci] = pprof.WithLabels(bg, pprof.Labels("cell", cfg.Label()))
+		cellLabels[ci] = cfg.Label()
+	}
+	var run *obs.SweepRun
+	if p.Progress != nil {
+		run = p.Progress.StartSweep(cellLabels, p.SystemsPerConfig, p.Parallelism)
 	}
 	units := make(chan unit)
 	gt := newGate()
 	var wg sync.WaitGroup
 	for i := 0; i < p.Parallelism; i++ {
 		wg.Add(1)
-		go func() {
+		go func(wi int) {
 			defer wg.Done()
 			var w worker
+			w.sim.Stats = p.Stats
+			if run != nil {
+				w.prog = run.Shard(wi)
+			}
 			rec := Recorder{g: gt}
 			lastCI := -1
 			for u := range units {
 				if u.ci != lastCI {
 					pprof.SetGoroutineLabels(labels[u.ci])
+					if p.Progress != nil {
+						p.Progress.SetCurrent(&cellLabels[u.ci])
+					}
 					lastCI = u.ci
 				}
 				rec.unit, rec.entered = u.g, false
-				fn(&w, u.cfg, &rec)
+				if w.prog != nil {
+					// Cell wall time covers fn itself; any turnstile
+					// wait inside fn's own Begin is part of it, but the
+					// fallback Begin below is not.
+					t0 := time.Now()
+					fn(&w, u.cfg, &rec)
+					w.prog.UnitDone(u.ci, time.Since(t0))
+				} else {
+					fn(&w, u.cfg, &rec)
+				}
 				rec.Begin() // take the turn even when fn recorded nothing
 				gt.leave()
 			}
 			pprof.SetGoroutineLabels(bg)
-		}()
+		}(i)
 	}
 	g := int64(0)
 	for ci, cfg := range p.Configs {

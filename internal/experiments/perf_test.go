@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"rtsync/internal/model"
+	"rtsync/internal/obs"
 	"rtsync/internal/sim"
 	"rtsync/internal/workload"
 )
@@ -64,11 +65,20 @@ func TestSweepDeterminism(t *testing.T) {
 
 // TestSweepSteadyStateZeroAllocs proves the tentpole: a warm worker's
 // per-system loop — generate, analyze, fill bounds, simulate two
-// protocols, snapshot metrics — allocates nothing per additional system.
+// protocols, snapshot metrics — allocates nothing per additional system,
+// with observability both disabled and enabled (the obs counter bank is
+// preallocated atomics, so routing every run through it adds no
+// allocations).
 func TestSweepSteadyStateZeroAllocs(t *testing.T) {
+	t.Run("stats-off", func(t *testing.T) { testSweepZeroAllocs(t, nil) })
+	t.Run("stats-on", func(t *testing.T) { testSweepZeroAllocs(t, obs.NewSimStats()) })
+}
+
+func testSweepZeroAllocs(t *testing.T, st *obs.SimStats) {
 	cfg := workload.DefaultConfig(4, 0.6)
 	p := Params{}.withDefaults()
 	var w worker
+	w.sim.Stats = st
 	bounds := make(sim.Bounds)
 	dsP := sim.NewDS()
 	pmP := sim.NewPM(nil)
@@ -120,6 +130,9 @@ func TestSweepSteadyStateZeroAllocs(t *testing.T) {
 	}
 	if unitErr != nil {
 		t.Fatalf("measured unit failed: %v", unitErr)
+	}
+	if st != nil && st.Runs() == 0 {
+		t.Fatal("stats attached but no runs counted")
 	}
 }
 

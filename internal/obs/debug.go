@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Published variable names on /debug/vars. The targets behind them are
+// swappable (see publishVars), so successive runs in one process — tests,
+// mainly — re-point the same expvar names instead of tripping expvar's
+// duplicate-publish panic.
+const (
+	simVarName   = "rtsync_sim"
+	sweepVarName = "rtsync_sweep"
+)
+
+var (
+	pubMu        sync.Mutex
+	pubPublished bool
+	pubSim       atomic.Pointer[SimStats]
+	pubSweep     atomic.Pointer[SweepProgress]
+)
+
+// PublishSimStats exposes st's snapshot as the expvar "rtsync_sim".
+func PublishSimStats(st *SimStats) {
+	pubSim.Store(st)
+	publishVars()
+}
+
+// PublishSweepProgress exposes sp's snapshot as the expvar "rtsync_sweep".
+func PublishSweepProgress(sp *SweepProgress) {
+	pubSweep.Store(sp)
+	publishVars()
+}
+
+// publishVars registers the expvar funcs exactly once per process; the
+// funcs indirect through atomic pointers so later publishes just swap the
+// target.
+func publishVars() {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	if pubPublished {
+		return
+	}
+	pubPublished = true
+	expvar.Publish(simVarName, expvar.Func(func() any {
+		if s := pubSim.Load(); s != nil {
+			return s.Snapshot()
+		}
+		return nil
+	}))
+	expvar.Publish(sweepVarName, expvar.Func(func() any {
+		if s := pubSweep.Load(); s != nil {
+			return s.Snapshot()
+		}
+		return nil
+	}))
+}
+
+// DebugServer is the live debug endpoint: net/http/pprof handlers plus the
+// expvar dump (which includes the published counter snapshots) on a
+// dedicated listener, so a long sweep can be profiled and inspected
+// mid-flight without touching the tool's stdout.
+type DebugServer struct {
+	// Addr is the bound address, with the real port when ":0" was asked.
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// ServeDebug starts the debug endpoint on addr ("host:port"; port 0 picks
+// a free one) and serves until Close. Routes: /debug/pprof/... and
+// /debug/vars.
+func ServeDebug(addr string) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return d, nil
+}
+
+// Close stops the server and releases the listener.
+func (d *DebugServer) Close() {
+	if d == nil {
+		return
+	}
+	d.srv.Close()
+}

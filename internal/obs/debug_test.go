@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestDebugEndpoint serves the live endpoint on an ephemeral port and checks
+// that the published counter snapshots and the pprof handlers answer.
+func TestDebugEndpoint(t *testing.T) {
+	st := NewSimStats()
+	st.NoteRun()
+	PublishSimStats(st)
+	sp := NewSweepProgress()
+	sp.StartSweep([]string{"(3,50)"}, 2, 1).Shard(0).NoteSchedulable(true)
+	PublishSweepProgress(sp)
+
+	d, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", d.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	var vars struct {
+		Sim   *SimSnapshot   `json:"rtsync_sim"`
+		Sweep *SweepSnapshot `json:"rtsync_sweep"`
+	}
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars.Sim == nil || vars.Sim.Runs != 1 {
+		t.Errorf("rtsync_sim = %+v, want runs=1", vars.Sim)
+	}
+	if vars.Sweep == nil || vars.Sweep.Schedulable != 1 {
+		t.Errorf("rtsync_sweep = %+v, want schedulable=1", vars.Sweep)
+	}
+	if len(get("/debug/pprof/cmdline")) == 0 {
+		t.Error("pprof cmdline empty")
+	}
+
+	// Re-publishing swaps the snapshot target without panicking on expvar's
+	// duplicate-name check, and the endpoint reflects the new target.
+	st2 := NewSimStats()
+	st2.NoteRun()
+	st2.NoteRun()
+	PublishSimStats(st2)
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Sim == nil || vars.Sim.Runs != 2 {
+		t.Errorf("after republish rtsync_sim = %+v, want runs=2", vars.Sim)
+	}
+
+	d.Close() // idempotent with the deferred Close
+
+	// A second server after Close binds cleanly (fresh ephemeral port).
+	d2, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Close()
+
+	var nilServer *DebugServer
+	nilServer.Close() // nil-safe for tools that never enabled -debug-addr
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtsync/internal/profiling"
+)
+
+// CLI is the shared observability flag plumbing for the cmd/ tools. It
+// extends internal/profiling's -cpuprofile/-memprofile pair with:
+//
+//	-manifest out.json   write a run manifest (flags, build info, counters,
+//	                     output checksums) at exit
+//	-debug-addr addr     serve /debug/pprof and /debug/vars while running
+//
+// Usage mirrors profiling.Flags: Register on the FlagSet, Start after
+// parsing, defer the returned stop. Stats objects attached between Start
+// and stop land in the manifest and on the debug endpoint.
+type CLI struct {
+	// ManifestPath and DebugAddr are the parsed flag values.
+	ManifestPath string
+	DebugAddr    string
+
+	prof     *profiling.Flags
+	manifest *Manifest
+	debug    *DebugServer
+	sim      *SimStats
+	sweep    *SweepProgress
+	outputs  []string
+}
+
+// Register adds the observability and profiling flags to fs.
+func Register(fs *flag.FlagSet) *CLI {
+	c := &CLI{prof: profiling.Register(fs)}
+	fs.StringVar(&c.ManifestPath, "manifest", "",
+		"write a JSON run manifest (config, build info, counters, output checksums) to this file")
+	fs.StringVar(&c.DebugAddr, "debug-addr", "",
+		"serve /debug/pprof and /debug/vars on this address (host:port) while running")
+	return c
+}
+
+// Observing reports whether any consumer of runtime counters is enabled —
+// the tools use it to decide whether to allocate a SimStats at all, keeping
+// plain runs on the nil-stats zero-cost path.
+func (c *CLI) Observing() bool { return c.ManifestPath != "" || c.DebugAddr != "" }
+
+// Start begins profiling (if requested), starts the debug endpoint (if
+// requested), and opens the manifest. The returned stop function — always
+// non-nil on success, meant for defer — stops the profilers, closes the
+// endpoint, and writes the manifest.
+func (c *CLI) Start(tool string, fs *flag.FlagSet) (stop func(), err error) {
+	stopProf, err := c.prof.Start()
+	if err != nil {
+		return nil, err
+	}
+	c.manifest = NewManifest(tool, fs)
+	if c.DebugAddr != "" {
+		c.debug, err = ServeDebug(c.DebugAddr)
+		if err != nil {
+			stopProf()
+			return nil, fmt.Errorf("debug-addr: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug endpoint on http://%s/debug/\n", tool, c.debug.Addr)
+	}
+	return func() {
+		stopProf()
+		c.debug.Close()
+		c.writeManifest()
+	}, nil
+}
+
+// AttachSimStats routes engine counters into the manifest and publishes
+// them on the debug endpoint.
+func (c *CLI) AttachSimStats(st *SimStats) {
+	c.sim = st
+	PublishSimStats(st)
+}
+
+// AttachSweepProgress routes sweep telemetry into the manifest and
+// publishes it on the debug endpoint.
+func (c *CLI) AttachSweepProgress(sp *SweepProgress) {
+	c.sweep = sp
+	PublishSweepProgress(sp)
+}
+
+// AddOutput records a file this run wrote; it is checksummed when the
+// manifest is written, after all writes are done.
+func (c *CLI) AddOutput(path string) { c.outputs = append(c.outputs, path) }
+
+// writeManifest finalizes and writes the manifest when -manifest was given.
+// Manifest errors go to stderr rather than clobbering the command's own
+// exit status.
+func (c *CLI) writeManifest() {
+	if c.ManifestPath == "" || c.manifest == nil {
+		return
+	}
+	if c.sim != nil {
+		snap := c.sim.Snapshot()
+		c.manifest.Sim = &snap
+	}
+	if c.sweep != nil {
+		snap := c.sweep.Snapshot()
+		c.manifest.Sweep = &snap
+	}
+	for _, p := range c.outputs {
+		c.manifest.AddOutput(p)
+	}
+	c.manifest.Finish()
+	if err := c.manifest.WriteFile(c.ManifestPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}

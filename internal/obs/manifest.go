@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest records everything needed to attribute and reproduce one CLI
+// run: the tool, its full flag configuration (seed included), the toolchain
+// and VCS revision that built it, wall-clock bounds, the aggregate
+// observability counters, and a checksum of every file the run wrote.
+// Every cmd/ tool emits one with -manifest out.json.
+type Manifest struct {
+	Tool string `json:"tool"`
+	// Args are the positional (non-flag) arguments, e.g. the system file.
+	Args []string `json:"args,omitempty"`
+	// Flags maps every registered flag to its final value — defaults and
+	// explicit settings alike, so the manifest is the full configuration.
+	Flags map[string]string `json:"flags,omitempty"`
+
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+
+	Start       time.Time `json:"start"`
+	End         time.Time `json:"end"`
+	DurationSec float64   `json:"duration_sec"`
+
+	// Sim and Sweep carry the aggregate counters of any attached
+	// SimStats / SweepProgress.
+	Sim   *SimSnapshot   `json:"sim_stats,omitempty"`
+	Sweep *SweepSnapshot `json:"sweep,omitempty"`
+
+	// Outputs checksums every file the run reported writing.
+	Outputs []OutputFile `json:"outputs,omitempty"`
+}
+
+// OutputFile is one written file's identity: path, size, and SHA-256.
+type OutputFile struct {
+	Path   string `json:"path"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// NewManifest starts a manifest for tool, stamping the start time and the
+// build's toolchain/VCS identity from debug.ReadBuildInfo. When fs is
+// non-nil (and parsed), every flag's final value and the positional
+// arguments are recorded.
+func NewManifest(tool string, fs *flag.FlagSet) *Manifest {
+	m := &Manifest{
+		Tool:      tool,
+		GoVersion: runtime.Version(),
+		Start:     time.Now(),
+	}
+	if fs != nil {
+		m.Flags = make(map[string]string)
+		fs.VisitAll(func(f *flag.Flag) {
+			m.Flags[f.Name] = f.Value.String()
+		})
+		m.Args = append(m.Args, fs.Args()...)
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.VCSRevision = s.Value
+			case "vcs.time":
+				m.VCSTime = s.Value
+			case "vcs.modified":
+				m.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// AddOutput checksums path and appends it to the manifest's outputs. An
+// unreadable file records its error in place of a digest rather than
+// failing the run that produced it.
+func (m *Manifest) AddOutput(path string) {
+	out := OutputFile{Path: path}
+	digest, size, err := fileSHA256(path)
+	if err != nil {
+		out.SHA256 = "error: " + err.Error()
+	} else {
+		out.SHA256 = digest
+		out.Bytes = size
+	}
+	m.Outputs = append(m.Outputs, out)
+}
+
+// Finish stamps the end time and duration.
+func (m *Manifest) Finish() {
+	m.End = time.Now()
+	m.DurationSec = m.End.Sub(m.Start).Seconds()
+}
+
+// WriteFile renders the manifest as indented JSON at path.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	return nil
+}
+
+// fileSHA256 returns the hex SHA-256 and size of the file at path.
+func fileSHA256(path string) (digest string, size int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return "", 0, err
+	}
+	return hex.EncodeToString(h.Sum(nil)), n, nil
+}

@@ -1,0 +1,122 @@
+// Package obs is the zero-cost-when-disabled runtime observability layer:
+// engine counters (SimStats), sweep progress telemetry (SweepProgress), run
+// manifests (Manifest), and a live debug HTTP endpoint (ServeDebug).
+//
+// The design contract, relied on by the simulator's zero-allocation tests:
+//
+//   - Disabled is free. Every hook in a hot path is guarded by a single
+//     nil-pointer check on a concrete type — no interface calls, no
+//     closures, no allocation.
+//   - Enabled is allocation-free. All counters and histogram buckets are
+//     preallocated fixed-size arrays of atomics; observing an event is an
+//     uncontended atomic add (or a load-compare for high-water marks).
+//   - Readers never pause writers. Snapshots read the atomics directly, so
+//     the debug endpoint and the progress reporter can inspect a sweep
+//     mid-flight without locks on the hot path.
+//
+// obs deliberately depends only on the standard library: the simulator
+// imports obs, never the reverse, and counter values cross the boundary as
+// plain int64s (simulated-time durations are ticks).
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a cache-line-padded atomic counter. The padding keeps adjacent
+// counters in a fixed array (SimStats' per-op and per-processor banks) from
+// sharing a line, so parallel sweep workers hammering neighbouring slots do
+// not false-share.
+type Counter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Add adds d to the counter.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store overwrites the value (used by tests and resets, never hot paths).
+func (c *Counter) Store(x int64) { c.v.Store(x) }
+
+// Max raises the counter to x if x is larger — the high-water-mark
+// operation. The common case (no new maximum) is a single atomic load.
+func (c *Counter) Max(x int64) {
+	for {
+		cur := c.v.Load()
+		if x <= cur {
+			return
+		}
+		if c.v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// HistBuckets is the fixed bucket count of a Histogram: power-of-two bucket
+// boundaries cover [0, 2^(HistBuckets-1)) with one overflow bucket at the
+// top — wide enough for any stall duration the experiments produce while
+// keeping the whole histogram preallocated.
+const HistBuckets = 24
+
+// Histogram is a fixed-bucket log2 histogram of non-negative int64 samples
+// (tick durations). Bucket 0 counts zeros; bucket b >= 1 counts samples in
+// [2^(b-1), 2^b); the last bucket absorbs overflow. Observing is one atomic
+// add — no locks, no allocation.
+type Histogram struct {
+	counts [HistBuckets]atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one sample (negative samples clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.counts[b].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// HistogramBucket is one populated bucket in a snapshot: Count samples were
+// at most UpTo (inclusive upper bound of the bucket's range).
+type HistogramBucket struct {
+	UpTo  int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON-friendly view of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the populated buckets (empty ones are omitted so small
+// manifests stay readable).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.n.Load(), Sum: h.sum.Load()}
+	for b := 0; b < HistBuckets; b++ {
+		c := h.counts[b].Load()
+		if c == 0 {
+			continue
+		}
+		upTo := int64(0)
+		if b > 0 {
+			upTo = 1<<uint(b) - 1
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{UpTo: upTo, Count: c})
+	}
+	return s
+}

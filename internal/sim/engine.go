@@ -5,7 +5,13 @@ import (
 	"fmt"
 
 	"rtsync/internal/model"
+	"rtsync/internal/obs"
 )
+
+// The obs package mirrors the event-op enum by index (opCompletion..opFunc);
+// this compile-time assertion fails if an op is added without widening
+// obs.NumEventOps.
+const _ = uint(obs.NumEventOps - opFunc - 1)
 
 // Scheduler selects the per-processor dispatching discipline.
 type Scheduler int
@@ -72,6 +78,15 @@ type Config struct {
 	ClockOffsets []model.Duration
 	// MaxEvents aborts a runaway simulation; 0 means the default cap.
 	MaxEvents int64
+	// Stats, when non-nil, receives engine counters (events popped per
+	// op, preemptions, context switches, release-guard stalls, event-heap
+	// high water, per-processor idle time). The hooks are nil-guarded
+	// plain-type calls: a nil Stats costs one predictable branch per hook
+	// and the instrumented loop stays allocation-free either way, so
+	// metrics and traces are bit-identical with observability on or off.
+	// A Stats may be shared across engines and read concurrently (all
+	// counters are atomic), which is how sweeps aggregate it.
+	Stats *obs.SimStats
 }
 
 // defaultMaxEvents bounds a single run; generously above any workload the
@@ -97,6 +112,10 @@ type procState struct {
 	// idleNotified suppresses duplicate idle-point hooks while the
 	// processor stays idle; cleared when any job arrives.
 	idleNotified bool
+	// idleStart is when running last became nil (run start, completion,
+	// or preemption) — the origin of the current idle period, charged to
+	// observability's per-processor idle counter at the next dispatch.
+	idleStart model.Time
 }
 
 // subInfo caches the per-subtask parameters the event loop reads on every
@@ -136,6 +155,8 @@ type Engine struct {
 
 	metrics *Metrics
 	trace   *Trace
+	// stats is Config.Stats, cached for the nil-guarded hot-path hooks.
+	stats *obs.SimStats
 
 	// subs caches per-subtask dispatch parameters, densely indexed.
 	subs []subInfo
@@ -271,6 +292,7 @@ func (e *Engine) Reset(s *model.System, cfg Config) error {
 		ps.segStart = 0
 		ps.gen = 0
 		ps.idleNotified = false
+		ps.idleStart = 0
 		e.inDirt[p] = false
 	}
 
@@ -317,6 +339,7 @@ func (e *Engine) Reset(s *model.System, cfg Config) error {
 	if cfg.Trace {
 		e.trace = newTrace(sys, cfg.Scheduler)
 	}
+	e.stats = cfg.Stats
 	return nil
 }
 
@@ -341,6 +364,11 @@ func (e *Engine) System() *model.System { return e.sys }
 // use it to key their per-subtask state by flat slice position instead of
 // SubtaskID maps.
 func (e *Engine) Index() *model.SubtaskIndex { return e.idx }
+
+// Stats returns the run's counter bank, nil when observability is off.
+// Protocols use it the same way the engine does: one nil check, then
+// direct concrete-type calls.
+func (e *Engine) Stats() *obs.SimStats { return e.stats }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() model.Time { return e.clock }
@@ -372,7 +400,13 @@ func (e *Engine) Run() (*Outcome, error) {
 		e.pushFirstRelease(i, 0, e.sys.Tasks[i].Phase.Add(e.ClockOffset(first)))
 	}
 	for e.events.len() > 0 {
+		if e.stats != nil {
+			e.stats.ObserveHeapDepth(int64(e.events.len()))
+		}
 		ev := e.events.pop()
+		if e.stats != nil {
+			e.stats.CountEvent(int(ev.op))
+		}
 		if ev.at > e.cfg.Horizon {
 			break
 		}
@@ -391,6 +425,16 @@ func (e *Engine) Run() (*Outcome, error) {
 	e.metrics.Events = e.eventsRun
 	if e.trace != nil {
 		e.closeOpenSegments()
+	}
+	if e.stats != nil {
+		// Close each processor's open idle period at the horizon so idle
+		// time sums to exactly (horizon − busy time) per processor.
+		for p := range e.procs {
+			if e.procs[p].running == nil {
+				e.stats.AddIdle(p, int64(e.cfg.Horizon.Sub(e.procs[p].idleStart)))
+			}
+		}
+		e.stats.NoteRun()
 	}
 	e.out = Outcome{Metrics: e.metrics, Trace: e.trace}
 	return &e.out, nil
@@ -448,12 +492,20 @@ func Run(s *model.System, cfg Config) (*Outcome, error) {
 // worker.
 type Runner struct {
 	e *Engine
+
+	// Stats, when non-nil, is attached to every run whose Config does not
+	// carry its own — how sweep workers route all their runs into one
+	// shared counter bank without touching each study's Config literal.
+	Stats *obs.SimStats
 }
 
 // Run simulates s under cfg, recycling the wrapped engine.
 func (r *Runner) Run(s *model.System, cfg Config) (*Outcome, error) {
 	if r.e == nil {
 		r.e = &Engine{}
+	}
+	if cfg.Stats == nil {
+		cfg.Stats = r.Stats
 	}
 	if err := r.e.Reset(s, cfg); err != nil {
 		return nil, err
@@ -693,6 +745,13 @@ func (e *Engine) strictlyMoreUrgent(a, b *Job) bool {
 // priority for the rest of its life.
 func (e *Engine) dispatch(p int, job *Job, t model.Time) {
 	ps := &e.procs[p]
+	if e.stats != nil {
+		// The processor was necessarily idle from idleStart to t (both
+		// dispatch call sites require running == nil); zero-length gaps
+		// (completion and redispatch at one instant) add nothing.
+		e.stats.AddIdle(p, int64(t.Sub(ps.idleStart)))
+		e.stats.NoteContextSwitch()
+	}
 	job.started = true
 	ps.running = job
 	ps.runStart = t
@@ -710,7 +769,11 @@ func (e *Engine) preempt(p int, t model.Time) {
 	ps.ready.push(ps.running)
 	ps.running = nil
 	ps.gen++
+	ps.idleStart = t
 	e.metrics.Preemptions++
+	if e.stats != nil {
+		e.stats.NotePreemption()
+	}
 }
 
 // finishRunning completes the running job of p at time t: bookkeeping,
@@ -721,6 +784,7 @@ func (e *Engine) finishRunning(p int, t model.Time) {
 	job := ps.running
 	ps.running = nil
 	ps.gen++
+	ps.idleStart = t
 	job.Completed = true
 	job.Completion = t
 	si := int(job.idx)

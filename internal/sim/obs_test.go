@@ -1,0 +1,121 @@
+package sim_test
+
+import (
+	"testing"
+
+	"rtsync/internal/model"
+	"rtsync/internal/obs"
+	"rtsync/internal/sim"
+)
+
+// statsConfig is perfConfig with an attached counter bank.
+func statsConfig(sys *model.System, periods int64, st *obs.SimStats) sim.Config {
+	cfg := perfConfig(sys, periods)
+	cfg.Stats = st
+	return cfg
+}
+
+// TestSimStatsZeroAllocs proves the instrumented event loop stays at zero
+// allocations per event with observability ON: the horizon-doubling
+// technique of TestSteadyStateZeroAllocs, with Config.Stats attached. The
+// counters are all preallocated atomics and the RG arrival rings reuse
+// their backing arrays, so the only admissible allocations are per-run
+// setup, which cancels out of the long-minus-short difference.
+func TestSimStatsZeroAllocs(t *testing.T) {
+	sys := perfSystem(t)
+	st := obs.NewSimStats()
+	e, err := sim.New(sys, statsConfig(sys, 20, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var events [2]int64
+	measure := func(slot int, periods int64) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if err := e.Reset(sys, statsConfig(sys, periods, st)); err != nil {
+				t.Fatal(err)
+			}
+			out, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			events[slot] = out.Metrics.Events
+		})
+	}
+	long := measure(1, 20)
+	short := measure(0, 10)
+	extraEvents := events[1] - events[0]
+	if extraEvents <= 0 {
+		t.Fatalf("horizon doubling added no events (%d vs %d)", events[0], events[1])
+	}
+	if extra := long - short; extra > 0.5 {
+		t.Errorf("instrumented steady state allocates: %0.1f extra allocs for %d extra events (want 0)",
+			extra, extraEvents)
+	}
+	snap := st.Snapshot()
+	if snap.EventsTotal == 0 || snap.ContextSwitches == 0 || snap.EventHeapHighWater == 0 {
+		t.Errorf("counters did not populate: %+v", snap)
+	}
+}
+
+// TestSimStatsMatchesMetrics cross-checks the counter bank against the
+// engine's own deterministic metrics on a single run, and proves attaching
+// stats changes no observable outcome.
+func TestSimStatsMatchesMetrics(t *testing.T) {
+	sys := perfSystem(t)
+	plain, err := sim.Run(sys, perfConfig(sys, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := obs.NewSimStats()
+	observed, err := sim.Run(sys, statsConfig(sys, 10, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if observed.Metrics.Events != plain.Metrics.Events ||
+		observed.Metrics.Preemptions != plain.Metrics.Preemptions {
+		t.Fatalf("stats changed the run: %d/%d events, %d/%d preemptions",
+			observed.Metrics.Events, plain.Metrics.Events,
+			observed.Metrics.Preemptions, plain.Metrics.Preemptions)
+	}
+	for i := range plain.Metrics.Tasks {
+		if !plain.Metrics.Tasks[i].EqualAggregates(&observed.Metrics.Tasks[i]) {
+			t.Errorf("task %d aggregates differ with stats attached", i)
+		}
+	}
+
+	snap := st.Snapshot()
+	if snap.Runs != 1 {
+		t.Errorf("runs = %d, want 1", snap.Runs)
+	}
+	if snap.Preemptions != plain.Metrics.Preemptions {
+		t.Errorf("preemptions counter %d != metrics %d", snap.Preemptions, plain.Metrics.Preemptions)
+	}
+	// Every executed event was popped; the final pop may overshoot the
+	// horizon by at most one event per run.
+	if snap.EventsTotal < plain.Metrics.Events || snap.EventsTotal > plain.Metrics.Events+1 {
+		t.Errorf("events popped %d, executed %d", snap.EventsTotal, plain.Metrics.Events)
+	}
+	if snap.ContextSwitches <= 0 || snap.EventHeapHighWater <= 0 {
+		t.Errorf("implausible counters: %+v", snap)
+	}
+	// Idle time per processor is bounded by the horizon.
+	horizon := int64(perfConfig(sys, 10).Horizon)
+	if len(snap.IdleTicksPerProc) == 0 || len(snap.IdleTicksPerProc) > len(sys.Procs) {
+		t.Fatalf("idle bank covers %d procs, system has %d", len(snap.IdleTicksPerProc), len(sys.Procs))
+	}
+	for p, idle := range snap.IdleTicksPerProc {
+		if idle < 0 || idle > horizon {
+			t.Errorf("proc %d idle %d outside [0, %d]", p, idle, horizon)
+		}
+	}
+	// The perf workload runs RG at utilization 0.7: signals do stall.
+	if snap.ReleaseGuardStalls > 0 {
+		if snap.StallTicks == nil || snap.StallTicks.Count != snap.ReleaseGuardStalls {
+			t.Errorf("stall histogram inconsistent with counter: %+v", snap.StallTicks)
+		}
+	}
+}

@@ -30,6 +30,11 @@ type RG struct {
 	// pending[si] holds the instances whose synchronization signal arrived
 	// before the guard; they are released in order as the guard allows.
 	pending [][]int64
+	// arrival[si] mirrors pending[si] with each held signal's arrival
+	// time — maintained only when the engine carries observability stats,
+	// so stall durations can be recorded at release. Empty (and free)
+	// otherwise.
+	arrival [][]model.Time
 	// onProc[p] lists the dense indices of processor p's subtasks (rule 2
 	// iterates them in the same task-major order as System.OnProcessor).
 	onProc [][]int32
@@ -66,9 +71,11 @@ func (rg *RG) Init(e *Engine) error {
 		rg.guard = rg.guard[:n]
 	}
 	rg.pending = growRings(rg.pending, n)
+	rg.arrival = growTimeRings(rg.arrival, n)
 	for i := 0; i < n; i++ {
 		rg.guard[i] = 0
 		rg.pending[i] = rg.pending[i][:0]
+		rg.arrival[i] = rg.arrival[i][:0]
 	}
 	rg.onProc = growProcLists(rg.onProc, len(s.Procs))
 	for p := range rg.onProc {
@@ -93,6 +100,17 @@ func growRings(s [][]int64, n int) [][]int64 {
 	if cap(s) < n {
 		old := s[:cap(s)]
 		s = make([][]int64, n)
+		copy(s, old)
+		return s
+	}
+	return s[:n]
+}
+
+// growTimeRings is growRings for the arrival-time lists.
+func growTimeRings(s [][]model.Time, n int) [][]model.Time {
+	if cap(s) < n {
+		old := s[:cap(s)]
+		s = make([][]model.Time, n)
 		copy(s, old)
 		return s
 	}
@@ -125,6 +143,9 @@ func (rg *RG) OnComplete(e *Engine, j *Job, t model.Time) {
 		return
 	}
 	rg.pending[si+1] = append(rg.pending[si+1], j.Instance)
+	if e.stats != nil {
+		rg.arrival[si+1] = append(rg.arrival[si+1], t)
+	}
 	rg.drain(e, si+1, t)
 }
 
@@ -136,6 +157,17 @@ func (rg *RG) drain(e *Engine, si int, t model.Time) {
 		m := p[0]
 		copy(p, p[1:])
 		rg.pending[si] = p[:len(p)-1]
+		if e.stats != nil && len(rg.arrival[si]) > 0 {
+			a := rg.arrival[si]
+			arrived := a[0]
+			copy(a, a[1:])
+			rg.arrival[si] = a[:len(a)-1]
+			// A signal released at its own arrival instant was never
+			// held; only a positive gap is a guard-induced stall.
+			if t > arrived {
+				e.stats.NoteRGStall(int64(t.Sub(arrived)))
+			}
+		}
 		// The release triggers OnRelease, which advances the guard by
 		// rule 1, naturally spacing any remaining held instances.
 		e.release(si, m)
