@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-analysis bench-experiments bench-sim vet fmt cover experiments examples clean
+.PHONY: all build test test-short bench bench-analysis bench-experiments bench-sim bench-check fuzz-smoke vet fmt cover experiments examples clean
 
 all: build test
 
@@ -34,13 +34,35 @@ bench-experiments:
 	$(GO) run ./tools/benchjson -out BENCH_experiments.json \
 		-pkg ./internal/experiments -bench BenchmarkSweep -benchtime 10x
 
-# Engine hot-path benchmarks. These run with observability disabled (the
-# engines' Config.Stats is nil, the zero-cost path); TestSimStatsZeroAllocs
-# separately proves that attaching an obs.SimStats adds zero allocations per
-# event, so the numbers here also describe instrumented runs.
+# Engine hot-path benchmarks: the end-to-end BenchmarkSimulate* figures from
+# the root package plus the steady-state engine and queue micro-benchmarks
+# from internal/sim, merged into one trajectory. These run with
+# observability disabled (the engines' Config.Stats is nil, the zero-cost
+# path); TestSimStatsZeroAllocs separately proves that attaching an
+# obs.SimStats adds zero allocations per event, so the numbers here also
+# describe instrumented runs.
 bench-sim:
 	$(GO) run ./tools/benchjson -out BENCH_sim.json \
-		-pkg ./internal/sim -bench BenchmarkEngine -benchtime 10x
+		-pkg .,./internal/sim \
+		-bench 'BenchmarkSimulate|BenchmarkEngine|BenchmarkEventQueue|BenchmarkReadyQueue' \
+		-benchtime 1s
+
+# Verify every benchmark named in a BENCH_*.json baseline still exists
+# (one 1x iteration per benchmark, no file rewrite) — the CI bench smoke.
+bench-check:
+	$(GO) run ./tools/benchjson -check -out BENCH_sim.json \
+		-pkg .,./internal/sim \
+		-bench 'BenchmarkSimulate|BenchmarkEngine|BenchmarkEventQueue|BenchmarkReadyQueue' \
+		-benchtime 1x
+	$(GO) run ./tools/benchjson -check -out BENCH_analysis.json \
+		-pkg ./internal/analysis -bench BenchmarkAnalyze -benchtime 1x
+	$(GO) run ./tools/benchjson -check -out BENCH_experiments.json \
+		-pkg ./internal/experiments -bench BenchmarkSweep -benchtime 1x
+
+# Differential-fuzz the timing wheel against the reference heap for 30s —
+# what CI's fuzz smoke runs; crank -fuzztime locally for a deeper soak.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzQueueEquivalence -fuzztime 30s ./internal/sim
 
 cover:
 	$(GO) test -cover ./...

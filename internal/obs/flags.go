@@ -4,26 +4,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
-
-	"rtsync/internal/profiling"
 )
 
 // CLI is the shared observability flag plumbing for the cmd/ tools. It
-// extends internal/profiling's -cpuprofile/-memprofile pair with:
+// extends the runtime/pprof -cpuprofile/-memprofile pair with:
 //
 //	-manifest out.json   write a run manifest (flags, build info, counters,
 //	                     output checksums) at exit
 //	-debug-addr addr     serve /debug/pprof and /debug/vars while running
 //
-// Usage mirrors profiling.Flags: Register on the FlagSet, Start after
-// parsing, defer the returned stop. Stats objects attached between Start
+// Usage: Register on the FlagSet, Start after parsing, defer the returned
+// stop. Stats objects attached between Start
 // and stop land in the manifest and on the debug endpoint.
 type CLI struct {
 	// ManifestPath and DebugAddr are the parsed flag values.
 	ManifestPath string
 	DebugAddr    string
 
-	prof     *profiling.Flags
+	prof     *profileFlags
 	manifest *Manifest
 	debug    *DebugServer
 	sim      *SimStats
@@ -33,7 +31,7 @@ type CLI struct {
 
 // Register adds the observability and profiling flags to fs.
 func Register(fs *flag.FlagSet) *CLI {
-	c := &CLI{prof: profiling.Register(fs)}
+	c := &CLI{prof: registerProfileFlags(fs)}
 	fs.StringVar(&c.ManifestPath, "manifest", "",
 		"write a JSON run manifest (config, build info, counters, output checksums) to this file")
 	fs.StringVar(&c.DebugAddr, "debug-addr", "",
@@ -51,7 +49,7 @@ func (c *CLI) Observing() bool { return c.ManifestPath != "" || c.DebugAddr != "
 // non-nil on success, meant for defer — stops the profilers, closes the
 // endpoint, and writes the manifest.
 func (c *CLI) Start(tool string, fs *flag.FlagSet) (stop func(), err error) {
-	stopProf, err := c.prof.Start()
+	stopProf, err := c.prof.start()
 	if err != nil {
 		return nil, err
 	}

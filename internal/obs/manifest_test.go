@@ -41,7 +41,8 @@ func TestManifestGolden(t *testing.T) {
 	st.NotePreemption()
 	st.NoteContextSwitch()
 	st.NoteRGStall(6)
-	st.ObserveHeapDepth(12)
+	st.ObserveQueueDepth(12)
+	st.AddCascades(2)
 	st.AddIdle(0, 40)
 	st.NoteRun()
 	sim := st.Snapshot()

@@ -1,7 +1,8 @@
-// Package profiling wires the stdlib runtime/pprof profilers into the
-// command-line tools: a -cpuprofile/-memprofile pair of flags and one Stop
-// call at exit.
-package profiling
+// The runtime/pprof flag plumbing (-cpuprofile/-memprofile) lives here so
+// CLI profiling and the rest of the observability surface register and stop
+// together; it was the former internal/profiling package, subsumed into obs
+// when Register grew the manifest and debug-endpoint flags.
+package obs
 
 import (
 	"flag"
@@ -11,28 +12,28 @@ import (
 	"runtime/pprof"
 )
 
-// Flags holds the profile destinations parsed from a FlagSet.
-type Flags struct {
-	CPU string
-	Mem string
+// profileFlags holds the profile destinations parsed from a FlagSet.
+type profileFlags struct {
+	cpu string
+	mem string
 }
 
-// Register adds -cpuprofile and -memprofile to fs.
-func Register(fs *flag.FlagSet) *Flags {
-	f := &Flags{}
-	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
-	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file at exit")
+// registerProfileFlags adds -cpuprofile and -memprofile to fs.
+func registerProfileFlags(fs *flag.FlagSet) *profileFlags {
+	f := &profileFlags{}
+	fs.StringVar(&f.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.mem, "memprofile", "", "write a heap profile to this file at exit")
 	return f
 }
 
-// Start begins CPU profiling when requested and returns a stop function to
+// start begins CPU profiling when requested and returns a stop function to
 // defer: it stops the CPU profile and writes the heap profile. Stop errors
 // are reported on stderr rather than returned, since the command's own
 // result should win.
-func (f *Flags) Start() (stop func(), err error) {
+func (f *profileFlags) start() (stop func(), err error) {
 	var cpuFile *os.File
-	if f.CPU != "" {
-		cpuFile, err = os.Create(f.CPU)
+	if f.cpu != "" {
+		cpuFile, err = os.Create(f.cpu)
 		if err != nil {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
@@ -48,8 +49,8 @@ func (f *Flags) Start() (stop func(), err error) {
 				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
 			}
 		}
-		if f.Mem != "" {
-			out, err := os.Create(f.Mem)
+		if f.mem != "" {
+			out, err := os.Create(f.mem)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "memprofile:", err)
 				return

@@ -25,7 +25,8 @@ type SimStats struct {
 	preemptions     Counter
 	contextSwitches Counter
 	rgStalls        Counter
-	heapHighWater   Counter
+	queueHighWater  Counter
+	cascades        Counter
 	runs            Counter
 	idle            [MaxProcs]Counter
 	stall           Histogram
@@ -55,8 +56,13 @@ func (s *SimStats) NoteRGStall(ticks int64) {
 	s.stall.Observe(ticks)
 }
 
-// ObserveHeapDepth raises the event-heap high-water mark.
-func (s *SimStats) ObserveHeapDepth(depth int64) { s.heapHighWater.Max(depth) }
+// ObserveQueueDepth raises the event-queue occupancy high-water mark (the
+// heap's depth, or the wheel's resident event count).
+func (s *SimStats) ObserveQueueDepth(depth int64) { s.queueHighWater.Max(depth) }
+
+// AddCascades charges n timing-wheel bucket redistributions — the wheel's
+// amortized re-sort work; always zero under the heap queue.
+func (s *SimStats) AddCascades(n int64) { s.cascades.Add(n) }
 
 // AddIdle charges ticks of idle time to processor p (clamped into the
 // fixed bank).
@@ -90,8 +96,12 @@ type SimSnapshot struct {
 	// arrival; StallTicks is the distribution of hold durations.
 	ReleaseGuardStalls int64              `json:"release_guard_stalls"`
 	StallTicks         *HistogramSnapshot `json:"stall_ticks,omitempty"`
-	// EventHeapHighWater is the deepest the event heap ever got.
-	EventHeapHighWater int64 `json:"event_heap_high_water"`
+	// EventQueueHighWater is the deepest the event queue ever got
+	// (wheel occupancy or heap depth, whichever implementation ran).
+	EventQueueHighWater int64 `json:"event_queue_high_water"`
+	// WheelCascades counts timing-wheel bucket redistributions; zero
+	// when runs used the binary-heap queue.
+	WheelCascades int64 `json:"wheel_cascades"`
 	// Runs counts completed simulation runs.
 	Runs int64 `json:"runs"`
 	// IdleTicksPerProc is idle time per processor index, trimmed of
@@ -103,12 +113,13 @@ type SimSnapshot struct {
 // advance counters between loads; each individual value is exact.
 func (s *SimStats) Snapshot() SimSnapshot {
 	snap := SimSnapshot{
-		EventsByOp:         make(map[string]int64, NumEventOps),
-		Preemptions:        s.preemptions.Load(),
-		ContextSwitches:    s.contextSwitches.Load(),
-		ReleaseGuardStalls: s.rgStalls.Load(),
-		EventHeapHighWater: s.heapHighWater.Load(),
-		Runs:               s.runs.Load(),
+		EventsByOp:          make(map[string]int64, NumEventOps),
+		Preemptions:         s.preemptions.Load(),
+		ContextSwitches:     s.contextSwitches.Load(),
+		ReleaseGuardStalls:  s.rgStalls.Load(),
+		EventQueueHighWater: s.queueHighWater.Load(),
+		WheelCascades:       s.cascades.Load(),
+		Runs:                s.runs.Load(),
 	}
 	for op, name := range eventOpNames {
 		n := s.events[op].Load()

@@ -78,6 +78,13 @@ type Config struct {
 	ClockOffsets []model.Duration
 	// MaxEvents aborts a runaway simulation; 0 means the default cap.
 	MaxEvents int64
+	// Queue selects the event-queue / ready-queue implementation pair:
+	// QueueWheel (default) is the O(1) hierarchical timing wheel with
+	// bitmap-indexed ready lanes, QueueHeap the binary heaps it
+	// replaced. Schedules are bit-identical either way; the heap is an
+	// A/B escape hatch kept for one release (FuzzQueueEquivalence
+	// drives the two against each other).
+	Queue QueueKind
 	// Stats, when non-nil, receives engine counters (events popped per
 	// op, preemptions, context switches, release-guard stalls, event-heap
 	// high water, per-processor idle time). The hooks are nil-guarded
@@ -267,34 +274,13 @@ func (e *Engine) Reset(s *model.System, cfg Config) error {
 	e.seq = 0
 	e.eventsRun = 0
 	e.ran = false
-	e.events.reset()
+	e.events.reset(cfg.Queue)
 	e.timers = e.timers[:0]
 	e.dirty = e.dirty[:0]
 	// The old ready queues and running slots are about to be cleared, so
 	// every arena job — including ones in flight when the last run hit the
 	// horizon — is free again.
 	e.free = append(e.free[:0], e.jobs...)
-
-	edf := cfg.Scheduler == EDF
-	if len(e.procs) != len(sys.Procs) {
-		e.procs = make([]procState, len(sys.Procs))
-		e.inDirt = make([]bool, len(sys.Procs))
-	}
-	for p := range e.procs {
-		ps := &e.procs[p]
-		if ps.ready == nil {
-			ps.ready = newReadyQueue(sys, edf)
-		} else {
-			ps.ready.reset(edf)
-		}
-		ps.running = nil
-		ps.runStart = 0
-		ps.segStart = 0
-		ps.gen = 0
-		ps.idleNotified = false
-		ps.idleStart = 0
-		e.inDirt[p] = false
-	}
 
 	n := e.idx.Len()
 	e.releaseCount = resetInt64s(e.releaseCount, n)
@@ -320,6 +306,37 @@ func (e *Engine) Reset(s *model.System, cfg Config) error {
 			base:   st.Priority,
 			eff:    sys.EffectivePriority(id, e.ceilings),
 		}
+	}
+
+	// Bound the priorities jobs compete at this run (base before first
+	// dispatch, effective after); the ready lanes index a bitmap by
+	// hi-priority, falling back to the heap when the range is too wide.
+	rp := readyParams{edf: cfg.Scheduler == EDF, kind: cfg.Queue}
+	for i := range e.subs {
+		if i == 0 || e.subs[i].base < rp.lo {
+			rp.lo = e.subs[i].base
+		}
+		if i == 0 || e.subs[i].eff > rp.hi {
+			rp.hi = e.subs[i].eff
+		}
+	}
+	if len(e.procs) != len(sys.Procs) {
+		e.procs = make([]procState, len(sys.Procs))
+		e.inDirt = make([]bool, len(sys.Procs))
+	}
+	for p := range e.procs {
+		ps := &e.procs[p]
+		if ps.ready == nil {
+			ps.ready = new(readyQueue)
+		}
+		ps.ready.reset(rp)
+		ps.running = nil
+		ps.runStart = 0
+		ps.segStart = 0
+		ps.gen = 0
+		ps.idleNotified = false
+		ps.idleStart = 0
+		e.inDirt[p] = false
 	}
 	if cap(e.firstRelease) < len(sys.Tasks) {
 		e.firstRelease = make([]relRing, len(sys.Tasks))
@@ -401,9 +418,10 @@ func (e *Engine) Run() (*Outcome, error) {
 	}
 	for e.events.len() > 0 {
 		if e.stats != nil {
-			e.stats.ObserveHeapDepth(int64(e.events.len()))
+			e.stats.ObserveQueueDepth(int64(e.events.len()))
 		}
-		ev := e.events.pop()
+		var ev event
+		e.events.pop(&ev)
 		if e.stats != nil {
 			e.stats.CountEvent(int(ev.op))
 		}
@@ -434,6 +452,7 @@ func (e *Engine) Run() (*Outcome, error) {
 				e.stats.AddIdle(p, int64(e.cfg.Horizon.Sub(e.procs[p].idleStart)))
 			}
 		}
+		e.stats.AddCascades(e.events.cascades())
 		e.stats.NoteRun()
 	}
 	e.out = Outcome{Metrics: e.metrics, Trace: e.trace}
@@ -517,7 +536,7 @@ func (r *Runner) Run(s *model.System, cfg Config) (*Outcome, error) {
 func (e *Engine) push(ev event) {
 	e.seq++
 	ev.seq = e.seq
-	e.events.push(ev)
+	e.events.push(&ev)
 }
 
 // pushFirstRelease arms instance m of task i's first subtask at time at.

@@ -67,16 +67,22 @@ func (e *event) before(o *event) bool {
 	return e.seq < o.seq
 }
 
-// eventQueue is a hand-rolled binary min-heap of event values. It replaces
+// eventHeap is a hand-rolled binary min-heap of event values. It replaces
 // container/heap over *event: no per-event allocation, no interface boxing,
-// and the backing array is reused across Engine.Reset.
-type eventQueue struct {
+// and the backing array is reused across Engine.Reset. It is one of the two
+// eventQueue implementations (Config.Queue == QueueHeap) and doubles as the
+// timing wheel's overflow level for far-future timers.
+type eventHeap struct {
 	items []event
 }
 
-func (q *eventQueue) len() int { return len(q.items) }
+func (q *eventHeap) len() int { return len(q.items) }
 
-func (q *eventQueue) push(ev event) {
+// top returns the minimum event without removing it; the caller must ensure
+// the heap is non-empty.
+func (q *eventHeap) top() *event { return &q.items[0] }
+
+func (q *eventHeap) push(ev event) {
 	q.items = append(q.items, ev)
 	i := len(q.items) - 1
 	for i > 0 {
@@ -89,7 +95,7 @@ func (q *eventQueue) push(ev event) {
 	}
 }
 
-func (q *eventQueue) pop() event {
+func (q *eventHeap) pop() event {
 	top := q.items[0]
 	n := len(q.items) - 1
 	q.items[0] = q.items[n]
@@ -115,7 +121,7 @@ func (q *eventQueue) pop() event {
 }
 
 // reset empties the queue, keeping its capacity for reuse.
-func (q *eventQueue) reset() {
+func (q *eventHeap) reset() {
 	for i := range q.items {
 		q.items[i] = event{}
 	}

@@ -9,15 +9,17 @@ import (
 	"rtsync/internal/model"
 )
 
-// TestEventHeapOrderingProperty: popping the event queue always yields
-// events sorted by (time, kind, seq), whatever the insertion order.
-func TestEventHeapOrderingProperty(t *testing.T) {
+// eventQueueOrderingProperty: popping the event queue always yields events
+// sorted by (time, kind, seq), whatever the insertion order. Exercised
+// against both implementations.
+func eventQueueOrderingProperty(t *testing.T, kind QueueKind) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		var q eventQueue
+		q.reset(kind)
 		n := 50 + rng.Intn(100)
 		for i := 0; i < n; i++ {
-			q.push(event{
+			q.push(&event{
 				at:   model.Time(rng.Intn(20)),
 				kind: int8(rng.Intn(3)),
 				seq:  int64(i),
@@ -25,7 +27,8 @@ func TestEventHeapOrderingProperty(t *testing.T) {
 		}
 		var prev *event
 		for q.len() > 0 {
-			ev := q.pop()
+			var ev event
+			q.pop(&ev)
 			if prev != nil {
 				if ev.at < prev.at {
 					return false
@@ -46,13 +49,76 @@ func TestEventHeapOrderingProperty(t *testing.T) {
 	}
 }
 
-// TestReadyQueueFixedPriorityProperty: the ready queue pops jobs in
-// non-increasing active priority, with the deterministic tie-break.
-func TestReadyQueueFixedPriorityProperty(t *testing.T) {
-	sys := model.Example2()
+func TestEventHeapOrderingProperty(t *testing.T) {
+	eventQueueOrderingProperty(t, QueueHeap)
+}
+
+func TestEventWheelOrderingProperty(t *testing.T) {
+	eventQueueOrderingProperty(t, QueueWheel)
+}
+
+// TestEventWheelFarFutureOrdering drives timestamps across window and block
+// boundaries — cascades and the overflow heap — interleaving pushes with
+// pops the way the engine does (pushes never precede the last popped time).
+func TestEventWheelFarFutureOrdering(t *testing.T) {
+	deltas := []int64{0, 1, 63, 64, 65, 4095, 4096, 262144, wheelSpan - 1,
+		wheelSpan, wheelSpan + 7, 3 * wheelSpan, 1 << 40}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		q := newReadyQueue(sys, false)
+		var wheel, heap eventQueue
+		wheel.reset(QueueWheel)
+		heap.reset(QueueHeap)
+		var seq int64
+		var now model.Time
+		for i := 0; i < 400; i++ {
+			if heap.len() == 0 || rng.Intn(3) > 0 {
+				seq++
+				ev := event{
+					at:   now.Add(model.Duration(deltas[rng.Intn(len(deltas))])),
+					kind: int8(rng.Intn(3)),
+					seq:  seq,
+				}
+				wheel.push(&ev)
+				heap.push(&ev)
+				continue
+			}
+			var a, b event
+			wheel.pop(&a)
+			heap.pop(&b)
+			if a.at != b.at || a.kind != b.kind || a.seq != b.seq {
+				return false
+			}
+			now = a.at
+		}
+		for heap.len() > 0 {
+			var a, b event
+			wheel.pop(&a)
+			heap.pop(&b)
+			if a.at != b.at || a.kind != b.kind || a.seq != b.seq {
+				return false
+			}
+		}
+		return wheel.len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// readyQueueFor builds a facade over the requested implementation with a
+// priority range wide enough for the tests' jobs.
+func readyQueueFor(edf bool, kind QueueKind) *readyQueue {
+	q := new(readyQueue)
+	q.reset(readyParams{edf: edf, kind: kind, lo: 0, hi: 8})
+	return q
+}
+
+// readyQueueFixedPriorityProperty: the ready queue pops jobs in
+// non-increasing active priority, with the deterministic tie-break.
+func readyQueueFixedPriorityProperty(t *testing.T, kind QueueKind) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := readyQueueFor(false, kind)
 		n := 20 + rng.Intn(50)
 		for i := 0; i < n; i++ {
 			q.push(&Job{
@@ -65,8 +131,13 @@ func TestReadyQueueFixedPriorityProperty(t *testing.T) {
 		var prev *Job
 		for !q.empty() {
 			j := q.pop()
-			if prev != nil && j.active() > prev.active() {
-				return false
+			if prev != nil {
+				if j.active() > prev.active() {
+					return false
+				}
+				if j.active() == prev.active() && jobTieLess(j, prev) {
+					return false
+				}
 			}
 			prev = j
 		}
@@ -77,13 +148,68 @@ func TestReadyQueueFixedPriorityProperty(t *testing.T) {
 	}
 }
 
-// TestReadyQueueEDFProperty: under EDF the queue pops by non-decreasing
-// absolute deadline.
-func TestReadyQueueEDFProperty(t *testing.T) {
-	sys := model.Example2()
+func TestReadyQueueFixedPriorityProperty(t *testing.T) {
+	readyQueueFixedPriorityProperty(t, QueueHeap)
+}
+
+func TestReadyLanesFixedPriorityProperty(t *testing.T) {
+	readyQueueFixedPriorityProperty(t, QueueWheel)
+}
+
+// TestReadyLanesMatchHeap: lanes and heap pop identical jobs under random
+// push/pop interleavings, including duplicate priorities and ties.
+func TestReadyLanesMatchHeap(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		q := newReadyQueue(sys, true)
+		lanes := readyQueueFor(false, QueueWheel)
+		heap := readyQueueFor(false, QueueHeap)
+		if !lanes.useLanes || heap.useLanes {
+			return false
+		}
+		for i := 0; i < 300; i++ {
+			if heap.empty() || rng.Intn(3) > 0 {
+				j := &Job{
+					ID:       model.SubtaskID{Task: rng.Intn(4), Sub: rng.Intn(3)},
+					Instance: int64(rng.Intn(6)),
+					base:     model.Priority(rng.Intn(8)),
+					eff:      model.Priority(rng.Intn(8)),
+					started:  rng.Intn(2) == 0,
+					deadline: model.TimeInfinity,
+				}
+				if j.eff < j.base {
+					j.base, j.eff = j.eff, j.base
+				}
+				// Two facades cannot share one intrusive job; give the
+				// heap a copy and compare by value.
+				cp := *j
+				lanes.push(j)
+				heap.push(&cp)
+				continue
+			}
+			if lanes.peek().Key() != heap.peek().Key() {
+				return false
+			}
+			a, b := lanes.pop(), heap.pop()
+			if a.Key() != b.Key() || a.active() != b.active() {
+				return false
+			}
+		}
+		return lanes.len() == heap.len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// readyQueueEDFProperty: under EDF the queue pops by non-decreasing
+// absolute deadline (EDF always routes to the heap implementation).
+func TestReadyQueueEDFProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := readyQueueFor(true, QueueWheel)
+		if q.useLanes {
+			return false // EDF must select the heap
+		}
 		n := 20 + rng.Intn(50)
 		var deadlines []model.Time
 		for i := 0; i < n; i++ {
@@ -108,30 +234,46 @@ func TestReadyQueueEDFProperty(t *testing.T) {
 	}
 }
 
-// TestReadyQueuePeekMatchesPop: peek never disagrees with the next pop.
+// TestReadyQueuePeekMatchesPop: peek never disagrees with the next pop, in
+// either implementation.
 func TestReadyQueuePeekMatchesPop(t *testing.T) {
-	sys := model.Example2()
-	rng := rand.New(rand.NewSource(12))
-	q := newReadyQueue(sys, false)
-	if q.peek() != nil {
-		t.Error("peek on empty queue should be nil")
-	}
-	for i := 0; i < 100; i++ {
-		q.push(&Job{
-			ID:       model.SubtaskID{Task: rng.Intn(3), Sub: 0},
-			Instance: int64(i),
-			base:     model.Priority(rng.Intn(4)),
-			deadline: model.TimeInfinity,
-		})
-	}
-	if q.len() != 100 {
-		t.Errorf("len = %d, want 100", q.len())
-	}
-	for !q.empty() {
-		want := q.peek()
-		if got := q.pop(); got != want {
-			t.Fatal("peek disagreed with pop")
+	for _, kind := range []QueueKind{QueueHeap, QueueWheel} {
+		rng := rand.New(rand.NewSource(12))
+		q := readyQueueFor(false, kind)
+		if q.peek() != nil {
+			t.Errorf("%v: peek on empty queue should be nil", kind)
 		}
+		for i := 0; i < 100; i++ {
+			q.push(&Job{
+				ID:       model.SubtaskID{Task: rng.Intn(3), Sub: 0},
+				Instance: int64(i),
+				base:     model.Priority(rng.Intn(4)),
+				deadline: model.TimeInfinity,
+			})
+		}
+		if q.len() != 100 {
+			t.Errorf("%v: len = %d, want 100", kind, q.len())
+		}
+		for !q.empty() {
+			want := q.peek()
+			if got := q.pop(); got != want {
+				t.Fatalf("%v: peek disagreed with pop", kind)
+			}
+		}
+	}
+}
+
+// TestReadyQueueWideRangeFallsBack: a priority span past the bitmap's 64
+// lanes must select the heap, not truncate.
+func TestReadyQueueWideRangeFallsBack(t *testing.T) {
+	q := new(readyQueue)
+	q.reset(readyParams{kind: QueueWheel, lo: 0, hi: 1000})
+	if q.useLanes {
+		t.Fatal("range 0..1000 should fall back to the heap")
+	}
+	q.reset(readyParams{kind: QueueWheel, lo: 1000, hi: 1063})
+	if !q.useLanes {
+		t.Fatal("dense 64-level range should use the lanes")
 	}
 }
 

@@ -37,6 +37,9 @@ type Job struct {
 	// deadline is the absolute deadline (release + local deadline) used
 	// by EDF dispatch; TimeInfinity under fixed-priority scheduling.
 	deadline model.Time
+	// next threads the job through its priority lane while queued
+	// (intrusive singly-linked list; nil when not in a lane).
+	next *Job
 }
 
 // active returns the priority the job currently competes at.
@@ -64,97 +67,3 @@ func (k Key) String() string {
 
 // Key returns the job's identity.
 func (j *Job) Key() Key { return Key{ID: j.ID, Instance: j.Instance} }
-
-// readyQueue is a priority-ordered set of released, incomplete jobs on one
-// processor: a hand-rolled binary heap over the deterministic dispatch
-// order. Under fixed priority: active priority first (so a preempted lock
-// holder keeps its ceiling). Under EDF: earlier absolute deadline first.
-// Ties break by (task, sub, instance) for determinism.
-type readyQueue struct {
-	edf  bool
-	jobs []*Job
-}
-
-func newReadyQueue(sys *model.System, edf bool) *readyQueue {
-	// Pre-size for the common case: a handful of in-flight jobs per
-	// subtask of the system. The slice grows (amortized) past that.
-	return &readyQueue{edf: edf, jobs: make([]*Job, 0, 2*sys.NumSubtasks())}
-}
-
-// less reports whether a dispatches strictly before b.
-func (q *readyQueue) less(a, b *Job) bool {
-	if q.edf {
-		if a.deadline != b.deadline {
-			return a.deadline < b.deadline
-		}
-	} else if pa, pb := a.active(), b.active(); pa != pb {
-		return pa > pb
-	}
-	if a.ID.Task != b.ID.Task {
-		return a.ID.Task < b.ID.Task
-	}
-	if a.ID.Sub != b.ID.Sub {
-		return a.ID.Sub < b.ID.Sub
-	}
-	return a.Instance < b.Instance
-}
-
-func (q *readyQueue) push(j *Job) {
-	q.jobs = append(q.jobs, j)
-	i := len(q.jobs) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(q.jobs[i], q.jobs[parent]) {
-			break
-		}
-		q.jobs[i], q.jobs[parent] = q.jobs[parent], q.jobs[i]
-		i = parent
-	}
-}
-
-func (q *readyQueue) pop() *Job {
-	top := q.jobs[0]
-	n := len(q.jobs) - 1
-	q.jobs[0] = q.jobs[n]
-	q.jobs[n] = nil
-	q.jobs = q.jobs[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && q.less(q.jobs[l], q.jobs[smallest]) {
-			smallest = l
-		}
-		if r < n && q.less(q.jobs[r], q.jobs[smallest]) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		q.jobs[i], q.jobs[smallest] = q.jobs[smallest], q.jobs[i]
-		i = smallest
-	}
-	return top
-}
-
-// peek returns the most urgent ready job without removing it, or nil.
-func (q *readyQueue) peek() *Job {
-	if len(q.jobs) == 0 {
-		return nil
-	}
-	return q.jobs[0]
-}
-
-func (q *readyQueue) empty() bool { return len(q.jobs) == 0 }
-
-func (q *readyQueue) len() int { return len(q.jobs) }
-
-// reset empties the queue in place, keeping capacity, and updates the
-// dispatch discipline for the next run.
-func (q *readyQueue) reset(edf bool) {
-	for i := range q.jobs {
-		q.jobs[i] = nil
-	}
-	q.jobs = q.jobs[:0]
-	q.edf = edf
-}

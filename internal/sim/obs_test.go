@@ -55,7 +55,7 @@ func TestSimStatsZeroAllocs(t *testing.T) {
 			extra, extraEvents)
 	}
 	snap := st.Snapshot()
-	if snap.EventsTotal == 0 || snap.ContextSwitches == 0 || snap.EventHeapHighWater == 0 {
+	if snap.EventsTotal == 0 || snap.ContextSwitches == 0 || snap.EventQueueHighWater == 0 {
 		t.Errorf("counters did not populate: %+v", snap)
 	}
 }
@@ -99,7 +99,7 @@ func TestSimStatsMatchesMetrics(t *testing.T) {
 	if snap.EventsTotal < plain.Metrics.Events || snap.EventsTotal > plain.Metrics.Events+1 {
 		t.Errorf("events popped %d, executed %d", snap.EventsTotal, plain.Metrics.Events)
 	}
-	if snap.ContextSwitches <= 0 || snap.EventHeapHighWater <= 0 {
+	if snap.ContextSwitches <= 0 || snap.EventQueueHighWater <= 0 {
 		t.Errorf("implausible counters: %+v", snap)
 	}
 	// Idle time per processor is bounded by the horizon.

@@ -1,0 +1,74 @@
+package sim
+
+// QueueKind selects the engine's queue implementations: the hierarchical
+// timing wheel plus bitmap-indexed ready lanes (the default), or the binary
+// heaps they replaced. Both produce bit-identical schedules — the heap pair
+// is kept for one release as an A/B escape hatch and as the reference
+// implementation the equivalence fuzzer drives the wheel against.
+type QueueKind int
+
+const (
+	// QueueWheel is the O(1)-amortized pair: hierarchical timing-wheel
+	// event queue and per-priority FIFO ready lanes indexed by a uint64
+	// occupancy bitmap.
+	QueueWheel QueueKind = iota
+	// QueueHeap is the O(log n) pair of hand-rolled binary heaps.
+	QueueHeap
+)
+
+// String names the queue kind.
+func (k QueueKind) String() string {
+	if k == QueueHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// eventQueue is the engine's future-event set, popped in (at, kind, seq)
+// order. It fronts the two interchangeable implementations behind one
+// predictable branch per operation; reset selects which one a run uses.
+// The zero value is an empty wheel-mode queue.
+type eventQueue struct {
+	heapMode bool
+	wheel    timingWheel
+	heap     eventHeap
+}
+
+// reset empties the queue, keeping both implementations' capacity, and
+// selects the implementation for the next run.
+func (q *eventQueue) reset(kind QueueKind) {
+	q.heapMode = kind == QueueHeap
+	q.wheel.reset()
+	q.heap.reset()
+}
+
+func (q *eventQueue) len() int {
+	if q.heapMode {
+		return q.heap.len()
+	}
+	return q.wheel.len()
+}
+
+// push and pop move events by pointer: the 48-byte event would otherwise be
+// copied at every frame of the facade → implementation chain, which profiles
+// as real time at millions of events per second.
+func (q *eventQueue) push(ev *event) {
+	if q.heapMode {
+		q.heap.push(*ev)
+		return
+	}
+	q.wheel.push(ev)
+}
+
+// pop removes the minimum event into *dst. The caller must ensure len() > 0.
+func (q *eventQueue) pop(dst *event) {
+	if q.heapMode {
+		*dst = q.heap.pop()
+		return
+	}
+	q.wheel.pop(dst)
+}
+
+// cascades reports the wheel's bucket redistributions this run (zero in
+// heap mode); the engine flushes it into obs.SimStats after a run.
+func (q *eventQueue) cascades() int64 { return q.wheel.cascades }

@@ -1,4 +1,4 @@
-// Command benchjson reruns a benchmark package and rewrites the "after"
+// Command benchjson reruns benchmark packages and rewrites the "after"
 // section of a BENCH_*.json trajectory file in place, preserving the
 // hand-written description, the frozen "before" capture, and the notes.
 //
@@ -6,6 +6,15 @@
 //
 //	go run ./tools/benchjson -out BENCH_analysis.json \
 //	    -pkg ./internal/analysis -bench BenchmarkAnalyze -benchtime 10x
+//
+// -pkg takes a comma-separated package list; results merge into one "after"
+// map. Benchmarks reporting a custom ns/event metric keep it as "ns_event".
+//
+// A baseline that names a benchmark the run no longer produces fails the
+// command loudly: a renamed or deleted benchmark must be renamed in its
+// BENCH_*.json in the same change, or the trajectory silently rots. -check
+// verifies that property (at -benchtime 1x in CI) without rewriting the
+// file.
 package main
 
 import (
@@ -16,15 +25,21 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"sort"
 	"strconv"
+	"strings"
 )
 
-// benchLine matches `go test -benchmem` output, e.g.
-// BenchmarkAnalyzeDS-8   10   9264590 ns/op   125884 B/op   77 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+// benchLine matches `go test -benchmem` output, with or without a custom
+// ns/event metric between ns/op and B/op, e.g.
+//
+//	BenchmarkAnalyzeDS-8   10   9264590 ns/op   125884 B/op   77 allocs/op
+//	BenchmarkEngineEvents  10   1056770 ns/op   171.3 ns/event   13448 B/op   36 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(?:\s+(\d+(?:\.\d+)?) ns/event)?\s+(\d+) B/op\s+(\d+) allocs/op`)
 
 type measurement struct {
 	NsOp     float64 `json:"ns_op"`
+	NsEvent  float64 `json:"ns_event,omitempty"`
 	BOp      int64   `json:"B_op"`
 	AllocsOp int64   `json:"allocs_op"`
 }
@@ -39,28 +54,32 @@ type trajectory struct {
 func main() {
 	var (
 		out       = flag.String("out", "BENCH_analysis.json", "trajectory file to update in place")
-		pkg       = flag.String("pkg", "./internal/analysis", "package whose benchmarks to run")
+		pkg       = flag.String("pkg", "./internal/analysis", "comma-separated packages whose benchmarks to run")
 		bench     = flag.String("bench", "BenchmarkAnalyze", "benchmark name regexp")
 		benchtime = flag.String("benchtime", "10x", "go test -benchtime value")
+		check     = flag.Bool("check", false, "verify baseline benchmarks still exist; do not rewrite -out")
 	)
 	flag.Parse()
-	if err := run(*out, *pkg, *bench, *benchtime); err != nil {
+	if err := run(*out, *pkg, *bench, *benchtime, *check); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, pkg, bench, benchtime string) error {
-	cmd := exec.Command("go", "test", "-run", "NONE", "-bench", bench,
-		"-benchmem", "-benchtime", benchtime, pkg)
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
-	if err != nil {
-		return fmt.Errorf("go test: %w", err)
+func run(out, pkgs, bench, benchtime string, check bool) error {
+	after := make(map[string]measurement)
+	for _, pkg := range strings.Split(pkgs, ",") {
+		cmd := exec.Command("go", "test", "-run", "NONE", "-bench", bench,
+			"-benchmem", "-benchtime", benchtime, pkg)
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go test %s: %w", pkg, err)
+		}
+		parse(string(raw), after)
 	}
-	after := parse(string(raw))
 	if len(after) == 0 {
-		return fmt.Errorf("no benchmark lines matched %q in %s", bench, pkg)
+		return fmt.Errorf("no benchmark lines matched %q in %s", bench, pkgs)
 	}
 
 	var t trajectory
@@ -70,6 +89,15 @@ func run(out, pkg, bench, benchtime string) error {
 		}
 	} else if !os.IsNotExist(err) {
 		return err
+	}
+	if missing := missingBaselines(&t, after, bench); len(missing) > 0 {
+		return fmt.Errorf("baseline %s names benchmarks the run no longer produces: %s\n"+
+			"(a renamed or deleted benchmark must be renamed in %s in the same change)",
+			out, strings.Join(missing, ", "), out)
+	}
+	if check {
+		fmt.Printf("%s: all %d baseline benchmarks still exist\n", out, len(after))
+		return nil
 	}
 	t.After = after
 
@@ -87,20 +115,44 @@ func run(out, pkg, bench, benchtime string) error {
 	return nil
 }
 
-// parse extracts name -> measurement from go test -benchmem output.
-func parse(out string) map[string]measurement {
-	res := make(map[string]measurement)
+// missingBaselines returns every benchmark named in the trajectory's before
+// or after maps that matches the -bench regexp but is absent from the new
+// results — i.e. baselines the current run should have reproduced and
+// didn't. Baseline entries outside the regexp are someone else's run
+// (a trajectory can aggregate several `make bench-*` invocations).
+func missingBaselines(t *trajectory, after map[string]measurement, bench string) []string {
+	re, err := regexp.Compile(bench)
+	if err != nil {
+		return nil // go test would have rejected it already
+	}
+	seen := map[string]bool{}
+	var missing []string
+	for _, baseline := range []map[string]measurement{t.Before, t.After} {
+		for name := range baseline {
+			// Sub-benchmark regexps match per path element, like go test.
+			if _, ok := after[name]; !ok && !seen[name] && re.MatchString(strings.SplitN(name, "/", 2)[0]) {
+				seen[name] = true
+				missing = append(missing, name)
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// parse extracts name -> measurement from go test -benchmem output into res.
+func parse(out string, res map[string]measurement) {
 	start := 0
 	for i := 0; i <= len(out); i++ {
 		if i == len(out) || out[i] == '\n' {
 			if m := benchLine.FindStringSubmatch(out[start:i]); m != nil {
 				ns, _ := strconv.ParseFloat(m[2], 64)
-				b, _ := strconv.ParseInt(m[3], 10, 64)
-				a, _ := strconv.ParseInt(m[4], 10, 64)
-				res[m[1]] = measurement{NsOp: ns, BOp: b, AllocsOp: a}
+				nsev, _ := strconv.ParseFloat(m[3], 64)
+				b, _ := strconv.ParseInt(m[4], 10, 64)
+				a, _ := strconv.ParseInt(m[5], 10, 64)
+				res[m[1]] = measurement{NsOp: ns, NsEvent: nsev, BOp: b, AllocsOp: a}
 			}
 			start = i + 1
 		}
 	}
-	return res
 }
