@@ -63,6 +63,7 @@ bench-check:
 # what CI's fuzz smoke runs; crank -fuzztime locally for a deeper soak.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzQueueEquivalence -fuzztime 30s ./internal/sim
+	$(GO) test -run NONE -fuzz FuzzLockingEquivalence -fuzztime 30s ./internal/sim
 
 cover:
 	$(GO) test -cover ./...

@@ -209,6 +209,54 @@ func BenchmarkSimulateRG(b *testing.B) {
 	benchSimulate(b, func(*rtsync.System) (rtsync.Protocol, error) { return rtsync.NewRG(), nil })
 }
 
+// lockBenchSystem generates the (5,70) benchmark workload with global
+// critical-section contention: two global resources, 30% of subtasks
+// carrying one section of up to half their execution.
+func lockBenchSystem(b *testing.B) *rtsync.System {
+	b.Helper()
+	cfg := rtsync.DefaultWorkloadConfig(5, 0.7)
+	cfg.Seed = 11
+	cfg.GlobalResources = 2
+	cfg.GlobalShare = 0.3
+	cfg.CSLenFrac = 0.5
+	sys, err := rtsync.GenerateWorkload(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// benchSimulateLocking runs a 10-period DS simulation under one locking
+// protocol, measuring the lock acquire/release, suspension, and boosting
+// machinery on top of the BenchmarkSimulateDS baseline.
+func benchSimulateLocking(b *testing.B, kind rtsync.LockingKind) {
+	sys := lockBenchSystem(b)
+	horizon := rtsync.Time(int64(sys.MaxPeriod()) * 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := rtsync.Simulate(sys, rtsync.SimConfig{
+			Protocol: rtsync.NewDS(),
+			Horizon:  horizon,
+			Locking:  kind,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateMPCP measures the same run as BenchmarkSimulateDS with
+// global sections arbitrated by MPCP.
+func BenchmarkSimulateMPCP(b *testing.B) {
+	benchSimulateLocking(b, rtsync.LockingMPCP)
+}
+
+// BenchmarkSimulateDPCP measures the same run under DPCP (sections migrate
+// to their synchronization processor).
+func BenchmarkSimulateDPCP(b *testing.B) {
+	benchSimulateLocking(b, rtsync.LockingDPCP)
+}
+
 // BenchmarkSimulateEDF measures the same run as BenchmarkSimulateRG but
 // dispatched by EDF over proportional local deadlines.
 func BenchmarkSimulateEDF(b *testing.B) {

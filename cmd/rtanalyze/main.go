@@ -1,12 +1,15 @@
 // Command rtanalyze runs the paper's schedulability analyses on a system:
 // Algorithm SA/PM (valid for the PM, MPM and RG protocols) and Algorithm
 // SA/DS (for the DS protocol), reporting per-subtask bounds, per-task EER
-// bounds, and schedulability verdicts.
+// bounds, and schedulability verdicts. For systems whose subtasks declare
+// critical-section segments on global resources, -algo mpcp and -algo dpcp
+// run the suspension-aware locking analyses.
 //
 // Usage:
 //
 //	rtanalyze system.json            # both analyses
 //	rtanalyze -algo sapm system.json
+//	rtanalyze -algo mpcp system.json # locking-aware bounds
 //	rtanalyze -example 2             # built-in Example 2
 package main
 
@@ -32,7 +35,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rtanalyze", flag.ContinueOnError)
 	var (
-		algo    = fs.String("algo", "both", "analysis to run: sapm, sads, holistic, or both")
+		algo    = fs.String("algo", "both", "analysis to run: sapm, sads, holistic, mpcp, dpcp, or both")
 		example = fs.Int("example", 0, "use built-in example system (1 or 2) instead of a file")
 		factor  = fs.Int64("failure-factor", 300, "bound > factor*period counts as infinite")
 	)
@@ -79,6 +82,10 @@ func run(args []string, w io.Writer) error {
 		return printResult(w, sys, an.AnalyzeDS())
 	case "holistic":
 		return printResult(w, sys, an.AnalyzeHolistic())
+	case "mpcp":
+		return printResult(w, sys, an.AnalyzeMPCP())
+	case "dpcp":
+		return printResult(w, sys, an.AnalyzeDPCP())
 	case "both":
 		pm := an.AnalyzePM()
 		if err := printResult(w, sys, pm); err != nil {
@@ -90,7 +97,7 @@ func run(args []string, w io.Writer) error {
 		}
 		return printComparison(w, sys, pm, ds, an.AnalyzeHolistic())
 	default:
-		return fmt.Errorf("unknown -algo %q (want sapm, sads, holistic, or both)", *algo)
+		return fmt.Errorf("unknown -algo %q (want sapm, sads, holistic, mpcp, dpcp, or both)", *algo)
 	}
 }
 

@@ -26,7 +26,7 @@ func TestRunExample2Both(t *testing.T) {
 }
 
 func TestRunSingleAlgorithms(t *testing.T) {
-	for _, algo := range []string{"sapm", "sads", "holistic"} {
+	for _, algo := range []string{"sapm", "sads", "holistic", "mpcp", "dpcp"} {
 		var buf bytes.Buffer
 		if err := run([]string{"-algo", algo, "-example", "1"}, &buf); err != nil {
 			t.Fatalf("%s: %v", algo, err)

@@ -43,7 +43,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rtexperiments", flag.ContinueOnError)
 	var (
-		figure   = fs.String("figure", "all", "12, 13, 14, 15, 16, rg-rule2, jitter, release-jitter, tightness, edf, exec-variation, sensitivity, overhead, or all")
+		figure   = fs.String("figure", "all", "12, 13, 14, 15, 16, rg-rule2, jitter, release-jitter, tightness, edf, exec-variation, sensitivity, locking, overhead, or all")
 		systems  = fs.Int("systems", 50, "systems per configuration (paper: 1000)")
 		seed     = fs.Int64("seed", 1, "sweep seed")
 		hp       = fs.Int64("horizon-periods", 20, "simulation horizon in multiples of the max period")
@@ -252,6 +252,18 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(os.Stderr, "[sensitivity study: %d systems/shape, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
 		if err := emit("sensitivity", res.Table()); err != nil {
+			return err
+		}
+	}
+	if want("locking") {
+		ran = true
+		start := time.Now()
+		res, err := experiments.LockingStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[locking study: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
+		if err := emit("locking", res.Table()); err != nil {
 			return err
 		}
 	}

@@ -98,6 +98,19 @@ func TestRunOverhead(t *testing.T) {
 	}
 }
 
+func TestRunLocking(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(miniArgs("-figure", "locking"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Synchronization protocols", "HL (centralized)", "MPCP", "DPCP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("locking table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunUnknownFigure(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-figure", "99"}, &buf); err == nil {

@@ -5,6 +5,7 @@
 //
 //	rtgen -subtasks 5 -util 0.6 -seed 42 -o system.json
 //	rtgen -subtasks 3 -util 0.9 -count 10 -o outdir/   # sys-000.json ...
+//	rtgen -subtasks 5 -util 0.6 -global-resources 2 -o locked.json
 package main
 
 import (
@@ -36,6 +37,9 @@ func run(args []string) error {
 		count    = fs.Int("count", 1, "systems to generate (>1 writes numbered files)")
 		out      = fs.String("o", "-", "output file, directory (count>1), or - for stdout")
 		phases   = fs.Bool("phases", true, "randomize task phases")
+		gres     = fs.Int("global-resources", 0, "global resources contended across processors (0 disables)")
+		gshare   = fs.Float64("global-share", 0.3, "probability a subtask carries a global critical section")
+		cslen    = fs.Float64("cs-len", 0.5, "max critical-section length as a fraction of subtask execution")
 	)
 	cli := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +58,9 @@ func run(args []string) error {
 	cfg.Processors = *procs
 	cfg.Tasks = *tasks
 	cfg.RandomPhases = *phases
+	cfg.GlobalResources = *gres
+	cfg.GlobalShare = *gshare
+	cfg.CSLenFrac = *cslen
 
 	for k := 0; k < *count; k++ {
 		cfg.Seed = *seed + int64(k)

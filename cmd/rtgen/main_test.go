@@ -70,6 +70,36 @@ func TestRunCustomShape(t *testing.T) {
 	}
 }
 
+func TestRunGlobalResources(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sys.json")
+	err := run([]string{"-subtasks", "4", "-util", "0.5", "-seed", "7",
+		"-global-resources", "2", "-o", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := model.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Resources) != 2 {
+		t.Fatalf("want 2 resources, got %d", len(sys.Resources))
+	}
+	segs := 0
+	for i := range sys.Tasks {
+		for j := range sys.Tasks[i].Subtasks {
+			segs += len(sys.Tasks[i].Subtasks[j].Segments)
+		}
+	}
+	if segs == 0 {
+		t.Error("no critical-section segments generated")
+	}
+	for r := range sys.Resources {
+		if !sys.Resources[r].Global() {
+			t.Errorf("resource %d should be global", r)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-count", "0"},

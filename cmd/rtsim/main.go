@@ -7,6 +7,7 @@
 //	rtsim -protocol rg -horizon 30 -gantt -example 2
 //	rtsim -protocol ds -horizon 100000 system.json
 //	rtsim -protocol pm system.json       # bounds from SA/PM automatically
+//	rtsim -locking mpcp system.json      # arbitrate global resources (mpcp/dpcp)
 package main
 
 import (
@@ -41,6 +42,7 @@ func run(args []string, w io.Writer) error {
 		scale     = fs.Int64("gantt-scale", 1, "ticks per chart column")
 		validate  = fs.Bool("validate", true, "check trace invariants after the run")
 		traceOut  = fs.String("trace-out", "", "save the full execution trace as JSON (inspect with rttrace)")
+		locking   = fs.String("locking", "hl", "locking protocol for global resources: hl, mpcp, or dpcp")
 	)
 	cli := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -78,19 +80,23 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("usage: rtsim [flags] system.json (or -example N)")
 	}
 
+	kind, err := parseLocking(*locking)
+	if err != nil {
+		return err
+	}
 	h := model.Time(*horizon)
 	if h <= 0 {
 		h = model.Time(int64(sys.MaxPeriod()) * 20)
 	}
 	if *protoName == "all" {
-		return runComparison(w, sys, h, stats)
+		return runComparison(w, sys, h, kind, stats)
 	}
 	protocol, err := buildProtocol(*protoName, sys)
 	if err != nil {
 		return err
 	}
 	needTrace := *chart || *validate || *traceOut != ""
-	out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: h, Trace: needTrace, Stats: stats})
+	out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: h, Trace: needTrace, Locking: kind, Stats: stats})
 	if err != nil {
 		return err
 	}
@@ -155,7 +161,7 @@ func run(args []string, w io.Writer) error {
 // runComparison simulates every runnable protocol over the same system and
 // prints a side-by-side summary (avg, p95 and max EER, jitter, misses).
 // stats, when non-nil, aggregates engine counters over all the runs.
-func runComparison(w io.Writer, sys *model.System, h model.Time, stats *obs.SimStats) error {
+func runComparison(w io.Writer, sys *model.System, h model.Time, kind sim.LockingKind, stats *obs.SimStats) error {
 	names := []string{"ds", "rg", "rg1", "pm", "mpm"}
 	t := report.NewTable(fmt.Sprintf("protocol comparison (horizon %v)", h),
 		"protocol", "task", "avg EER", "p95 EER", "max EER", "max jitter", "misses")
@@ -165,7 +171,7 @@ func runComparison(w io.Writer, sys *model.System, h model.Time, stats *obs.SimS
 			fmt.Fprintf(w, "skipping %s: %v\n", name, err)
 			continue
 		}
-		out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: h, CollectSamples: true, Stats: stats})
+		out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: h, CollectSamples: true, Locking: kind, Stats: stats})
 		if err != nil {
 			return err
 		}
@@ -180,6 +186,19 @@ func runComparison(w io.Writer, sys *model.System, h model.Time, stats *obs.SimS
 		}
 	}
 	return t.Render(w)
+}
+
+// parseLocking maps the -locking flag to a sim.LockingKind.
+func parseLocking(name string) (sim.LockingKind, error) {
+	switch name {
+	case "hl":
+		return sim.LockingHL, nil
+	case "mpcp":
+		return sim.LockingMPCP, nil
+	case "dpcp":
+		return sim.LockingDPCP, nil
+	}
+	return sim.LockingHL, fmt.Errorf("unknown -locking %q (want hl, mpcp, or dpcp)", name)
 }
 
 // buildProtocol constructs the requested protocol, deriving SA/PM bounds

@@ -62,12 +62,48 @@ func TestRunFromFile(t *testing.T) {
 	}
 }
 
+// globalFile writes a two-task global-resource system to a temp file.
+func globalFile(t *testing.T) string {
+	t.Helper()
+	b := model.NewBuilder()
+	p1 := b.AddProcessor("P1")
+	p2 := b.AddProcessor("P2")
+	g := b.AddGlobalResource("g", p2)
+	b.AddTask("T1", 100, 0).Subtask(p1, 10, 1).Critical(2, 4, g).Done()
+	b.AddTask("T2", 100, 0).Subtask(p2, 10, 1).Critical(1, 4, g).Done()
+	path := filepath.Join(t.TempDir(), "global.json")
+	if err := b.MustBuild().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunLockingProtocols(t *testing.T) {
+	path := globalFile(t)
+	for _, kind := range []string{"mpcp", "dpcp"} {
+		var buf bytes.Buffer
+		err := run([]string{"-protocol", "ds", "-locking", kind, "-horizon", "200", path}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(buf.String(), "trace validation passed") {
+			t.Errorf("%s: validation missing:\n%s", kind, buf.String())
+		}
+	}
+	// Default HL rejects global resources.
+	var buf bytes.Buffer
+	if err := run([]string{"-protocol", "ds", "-horizon", "200", path}, &buf); err == nil {
+		t.Error("global resources under default -locking hl should fail")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{},                                    // no input
 		{"-example", "7"},                     // bad example
 		{"-protocol", "edf", "-example", "2"}, // unknown protocol
 		{"/missing.json"},                     // missing file
+		{"-locking", "pip", "-example", "2"},  // unknown locking kind
 	}
 	for _, args := range cases {
 		var buf bytes.Buffer

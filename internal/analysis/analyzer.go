@@ -62,8 +62,29 @@ type Analyzer struct {
 	dirty, nextDirty []bool
 	cur, nxt         []model.Duration
 
+	// termSub parallels termBuf and names the dense index OWNING each
+	// term (the interfering subtask itself, where termSrc names its
+	// jitter source) — the key the locking analyses use to charge an
+	// interferer's own lock-wait as additional jitter.
+	termSub []int32
+
+	// Locking-analysis state (AnalyzeMPCP/AnalyzeDPCP), built by
+	// initLocking. Empty for systems without critical-section segments;
+	// see locking.go for the layout.
+	hasSegs    bool
+	gcsTotal   []model.Duration
+	lockResOff []int
+	lockResBuf []resUser
+	lw, lwNext []model.Duration
+	lockOff    []int
+	lockBuf    []term
+	lockSub    []int32
+	waitTerms  []term
+	evalTerms  []term
+	hostProc   []bool
+
 	// Persistent per-method results.
-	pm, ds, hol Result
+	pm, ds, hol, mpcp, dpcp Result
 }
 
 // NewAnalyzer returns an Analyzer ready to analyze s.
@@ -112,6 +133,7 @@ func (a *Analyzer) init(s *model.System, opts Options) {
 	a.consOff = resizeInts(a.consOff, n+1)
 	a.termBuf = a.termBuf[:0]
 	a.termSrc = a.termSrc[:0]
+	a.termSub = a.termSub[:0]
 	a.consBuf = a.consBuf[:0]
 
 	var ceilings []model.Priority
@@ -160,6 +182,7 @@ func (a *Analyzer) init(s *model.System, opts Options) {
 		a.termOff[i] = len(a.termBuf)
 		a.termBuf = append(a.termBuf, term{Period: a.period[i], Exec: self.Exec})
 		a.termSrc = append(a.termSrc, predIndex(i, id))
+		a.termSub = append(a.termSub, int32(i))
 		nonPreemptive := !s.Procs[self.Proc].Preemptive
 		var blocking model.Duration
 		u := newUtilSum(int64(self.Exec), int64(a.period[i]))
@@ -173,6 +196,7 @@ func (a *Analyzer) init(s *model.System, opts Options) {
 			if o.Priority >= self.Priority {
 				a.termBuf = append(a.termBuf, term{Period: s.Task(other).Period, Exec: o.Exec})
 				a.termSrc = append(a.termSrc, predIndex(oi, other))
+				a.termSub = append(a.termSub, oj)
 				u.add(int64(o.Exec), int64(s.Task(other).Period))
 				continue
 			}
@@ -182,6 +206,17 @@ func (a *Analyzer) init(s *model.System, opts Options) {
 			if o.Exec > blocking &&
 				(nonPreemptive || (ceilings != nil && s.EffectivePriority(other, ceilings) >= self.Priority)) {
 				blocking = o.Exec
+			}
+			// A lower-priority LOCAL critical section blocks only for its
+			// own length — the segment-granular refinement of the Locks
+			// bound above. Global sections are charged by the locking
+			// analyses as interference terms, never as once-per-busy-
+			// period blocking.
+			for _, g := range o.Segments {
+				if !s.Resources[g.Resource].Global() &&
+					ceilings[g.Resource] >= self.Priority && g.Length > blocking {
+					blocking = g.Length
+				}
 			}
 		}
 		a.block[i] = blocking
@@ -218,12 +253,15 @@ func (a *Analyzer) init(s *model.System, opts Options) {
 	}
 	a.consOff[n] = len(a.consBuf)
 
-	for _, r := range []*Result{&a.pm, &a.ds, &a.hol} {
+	a.initLocking(s)
+
+	for _, r := range []*Result{&a.pm, &a.ds, &a.hol, &a.mpcp, &a.dpcp} {
 		r.Index = a.ix
 		r.Bounds = resizeBounds(r.Bounds, n)
 		r.TaskEER = resizeDurations(r.TaskEER, len(s.Tasks))
 	}
 	a.pm.Protocol, a.ds.Protocol, a.hol.Protocol = "SA/PM", "SA/DS", "Holistic"
+	a.mpcp.Protocol, a.dpcp.Protocol = "MPCP", "DPCP"
 }
 
 // predIndex returns the dense index of id's chain predecessor given id's own

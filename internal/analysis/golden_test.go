@@ -53,6 +53,12 @@ func goldenAnalyses() []goldenAnalysis {
 		{"holistic", func(s *model.System) (*analysis.Result, error) {
 			return analysis.AnalyzeDSHolistic(s, analysis.DefaultOptions())
 		}},
+		{"mpcp", func(s *model.System) (*analysis.Result, error) {
+			return analysis.AnalyzeMPCP(s, analysis.DefaultOptions())
+		}},
+		{"dpcp", func(s *model.System) (*analysis.Result, error) {
+			return analysis.AnalyzeDPCP(s, analysis.DefaultOptions())
+		}},
 	}
 }
 
@@ -91,6 +97,8 @@ func goldenSystems(t testing.TB) []goldenSystem {
 		{name: "link-bus", sys: linkSystem(), fullDump: true},
 		{name: "ceiling", sys: ceilingSystem(), fullDump: true},
 		{name: "overutil", sys: overUtilSystem(), fullDump: true},
+		{name: "global-2task", sys: lockScenario(), fullDump: true},
+		{name: "global-mixed", sys: mixedSegmentSystem(), fullDump: true},
 	}
 	// 5 configurations x 10 seeds = 50 generated systems spanning the
 	// paper grid corners plus the (8, 90%) stress shape.
@@ -114,7 +122,44 @@ func goldenSystems(t testing.TB) []goldenSystem {
 			})
 		}
 	}
+	// 10 seeded systems with global-resource contention pin the locking
+	// charges on generated workloads, not just the hand-built scenarios.
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg := workload.DefaultConfig(5, 0.7)
+		cfg.Seed = seed * 7919
+		cfg.GlobalResources = 2
+		cfg.GlobalShare = 0.4
+		cfg.CSLenFrac = 0.5
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatalf("generate locked seed %d: %v", seed, err)
+		}
+		systems = append(systems, goldenSystem{
+			name: fmt.Sprintf("genlock-n5-u70-s%d", seed),
+			sys:  sys,
+		})
+	}
 	return systems
+}
+
+// mixedSegmentSystem combines local and global sections across three
+// processors: a global resource synchronized away from most of its users, a
+// second global resource hosted amid them, and a local resource whose
+// ceiling blocking must keep coexisting with the locking charges.
+func mixedSegmentSystem() *model.System {
+	b := model.NewBuilder()
+	p1 := b.AddProcessor("P1")
+	p2 := b.AddProcessor("P2")
+	p3 := b.AddProcessor("P3")
+	g1 := b.AddGlobalResource("g1", p3)
+	g2 := b.AddGlobalResource("g2", p1)
+	loc := b.AddResource("loc")
+	b.AddTask("hi", 60, 0).Subtask(p1, 8, 3).Critical(2, 3, g1).Subtask(p2, 4, 3).Done()
+	b.AddTask("mid", 80, 0).Subtask(p2, 9, 2).Critical(1, 2, g1).Critical(5, 3, g2).Done()
+	b.AddTask("lo", 120, 0).Subtask(p1, 10, 1).Critical(6, 4, g2).Subtask(p3, 6, 1).Done()
+	b.AddTask("local", 90, 0).Subtask(p1, 5, 2).Locking(loc).Done()
+	b.AddTask("local2", 70, 0).Subtask(p1, 3, 4).Locking(loc).Done()
+	return b.MustBuild()
 }
 
 // linkSystem exercises the non-preemptive (link processor) blocking term.

@@ -1,0 +1,129 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/workload"
+)
+
+// lockScenario mirrors sim's globalScenario: T1 on P1 with critical section
+// [2,6) on the global resource g (synchronized at P2), T2 on P2 with section
+// [1,5) on g, equal priorities, period 100.
+func lockScenario() *model.System {
+	b := model.NewBuilder()
+	p1 := b.AddProcessor("P1")
+	p2 := b.AddProcessor("P2")
+	g := b.AddGlobalResource("g", p2)
+	b.AddTask("T1", 100, 0).Subtask(p1, 10, 1).Critical(2, 4, g).Done()
+	b.AddTask("T2", 100, 0).Subtask(p2, 10, 1).Critical(1, 4, g).Done()
+	return b.MustBuild()
+}
+
+// TestMPCPBoundsByHand pins the MPCP analysis on the two-task contention
+// scenario against hand-solved recurrences. Each task's only request can
+// wait for one re-issue of the peer's 4-tick section (W = 4 + 4 = 8, so
+// wait = 4); the inflated demand 10 + 4 = 14 meets no processor-local
+// interference, so both EER bounds are exactly 14. The simulator completes
+// T1 at 13 and T2 at 10 — both under the bound, T1 within one tick.
+func TestMPCPBoundsByHand(t *testing.T) {
+	s := lockScenario()
+	res, err := analysis.AnalyzeMPCP(s, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != "MPCP" {
+		t.Errorf("protocol = %q, want MPCP", res.Protocol)
+	}
+	for i, want := range []model.Duration{14, 14} {
+		if res.TaskEER[i] != want {
+			t.Errorf("task %d EER bound = %v, want %v", i, res.TaskEER[i], want)
+		}
+	}
+	if res.Iterations != 2 {
+		t.Errorf("iterations = %d, want 2 (one productive pass + the fixed-point check)", res.Iterations)
+	}
+}
+
+// TestDPCPBoundsByHand solves the same scenario under DPCP. T1's bound is
+// unchanged (its home processor hosts no sections), but T2's home processor
+// IS the synchronization processor: T1's migrated 4-tick section becomes an
+// interference term, so T2's bound grows to 10 + 4 (wait) + 4 (hosted
+// section) = 18. The simulator observes exactly the migration (T2 completes
+// at 14 ≤ 18).
+func TestDPCPBoundsByHand(t *testing.T) {
+	s := lockScenario()
+	res, err := analysis.AnalyzeDPCP(s, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != "DPCP" {
+		t.Errorf("protocol = %q, want DPCP", res.Protocol)
+	}
+	for i, want := range []model.Duration{14, 18} {
+		if res.TaskEER[i] != want {
+			t.Errorf("task %d EER bound = %v, want %v", i, res.TaskEER[i], want)
+		}
+	}
+}
+
+// TestLockingMatchesDSWithoutSegments: on systems without critical-section
+// segments every locking charge vanishes, and the MPCP/DPCP iterations solve
+// exactly Algorithm SA/DS's equations (Jacobi instead of Gauss-Seidel, same
+// monotone least fixed point) — so their bounds must coincide with
+// AnalyzeDS's on the whole legacy population.
+func TestLockingMatchesDSWithoutSegments(t *testing.T) {
+	systems := []*model.System{model.Example1(), model.Example2()}
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := workload.DefaultConfig(5, 0.9)
+		cfg.Seed = seed * 1237
+		s, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems = append(systems, s)
+	}
+	for n, s := range systems {
+		ds, err := analysis.AnalyzeDS(s, analysis.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, run := range []func(*model.System, analysis.Options) (*analysis.Result, error){
+			analysis.AnalyzeMPCP, analysis.AnalyzeDPCP,
+		} {
+			res, err := run(s, analysis.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range s.Tasks {
+				if res.TaskEER[i] != ds.TaskEER[i] {
+					t.Errorf("system %d task %d: %s bound %v != SA/DS bound %v",
+						n, i, res.Protocol, res.TaskEER[i], ds.TaskEER[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLockingSteadyStateZeroAllocs extends the Analyzer's zero-alloc pin to
+// the locking analyses: after one warm pass the per-request scratch
+// (hostProc, waitTerms, evalTerms, lock term buffers) is fully grown, so
+// re-analysis allocates nothing.
+func TestLockingSteadyStateZeroAllocs(t *testing.T) {
+	s := lockScenario()
+	an, err := analysis.NewAnalyzer(s, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	an.AnalyzeMPCP()
+	an.AnalyzeDPCP()
+	allocs := testing.AllocsPerRun(5, func() {
+		if an.AnalyzeMPCP().Failed() || an.AnalyzeDPCP().Failed() {
+			t.Fatal("scenario unexpectedly unanalyzable")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warm locking re-analysis allocates %.1f times per run (want 0)", allocs)
+	}
+}

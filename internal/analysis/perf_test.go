@@ -73,6 +73,46 @@ func BenchmarkAnalyzeHolistic(b *testing.B) {
 	}
 }
 
+// lockBenchSystem adds the locking study's contention knobs to the
+// benchmark shape: two global resources, 30% of subtasks carrying one
+// critical section of up to half their execution.
+func lockBenchSystem(tb testing.TB) *model.System {
+	tb.Helper()
+	cfg := workload.DefaultConfig(8, 0.9)
+	cfg.Seed = 17
+	cfg.GlobalResources = 2
+	cfg.GlobalShare = 0.3
+	cfg.CSLenFrac = 0.5
+	sys, err := workload.Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkAnalyzeMPCP measures the suspension-aware MPCP analysis (outer
+// Jacobi iteration over bounds and lock waits) on the contended shape.
+func BenchmarkAnalyzeMPCP(b *testing.B) {
+	sys := lockBenchSystem(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.AnalyzeMPCP(sys, analysis.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeDPCP is BenchmarkAnalyzeMPCP's DPCP companion.
+func BenchmarkAnalyzeDPCP(b *testing.B) {
+	sys := lockBenchSystem(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.AnalyzeDPCP(sys, analysis.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestAnalysisSteadyStateZeroAllocs asserts the tentpole property of the
 // dense Analyzer, mirroring sim's TestSteadyStateZeroAllocs: once Reset has
 // built the per-system structures, re-running every analysis allocates

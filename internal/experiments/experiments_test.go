@@ -396,6 +396,41 @@ func TestSweepsPropagateGenerationErrors(t *testing.T) {
 	if _, err := ExecVariationStudy(p, []float64{1.0}); err == nil {
 		t.Error("ExecVariationStudy swallowed a generation error")
 	}
+	if _, err := LockingStudy(p); err == nil {
+		t.Error("LockingStudy swallowed a generation error")
+	}
+}
+
+// TestLockingStudy runs the synchronization-protocol comparison on the small
+// grid: every cell must be populated with a valid fraction for all three
+// designs, and the rendered table must carry the protocol columns.
+func TestLockingStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	res, err := LockingStudy(smallParams(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*Grid{res.HL, res.MPCP, res.DPCP} {
+		if len(g.Cells) != 4 {
+			t.Fatalf("%s: %d cells populated, want 4", g.Name, len(g.Cells))
+		}
+		for k, s := range g.Cells {
+			if s.N() != 6 {
+				t.Errorf("%s %v: %d observations, want 6", g.Name, k, s.N())
+			}
+			if m := s.Mean(); m < 0 || m > 1 {
+				t.Errorf("%s %v: schedulable fraction %v outside [0,1]", g.Name, k, m)
+			}
+		}
+	}
+	got := res.Table().String()
+	for _, col := range []string{"HL", "MPCP", "DPCP"} {
+		if !strings.Contains(got, col) {
+			t.Errorf("locking table missing %q column:\n%s", col, got)
+		}
+	}
 }
 
 func TestFig13HolisticNeverAboveSADS(t *testing.T) {

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtsync/internal/model"
+	"rtsync/internal/report"
+	"rtsync/internal/workload"
+)
+
+// LockingResult is the outcome of the synchronization-protocol study: per
+// configuration, the fraction of systems each protocol certifies fully
+// schedulable (every task's EER bound within its deadline) on workloads
+// whose subtasks contend for global resources through critical-section
+// segments.
+type LockingResult struct {
+	// HL is the centralized baseline: every global resource's users are
+	// co-located on its synchronization processor and the resource becomes
+	// local, so plain ceiling emulation (Highest Locker) plus Algorithm
+	// SA/DS suffices — the "centralize the sharers" design the distributed
+	// protocols compete against.
+	HL *Grid
+	// MPCP and DPCP are the distributed alternatives: tasks keep their
+	// placements and the locking analyses charge the remote blocking.
+	MPCP *Grid
+	// DPCP mirrors MPCP under the Distributed Priority-Ceiling Protocol.
+	DPCP *Grid
+}
+
+// lockingConfig installs the study's resource knobs on a grid
+// configuration: two global resources, 30% of subtasks carrying one
+// section of up to half their execution.
+func lockingConfig(c workload.Config) workload.Config {
+	c.GlobalResources = 2
+	c.GlobalShare = 0.3
+	c.CSLenFrac = 0.5
+	return c
+}
+
+// LockingStudy sweeps the (N, U) grid comparing the three synchronization
+// designs on identical workloads. For each generated system it runs
+// AnalyzeMPCP and AnalyzeDPCP as-is, then rewrites the system into its
+// centralized twin — users of each global resource migrate to the
+// resource's synchronization processor, the resource's scope flips to
+// local — and runs Algorithm SA/DS on that. The rewrite is in place (the
+// generator rebuilds every field on the next unit), so the sweep keeps the
+// zero-allocation steady state.
+func LockingStudy(p Params) (*LockingResult, error) {
+	p = p.withDefaults()
+	cfgs := make([]workload.Config, len(p.Configs))
+	for i, c := range p.Configs {
+		cfgs[i] = lockingConfig(c)
+	}
+	p.Configs = cfgs
+	res := &LockingResult{
+		HL:   NewGrid("HL schedulable"),
+		MPCP: NewGrid("MPCP schedulable"),
+		DPCP: NewGrid("DPCP schedulable"),
+	}
+	var firstErr error
+	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
+		sys, err := w.gen.Generate(cfg)
+		if err != nil {
+			recordErr(rec, &firstErr, err)
+			return
+		}
+		if err := w.an.Reset(sys, p.Analysis); err != nil {
+			recordErr(rec, &firstErr, err)
+			return
+		}
+		mpcpOK, dpcpOK, hlOK := 0.0, 0.0, 0.0
+		if w.an.AnalyzeMPCP().AllSchedulable(sys) {
+			mpcpOK = 1
+		}
+		if w.an.AnalyzeDPCP().AllSchedulable(sys) {
+			dpcpOK = 1
+		}
+		centralizeSharers(sys)
+		if err := w.an.Reset(sys, p.Analysis); err != nil {
+			recordErr(rec, &firstErr, err)
+			return
+		}
+		if w.an.AnalyzeDS().AllSchedulable(sys) {
+			hlOK = 1
+		}
+		w.noteSchedulable(mpcpOK == 1 || dpcpOK == 1 || hlOK == 1)
+		rec.Begin()
+		cell := cellOf(cfg)
+		res.HL.Sample(cell).Add(hlOK)
+		res.MPCP.Sample(cell).Add(mpcpOK)
+		res.DPCP.Sample(cell).Add(dpcpOK)
+	})
+	if firstErr != nil {
+		return nil, fmt.Errorf("locking study: %w", firstErr)
+	}
+	return res, nil
+}
+
+// centralizeSharers rewrites a global-resource system into its centralized
+// twin in place: every subtask with a section on a global resource moves to
+// that resource's synchronization processor, then every global resource
+// becomes local (all its users now share its processor, so ceiling
+// emulation arbitrates it). Priorities are untouched — Proportional
+// Deadline assigns by period, not placement.
+func centralizeSharers(s *model.System) {
+	for i := range s.Tasks {
+		for j := range s.Tasks[i].Subtasks {
+			st := &s.Tasks[i].Subtasks[j]
+			for _, g := range st.Segments {
+				if s.Resources[g.Resource].Global() {
+					st.Proc = s.Resources[g.Resource].SyncProc
+					break
+				}
+			}
+		}
+	}
+	for r := range s.Resources {
+		if s.Resources[r].Global() {
+			s.Resources[r].Scope = model.ScopeLocal
+		}
+	}
+}
+
+// Table renders the three schedulable-fraction grids side by side.
+func (r *LockingResult) Table() *report.Table {
+	t := report.NewTable("Synchronization protocols — fraction of systems fully schedulable (global critical sections)",
+		"config", "HL (centralized)", "MPCP", "DPCP")
+	for _, k := range r.MPCP.Keys() {
+		row := []string{k.String()}
+		for _, g := range []*Grid{r.HL, r.MPCP, r.DPCP} {
+			if s, ok := g.Cells[k]; ok {
+				row = append(row, fmt.Sprintf("%.2f", s.Mean()))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -39,6 +39,7 @@ func TestSweepDeterminism(t *testing.T) {
 
 	var sims []*AvgEERResult
 	var figs []*BoundRatioResult
+	var locks []*LockingResult
 	for _, par := range parallelisms {
 		p := base
 		p.Parallelism = par
@@ -52,6 +53,11 @@ func TestSweepDeterminism(t *testing.T) {
 			t.Fatalf("Fig13BoundRatio(parallelism=%d): %v", par, err)
 		}
 		figs = append(figs, fig)
+		lock, err := LockingStudy(p)
+		if err != nil {
+			t.Fatalf("LockingStudy(parallelism=%d): %v", par, err)
+		}
+		locks = append(locks, lock)
 	}
 	for i := 1; i < len(parallelisms); i++ {
 		if !reflect.DeepEqual(sims[0], sims[i]) {
@@ -59,6 +65,9 @@ func TestSweepDeterminism(t *testing.T) {
 		}
 		if !reflect.DeepEqual(figs[0], figs[i]) {
 			t.Errorf("Fig13BoundRatio output at parallelism %d differs from sequential", parallelisms[i])
+		}
+		if !reflect.DeepEqual(locks[0], locks[i]) {
+			t.Errorf("LockingStudy output at parallelism %d differs from sequential", parallelisms[i])
 		}
 	}
 }

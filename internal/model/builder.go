@@ -32,6 +32,14 @@ func (b *Builder) AddResource(name string) int {
 	return len(b.sys.Resources) - 1
 }
 
+// AddGlobalResource declares a globally shared resource arbitrated on the
+// given synchronization processor and returns its index; attach it to
+// subtasks with TaskBuilder.Critical.
+func (b *Builder) AddGlobalResource(name string, syncProc int) int {
+	b.sys.Resources = append(b.sys.Resources, Resource{Name: name, Scope: ScopeGlobal, SyncProc: syncProc})
+	return len(b.sys.Resources) - 1
+}
+
 // TaskBuilder assembles one task's chain.
 type TaskBuilder struct {
 	b    *Builder
@@ -78,6 +86,19 @@ func (tb *TaskBuilder) Locking(resources ...int) *TaskBuilder {
 	}
 	last := &tb.task.Subtasks[len(tb.task.Subtasks)-1]
 	last.Locks = append(last.Locks, resources...)
+	return tb
+}
+
+// Critical appends a critical-section segment to the most recently added
+// subtask: the resource is acquired after offset ticks of execution and
+// held for length ticks. Segments must be added in execution order. It
+// panics if no subtask has been added yet.
+func (tb *TaskBuilder) Critical(offset, length Duration, resource int) *TaskBuilder {
+	if len(tb.task.Subtasks) == 0 {
+		panic("model: Critical before any Subtask")
+	}
+	last := &tb.task.Subtasks[len(tb.task.Subtasks)-1]
+	last.Segments = append(last.Segments, Segment{Offset: offset, Length: length, Resource: resource})
 	return tb
 }
 

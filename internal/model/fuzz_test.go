@@ -15,7 +15,45 @@ func FuzzReadJSON(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed.String())
+	// A valid global-resource system with critical-section segments seeds
+	// the fuzzer into the segment/scope validation paths.
+	var segSeed bytes.Buffer
+	b := NewBuilder()
+	p1 := b.AddProcessor("P1")
+	p2 := b.AddProcessor("P2")
+	g := b.AddGlobalResource("g", p2)
+	b.AddTask("T1", 100, 0).Subtask(p1, 10, 1).Critical(2, 4, g).Done()
+	b.AddTask("T2", 100, 0).Subtask(p2, 10, 1).Critical(1, 4, g).Done()
+	if err := b.MustBuild().WriteJSON(&segSeed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(segSeed.String())
 	f.Add(`{"version": 1, "system": {"procs": [], "tasks": []}}`)
+	// Invalid segment/resource shapes: each must be rejected, never panic —
+	// segment past the subtask's execution, overlapping/unordered segments,
+	// a global resource with an out-of-range sync processor, an unknown
+	// scope string, and a local resource sectioned from two processors.
+	f.Add(`{"version": 1, "system": {"procs": [{"name": "P"}], "resources": [{"name": "r"}],
+		"tasks": [{"name": "T", "period": 10, "deadline": 10, "phase": 0,
+		"subtasks": [{"proc": 0, "exec": 4, "priority": 1, "segments": [{"offset": 3, "length": 5, "resource": 0}]}]}]}}`)
+	f.Add(`{"version": 1, "system": {"procs": [{"name": "P"}], "resources": [{"name": "r"}],
+		"tasks": [{"name": "T", "period": 10, "deadline": 10, "phase": 0,
+		"subtasks": [{"proc": 0, "exec": 8, "priority": 1, "segments": [
+		{"offset": 1, "length": 3, "resource": 0}, {"offset": 2, "length": 2, "resource": 0}]}]}]}}`)
+	f.Add(`{"version": 1, "system": {"procs": [{"name": "P"}],
+		"resources": [{"name": "g", "scope": "global", "syncProc": 7}],
+		"tasks": [{"name": "T", "period": 10, "deadline": 10, "phase": 0,
+		"subtasks": [{"proc": 0, "exec": 4, "priority": 1, "segments": [{"offset": 0, "length": 2, "resource": 0}]}]}]}}`)
+	f.Add(`{"version": 1, "system": {"procs": [{"name": "P"}],
+		"resources": [{"name": "r", "scope": "galactic"}],
+		"tasks": [{"name": "T", "period": 10, "deadline": 10, "phase": 0,
+		"subtasks": [{"proc": 0, "exec": 4, "priority": 1}]}]}}`)
+	f.Add(`{"version": 1, "system": {"procs": [{"name": "P1"}, {"name": "P2"}], "resources": [{"name": "r"}],
+		"tasks": [
+		{"name": "T1", "period": 10, "deadline": 10, "phase": 0,
+		"subtasks": [{"proc": 0, "exec": 4, "priority": 1, "segments": [{"offset": 0, "length": 2, "resource": 0}]}]},
+		{"name": "T2", "period": 10, "deadline": 10, "phase": 0,
+		"subtasks": [{"proc": 1, "exec": 4, "priority": 1, "segments": [{"offset": 0, "length": 2, "resource": 0}]}]}]}}`)
 	f.Add(`{"version": 99}`)
 	f.Add(`[]`)
 	f.Add(``)

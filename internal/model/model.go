@@ -34,6 +34,28 @@ type Processor struct {
 	Preemptive bool `json:"preemptive"`
 }
 
+// Segment is one critical section inside a subtask's execution: the
+// instance acquires Resource after executing Offset ticks and releases it
+// after executing Offset+Length ticks. Segments generalize the
+// whole-execution Locks field: a lock on r is semantically the segment
+// {Offset: 0, Length: Exec, Resource: r}. Version-1 restrictions (enforced
+// by Validate): segments of one subtask are strictly ordered and do not
+// overlap or nest, and a subtask uses either Locks or Segments, not both.
+type Segment struct {
+	// Offset is the execution progress (not wall time) at which the
+	// resource is acquired.
+	Offset Duration `json:"offset"`
+	// Length is the execution demand of the critical section; the
+	// resource is released after Offset+Length ticks of progress.
+	Length Duration `json:"length"`
+	// Resource indexes into System.Resources.
+	Resource int `json:"resource"`
+}
+
+// End returns the execution progress at which the segment's resource is
+// released.
+func (g Segment) End() Duration { return g.Offset + g.Length }
+
 // Subtask is one link of a task's chain, pinned to a processor.
 type Subtask struct {
 	// Proc indexes into System.Procs.
@@ -50,6 +72,12 @@ type Subtask struct {
 	// (Highest Locker / priority-ceiling emulation), so two holders
 	// never interleave.
 	Locks []int `json:"locks,omitempty"`
+	// Segments lists the subtask's critical sections in execution order.
+	// Unlike Locks, a segment may cover part of the execution and may
+	// name a global resource (see Resource.Scope), which is what the
+	// multiprocessor locking protocols (MPCP, DPCP) require. A subtask
+	// uses either Locks or Segments, never both.
+	Segments []Segment `json:"segments,omitempty"`
 	// LocalDeadline is the subtask's relative deadline for
 	// dynamic-priority (EDF) scheduling: an instance released at t has
 	// absolute deadline t + LocalDeadline. Ignored by fixed-priority
@@ -78,13 +106,38 @@ type Task struct {
 	Subtasks []Subtask `json:"subtasks"`
 }
 
-// Resource is a serially reusable, processor-local resource (a lock, a
-// non-preemptable device, a bus slot) accessed under priority-ceiling
-// emulation.
+// Resource scopes. The zero value (empty string) means local, so every
+// pre-existing fixture and JSON file keeps its meaning.
+const (
+	// ScopeLocal marks a processor-local resource: all of its users share
+	// one processor and mutual exclusion comes from priority-ceiling
+	// emulation on that processor's dispatcher.
+	ScopeLocal = "local"
+	// ScopeGlobal marks a global resource shared across processors. Its
+	// critical sections are arbitrated by a multiprocessor locking
+	// protocol (MPCP or DPCP) and, under DPCP, execute on the resource's
+	// synchronization processor.
+	ScopeGlobal = "global"
+)
+
+// Resource is a serially reusable resource (a lock, a non-preemptable
+// device, a bus slot). Local resources (the default) are accessed under
+// priority-ceiling emulation on one processor; global resources are
+// accessed from multiple processors under a multiprocessor locking
+// protocol.
 type Resource struct {
 	// Name is a human-readable label.
 	Name string `json:"name"`
+	// Scope is ScopeLocal or ScopeGlobal; empty means local.
+	Scope string `json:"scope,omitempty"`
+	// SyncProc is the synchronization processor of a global resource: the
+	// processor hosting its critical sections under DPCP (and the anchor
+	// of its priority-ceiling bookkeeping). Ignored for local resources.
+	SyncProc int `json:"syncProc,omitempty"`
 }
+
+// Global reports whether the resource is globally shared.
+func (r *Resource) Global() bool { return r.Scope == ScopeGlobal }
 
 // System is a complete distributed real-time system: processors plus tasks,
 // plus any shared resources their subtasks lock.
@@ -174,9 +227,10 @@ func (s *System) Before(a, b SubtaskID) bool {
 }
 
 // ResourceCeilings returns, for each resource, its priority ceiling: the
-// highest priority among the subtasks that lock it (0 for unused
-// resources). Under priority-ceiling emulation a job runs at the maximum
-// of its own priority and the ceilings of the resources it holds.
+// highest priority among the subtasks that use it — via whole-execution
+// Locks or critical-section Segments — or 0 for unused resources. Under
+// priority-ceiling emulation a job runs at the maximum of its own priority
+// and the ceilings of the resources it holds.
 func (s *System) ResourceCeilings() []Priority {
 	ceilings := make([]Priority, len(s.Resources))
 	for i := range s.Tasks {
@@ -187,9 +241,37 @@ func (s *System) ResourceCeilings() []Priority {
 					ceilings[r] = st.Priority
 				}
 			}
+			for _, g := range st.Segments {
+				if g.Resource >= 0 && g.Resource < len(ceilings) && st.Priority > ceilings[g.Resource] {
+					ceilings[g.Resource] = st.Priority
+				}
+			}
 		}
 	}
 	return ceilings
+}
+
+// HasSegments reports whether any subtask declares critical-section
+// segments — the trigger for the simulator's and analyzer's segment paths.
+func (s *System) HasSegments() bool {
+	for i := range s.Tasks {
+		for j := range s.Tasks[i].Subtasks {
+			if len(s.Tasks[i].Subtasks[j].Segments) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasGlobalResources reports whether any declared resource is global.
+func (s *System) HasGlobalResources() bool {
+	for i := range s.Resources {
+		if s.Resources[i].Global() {
+			return true
+		}
+	}
+	return false
 }
 
 // EffectivePriority returns the priority at which instances of id execute:
@@ -304,6 +386,30 @@ func (s *System) Validate() error {
 			for _, r := range st.Locks {
 				if r < 0 || r >= len(s.Resources) {
 					addf("%s subtask %d: resource index %d out of range [0,%d)", name, j+1, r, len(s.Resources))
+				} else if s.Resources[r].Global() {
+					addf("%s subtask %d: global resource %d must be accessed via segments, not whole-execution locks", name, j+1, r)
+				}
+			}
+			if len(st.Locks) > 0 && len(st.Segments) > 0 {
+				addf("%s subtask %d: uses both Locks and Segments; pick one", name, j+1)
+			}
+			for k := range st.Segments {
+				g := &st.Segments[k]
+				if g.Offset < 0 {
+					addf("%s subtask %d segment %d: negative offset %v", name, j+1, k+1, g.Offset)
+				}
+				if g.Length < 1 {
+					addf("%s subtask %d segment %d: length %v below 1 tick", name, j+1, k+1, g.Length)
+				}
+				if g.Offset >= 0 && g.Length >= 1 && g.End() > st.Exec {
+					addf("%s subtask %d segment %d: ends at %v, beyond the execution time %v", name, j+1, k+1, g.End(), st.Exec)
+				}
+				if k > 0 && st.Segments[k-1].End() > g.Offset {
+					addf("%s subtask %d segment %d: starts at %v before segment %d releases at %v (segments must be ordered and non-overlapping)",
+						name, j+1, k+1, g.Offset, k, st.Segments[k-1].End())
+				}
+				if g.Resource < 0 || g.Resource >= len(s.Resources) {
+					addf("%s subtask %d segment %d: resource index %d out of range [0,%d)", name, j+1, k+1, g.Resource, len(s.Resources))
 				}
 			}
 			if st.LocalDeadline < 0 {
@@ -311,25 +417,44 @@ func (s *System) Validate() error {
 			}
 		}
 	}
-	// Resources are processor-local: every subtask locking a resource
-	// must live on the same processor (ceiling emulation serializes on
-	// one dispatcher only). Resource-free systems — the common case on
-	// the sweep hot path, where Validate runs once per generated system —
-	// skip the tracking map entirely.
+	// Local resources are processor-local: every subtask using one — via
+	// Locks or Segments — must live on the same processor (ceiling
+	// emulation serializes on one dispatcher only). Global resources
+	// instead need a valid synchronization processor. Resource-free
+	// systems — the common case on the sweep hot path, where Validate
+	// runs once per generated system — skip the tracking map entirely.
 	if len(s.Resources) > 0 {
+		for r := range s.Resources {
+			res := &s.Resources[r]
+			switch res.Scope {
+			case "", ScopeLocal:
+			case ScopeGlobal:
+				if res.SyncProc < 0 || res.SyncProc >= len(s.Procs) {
+					addf("global resource %d: synchronization processor %d out of range [0,%d)", r, res.SyncProc, len(s.Procs))
+				}
+			default:
+				addf("resource %d: unknown scope %q (want %q or %q)", r, res.Scope, ScopeLocal, ScopeGlobal)
+			}
+		}
 		resProc := make(map[int]int, len(s.Resources))
+		useLocal := func(r, proc int) {
+			if r < 0 || r >= len(s.Resources) || s.Resources[r].Global() {
+				return
+			}
+			if prev, ok := resProc[r]; ok && prev != proc {
+				addf("resource %d is locked from processors %d and %d; local resources must be processor-local", r, prev, proc)
+			} else {
+				resProc[r] = proc
+			}
+		}
 		for i := range s.Tasks {
 			for j := range s.Tasks[i].Subtasks {
 				st := &s.Tasks[i].Subtasks[j]
 				for _, r := range st.Locks {
-					if r < 0 || r >= len(s.Resources) {
-						continue
-					}
-					if prev, ok := resProc[r]; ok && prev != st.Proc {
-						addf("resource %d is locked from processors %d and %d; resources must be processor-local", r, prev, st.Proc)
-					} else {
-						resProc[r] = st.Proc
-					}
+					useLocal(r, st.Proc)
+				}
+				for _, g := range st.Segments {
+					useLocal(g.Resource, st.Proc)
 				}
 			}
 		}
@@ -359,6 +484,9 @@ func (s *System) Clone() *System {
 		for j := range t.Subtasks {
 			if locks := s.Tasks[i].Subtasks[j].Locks; locks != nil {
 				t.Subtasks[j].Locks = append([]int(nil), locks...)
+			}
+			if segs := s.Tasks[i].Subtasks[j].Segments; segs != nil {
+				t.Subtasks[j].Segments = append([]Segment(nil), segs...)
 			}
 		}
 		c.Tasks[i] = t

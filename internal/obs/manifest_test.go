@@ -44,6 +44,9 @@ func TestManifestGolden(t *testing.T) {
 	st.ObserveQueueDepth(12)
 	st.AddCascades(2)
 	st.AddIdle(0, 40)
+	st.NoteLockAcquisition()
+	st.NotePriorityBoost()
+	st.NoteLockSuspension(9)
 	st.NoteRun()
 	sim := st.Snapshot()
 	m.Sim = &sim

@@ -80,13 +80,23 @@ func TestSimStatsSnapshot(t *testing.T) {
 	st.AddIdle(MaxProcs+5, 7) // clamps into the last slot
 	st.AddIdle(-1, 99)        // dropped
 	st.NoteRun()
+	st.NoteLockAcquisition()
+	st.NoteLockAcquisition()
+	st.NotePriorityBoost()
+	st.NoteLockSuspension(5)
 
 	s := st.Snapshot()
-	if s.EventsTotal != 1+2+3+4+5 {
-		t.Errorf("EventsTotal = %d, want 15", s.EventsTotal)
+	if s.EventsTotal != 1+2+3+4+5+6 {
+		t.Errorf("EventsTotal = %d, want 21", s.EventsTotal)
 	}
-	if s.EventsByOp["completion"] != 1 || s.EventsByOp["func"] != 5 {
+	if s.EventsByOp["completion"] != 1 || s.EventsByOp["func"] != 5 || s.EventsByOp["segment"] != 6 {
 		t.Errorf("EventsByOp = %v", s.EventsByOp)
+	}
+	if s.LockAcquisitions != 2 || s.PriorityBoosts != 1 {
+		t.Errorf("lock counters: %+v", s)
+	}
+	if s.LockSuspensions != 1 || s.LockStallTicks == nil || s.LockStallTicks.Sum != 5 {
+		t.Errorf("suspensions: %d, %+v", s.LockSuspensions, s.LockStallTicks)
 	}
 	if s.Preemptions != 1 || s.ContextSwitches != 2 || s.Runs != 1 {
 		t.Errorf("counters: %+v", s)

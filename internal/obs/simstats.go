@@ -1,13 +1,13 @@
 package obs
 
 // NumEventOps mirrors the simulator's event-op enum (completion, timer,
-// release, first-release, func). sim pins the correspondence with a
-// compile-time assertion so the two cannot drift silently.
-const NumEventOps = 5
+// release, first-release, func, segment). sim pins the correspondence with
+// a compile-time assertion so the two cannot drift silently.
+const NumEventOps = 6
 
 // eventOpNames names the ops in enum order for snapshots.
 var eventOpNames = [NumEventOps]string{
-	"completion", "timer", "release", "first_release", "func",
+	"completion", "timer", "release", "first_release", "func", "segment",
 }
 
 // MaxProcs bounds the per-processor counter bank. Processors beyond the
@@ -30,6 +30,11 @@ type SimStats struct {
 	runs            Counter
 	idle            [MaxProcs]Counter
 	stall           Histogram
+
+	lockAcquisitions Counter
+	lockSuspensions  Counter
+	priorityBoosts   Counter
+	lockStall        Histogram
 }
 
 // NewSimStats returns a zeroed counter bank.
@@ -55,6 +60,20 @@ func (s *SimStats) NoteRGStall(ticks int64) {
 	s.rgStalls.Inc()
 	s.stall.Observe(ticks)
 }
+
+// NoteLockAcquisition counts one critical-section entry (local or global).
+func (s *SimStats) NoteLockAcquisition() { s.lockAcquisitions.Inc() }
+
+// NoteLockSuspension records a job suspended on a busy global resource for
+// ticks >= 0 before its request was granted.
+func (s *SimStats) NoteLockSuspension(ticks int64) {
+	s.lockSuspensions.Inc()
+	s.lockStall.Observe(ticks)
+}
+
+// NotePriorityBoost counts one priority-boost activation: a critical
+// section raising its holder above its base priority.
+func (s *SimStats) NotePriorityBoost() { s.priorityBoosts.Inc() }
 
 // ObserveQueueDepth raises the event-queue occupancy high-water mark (the
 // heap's depth, or the wheel's resident event count).
@@ -107,6 +126,15 @@ type SimSnapshot struct {
 	// IdleTicksPerProc is idle time per processor index, trimmed of
 	// trailing unused slots.
 	IdleTicksPerProc []int64 `json:"idle_ticks_per_proc,omitempty"`
+	// LockAcquisitions counts critical-section entries (local or global);
+	// PriorityBoosts counts the subset that raised the holder above its
+	// base priority.
+	LockAcquisitions int64 `json:"lock_acquisitions,omitempty"`
+	PriorityBoosts   int64 `json:"priority_boosts,omitempty"`
+	// LockSuspensions counts jobs suspended on a busy global resource;
+	// LockStallTicks is the distribution of suspension durations.
+	LockSuspensions int64              `json:"lock_suspensions,omitempty"`
+	LockStallTicks  *HistogramSnapshot `json:"lock_stall_ticks,omitempty"`
 }
 
 // Snapshot captures the current counter values. Concurrent writers may
@@ -129,6 +157,13 @@ func (s *SimStats) Snapshot() SimSnapshot {
 	if snap.ReleaseGuardStalls > 0 {
 		h := s.stall.Snapshot()
 		snap.StallTicks = &h
+	}
+	snap.LockAcquisitions = s.lockAcquisitions.Load()
+	snap.PriorityBoosts = s.priorityBoosts.Load()
+	snap.LockSuspensions = s.lockSuspensions.Load()
+	if snap.LockSuspensions > 0 {
+		h := s.lockStall.Snapshot()
+		snap.LockStallTicks = &h
 	}
 	last := -1
 	for p := 0; p < MaxProcs; p++ {

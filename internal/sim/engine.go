@@ -8,10 +8,10 @@ import (
 	"rtsync/internal/obs"
 )
 
-// The obs package mirrors the event-op enum by index (opCompletion..opFunc);
-// this compile-time assertion fails if an op is added without widening
-// obs.NumEventOps.
-const _ = uint(obs.NumEventOps - opFunc - 1)
+// The obs package mirrors the event-op enum by index
+// (opCompletion..opSegment); this compile-time assertion fails if an op is
+// added without widening obs.NumEventOps.
+const _ = uint(obs.NumEventOps - opSegment - 1)
 
 // Scheduler selects the per-processor dispatching discipline.
 type Scheduler int
@@ -76,6 +76,15 @@ type Config struct {
 	// synchronization" made executable. Nil or all-zero means
 	// synchronized clocks.
 	ClockOffsets []model.Duration
+	// Locking selects the protocol arbitrating critical-section segments
+	// on GLOBAL resources: LockingHL (the default) rejects them,
+	// LockingMPCP runs global critical sections on the requester's
+	// processor under boosted priorities, LockingDPCP migrates them to
+	// the resource's synchronization processor. Note this is orthogonal
+	// to Protocol, which governs end-to-end RELEASE synchronization (when
+	// successor subtasks are released); Locking governs mutual exclusion
+	// within subtask execution. Systems without segments ignore it.
+	Locking LockingKind
 	// MaxEvents aborts a runaway simulation; 0 means the default cap.
 	MaxEvents int64
 	// Queue selects the event-queue / ready-queue implementation pair:
@@ -199,6 +208,15 @@ type Engine struct {
 	// Locker dispatch rule.
 	ceilings []model.Priority
 
+	// segMode is set when the system declares critical-section segments;
+	// segOff/segBuf are the per-subtask boundary lists (two boundaries
+	// per segment, segBuf[segOff[si]:segOff[si+1]]), and locks the
+	// per-resource runtime lock state. All empty on the legacy path.
+	segMode bool
+	segOff  []int32
+	segBuf  []segBound
+	locks   []lockState
+
 	eventsRun int64
 	ran       bool
 }
@@ -307,10 +325,14 @@ func (e *Engine) Reset(s *model.System, cfg Config) error {
 			eff:    sys.EffectivePriority(id, e.ceilings),
 		}
 	}
+	if err := e.resetSegments(sys, cfg); err != nil {
+		return err
+	}
 
 	// Bound the priorities jobs compete at this run (base before first
-	// dispatch, effective after); the ready lanes index a bitmap by
-	// hi-priority, falling back to the heap when the range is too wide.
+	// dispatch, effective after, critical-section boosts on top); the
+	// ready lanes index a bitmap by hi-priority, falling back to the heap
+	// when the range is too wide.
 	rp := readyParams{edf: cfg.Scheduler == EDF, kind: cfg.Queue}
 	for i := range e.subs {
 		if i == 0 || e.subs[i].base < rp.lo {
@@ -318,6 +340,11 @@ func (e *Engine) Reset(s *model.System, cfg Config) error {
 		}
 		if i == 0 || e.subs[i].eff > rp.hi {
 			rp.hi = e.subs[i].eff
+		}
+	}
+	for i := range e.segBuf {
+		if b := &e.segBuf[i]; b.acquire && b.boost > rp.hi {
+			rp.hi = b.boost
 		}
 	}
 	if len(e.procs) != len(sys.Procs) {
@@ -462,7 +489,7 @@ func (e *Engine) Run() (*Outcome, error) {
 // exec dispatches one popped event by its op.
 func (e *Engine) exec(ev *event) {
 	switch ev.op {
-	case opCompletion:
+	case opCompletion, opSegment:
 		ps := &e.procs[ev.a]
 		if ps.gen != ev.inst || ps.running == nil {
 			return // stale: the job was preempted or finished earlier
@@ -646,6 +673,11 @@ func (e *Engine) release(si int, m int64) {
 		base:      info.base,
 		eff:       info.eff,
 		deadline:  model.TimeInfinity,
+		demand:    demand,
+		holding:   -1,
+	}
+	if e.segMode {
+		job.segIdx = e.segOff[si]
 	}
 	if e.cfg.Scheduler == EDF {
 		job.deadline = t.Add(info.local)
@@ -723,10 +755,18 @@ func (e *Engine) settle(p int, t model.Time) {
 	if ps.running != nil && ps.running.Remaining == 0 {
 		e.finishRunning(p, t)
 	}
+	if e.segMode && ps.running != nil {
+		e.progressRunning(p, t)
+	}
 	preemptive := e.sys.Procs[p].Preemptive
 	if ps.running == nil {
-		if next := ps.ready.peek(); next != nil {
-			e.dispatch(p, ps.ready.pop(), t)
+		// startJob can decline (the job's due acquire suspended or
+		// migrated it); keep trying the next ready job. On the legacy
+		// path startJob always succeeds, so the loop runs at most once.
+		for ps.ready.peek() != nil {
+			if e.startJob(p, ps.ready.pop(), t) {
+				break
+			}
 		}
 	} else if preemptive {
 		// A challenger preempts only when STRICTLY more urgent: higher
@@ -736,7 +776,11 @@ func (e *Engine) settle(p int, t model.Time) {
 		// a strictly earlier absolute deadline under EDF.
 		if next := ps.ready.peek(); next != nil && e.strictlyMoreUrgent(next, ps.running) {
 			e.preempt(p, t)
-			e.dispatch(p, ps.ready.pop(), t)
+			for ps.ready.peek() != nil {
+				if e.startJob(p, ps.ready.pop(), t) {
+					break
+				}
+			}
 		}
 	}
 	if ps.running == nil && ps.ready.empty() && !ps.idleNotified {
@@ -775,6 +819,10 @@ func (e *Engine) dispatch(p int, job *Job, t model.Time) {
 	ps.running = job
 	ps.runStart = t
 	ps.segStart = t
+	if e.segMode {
+		e.armSegEvent(p, job, t)
+		return
+	}
 	ps.gen++
 	e.push(event{at: t.Add(job.Remaining), kind: kindCompletion, op: opCompletion, a: int32(p), inst: ps.gen})
 }
@@ -815,6 +863,11 @@ func (e *Engine) finishRunning(p int, t model.Time) {
 			job.Key(), e.completedThrough[si]+1))
 	}
 	e.completedThrough[si] = job.Instance + 1
+	if e.segMode && job.holding >= 0 {
+		// A critical section running to the end of the execution: the
+		// resource is released at completion.
+		e.releaseAtCompletion(job, t)
+	}
 	if e.trace != nil {
 		if t > ps.segStart {
 			e.trace.noteSegment(p, job.Key(), ps.segStart, t)

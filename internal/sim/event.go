@@ -40,6 +40,13 @@ const (
 	// opFunc runs a caller-supplied closure — the compatibility path for
 	// external protocols using SetTimer; built-in protocols never take it.
 	opFunc
+	// opSegment is a tentative critical-section boundary of the running
+	// job on processor a (the next acquire or release falling due): like
+	// opCompletion it carries the arming dispatch generation in inst and
+	// is dropped as stale when the processor redispatched since. It sorts
+	// as kindCompletion, so boundary work settles before timers and
+	// releases at the same instant.
+	opSegment
 )
 
 // event is one scheduled occurrence, a plain value: the queue stores events

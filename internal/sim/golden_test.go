@@ -144,6 +144,23 @@ func resourceSystem() *model.System {
 	return b.MustBuild()
 }
 
+// globalSystem builds a three-processor system whose subtasks contend for
+// two global resources through critical-section segments, exercising the
+// lock acquire/release events, remote suspension, priority boosting, and
+// (under DPCP) section migration in the goldens.
+func globalSystem() *model.System {
+	b := model.NewBuilder()
+	p1 := b.AddProcessor("P1")
+	p2 := b.AddProcessor("P2")
+	p3 := b.AddProcessor("P3")
+	g1 := b.AddGlobalResource("g1", p3)
+	g2 := b.AddGlobalResource("g2", p1)
+	b.AddTask("hi", 30, 0).Subtask(p1, 6, 3).Critical(2, 3, g1).Subtask(p2, 3, 3).Done()
+	b.AddTask("mid", 40, 0).Subtask(p2, 8, 2).Critical(1, 2, g1).Critical(5, 3, g2).Done()
+	b.AddTask("lo", 60, 0).Subtask(p1, 9, 1).Critical(6, 3, g2).Subtask(p3, 4, 1).Done()
+	return b.MustBuild()
+}
+
 // sporadicDelay is a deterministic FirstReleaseDelay for the PM-violation
 // golden case.
 func sporadicDelay(task int, m int64) model.Duration {
@@ -197,6 +214,37 @@ func goldenCases(t *testing.T) []goldenCase {
 	res := resourceSystem()
 	add("resource-fp-ds", res, sim.Config{Protocol: sim.NewDS(), Horizon: 96}, true)
 	add("resource-fp-rg", res, sim.Config{Protocol: sim.NewRG(), Horizon: 96}, true)
+
+	// Global critical-section segments under both locking protocols (FP
+	// only: global resources require a LockingKind). DS and RG cover both
+	// release-guard and direct-synchronization release behavior atop the
+	// same lock arbitration.
+	glob := globalSystem()
+	add("global-mpcp-ds", glob, sim.Config{Protocol: sim.NewDS(), Horizon: 120, Locking: sim.LockingMPCP}, true)
+	add("global-dpcp-ds", glob, sim.Config{Protocol: sim.NewDS(), Horizon: 120, Locking: sim.LockingDPCP}, true)
+	add("global-mpcp-rg", glob, sim.Config{Protocol: sim.NewRG(), Horizon: 120, Locking: sim.LockingMPCP}, true)
+	add("global-dpcp-rg", glob, sim.Config{Protocol: sim.NewRG(), Horizon: 120, Locking: sim.LockingDPCP}, true)
+
+	// Seeded random systems with global-resource contention.
+	for i := 0; i < 5; i++ {
+		cfg := workload.DefaultConfig(3+i%3, []float64{0.5, 0.7}[i%2])
+		cfg.Processors = 3
+		cfg.Tasks = 5
+		cfg.TickScale = 100
+		cfg.Seed = int64(2000 + i)
+		cfg.GlobalResources = 2
+		cfg.GlobalShare = 0.4
+		cfg.CSLenFrac = 0.5
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatalf("generate locked system %d: %v", i, err)
+		}
+		horizon := model.Time(int64(sys.MaxPeriod()) * 3)
+		add(fmt.Sprintf("randlock%d-mpcp-ds", i), sys,
+			sim.Config{Protocol: sim.NewDS(), Horizon: horizon, Locking: sim.LockingMPCP}, false)
+		add(fmt.Sprintf("randlock%d-dpcp-ds", i), sys,
+			sim.Config{Protocol: sim.NewDS(), Horizon: horizon, Locking: sim.LockingDPCP}, false)
+	}
 
 	// Clock offsets: PM drifts, MPM/RG do not (§3.3).
 	offs := []model.Duration{0, 1, 2}

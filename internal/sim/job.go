@@ -37,17 +37,43 @@ type Job struct {
 	// deadline is the absolute deadline (release + local deadline) used
 	// by EDF dispatch; TimeInfinity under fixed-priority scheduling.
 	deadline model.Time
-	// next threads the job through its priority lane while queued
-	// (intrusive singly-linked list; nil when not in a lane).
+	// next threads the job through its priority lane while queued, or
+	// through a global resource's wait queue while suspended (intrusive
+	// singly-linked list; nil when in neither).
 	next *Job
+
+	// The remaining fields exist only for critical-section segments
+	// (model.Subtask.Segments); they stay zero on the legacy path.
+	//
+	// demand is the job's actual execution demand (Remaining at release),
+	// the yardstick segment boundaries are clipped against.
+	demand model.Duration
+	// segIdx is the dense index (engine segBuf) of the job's next
+	// unapplied segment boundary.
+	segIdx int32
+	// holding is the resource whose critical section the job is inside,
+	// or -1.
+	holding int32
+	// boosted/boost carry the critical-section priority boost: the local
+	// Highest-Locker ceiling, or the global MPCP/DPCP boost. Cleared at
+	// segment release.
+	boosted bool
+	boost   model.Priority
+	// waitStart is when the job suspended on a busy global resource
+	// (meaningful while on a wait queue).
+	waitStart model.Time
 }
 
 // active returns the priority the job currently competes at.
 func (j *Job) active() model.Priority {
+	p := j.base
 	if j.started {
-		return j.eff
+		p = j.eff
 	}
-	return j.base
+	if j.boosted && j.boost > p {
+		p = j.boost
+	}
+	return p
 }
 
 // Dense returns the job's dense subtask index (see model.SubtaskIndex).

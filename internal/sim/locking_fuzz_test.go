@@ -1,0 +1,111 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtsync/internal/model"
+	"rtsync/internal/priority"
+	"rtsync/internal/sim"
+)
+
+// lockSystem generates a random multi-processor system where every resource
+// user holds exactly one resource for its WHOLE execution via legacy
+// Subtask.Locks — the overlap of the old and new resource models.
+func lockSystem(seed int64) *model.System {
+	rng := rand.New(rand.NewSource(seed))
+	b := model.NewBuilder()
+	procs := make([]int, 2)
+	for i := range procs {
+		procs[i] = b.AddProcessor(fmt.Sprintf("P%d", i+1))
+	}
+	resources := make([]int, len(procs))
+	for i := range resources {
+		resources[i] = b.AddResource(fmt.Sprintf("r%d", i+1))
+	}
+	for i := 0; i < 4; i++ {
+		period := model.Duration(40 + rng.Intn(200))
+		tb := b.AddTask(fmt.Sprintf("T%d", i+1), period, model.Time(rng.Intn(int(period))))
+		n := 1 + rng.Intn(2)
+		prev := -1
+		for j := 0; j < n; j++ {
+			proc := rng.Intn(len(procs))
+			if proc == prev {
+				proc = (proc + 1) % len(procs)
+			}
+			prev = proc
+			exec := model.Duration(1 + rng.Intn(int(period)/8+1))
+			tb.Subtask(procs[proc], exec, 0)
+			if rng.Intn(2) == 0 {
+				tb.Locking(resources[proc])
+			}
+		}
+		tb.Done()
+	}
+	s := b.MustBuild()
+	if err := priority.Assign(s, priority.ProportionalDeadline); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// segmentTwin rewrites every whole-execution lock as the equivalent
+// critical-section segment [0, Exec) on the same resource.
+func segmentTwin(s *model.System) *model.System {
+	c := s.Clone()
+	for ti := range c.Tasks {
+		for si := range c.Tasks[ti].Subtasks {
+			st := &c.Tasks[ti].Subtasks[si]
+			if len(st.Locks) == 0 {
+				continue
+			}
+			r := st.Locks[0]
+			st.Locks = nil
+			st.Segments = []model.Segment{{Offset: 0, Length: st.Exec, Resource: r}}
+		}
+	}
+	return c
+}
+
+// FuzzLockingEquivalence is the differential fuzzer for the segment
+// machinery: a whole-execution critical section must reproduce the legacy
+// Locks schedule BIT FOR BIT — identical metrics, trace, and event count —
+// because the acquire falls at dispatch and the release at completion,
+// exactly where Highest-Locker emulation acts. Any drift in boundary
+// bookkeeping, boost arithmetic, or event arming shows up as a digest
+// mismatch.
+func FuzzLockingEquivalence(f *testing.F) {
+	f.Add(int64(1), false, false)
+	f.Add(int64(2), true, false)
+	f.Add(int64(3), false, true)
+	f.Add(int64(77), true, true)
+	f.Add(int64(1000), false, false)
+	f.Fuzz(func(t *testing.T, seed int64, execVar, useRG bool) {
+		s := lockSystem(seed)
+		twin := segmentTwin(s)
+		cfg := sim.Config{Protocol: sim.NewDS(), Trace: true,
+			Horizon: model.Time(int64(s.MaxPeriod()) * 6)}
+		if useRG {
+			cfg.Protocol = sim.NewRG()
+		}
+		if execVar {
+			cfg.ExecTime = func(id model.SubtaskID, m int64) model.Duration {
+				return model.Duration(1 + (int64(id.Task)+2*int64(id.Sub)+3*m+seed)%5)
+			}
+		}
+		legacy, err := sim.Run(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := sim.Run(twin, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dLegacy, dSeg := digest(s, legacy), digest(twin, seg)
+		if dLegacy != dSeg {
+			t.Errorf("segment run diverged from legacy Locks run (seed %d):\n%s",
+				seed, diffHint(dLegacy, dSeg))
+		}
+	})
+}

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"rtsync/internal/model"
+	"rtsync/internal/obs"
+)
+
+// globalScenario builds the canonical two-processor global-resource
+// contention case: T1 on P1 with critical section [2,6) on g, T2 on P2 with
+// critical section [1,5) on g, equal base priorities, simultaneous release.
+// T2 reaches its request first (one tick of progress vs two), so T1 must
+// suspend from t=2 until T2's release at t=5.
+func globalScenario() *model.System {
+	b := model.NewBuilder()
+	p1 := b.AddProcessor("P1")
+	p2 := b.AddProcessor("P2")
+	g := b.AddGlobalResource("g", p2)
+	b.AddTask("T1", 100, 0).Subtask(p1, 10, 1).Critical(2, 4, g).Done()
+	b.AddTask("T2", 100, 0).Subtask(p2, 10, 1).Critical(1, 4, g).Done()
+	return b.MustBuild()
+}
+
+func completionsOf(t *testing.T, tr *Trace, s *model.System) map[string]model.Time {
+	t.Helper()
+	got := make(map[string]model.Time, len(s.Tasks))
+	for i := range s.Tasks {
+		last := len(s.Tasks[i].Subtasks) - 1
+		c, ok := tr.CompletionOf(model.SubtaskID{Task: i, Sub: last}, 0)
+		if !ok {
+			t.Fatalf("%s instance 1 never completed", s.Tasks[i].Name)
+		}
+		got[s.Tasks[i].Name] = c
+	}
+	return got
+}
+
+func TestMPCPSchedule(t *testing.T) {
+	s := globalScenario()
+	st := obs.NewSimStats()
+	out, err := Run(s, Config{Protocol: NewDS(), Horizon: 40, Trace: true,
+		Locking: LockingMPCP, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := out.Trace
+	// T2 wins the lock at t=1 and holds [1,5); T1 requests at t=2,
+	// suspends, resumes its critical section on ITS OWN processor at t=5
+	// (MPCP: global sections run at the requester), finishing at 13.
+	want := map[string]model.Time{"T1": 13, "T2": 10}
+	for name, c := range completionsOf(t, tr, s) {
+		if c != want[name] {
+			t.Errorf("%s completion = %v, want %v", name, c, want[name])
+		}
+	}
+	// P1's schedule has a hole while T1 is suspended: [0,2) and [5,13).
+	segs := tr.SegmentsOn(0)
+	if len(segs) != 2 || segs[0].End != 2 || segs[1].Start != 5 {
+		t.Errorf("P1 segments = %v, want [0,2) and [5,13)", segs)
+	}
+	// T2 is never displaced: one contiguous segment on P2.
+	if segs := tr.SegmentsOn(1); len(segs) != 1 || segs[0].End != 10 {
+		t.Errorf("P2 segments = %v, want one [0,10)", segs)
+	}
+	if out.Metrics.Preemptions != 0 {
+		t.Errorf("preemptions = %d, want 0 (suspension is not preemption)", out.Metrics.Preemptions)
+	}
+	snap := st.Snapshot()
+	if snap.LockAcquisitions != 2 || snap.PriorityBoosts != 2 {
+		t.Errorf("acquisitions=%d boosts=%d, want 2, 2", snap.LockAcquisitions, snap.PriorityBoosts)
+	}
+	if snap.LockSuspensions != 1 || snap.LockStallTicks == nil || snap.LockStallTicks.Sum != 3 {
+		t.Errorf("suspensions=%d stall=%+v, want 1 suspension of 3 ticks",
+			snap.LockSuspensions, snap.LockStallTicks)
+	}
+	if problems := Validate(tr, ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+		t.Errorf("trace invalid: %v", problems)
+	}
+}
+
+func TestDPCPSchedule(t *testing.T) {
+	s := globalScenario()
+	st := obs.NewSimStats()
+	out, err := Run(s, Config{Protocol: NewDS(), Horizon: 40, Trace: true,
+		Locking: LockingDPCP, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := out.Trace
+	// Under DPCP T1's critical section migrates to g's synchronization
+	// processor P2, preempting T2's tail: T1's section runs [5,9) on P2,
+	// T2's remaining five ticks slip to [9,14), and T1 finishes its local
+	// tail [9,13) back home.
+	want := map[string]model.Time{"T1": 13, "T2": 14}
+	for name, c := range completionsOf(t, tr, s) {
+		if c != want[name] {
+			t.Errorf("%s completion = %v, want %v", name, c, want[name])
+		}
+	}
+	t1 := model.SubtaskID{Task: 0, Sub: 0}
+	segs := tr.SegmentsOn(1)
+	if len(segs) != 3 || segs[1].Job.ID != t1 || segs[1].Start != 5 || segs[1].End != 9 {
+		t.Errorf("P2 segments = %v, want T2 [0,5), T1's migrated section [5,9), T2 [9,14)", segs)
+	}
+	if segs := tr.SegmentsOn(0); len(segs) != 2 || segs[1].Start != 9 || segs[1].End != 13 {
+		t.Errorf("P1 segments = %v, want [0,2) and the post-section tail [9,13)", segs)
+	}
+	// The migrated section displaces T2 — that IS a preemption.
+	if out.Metrics.Preemptions != 1 {
+		t.Errorf("preemptions = %d, want 1", out.Metrics.Preemptions)
+	}
+	snap := st.Snapshot()
+	if snap.LockSuspensions != 1 || snap.LockStallTicks == nil || snap.LockStallTicks.Sum != 3 {
+		t.Errorf("suspensions=%d stall=%+v, want 1 suspension of 3 ticks",
+			snap.LockSuspensions, snap.LockStallTicks)
+	}
+	if problems := Validate(tr, ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+		t.Errorf("trace invalid: %v", problems)
+	}
+}
+
+// TestLocalSegmentBoundedInversion is the segment-granular version of the
+// classic ceiling scenario: lo's critical section [2,4) boosts it to the
+// ceiling only WHILE inside, so hi waits out the section (bounded inversion)
+// but preempts the instant it ends — unlike whole-execution Locks, which
+// would protect lo to its completion.
+func TestLocalSegmentBoundedInversion(t *testing.T) {
+	b := model.NewBuilder()
+	p := b.AddProcessor("cpu")
+	r := b.AddResource("shared")
+	b.AddTask("lo", 100, 0).Subtask(p, 6, 1).Critical(2, 2, r).Done()
+	b.AddTask("hi", 100, 3).Subtask(p, 2, 3).Locking(r).Done()
+	b.AddTask("mid", 100, 3).Subtask(p, 3, 2).Done()
+	s := b.MustBuild()
+	st := obs.NewSimStats()
+	out, err := Run(s, Config{Protocol: NewDS(), Horizon: 60, Trace: true, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := out.Trace
+	// lo runs [0,4) (base, then boosted [2,4)); hi arrives at 3 and is
+	// held off by the ceiling; at 4 the release drops the boost and hi
+	// preempts: hi [4,6), mid [6,9), lo's tail [9,11).
+	want := map[string]model.Time{"lo": 11, "hi": 6, "mid": 9}
+	for name, c := range completionsOf(t, tr, s) {
+		if c != want[name] {
+			t.Errorf("%s completion = %v, want %v", name, c, want[name])
+		}
+	}
+	if out.Metrics.Preemptions != 1 {
+		t.Errorf("preemptions = %d, want exactly the post-release preemption", out.Metrics.Preemptions)
+	}
+	snap := st.Snapshot()
+	// Only lo's segment acquire is instrumented (hi's whole-execution
+	// Locks predate the counters), and no one suspends on a local
+	// resource — ceiling emulation blocks by priority alone.
+	if snap.LockAcquisitions != 1 || snap.PriorityBoosts != 1 || snap.LockSuspensions != 0 {
+		t.Errorf("acquisitions=%d boosts=%d suspensions=%d, want 1, 1, 0",
+			snap.LockAcquisitions, snap.PriorityBoosts, snap.LockSuspensions)
+	}
+	if problems := Validate(tr, ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+		t.Errorf("trace invalid: %v", problems)
+	}
+}
+
+func TestLockingHLRejectsGlobalResources(t *testing.T) {
+	s := globalScenario()
+	_, err := Run(s, Config{Protocol: NewDS(), Horizon: 40})
+	if err == nil || !strings.Contains(err.Error(), "requires LockingMPCP or LockingDPCP") {
+		t.Fatalf("Run under LockingHL = %v, want a global-resource rejection", err)
+	}
+}
+
+// TestGlobalWaitQueueOrder pins the grant order of a contended global
+// resource: waiters are served by base priority, not FIFO. Three requesters
+// on three processors pile up behind a holder; the highest-priority waiter
+// must get the resource first even though it asked last.
+func TestGlobalWaitQueueOrder(t *testing.T) {
+	b := model.NewBuilder()
+	p1 := b.AddProcessor("P1")
+	p2 := b.AddProcessor("P2")
+	p3 := b.AddProcessor("P3")
+	p4 := b.AddProcessor("P4")
+	g := b.AddGlobalResource("g", p1)
+	// holder grabs g at t=0 for 6 ticks; loWaiter requests at t=1,
+	// hiWaiter at t=2. At t=6 the grant must go to hiWaiter (base 3).
+	b.AddTask("holder", 100, 0).Subtask(p2, 6, 1).Critical(0, 6, g).Done()
+	b.AddTask("loWaiter", 100, 0).Subtask(p3, 4, 2).Critical(1, 2, g).Done()
+	b.AddTask("hiWaiter", 100, 0).Subtask(p4, 4, 3).Critical(2, 2, g).Done()
+	s := b.MustBuild()
+	out, err := Run(s, Config{Protocol: NewDS(), Horizon: 60, Trace: true, Locking: LockingMPCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := out.Trace
+	// hiWaiter: 2 ticks done, then section [6,8) ends its execution.
+	// loWaiter: 1 tick done + section [8,10) + 1 tail = 11.
+	want := map[string]model.Time{"holder": 6, "hiWaiter": 8, "loWaiter": 11}
+	for name, c := range completionsOf(t, tr, s) {
+		if c != want[name] {
+			t.Errorf("%s completion = %v, want %v", name, c, want[name])
+		}
+	}
+	if problems := Validate(tr, ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+		t.Errorf("trace invalid: %v", problems)
+	}
+}
+
+// TestSegmentExecVariationClipsSections exercises the Config.ExecTime
+// interaction: when the actual demand ends before a declared section starts,
+// the section never executes; when it ends inside one, the resource is
+// released at completion.
+func TestSegmentExecVariationClipsSections(t *testing.T) {
+	s := globalScenario()
+	for _, tc := range []struct {
+		name    string
+		demand  model.Duration // actual demand of T1 (declared segment [2,6))
+		t1Done  model.Time
+		acquire int64
+	}{
+		// Demand 2 ends exactly at the acquire offset: the section is
+		// clipped away entirely, T1 never touches g.
+		{"clipped", 2, 2, 1},
+		// Demand 4 ends inside the section: T1 still suspends at t=2,
+		// resumes at 5, and releases at completion (t=7).
+		{"truncated", 4, 7, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st := obs.NewSimStats()
+			exec := func(id model.SubtaskID, m int64) model.Duration {
+				if id.Task == 0 {
+					return tc.demand
+				}
+				return 10
+			}
+			out, err := Run(s, Config{Protocol: NewDS(), Horizon: 40, Trace: true,
+				Locking: LockingMPCP, ExecTime: exec, Stats: st})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, ok := out.Trace.CompletionOf(model.SubtaskID{Task: 0, Sub: 0}, 0)
+			if !ok || c != tc.t1Done {
+				t.Errorf("T1 completion = %v (%v), want %v", c, ok, tc.t1Done)
+			}
+			if got := st.Snapshot().LockAcquisitions; got != tc.acquire {
+				t.Errorf("acquisitions = %d, want %d", got, tc.acquire)
+			}
+			if problems := Validate(out.Trace, ValidateOptions{CheckPrecedence: true}); len(problems) > 0 {
+				t.Errorf("trace invalid: %v", problems)
+			}
+		})
+	}
+}
+
+// TestLockingSteadyStateZeroAllocs extends the zero-alloc pin to the
+// MPCP/DPCP paths: suspension, grant, and migration all run on intrusive
+// lists and preallocated boundary tables, so a warm engine still allocates
+// nothing per event.
+func TestLockingSteadyStateZeroAllocs(t *testing.T) {
+	s := globalScenario()
+	for _, kind := range []LockingKind{LockingMPCP, LockingDPCP} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := func(periods int64) Config {
+				return Config{Protocol: NewDS(), Locking: kind,
+					Horizon: model.Time(int64(s.MaxPeriod()) * periods)}
+			}
+			e, err := New(s, cfg(20))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			var events [2]int64
+			measure := func(slot int, periods int64) float64 {
+				return testing.AllocsPerRun(5, func() {
+					if err := e.Reset(s, cfg(periods)); err != nil {
+						t.Fatal(err)
+					}
+					out, err := e.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					events[slot] = out.Metrics.Events
+				})
+			}
+			long := measure(1, 20)
+			short := measure(0, 10)
+			if events[1] <= events[0] {
+				t.Fatalf("horizon doubling added no events (%d vs %d)", events[0], events[1])
+			}
+			if extra := long - short; extra > 0.5 {
+				t.Errorf("steady state allocates: %0.1f extra allocs for %d extra events (want 0)",
+					extra, events[1]-events[0])
+			}
+		})
+	}
+}

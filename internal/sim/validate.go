@@ -119,6 +119,7 @@ func validateDispatchOrder(tr *Trace) []string {
 	var problems []string
 	s := tr.sys
 	ceilings := s.ResourceCeilings()
+	floor := boostFloor(s)
 	for p := range s.Procs {
 		if !s.Procs[p].Preemptive {
 			continue
@@ -132,6 +133,13 @@ func validateDispatchOrder(tr *Trace) []string {
 		}
 		sort.Slice(recs, func(i, j int) bool { return recs[i].Release < recs[j].Release })
 		for _, rec := range recs {
+			if hasGlobalSection(s, rec.Job.ID) {
+				// The job may be suspended on a remote resource (or
+				// executing a migrated section elsewhere) during any part
+				// of its window; "released and incomplete" no longer
+				// implies "ready here".
+				continue
+			}
 			end := rec.Completion
 			if end == model.TimeInfinity {
 				end = tr.lastEventTime()
@@ -148,7 +156,7 @@ func validateDispatchOrder(tr *Trace) []string {
 					running := tr.Jobs[seg.Job]
 					inverted = running != nil && running.Deadline > rec.Deadline
 				} else {
-					inverted = s.EffectivePriority(seg.Job.ID, ceilings) < s.Subtask(rec.Job.ID).Priority
+					inverted = maxActivePriority(s, seg.Job.ID, ceilings, floor) < s.Subtask(rec.Job.ID).Priority
 				}
 				if inverted {
 					problems = append(problems, fmt.Sprintf(
@@ -161,8 +169,55 @@ func validateDispatchOrder(tr *Trace) []string {
 	return problems
 }
 
+// boostFloor returns the system's global priority-boost floor: the highest
+// base priority of any subtask, matching the engine's resetSegments.
+func boostFloor(s *model.System) model.Priority {
+	var floor model.Priority
+	first := true
+	for _, id := range s.SubtaskIDs() {
+		if p := s.Subtask(id).Priority; first || p > floor {
+			floor, first = p, false
+		}
+	}
+	return floor
+}
+
+// maxActivePriority returns the highest priority a subtask's jobs ever
+// compete at: the Locks-derived effective priority, raised further by the
+// boost of any critical-section segment — the local ceiling, or the global
+// boost floor plus the base priority. A static over-approximation (the
+// boost only holds inside the section), so the dispatch check stays sound
+// but tolerates bounded ceiling inversion.
+func maxActivePriority(s *model.System, id model.SubtaskID, ceilings []model.Priority, floor model.Priority) model.Priority {
+	pr := s.EffectivePriority(id, ceilings)
+	st := s.Subtask(id)
+	for _, g := range st.Segments {
+		b := ceilings[g.Resource]
+		if s.Resources[g.Resource].Global() {
+			b = floor + st.Priority
+		}
+		if b > pr {
+			pr = b
+		}
+	}
+	return pr
+}
+
+// hasGlobalSection reports whether the subtask declares a critical section
+// on a global resource (and so may suspend or migrate mid-execution).
+func hasGlobalSection(s *model.System, id model.SubtaskID) bool {
+	for _, g := range s.Subtask(id).Segments {
+		if s.Resources[g.Resource].Global() {
+			return true
+		}
+	}
+	return false
+}
+
 // validateMutualExclusion checks that execution segments of jobs locking a
-// common resource never overlap.
+// common resource never overlap. Whole-execution Locks contribute their
+// jobs' trace segments directly; critical-section segments contribute the
+// wall-clock windows reconstructed by criticalSections.
 func validateMutualExclusion(tr *Trace) []string {
 	s := tr.sys
 	if len(s.Resources) == 0 {
@@ -176,6 +231,7 @@ func validateMutualExclusion(tr *Trace) []string {
 			byResource[r] = append(byResource[r], seg)
 		}
 	}
+	criticalSections(tr, byResource)
 	for r, segs := range byResource {
 		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
 		for i := 1; i < len(segs); i++ {
@@ -188,6 +244,64 @@ func validateMutualExclusion(tr *Trace) []string {
 		}
 	}
 	return problems
+}
+
+// criticalSections reconstructs the wall-clock critical-section windows of
+// every segment-declaring job and appends them to byResource. A job's
+// execution progress maps one-to-one onto its trace segments in time order,
+// so the declared progress interval [Offset, Offset+Length) — clipped to
+// the job's actual demand — projects onto wall-clock intervals exactly.
+func criticalSections(tr *Trace, byResource map[int][]Segment) {
+	s := tr.sys
+	perJob := make(map[Key][]Segment)
+	for _, seg := range tr.Segments {
+		if len(s.Subtask(seg.Job.ID).Segments) > 0 {
+			perJob[seg.Job] = append(perJob[seg.Job], seg)
+		}
+	}
+	for k, execSegs := range perJob {
+		sort.Slice(execSegs, func(i, j int) bool { return execSegs[i].Start < execSegs[j].Start })
+		rec, ok := tr.Jobs[k]
+		if !ok {
+			continue // reported as an unknown-job segment already
+		}
+		demand := rec.Demand
+		if demand == 0 {
+			demand = s.Subtask(k.ID).Exec
+		}
+		for _, g := range s.Subtask(k.ID).Segments {
+			lo, hi := g.Offset, g.End()
+			if lo >= demand {
+				break // this and later sections are clipped away entirely
+			}
+			if hi > demand {
+				hi = demand
+			}
+			var done model.Duration
+			for _, es := range execSegs {
+				length := es.End.Sub(es.Start)
+				a, b := lo, hi
+				if done > a {
+					a = done
+				}
+				if done+length < b {
+					b = done + length
+				}
+				if b > a {
+					byResource[g.Resource] = append(byResource[g.Resource], Segment{
+						Proc:  es.Proc,
+						Job:   k,
+						Start: es.Start.Add(a - done),
+						End:   es.Start.Add(b - done),
+					})
+				}
+				done += length
+				if done >= hi {
+					break
+				}
+			}
+		}
+	}
 }
 
 // validateRGSpacing checks the Release Guard invariant: consecutive

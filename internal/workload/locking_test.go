@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// lockConfig returns a locking-study configuration: the paper population
+// plus two global resources touched by ~40% of subtasks.
+func lockConfig(n int, u float64, seed int64) Config {
+	c := DefaultConfig(n, u)
+	c.Seed = seed
+	c.GlobalResources = 2
+	c.GlobalShare = 0.4
+	c.CSLenFrac = 0.5
+	return c
+}
+
+// TestLockingDrawsFollowLegacyDraws proves the draw-order contract: the
+// resource and section draws consume the rng strictly after every legacy
+// draw, so a locking configuration reproduces the legacy system's periods,
+// phases, placements and execution times exactly — it only ADDS resources
+// and segments.
+func TestLockingDrawsFollowLegacyDraws(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		legacy, err := Generate(DefaultConfig(4, 0.7).withSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		locked, err := Generate(lockConfig(4, 0.7, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(locked.Resources) != 2 {
+			t.Fatalf("seed %d: %d resources, want 2", seed, len(locked.Resources))
+		}
+		sections := 0
+		for i := range legacy.Tasks {
+			lt, kt := &legacy.Tasks[i], &locked.Tasks[i]
+			if lt.Period != kt.Period || lt.Phase != kt.Phase {
+				t.Fatalf("seed %d task %d: period/phase drifted: %v/%v vs %v/%v",
+					seed, i, lt.Period, lt.Phase, kt.Period, kt.Phase)
+			}
+			for j := range lt.Subtasks {
+				ls, ks := &lt.Subtasks[j], &kt.Subtasks[j]
+				if ls.Proc != ks.Proc || ls.Exec != ks.Exec || ls.Priority != ks.Priority {
+					t.Fatalf("seed %d subtask (%d,%d): placement/exec/priority drifted", seed, i, j)
+				}
+				sections += len(ks.Segments)
+				for _, g := range ks.Segments {
+					if !locked.Resources[g.Resource].Global() {
+						t.Fatalf("seed %d: section on non-global resource %d", seed, g.Resource)
+					}
+					if g.Length < 1 || g.End() > ks.Exec {
+						t.Fatalf("seed %d subtask (%d,%d): section [%v,%v) outside execution %v",
+							seed, i, j, g.Offset, g.End(), ks.Exec)
+					}
+				}
+			}
+		}
+		if sections == 0 {
+			t.Fatalf("seed %d: GlobalShare=0.4 drew no sections across %d subtasks",
+				seed, 4*len(legacy.Tasks))
+		}
+	}
+}
+
+// TestGeneratorMatchesGenerateWithLocking extends the reuse-equivalence pin
+// to locking configurations, alternating with legacy ones so retained
+// resource/segment buffers are exercised across shape changes.
+func TestGeneratorMatchesGenerateWithLocking(t *testing.T) {
+	var g Generator
+	configs := []Config{
+		lockConfig(5, 0.7, 11),
+		DefaultConfig(3, 0.5).withSeed(12),
+		lockConfig(2, 0.9, 13),
+		lockConfig(8, 0.5, 14),
+	}
+	for _, c := range configs {
+		want, err := Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Generator output differs from Generate for %v seed %d", c.Label(), c.Seed)
+		}
+	}
+}
+
+// TestGeneratorLockingZeroAllocs: the retained resource and segment buffers
+// make locking regeneration as allocation-free as the legacy path.
+func TestGeneratorLockingZeroAllocs(t *testing.T) {
+	var g Generator
+	seed := int64(1)
+	gen := func() {
+		c := lockConfig(6, 0.7, seed)
+		seed++
+		if _, err := g.Generate(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		gen()
+	}
+	if avg := testing.AllocsPerRun(10, gen); avg != 0 {
+		t.Fatalf("warm locking Generator allocates %.1f times per system, want 0", avg)
+	}
+}
+
+// TestLockingConfigValidation covers the new knob validations.
+func TestLockingConfigValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative resources", func(c *Config) { c.GlobalResources = -1 }},
+		{"share above one", func(c *Config) { c.GlobalShare = 1.5 }},
+		{"negative share", func(c *Config) { c.GlobalShare = -0.1 }},
+		{"bad length fraction", func(c *Config) { c.CSLenFrac = 2 }},
+	} {
+		c := lockConfig(3, 0.5, 1)
+		tc.mut(&c)
+		if _, err := Generate(c); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+}
+
+// withSeed returns a copy of the config with the seed set — test sugar.
+func (c Config) withSeed(seed int64) Config {
+	c.Seed = seed
+	return c
+}

@@ -54,6 +54,20 @@ type Config struct {
 	// as the paper does for the average-EER simulations. When false all
 	// phases are zero (the critical-instant-friendly setting).
 	RandomPhases bool
+
+	// GlobalResources adds that many global resources to the system, each
+	// synchronized at a random processor, accessed through critical-section
+	// segments (the MPCP/DPCP study populations). Zero — the default and
+	// the paper's own lock-free setting — draws nothing, so legacy
+	// configurations regenerate bit-identically.
+	GlobalResources int
+	// GlobalShare is the probability that a subtask carries one critical
+	// section on a random global resource (only read when GlobalResources
+	// is positive).
+	GlobalShare float64
+	// CSLenFrac caps a drawn critical section's length at this fraction of
+	// its subtask's execution time (at least one tick).
+	CSLenFrac float64
 }
 
 // DefaultConfig returns the paper's population parameters for a given
@@ -89,6 +103,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("workload: period mean %v is not positive", c.PeriodMean)
 	case c.TickScale < 1:
 		return fmt.Errorf("workload: tick scale %d below 1", c.TickScale)
+	case c.GlobalResources < 0:
+		return fmt.Errorf("workload: negative global resource count %d", c.GlobalResources)
+	case c.GlobalShare < 0 || c.GlobalShare > 1:
+		return fmt.Errorf("workload: global share %v outside [0, 1]", c.GlobalShare)
+	case c.CSLenFrac < 0 || c.CSLenFrac > 1:
+		return fmt.Errorf("workload: critical-section length fraction %v outside [0, 1]", c.CSLenFrac)
 	}
 	return nil
 }
@@ -131,9 +151,17 @@ type Generator struct {
 	slots     []int
 	slotOff   []int
 
-	// Name caches: procNames[p] = "P<p+1>", taskNames[i] = "T<i+1>".
+	// Retained resource/segment storage for the locking populations: each
+	// subtask holds at most one section, so segBuf needs one slot per
+	// subtask and every Segments slice is a capacity-1 view into it.
+	resBuf []model.Resource
+	segBuf []model.Segment
+
+	// Name caches: procNames[p] = "P<p+1>", taskNames[i] = "T<i+1>",
+	// resNames[r] = "g<r+1>".
 	procNames []string
 	taskNames []string
+	resNames  []string
 
 	assigner priority.Assigner
 }
@@ -252,6 +280,42 @@ func (g *Generator) Generate(c Config) (*model.System, error) {
 		}
 	}
 
+	// Global resources and critical sections are drawn strictly AFTER every
+	// legacy draw (periods, chains, weights, phases), so a configuration
+	// with GlobalResources == 0 consumes the rng identically to the
+	// pre-locking generator — seeded legacy populations stay bit-identical.
+	if c.GlobalResources > 0 {
+		g.resBuf = resizeResources(g.resBuf, c.GlobalResources)
+		for r := range g.resBuf {
+			g.resBuf[r] = model.Resource{
+				Name:     g.resName(r),
+				Scope:    model.ScopeGlobal,
+				SyncProc: rng.Intn(nP),
+			}
+		}
+		s.Resources = g.resBuf
+		g.segBuf = resizeSegments(g.segBuf, total)
+		used := 0
+		for i := 0; i < nT; i++ {
+			for j := 0; j < nS; j++ {
+				if rng.Float64() >= c.GlobalShare {
+					continue
+				}
+				r := rng.Intn(c.GlobalResources)
+				exec := s.Tasks[i].Subtasks[j].Exec
+				maxLen := model.Duration(float64(exec) * c.CSLenFrac)
+				if maxLen < 1 {
+					maxLen = 1
+				}
+				length := 1 + model.Duration(rng.Int63n(int64(maxLen)))
+				offset := model.Duration(rng.Int63n(int64(exec-length) + 1))
+				g.segBuf[used] = model.Segment{Offset: offset, Length: length, Resource: r}
+				s.Tasks[i].Subtasks[j].Segments = g.segBuf[used : used+1 : used+1]
+				used++
+			}
+		}
+	}
+
 	// The system is valid by construction for all sane configurations,
 	// but degenerate ones (e.g. sub-tick periods that round to zero) must
 	// keep failing exactly as the builder-based path did.
@@ -280,6 +344,14 @@ func (g *Generator) taskName(i int) string {
 	return g.taskNames[i]
 }
 
+// resName returns the cached global resource name "g<r+1>".
+func (g *Generator) resName(r int) string {
+	for len(g.resNames) <= r {
+		g.resNames = append(g.resNames, fmt.Sprintf("g%d", len(g.resNames)+1))
+	}
+	return g.resNames[r]
+}
+
 // resizeDurations returns a slice of length n reusing s's backing array
 // when its capacity suffices.
 func resizeDurations(s []model.Duration, n int) []model.Duration {
@@ -299,6 +371,20 @@ func resizeInts(s []int, n int) []int {
 func resizeFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeResources(s []model.Resource, n int) []model.Resource {
+	if cap(s) < n {
+		return make([]model.Resource, n)
+	}
+	return s[:n]
+}
+
+func resizeSegments(s []model.Segment, n int) []model.Segment {
+	if cap(s) < n {
+		return make([]model.Segment, n)
 	}
 	return s[:n]
 }

@@ -64,11 +64,23 @@ type (
 	Time = model.Time
 	// Priority orders subtasks on a processor; larger is more urgent.
 	Priority = model.Priority
-	// Resource is a processor-local shared resource accessed under
-	// priority-ceiling emulation.
+	// Resource is a shared resource: processor-local (priority-ceiling
+	// emulation) or global (arbitrated by MPCP or DPCP).
 	Resource = model.Resource
+	// Segment is one critical section inside a subtask's execution: the
+	// demand window [Offset, Offset+Length) holds Resource.
+	Segment = model.Segment
 	// Builder assembles systems declaratively.
 	Builder = model.Builder
+)
+
+// Resource scopes.
+const (
+	// ScopeLocal marks a resource shared only within one processor.
+	ScopeLocal = model.ScopeLocal
+	// ScopeGlobal marks a resource shared across processors, synchronized
+	// at Resource.SyncProc.
+	ScopeGlobal = model.ScopeGlobal
 )
 
 // Infinite is the sentinel for an unbounded duration (a failed bound).
@@ -161,6 +173,31 @@ func AnalyzeDSHolistic(s *System) (*AnalysisResult, error) {
 	return analysis.AnalyzeDSHolistic(s, analysis.DefaultOptions())
 }
 
+// AnalyzeMPCP bounds EER times for systems whose subtasks contend for
+// global resources under the Multiprocessor Priority-Ceiling Protocol,
+// charging per-request remote blocking, demand inflation, and boosted-
+// section interference on top of Algorithm SA/DS's recurrences.
+func AnalyzeMPCP(s *System) (*AnalysisResult, error) {
+	return analysis.AnalyzeMPCP(s, analysis.DefaultOptions())
+}
+
+// AnalyzeMPCPWith runs the MPCP analysis with explicit options.
+func AnalyzeMPCPWith(s *System, opts AnalysisOptions) (*AnalysisResult, error) {
+	return analysis.AnalyzeMPCP(s, opts)
+}
+
+// AnalyzeDPCP is AnalyzeMPCP's counterpart for the Distributed
+// Priority-Ceiling Protocol, where global critical sections migrate to
+// their resource's synchronization processor.
+func AnalyzeDPCP(s *System) (*AnalysisResult, error) {
+	return analysis.AnalyzeDPCP(s, analysis.DefaultOptions())
+}
+
+// AnalyzeDPCPWith runs the DPCP analysis with explicit options.
+func AnalyzeDPCPWith(s *System, opts AnalysisOptions) (*AnalysisResult, error) {
+	return analysis.AnalyzeDPCP(s, opts)
+}
+
 // AnalyzeEDF certifies per-processor EDF schedulability (demand-bound
 // test) over local deadlines and bounds each task's EER time by the sum of
 // its chain's local deadlines. For systems scheduled with
@@ -218,6 +255,22 @@ func NewRG() Protocol { return sim.NewRG() }
 // NewRGRule1Only returns the Release Guard ablation without the idle-point
 // rule.
 func NewRGRule1Only() Protocol { return sim.NewRGRule1Only() }
+
+// LockingKind selects how SimConfig arbitrates critical-section segments
+// on global resources.
+type LockingKind = sim.LockingKind
+
+const (
+	// LockingHL (default) is Highest-Locker ceiling emulation; it rejects
+	// systems with global resources.
+	LockingHL = sim.LockingHL
+	// LockingMPCP runs global sections on the requester's processor at
+	// boosted priority (Multiprocessor Priority-Ceiling Protocol).
+	LockingMPCP = sim.LockingMPCP
+	// LockingDPCP migrates global sections to the resource's
+	// synchronization processor (Distributed Priority-Ceiling Protocol).
+	LockingDPCP = sim.LockingDPCP
+)
 
 // BoundsFrom extracts the per-subtask response-time bounds of an SA/PM
 // result in the form PM and MPM consume. It fails if any bound is infinite.
@@ -281,6 +334,8 @@ type (
 	BoundRatioResult = experiments.BoundRatioResult
 	// AvgEERResult bundles Figures 14–16 and the ablations.
 	AvgEERResult = experiments.AvgEERResult
+	// LockingStudyResult compares HL / MPCP / DPCP schedulability.
+	LockingStudyResult = experiments.LockingResult
 )
 
 // Fig12FailureRate reproduces Figure 12.
@@ -297,6 +352,13 @@ func Fig13BoundRatio(p ExperimentParams) (*BoundRatioResult, error) {
 // ablations in one sweep.
 func AvgEERStudy(p ExperimentParams) (*AvgEERResult, error) {
 	return experiments.AvgEERStudy(p)
+}
+
+// LockingStudy sweeps the (N, U) grid on workloads with global critical
+// sections, comparing centralized Highest-Locker placement against the
+// MPCP and DPCP distributed locking protocols.
+func LockingStudy(p ExperimentParams) (*LockingStudyResult, error) {
+	return experiments.LockingStudy(p)
 }
 
 // Exhaustive worst-case search (for tiny systems only).
