@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-analysis bench-experiments bench-sim bench-check fuzz-smoke vet fmt cover experiments examples clean
+.PHONY: all build test test-short bench bench-analysis bench-experiments bench-sim bench-check fuzz-smoke vet fmt cover experiments verify-results examples clean
 
 all: build test
 
@@ -30,9 +30,14 @@ bench-analysis:
 	$(GO) run ./tools/benchjson -out BENCH_analysis.json \
 		-pkg ./internal/analysis -bench BenchmarkAnalyze -benchtime 10x
 
+# The experiments pipeline benchmarks plus the record-store path:
+# BenchmarkSweepJSONL - BenchmarkSweep is the full result-store overhead per
+# 16-system sweep, and BenchmarkRecordEncode/Decode isolate the per-record
+# canonical-JSON + content-hash cost.
 bench-experiments:
 	$(GO) run ./tools/benchjson -out BENCH_experiments.json \
-		-pkg ./internal/experiments -bench BenchmarkSweep -benchtime 10x
+		-pkg ./internal/experiments,./internal/record \
+		-bench 'BenchmarkSweep|BenchmarkRecord' -benchtime 10x
 
 # Engine hot-path benchmarks: the end-to-end BenchmarkSimulate* figures from
 # the root package plus the steady-state engine and queue micro-benchmarks
@@ -57,7 +62,8 @@ bench-check:
 	$(GO) run ./tools/benchjson -check -out BENCH_analysis.json \
 		-pkg ./internal/analysis -bench BenchmarkAnalyze -benchtime 1x
 	$(GO) run ./tools/benchjson -check -out BENCH_experiments.json \
-		-pkg ./internal/experiments -bench BenchmarkSweep -benchtime 1x
+		-pkg ./internal/experiments,./internal/record \
+		-bench 'BenchmarkSweep|BenchmarkRecord' -benchtime 1x
 
 # Differential-fuzz the timing wheel against the reference heap for 30s —
 # what CI's fuzz smoke runs; crank -fuzztime locally for a deeper soak.
@@ -69,22 +75,31 @@ cover:
 	$(GO) test -cover ./...
 
 # Regenerate every paper figure + ablation at moderate replication into
-# results/ (about 10 minutes on a laptop).
+# results/ (about 10 minutes on a laptop). Each sweep also streams its
+# CellRecord store to results/<name>.jsonl; `go run ./cmd/rtreport -in
+# results/<name>.jsonl` regenerates the figure from the store alone, and
+# tools/verify-results.sh proves that round trip byte-identical.
 experiments: build
 	mkdir -p results
-	$(GO) run ./cmd/rtexperiments -figure 12 -systems 200 > results/fig12.txt
-	$(GO) run ./cmd/rtexperiments -figure 13 -systems 200 > results/fig13.txt
-	$(GO) run ./cmd/rtexperiments -figure 14 -systems 50 > results/fig14.txt
-	$(GO) run ./cmd/rtexperiments -figure 15 -systems 50 > results/fig15.txt
-	$(GO) run ./cmd/rtexperiments -figure 16 -systems 50 > results/fig16.txt
-	$(GO) run ./cmd/rtexperiments -figure rg-rule2 -systems 50 > results/rg-rule2.txt
-	$(GO) run ./cmd/rtexperiments -figure jitter -systems 50 > results/jitter.txt
-	$(GO) run ./cmd/rtexperiments -figure release-jitter -systems 20 > results/release-jitter.txt
-	$(GO) run ./cmd/rtexperiments -figure tightness -systems 40 > results/tightness.txt
-	$(GO) run ./cmd/rtexperiments -figure edf -systems 30 -horizon-periods 10 > results/edf.txt
-	$(GO) run ./cmd/rtexperiments -figure exec-variation -systems 10 -horizon-periods 10 > results/exec-variation.txt
-	$(GO) run ./cmd/rtexperiments -figure sensitivity -systems 15 -horizon-periods 10 > results/sensitivity.txt
+	$(GO) run ./cmd/rtexperiments -figure 12 -systems 200 -jsonl results/fig12.jsonl > results/fig12.txt
+	$(GO) run ./cmd/rtexperiments -figure 13 -systems 200 -jsonl results/fig13.jsonl > results/fig13.txt
+	$(GO) run ./cmd/rtexperiments -figure 14 -systems 50 -jsonl results/fig14.jsonl > results/fig14.txt
+	$(GO) run ./cmd/rtexperiments -figure 15 -systems 50 -jsonl results/fig15.jsonl > results/fig15.txt
+	$(GO) run ./cmd/rtexperiments -figure 16 -systems 50 -jsonl results/fig16.jsonl > results/fig16.txt
+	$(GO) run ./cmd/rtexperiments -figure rg-rule2 -systems 50 -jsonl results/rg-rule2.jsonl > results/rg-rule2.txt
+	$(GO) run ./cmd/rtexperiments -figure jitter -systems 50 -jsonl results/jitter.jsonl > results/jitter.txt
+	$(GO) run ./cmd/rtexperiments -figure release-jitter -systems 20 -jsonl results/release-jitter.jsonl > results/release-jitter.txt
+	$(GO) run ./cmd/rtexperiments -figure tightness -systems 40 -jsonl results/tightness.jsonl > results/tightness.txt
+	$(GO) run ./cmd/rtexperiments -figure edf -systems 30 -horizon-periods 10 -jsonl results/edf.jsonl > results/edf.txt
+	$(GO) run ./cmd/rtexperiments -figure exec-variation -systems 10 -horizon-periods 10 -jsonl results/exec-variation.jsonl > results/exec-variation.txt
+	$(GO) run ./cmd/rtexperiments -figure sensitivity -systems 15 -horizon-periods 10 -jsonl results/sensitivity.jsonl > results/sensitivity.txt
 	$(GO) run ./cmd/rtexperiments -figure overhead > results/overhead.txt
+
+# Prove every committed results/*.txt regenerates byte-identically — live
+# sweep AND rtreport replay from the JSONL store — plus store determinism
+# across GOMAXPROCS settings. What CI runs.
+verify-results:
+	sh tools/verify-results.sh
 
 examples: build
 	$(GO) run ./examples/quickstart
@@ -95,11 +110,12 @@ examples: build
 	$(GO) run ./examples/edfstudy
 	$(GO) run ./examples/fleet -systems 3
 
-# The experiments target writes results/*.txt; clean removes those plus run
-# manifests (results/*.json, written by the CLIs' -manifest flag), profiling
-# and test-binary droppings. The golden fixtures under internal/*/testdata
+# The experiments target writes results/*.txt and results/*.jsonl record
+# stores; clean removes those plus CSV exports, run manifests
+# (results/*.json, written by the CLIs' -manifest flag), profiling and
+# test-binary droppings. The golden fixtures under internal/*/testdata
 # are committed INPUTS — regenerated only by a deliberate `go test
 # ./internal/analysis -run Golden -update` (CI never passes -update) — so
 # clean must never reach into testdata.
 clean:
-	rm -f results/*.txt results/*.csv results/*.json *.prof *.test cpu.out mem.out
+	rm -f results/*.txt results/*.jsonl results/*.csv results/*.json *.prof *.test cpu.out mem.out

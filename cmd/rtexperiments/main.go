@@ -14,6 +14,20 @@
 // for any of them runs the same study. CSV export: -csv prefix writes
 // <prefix>-figNN.csv files.
 //
+// The sweep grid is configurable: -grid-n/-grid-u/-grid-period-ratio take
+// comma-separated axis values, -grid-seeds accumulates several full sweeps
+// into one result set, and -trials multiplies -systems. Study knobs
+// (-jitter-fraction, -exec-fractions, -protocols) parameterize individual
+// studies.
+//
+// Every swept system can be streamed to a result store: -jsonl writes one
+// versioned CellRecord per system (deterministic at any parallelism),
+// -records-csv the same stream in long-form CSV. cmd/rtreport regenerates
+// any figure from such a store without re-running the sweep. -record-timings
+// and -record-stats add per-phase wall timings and engine-counter deltas to
+// each record (timings are volatile, so byte-reproducible stores leave them
+// off).
+//
 // Observability (none of it changes figure output): -progress prints live
 // sweep status lines to stderr, -manifest out.json records the full run
 // (flags, build info, engine counters, output checksums), and -debug-addr
@@ -25,10 +39,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"rtsync/internal/experiments"
+	"rtsync/internal/gridflag"
 	"rtsync/internal/obs"
+	"rtsync/internal/record"
 	"rtsync/internal/report"
 	"rtsync/internal/workload"
 )
@@ -40,18 +57,50 @@ func main() {
 	}
 }
 
+// recordSinks fans one committed record out to the enabled store formats.
+type recordSinks struct {
+	jsonl *record.Writer
+	csvw  *record.CSVWriter
+}
+
+func (s *recordSinks) Write(r *record.CellRecord) error {
+	if s.jsonl != nil {
+		if err := s.jsonl.Write(r); err != nil {
+			return err
+		}
+	}
+	if s.csvw != nil {
+		return s.csvw.Write(r)
+	}
+	return nil
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rtexperiments", flag.ContinueOnError)
 	var (
-		figure   = fs.String("figure", "all", "12, 13, 14, 15, 16, rg-rule2, jitter, release-jitter, tightness, edf, exec-variation, sensitivity, locking, overhead, or all")
+		figure   = fs.String("figure", "all", strings.Join(experiments.FigureNames(), ", ")+", or all")
 		systems  = fs.Int("systems", 50, "systems per configuration (paper: 1000)")
 		seed     = fs.Int64("seed", 1, "sweep seed")
 		hp       = fs.Int64("horizon-periods", 20, "simulation horizon in multiples of the max period")
 		nMin     = fs.Int("nmin", 2, "smallest subtask count")
 		nMax     = fs.Int("nmax", 8, "largest subtask count")
 		csv      = fs.String("csv", "", "also write CSV files with this path prefix")
-		jitter   = fs.Float64("jitter-fraction", 0.5, "release-jitter study: max extra delay as a fraction of the period")
 		progress = fs.Bool("progress", false, "print periodic sweep status lines (cells done, rate, ETA) to stderr")
+
+		gridN     = fs.String("grid-n", "", "comma-separated subtask counts (overrides -nmin/-nmax)")
+		gridU     = fs.String("grid-u", "", "comma-separated per-processor utilizations (default 0.5,0.6,0.7,0.8,0.9)")
+		gridRatio = fs.String("grid-period-ratio", "", "comma-separated period-max/period-min ratios (default: the generator's 100x)")
+		gridSeeds = fs.String("grid-seeds", "", "comma-separated sweep seeds accumulated into one result set (default: -seed)")
+		trials    = fs.Int("trials", 1, "replications: multiplies -systems")
+
+		jitterStr = fs.String("jitter-fraction", "0.5", "release-jitter study: comma-separated max extra delay fractions of the period")
+		execFracs = fs.String("exec-fractions", "1.0,0.75,0.5,0.25", "exec-variation study: comma-separated BCET/WCET ratios")
+		protocols = fs.String("protocols", "hl,mpcp,dpcp", "locking study: comma-separated protocol subset (hl, mpcp, dpcp)")
+
+		jsonlPath  = fs.String("jsonl", "", "stream one CellRecord JSONL line per swept system to this file")
+		recCSVPath = fs.String("records-csv", "", "stream the record store as long-form CSV to this file")
+		recTimings = fs.Bool("record-timings", false, "add per-phase wall timings to each record (volatile across runs)")
+		recStats   = fs.Bool("record-stats", false, "add per-system engine-counter deltas to each record")
 	)
 	cli := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -63,17 +112,91 @@ func run(args []string, w io.Writer) error {
 	}
 	defer stopObs()
 
-	var configs []workload.Config
-	for n := *nMin; n <= *nMax; n++ {
-		for _, u := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
-			configs = append(configs, workload.DefaultConfig(n, u))
+	valid := *figure == "all"
+	for _, name := range experiments.FigureNames() {
+		if *figure == name {
+			valid = true
 		}
 	}
+	if !valid {
+		return fmt.Errorf("unknown -figure %q (valid: %s, all)", *figure, strings.Join(experiments.FigureNames(), ", "))
+	}
+
+	ns, err := gridflag.Ints(*gridN)
+	if err != nil {
+		return fmt.Errorf("-grid-n: %w", err)
+	}
+	if ns == nil {
+		for n := *nMin; n <= *nMax; n++ {
+			ns = append(ns, n)
+		}
+	}
+	us, err := gridflag.Floats(*gridU)
+	if err != nil {
+		return fmt.Errorf("-grid-u: %w", err)
+	}
+	if us == nil {
+		us = []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	ratios, err := gridflag.Floats(*gridRatio)
+	if err != nil {
+		return fmt.Errorf("-grid-period-ratio: %w", err)
+	}
+	var configs []workload.Config
+	for _, n := range ns {
+		for _, u := range us {
+			base := workload.DefaultConfig(n, u)
+			if len(ratios) == 0 {
+				configs = append(configs, base)
+				continue
+			}
+			for _, r := range ratios {
+				c := base
+				c.PeriodMax = c.PeriodMin * r
+				configs = append(configs, c)
+			}
+		}
+	}
+	for _, c := range configs {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	seeds, err := gridflag.Int64s(*gridSeeds)
+	if err != nil {
+		return fmt.Errorf("-grid-seeds: %w", err)
+	}
+	if seeds == nil {
+		seeds = []int64{*seed}
+	}
+	if *trials < 1 {
+		return fmt.Errorf("-trials %d below 1", *trials)
+	}
+	perConfig := *systems * *trials
+
+	jfracs, err := gridflag.Floats(*jitterStr)
+	if err != nil {
+		return fmt.Errorf("-jitter-fraction: %w", err)
+	}
+	if len(jfracs) == 0 {
+		jfracs = []float64{0.5}
+	}
+	sargs := experiments.DefaultStudyArgs()
+	sargs.JitterFraction = jfracs[0]
+	if sargs.ExecFractions, err = gridflag.Floats(*execFracs); err != nil {
+		return fmt.Errorf("-exec-fractions: %w", err)
+	}
+	if ps := gridflag.Strings(*protocols); ps != nil {
+		sargs.Protocols = ps
+	}
+
 	p := experiments.Params{
 		Configs:          configs,
-		SystemsPerConfig: *systems,
-		Seed:             *seed,
+		SystemsPerConfig: perConfig,
+		Seed:             seeds[0],
 		HorizonPeriods:   *hp,
+		RecordTimings:    *recTimings,
+		RecordSimCounts:  *recStats,
 	}
 	// Telemetry rides outside the ordered-commit turnstile, so enabling any
 	// of this changes no figure output. A plain run leaves both fields nil
@@ -92,6 +215,33 @@ func run(args []string, w io.Writer) error {
 		p.Stats = st
 		cli.AttachSimStats(st)
 	}
+
+	var sinks recordSinks
+	var storeFiles []*os.File
+	if *jsonlPath != "" {
+		f, err := os.Create(*jsonlPath)
+		if err != nil {
+			return err
+		}
+		storeFiles = append(storeFiles, f)
+		sinks.jsonl = record.NewWriter(f)
+	}
+	if *recCSVPath != "" {
+		f, err := os.Create(*recCSVPath)
+		if err != nil {
+			return err
+		}
+		storeFiles = append(storeFiles, f)
+		sinks.csvw = record.NewCSVWriter(f)
+	}
+	if len(storeFiles) > 0 {
+		p.Records = &sinks
+	}
+	defer func() {
+		for _, f := range storeFiles {
+			f.Close()
+		}
+	}()
 
 	emit := func(name string, t *report.Table) error {
 		if err := t.Render(w); err != nil {
@@ -117,164 +267,88 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 
-	want := func(names ...string) bool {
-		if *figure == "all" {
-			return true
-		}
-		for _, n := range names {
-			if *figure == n {
-				return true
-			}
-		}
-		return false
-	}
-	ran := false
+	want := func(name string) bool { return *figure == "all" || *figure == name }
 
-	if want("12") {
-		ran = true
+	// runStudy accumulates every sweep seed into one view and emits the
+	// study's wanted outputs (suffix distinguishes repeat runs, e.g. the
+	// extra jitter fractions).
+	runStudy := func(st experiments.Study, a experiments.StudyArgs, outputs []experiments.Output, suffix string) error {
+		v := st.New(a)
 		start := time.Now()
-		res, err := experiments.Fig12FailureRate(p)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "[figure 12: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
-		if err := emit("fig12", res.Table()); err != nil {
-			return err
-		}
-	}
-	if want("13") {
-		ran = true
-		start := time.Now()
-		res, err := experiments.Fig13BoundRatio(p)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "[figure 13: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
-		if err := emit("fig13", res.Table()); err != nil {
-			return err
-		}
-		if err := emit("fig13-ci", res.CITable()); err != nil {
-			return err
-		}
-		if err := emit("fig13-holistic", res.HolisticTable()); err != nil {
-			return err
-		}
-	}
-	if want("14", "15", "16", "rg-rule2", "jitter") {
-		ran = true
-		start := time.Now()
-		res, err := experiments.AvgEERStudy(p)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "[figures 14-16 + ablations: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
-		if want("14") {
-			if err := emit("fig14", res.Fig14Table()); err != nil {
+		for _, s := range seeds {
+			ps := p
+			ps.Seed = s
+			if err := st.Run(ps, a, v); err != nil {
 				return err
 			}
 		}
-		if want("15") {
-			if err := emit("fig15", res.Fig15Table()); err != nil {
+		fmt.Fprintf(os.Stderr, "[%s, %v]\n", st.Note(perConfig), time.Since(start).Round(time.Millisecond))
+		for _, o := range outputs {
+			if err := emit(o.Name+suffix, o.Table(v)); err != nil {
 				return err
 			}
 		}
-		if want("16") {
-			if err := emit("fig16", res.Fig16Table()); err != nil {
-				return err
+		return nil
+	}
+
+	for _, st := range experiments.Studies() {
+		var outputs []experiments.Output
+		for _, f := range st.Figures {
+			if want(f.Name) {
+				outputs = append(outputs, f.Outputs...)
 			}
 		}
-		if want("rg-rule2") {
-			if err := emit("rg-rule2", res.RGRule2Table()); err != nil {
-				return err
+		if len(outputs) == 0 {
+			continue
+		}
+		if st.Static {
+			for _, o := range outputs {
+				if err := emit(o.Name, o.Table(nil)); err != nil {
+					return err
+				}
 			}
+			continue
 		}
-		if want("jitter") {
-			if err := emit("jitter", res.JitterTable()); err != nil {
-				return err
+		if st.Name == "release-jitter" {
+			// One sweep per requested fraction; the first keeps the plain
+			// output name so default invocations are unchanged.
+			for fi, f := range jfracs {
+				a := sargs
+				a.JitterFraction = f
+				suffix := ""
+				if fi > 0 {
+					suffix = fmt.Sprintf("-f%g", f)
+				}
+				if err := runStudy(st, a, outputs, suffix); err != nil {
+					return err
+				}
 			}
+			continue
 		}
-	}
-	if want("release-jitter") {
-		ran = true
-		start := time.Now()
-		res, err := experiments.ReleaseJitterStudy(p, *jitter)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "[release-jitter study: %v]\n", time.Since(start).Round(time.Millisecond))
-		if err := emit("release-jitter", res.Table()); err != nil {
+		if err := runStudy(st, sargs, outputs, ""); err != nil {
 			return err
 		}
 	}
-	if want("edf") {
-		ran = true
-		start := time.Now()
-		res, err := experiments.EDFStudy(p)
-		if err != nil {
+
+	if sinks.jsonl != nil {
+		if err := sinks.jsonl.Flush(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "[EDF study: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
-		if err := emit("edf", res.Table()); err != nil {
+		cli.AddOutput(*jsonlPath)
+		fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *jsonlPath, sinks.jsonl.Count())
+	}
+	if sinks.csvw != nil {
+		if err := sinks.csvw.Flush(); err != nil {
+			return err
+		}
+		cli.AddOutput(*recCSVPath)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *recCSVPath)
+	}
+	for _, f := range storeFiles {
+		if err := f.Close(); err != nil {
 			return err
 		}
 	}
-	if want("exec-variation") {
-		ran = true
-		start := time.Now()
-		res, err := experiments.ExecVariationStudy(p, []float64{1.0, 0.75, 0.5, 0.25})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "[exec-variation study: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
-		if err := emit("exec-variation", res.Table()); err != nil {
-			return err
-		}
-	}
-	if want("tightness") {
-		ran = true
-		start := time.Now()
-		res, err := experiments.TightnessStudy(*systems, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "[tightness study: %d tiny systems, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
-		if err := emit("tightness", res.Table()); err != nil {
-			return err
-		}
-	}
-	if want("sensitivity") {
-		ran = true
-		start := time.Now()
-		res, err := experiments.SensitivityStudy(p, 5, 0.7,
-			[][2]int{{3, 8}, {4, 12}, {6, 12}, {4, 18}, {8, 24}})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "[sensitivity study: %d systems/shape, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
-		if err := emit("sensitivity", res.Table()); err != nil {
-			return err
-		}
-	}
-	if want("locking") {
-		ran = true
-		start := time.Now()
-		res, err := experiments.LockingStudy(p)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "[locking study: %d systems/config, %v]\n", *systems, time.Since(start).Round(time.Millisecond))
-		if err := emit("locking", res.Table()); err != nil {
-			return err
-		}
-	}
-	if want("overhead") {
-		ran = true
-		if err := emit("overhead", experiments.OverheadTable()); err != nil {
-			return err
-		}
-	}
-	if !ran {
-		return fmt.Errorf("unknown -figure %q", *figure)
-	}
+	storeFiles = nil
 	return nil
 }

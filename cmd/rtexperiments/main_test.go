@@ -113,8 +113,144 @@ func TestRunLocking(t *testing.T) {
 
 func TestRunUnknownFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-figure", "99"}, &buf); err == nil {
-		t.Error("unknown figure accepted")
+	err := run([]string{"-figure", "99"}, &buf)
+	if err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	// The error names the bad selector and lists the valid ones.
+	for _, want := range []string{`"99"`, "12", "locking", "tightness", "all"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error should list valid figures, missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestRunJSONLDeterministic pins the result-store acceptance criterion at
+// the CLI level: two identical invocations (figure output AND JSONL store)
+// are byte-identical, and the store's records carry content hashes.
+func TestRunJSONLDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	var out1, out2 bytes.Buffer
+	p1 := filepath.Join(dir, "a.jsonl")
+	p2 := filepath.Join(dir, "b.jsonl")
+	if err := run(miniArgs("-figure", "12", "-jsonl", p1), &out1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(miniArgs("-figure", "12", "-jsonl", p2), &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Error("figure output not reproducible")
+	}
+	d1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Error("JSONL stores differ between identical runs")
+	}
+	// 2 subtask counts x 5 utilizations x 2 systems = 20 records.
+	if n := bytes.Count(d1, []byte("\n")); n != 20 {
+		t.Errorf("store has %d records, want 20", n)
+	}
+	if !bytes.Contains(d1, []byte(`"hash":"`)) {
+		t.Error("records missing content hashes")
+	}
+	if bytes.Contains(d1, []byte(`"timing"`)) || bytes.Contains(d1, []byte(`"sim"`)) {
+		t.Error("optional sections present without -record-timings/-record-stats")
+	}
+}
+
+// TestRunRecordOptionalSections checks -record-timings and -record-stats
+// add their sections without changing figure output.
+func TestRunRecordOptionalSections(t *testing.T) {
+	dir := t.TempDir()
+	var plain, recorded bytes.Buffer
+	if err := run(miniArgs("-figure", "15"), &plain); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "full.jsonl")
+	if err := run(miniArgs("-figure", "15",
+		"-jsonl", path, "-record-timings", "-record-stats"), &recorded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), recorded.Bytes()) {
+		t.Error("record flags changed figure output")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"timing":{"gen_ns":`)) {
+		t.Error("store missing timing sections")
+	}
+	if !bytes.Contains(data, []byte(`"sim":{"events":`)) {
+		t.Error("store missing engine-counter sections")
+	}
+}
+
+// TestRunRecordsCSV checks the long-form CSV store.
+func TestRunRecordsCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.csv")
+	var buf bytes.Buffer
+	if err := run(miniArgs("-figure", "12", "-records-csv", path), &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "study,n,u,seed,unit,kind,name,param,value\n") {
+		t.Errorf("records CSV header wrong: %q", string(data[:50]))
+	}
+	if !strings.Contains(string(data), "fig12,") {
+		t.Error("records CSV has no fig12 rows")
+	}
+}
+
+// TestRunGridFlags checks the explicit grid axes: -grid-n/-grid-u replace
+// the built-in ranges (equivalent settings reproduce the default output),
+// and -grid-seeds/-trials multiply coverage.
+func TestRunGridFlags(t *testing.T) {
+	var dflt, grid bytes.Buffer
+	if err := run(miniArgs("-figure", "12"), &dflt); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-systems", "2", "-horizon-periods", "5", "-figure", "12",
+		"-grid-n", "2,3", "-grid-u", "0.5,0.6,0.7,0.8,0.9"}, &grid); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dflt.Bytes(), grid.Bytes()) {
+		t.Errorf("explicit grid flags should reproduce the default axes:\n--- default ---\n%s--- grid ---\n%s",
+			dflt.String(), grid.String())
+	}
+
+	// Two seeds double the records in one accumulated result set.
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	var buf bytes.Buffer
+	if err := run(miniArgs("-figure", "12", "-grid-seeds", "1,2", "-jsonl", path), &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte("\n")); n != 40 {
+		t.Errorf("two-seed store has %d records, want 40", n)
+	}
+
+	if err := run(miniArgs("-figure", "12", "-grid-period-ratio", "10,100"), &buf); err != nil {
+		t.Fatalf("-grid-period-ratio: %v", err)
+	}
+	if err := run(miniArgs("-figure", "12", "-grid-n", "2,x"), &buf); err == nil {
+		t.Error("bad -grid-n token accepted")
+	}
+	if err := run(miniArgs("-figure", "12", "-trials", "0"), &buf); err == nil {
+		t.Error("-trials 0 accepted")
 	}
 }
 

@@ -1,0 +1,271 @@
+// Command rtreport regenerates figures from a CellRecord result store
+// (the -jsonl output of cmd/rtexperiments) without re-running any sweep.
+// Figures are pure views over the record stream — the same View.Apply the
+// live sweep drives — so a table rendered here is byte-identical to the
+// one the sweep printed.
+//
+// Usage:
+//
+//	rtreport -in results/all.jsonl                      # every figure in the store
+//	rtreport -in results/fig12.jsonl -figure 12         # one figure
+//	rtreport -in a.jsonl,b.jsonl -merge merged.jsonl    # concatenate stores
+//	rtreport -in run.jsonl -list                        # per-study record counts
+//	rtreport -in run.jsonl -verify                      # check content hashes only
+//	rtreport -in run.jsonl -filter-study fig13 -filter-n 4,6 -filter-u 70
+//
+// Study knobs (-jitter-fraction, -exec-fractions, -protocols) must match
+// the sweep that wrote the store to reproduce its tables exactly; the
+// defaults match rtexperiments' defaults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rtsync/internal/experiments"
+	"rtsync/internal/gridflag"
+	"rtsync/internal/record"
+	"rtsync/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rtreport:", err)
+		os.Exit(1)
+	}
+}
+
+// filters is the record predicate built from the -filter-* flags.
+type filters struct {
+	study string
+	ns    map[int]bool
+	us    map[int]bool
+}
+
+func (f *filters) keep(rec *record.CellRecord) bool {
+	if f.study != "" && rec.Study != f.study {
+		return false
+	}
+	if f.ns != nil && !f.ns[rec.N] {
+		return false
+	}
+	if f.us != nil && !f.us[rec.UPct] {
+		return false
+	}
+	return true
+}
+
+func intSet(vals []int) map[int]bool {
+	if vals == nil {
+		return nil
+	}
+	s := make(map[int]bool, len(vals))
+	for _, v := range vals {
+		s[v] = true
+	}
+	return s
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("rtreport", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "comma-separated JSONL record stores (required unless only static figures are asked for)")
+		figure = fs.String("figure", "all", strings.Join(experiments.FigureNames(), ", ")+", or all")
+		csv    = fs.String("csv", "", "also write CSV files with this path prefix")
+		verify = fs.Bool("verify", false, "verify every record's content hash while reading")
+		list   = fs.Bool("list", false, "print per-study record counts instead of figures")
+		merge  = fs.String("merge", "", "write the (filtered) record stream to this JSONL file, hashes recomputed")
+
+		filterStudy = fs.String("filter-study", "", "keep only records of this study")
+		filterN     = fs.String("filter-n", "", "keep only records with these subtask counts (comma-separated)")
+		filterU     = fs.String("filter-u", "", "keep only records with these utilization percentages (comma-separated)")
+
+		jitterStr = fs.String("jitter-fraction", "0.5", "release-jitter study: the jitter fraction the view selects")
+		execFracs = fs.String("exec-fractions", "1.0,0.75,0.5,0.25", "exec-variation study: comma-separated BCET/WCET ratios")
+		protocols = fs.String("protocols", "hl,mpcp,dpcp", "locking study: comma-separated protocol subset (hl, mpcp, dpcp)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	valid := *figure == "all"
+	for _, name := range experiments.FigureNames() {
+		if *figure == name {
+			valid = true
+		}
+	}
+	if !valid {
+		return fmt.Errorf("unknown -figure %q (valid: %s, all)", *figure, strings.Join(experiments.FigureNames(), ", "))
+	}
+
+	sargs := experiments.DefaultStudyArgs()
+	jfracs, err := gridflag.Floats(*jitterStr)
+	if err != nil {
+		return fmt.Errorf("-jitter-fraction: %w", err)
+	}
+	if len(jfracs) > 0 {
+		sargs.JitterFraction = jfracs[0]
+	}
+	if sargs.ExecFractions, err = gridflag.Floats(*execFracs); err != nil {
+		return fmt.Errorf("-exec-fractions: %w", err)
+	}
+	if ps := gridflag.Strings(*protocols); ps != nil {
+		sargs.Protocols = ps
+	}
+
+	var flt filters
+	flt.study = *filterStudy
+	ns, err := gridflag.Ints(*filterN)
+	if err != nil {
+		return fmt.Errorf("-filter-n: %w", err)
+	}
+	flt.ns = intSet(ns)
+	us, err := gridflag.Ints(*filterU)
+	if err != nil {
+		return fmt.Errorf("-filter-u: %w", err)
+	}
+	flt.us = intSet(us)
+
+	var mergeW *record.Writer
+	var mergeF *os.File
+	if *merge != "" {
+		mergeF, err = os.Create(*merge)
+		if err != nil {
+			return err
+		}
+		defer mergeF.Close()
+		mergeW = record.NewWriter(mergeF)
+	}
+
+	// One pass over every store: records fan into lazily created per-study
+	// views (the same Apply the live sweep drives), per-study counts, and
+	// the optional merged store.
+	views := make(map[string]experiments.View)
+	counts := make(map[string]int64)
+	var order []string
+	var total int64
+	var rec record.CellRecord
+	for _, path := range gridflag.Strings(*in) {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rd := record.NewReader(f)
+		rd.Verify = *verify
+		for {
+			ok, err := rd.Next(&rec)
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if !ok {
+				break
+			}
+			if !flt.keep(&rec) {
+				continue
+			}
+			total++
+			if counts[rec.Study] == 0 {
+				order = append(order, rec.Study)
+			}
+			counts[rec.Study]++
+			v, ok := views[rec.Study]
+			if !ok {
+				st, known := experiments.StudyByName(rec.Study)
+				if !known || st.New == nil {
+					// Unknown study tag (newer writer): tolerated, counted,
+					// skipped by every view.
+					views[rec.Study] = nil
+					v = nil
+				} else {
+					v = st.New(sargs)
+					views[rec.Study] = v
+				}
+			}
+			if v != nil {
+				if err := v.Apply(&rec); err != nil {
+					f.Close()
+					return fmt.Errorf("%s: %w", path, err)
+				}
+			}
+			if mergeW != nil {
+				rec.Hash = ""
+				if err := mergeW.Write(&rec); err != nil {
+					f.Close()
+					return err
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if mergeW != nil {
+		if err := mergeW.Flush(); err != nil {
+			return err
+		}
+		if err := mergeF.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *merge, mergeW.Count())
+	}
+
+	if *list {
+		for _, study := range order {
+			fmt.Fprintf(w, "%s\t%d\n", study, counts[study])
+		}
+		fmt.Fprintf(w, "total\t%d\n", total)
+		return nil
+	}
+
+	emit := func(name string, t *report.Table) error {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if *csv != "" {
+			path := fmt.Sprintf("%s-%s.csv", *csv, name)
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := t.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		return nil
+	}
+
+	// Emit in canonical registry order. Under "all" only studies present in
+	// the store render (static figures always do); an explicitly requested
+	// figure renders even over an empty store.
+	for _, st := range experiments.Studies() {
+		for _, fig := range st.Figures {
+			if *figure != "all" && *figure != fig.Name {
+				continue
+			}
+			v := views[st.Name]
+			if !st.Static && v == nil {
+				if *figure == "all" {
+					continue
+				}
+				v = st.New(sargs)
+			}
+			for _, o := range fig.Outputs {
+				if err := emit(o.Name, o.Table(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

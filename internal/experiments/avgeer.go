@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rtsync/internal/model"
+	"rtsync/internal/record"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
 	"rtsync/internal/workload"
@@ -31,14 +32,9 @@ type AvgEERResult struct {
 	Skipped map[CellKey]int
 }
 
-// AvgEERStudy simulates every generated system under DS, PM, RG, and
-// RG-rule-1-only and aggregates the paper's three ratio figures plus the
-// ablations. MPM is omitted from the sweep: under the simulated ideal
-// conditions it produces schedules identical to PM (§3.1, verified by the
-// sim package's tests).
-func AvgEERStudy(p Params) (*AvgEERResult, error) {
-	p = p.withDefaults()
-	res := &AvgEERResult{
+// NewAvgEERResult returns an empty Figures 14–16 view.
+func NewAvgEERResult() *AvgEERResult {
+	return &AvgEERResult{
 		PMDS:     NewGrid("PM/DS"),
 		RGDS:     NewGrid("RG/DS"),
 		PMRG:     NewGrid("PM/RG"),
@@ -48,6 +44,23 @@ func AvgEERStudy(p Params) (*AvgEERResult, error) {
 		JitterDS: NewGrid("jitter DS"),
 		Skipped:  make(map[CellKey]int),
 	}
+}
+
+// AvgEERStudy simulates every generated system under DS, PM, RG, and
+// RG-rule-1-only and aggregates the paper's three ratio figures plus the
+// ablations. MPM is omitted from the sweep: under the simulated ideal
+// conditions it produces schedules identical to PM (§3.1, verified by the
+// sim package's tests).
+func AvgEERStudy(p Params) (*AvgEERResult, error) {
+	res := NewAvgEERResult()
+	if err := runAvgEER(p, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runAvgEER(p Params, res *AvgEERResult) error {
+	p = p.withDefaults()
 	var firstErr error
 	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
 		sc, ok := w.scratch.(*avgeerScratch)
@@ -61,23 +74,27 @@ func AvgEERStudy(p Params) (*AvgEERResult, error) {
 			}
 			w.scratch = sc
 		}
+		w.beginUnit("avgeer", cfg, rec)
 		sys, err := w.gen.Generate(cfg)
 		if err != nil {
 			recordErr(rec, &firstErr, err)
 			return
 		}
-		cell := cellOf(cfg)
+		w.lap(&w.timing.GenNS)
 
 		if err := w.an.Reset(sys, p.Analysis); err != nil {
 			recordErr(rec, &firstErr, err)
 			return
 		}
 		if !fillPMBounds(sc.bounds, w.an.AnalyzePM()) {
+			w.lap(&w.timing.AnaNS)
 			w.noteSchedulable(false)
-			rec.Begin()
-			res.Skipped[cell]++
+			w.rec.AddVerdict("pm", false)
+			w.rec.AddTally("skipped", 1)
+			commitRecord(&p, w, rec, res, &firstErr)
 			return
 		}
+		w.lap(&w.timing.AnaNS)
 		w.noteSchedulable(true)
 		sc.pmP.SetBounds(sc.bounds)
 
@@ -100,26 +117,66 @@ func AvgEERStudy(p Params) (*AvgEERResult, error) {
 			recordErr(rec, &firstErr, err)
 			return
 		}
+		w.lap(&w.timing.SimNS)
 
-		rec.Begin()
+		w.rec.AddVerdict("pm", true)
 		for i := range sys.Tasks {
-			addRatio(res.PMDS, cell, &sc.pm, &sc.ds, i)
-			addRatio(res.RGDS, cell, &sc.rg, &sc.ds, i)
-			addRatio(res.PMRG, cell, &sc.pm, &sc.rg, i)
-			addRatio(res.RG1RG, cell, &sc.rg1, &sc.rg, i)
+			addRatioObs(&w.rec, "pm_ds", &sc.pm, &sc.ds, i)
+			addRatioObs(&w.rec, "rg_ds", &sc.rg, &sc.ds, i)
+			addRatioObs(&w.rec, "pm_rg", &sc.pm, &sc.rg, i)
+			addRatioObs(&w.rec, "rg1_rg", &sc.rg1, &sc.rg, i)
 			period := float64(sys.Tasks[i].Period)
-			addJitter(res.JitterPM, cell, &sc.pm, i, period)
-			addJitter(res.JitterRG, cell, &sc.rg, i, period)
-			addJitter(res.JitterDS, cell, &sc.ds, i, period)
+			addJitterObs(&w.rec, "jit_pm", &sc.pm, i, period)
+			addJitterObs(&w.rec, "jit_rg", &sc.rg, i, period)
+			addJitterObs(&w.rec, "jit_ds", &sc.ds, i, period)
 		}
+		// Raw simulated per-task average EERs, Param = task index. No view
+		// consumes these today; they make the store self-contained for
+		// post-hoc analyses beyond the paper's ratio figures.
+		for i := range sys.Tasks {
+			addEERObs(&w.rec, "eer_ds", &sc.ds, i)
+			addEERObs(&w.rec, "eer_pm", &sc.pm, i)
+			addEERObs(&w.rec, "eer_rg", &sc.rg, i)
+		}
+		commitRecord(&p, w, rec, res, &firstErr)
 	})
 	if firstErr != nil {
-		return nil, fmt.Errorf("average-EER study: %w", firstErr)
+		return fmt.Errorf("average-EER study: %w", firstErr)
 	}
-	return res, nil
+	return nil
 }
 
-// avgeerScratch is AvgEERStudy's per-worker retained state: one refilled
+// Apply folds one committed record into the ratio and jitter grids.
+func (r *AvgEERResult) Apply(rec *record.CellRecord) error {
+	cell := CellKey{N: rec.N, U: rec.UPct}
+	for i := range rec.Tallies {
+		if rec.Tallies[i].Key == "skipped" {
+			r.Skipped[cell] += int(rec.Tallies[i].N)
+		}
+	}
+	for i := range rec.Obs {
+		o := &rec.Obs[i]
+		switch o.Series {
+		case "pm_ds":
+			r.PMDS.Sample(cell).Add(o.Value)
+		case "rg_ds":
+			r.RGDS.Sample(cell).Add(o.Value)
+		case "pm_rg":
+			r.PMRG.Sample(cell).Add(o.Value)
+		case "rg1_rg":
+			r.RG1RG.Sample(cell).Add(o.Value)
+		case "jit_pm":
+			r.JitterPM.Sample(cell).Add(o.Value)
+		case "jit_rg":
+			r.JitterRG.Sample(cell).Add(o.Value)
+		case "jit_ds":
+			r.JitterDS.Sample(cell).Add(o.Value)
+		}
+	}
+	return nil
+}
+
+// avgeerScratch is the study's per-worker retained state: one refilled
 // bounds map, one reused instance of each protocol, and one Metrics
 // snapshot per protocol so all four runs' results coexist.
 type avgeerScratch struct {
@@ -142,9 +199,9 @@ func runSnapshot(w *worker, dst *sim.Metrics, protocol sim.Protocol, sys *model.
 	return nil
 }
 
-// addRatio records num's/den's average-EER ratio for task i when both
+// addRatioObs records num's/den's average-EER ratio for task i when both
 // protocols completed instances and the denominator is positive.
-func addRatio(g *Grid, cell CellKey, num, den *sim.Metrics, i int) {
+func addRatioObs(rec *record.CellRecord, series string, num, den *sim.Metrics, i int) {
 	if num.Tasks[i].Completed == 0 || den.Tasks[i].Completed == 0 {
 		return
 	}
@@ -152,15 +209,23 @@ func addRatio(g *Grid, cell CellKey, num, den *sim.Metrics, i int) {
 	if d <= 0 {
 		return
 	}
-	g.Sample(cell).Add(num.Tasks[i].AvgEER() / d)
+	rec.AddObs(series, num.Tasks[i].AvgEER()/d)
 }
 
-// addJitter records task i's period-normalized max output jitter when at
+// addJitterObs records task i's period-normalized max output jitter when at
 // least two instances completed.
-func addJitter(g *Grid, cell CellKey, m *sim.Metrics, i int, period float64) {
+func addJitterObs(rec *record.CellRecord, series string, m *sim.Metrics, i int, period float64) {
 	if m.Tasks[i].Completed >= 2 {
-		g.Sample(cell).Add(float64(m.Tasks[i].MaxOutputJitter) / period)
+		rec.AddObs(series, float64(m.Tasks[i].MaxOutputJitter)/period)
 	}
+}
+
+// addEERObs records task i's raw average EER, tagged with the task index.
+func addEERObs(rec *record.CellRecord, series string, m *sim.Metrics, i int) {
+	if m.Tasks[i].Completed == 0 {
+		return
+	}
+	rec.AddObsP(series, float64(i), m.Tasks[i].AvgEER())
 }
 
 // ratioTable renders one ratio grid.

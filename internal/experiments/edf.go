@@ -6,6 +6,7 @@ import (
 	"rtsync/internal/analysis"
 	"rtsync/internal/model"
 	"rtsync/internal/priority"
+	"rtsync/internal/record"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
 	"rtsync/internal/workload"
@@ -24,16 +25,28 @@ type EDFResult struct {
 	AvgEERRatio *Grid
 }
 
-// EDFStudy runs extension A8. Local deadlines are assigned with the
-// proportional slicing policy, mirroring the paper's PD priority
-// assignment.
-func EDFStudy(p Params) (*EDFResult, error) {
-	p = p.withDefaults()
-	res := &EDFResult{
+// NewEDFResult returns an empty A8 view.
+func NewEDFResult() *EDFResult {
+	return &EDFResult{
 		FPSchedulable:  NewGrid("FP schedulable"),
 		EDFSchedulable: NewGrid("EDF schedulable"),
 		AvgEERRatio:    NewGrid("EDF/FP avg EER"),
 	}
+}
+
+// EDFStudy runs extension A8. Local deadlines are assigned with the
+// proportional slicing policy, mirroring the paper's PD priority
+// assignment.
+func EDFStudy(p Params) (*EDFResult, error) {
+	res := NewEDFResult()
+	if err := runEDF(p, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runEDF(p Params, res *EDFResult) error {
+	p = p.withDefaults()
 	var firstErr error
 	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
 		sc, ok := w.scratch.(*edfScratch)
@@ -41,6 +54,7 @@ func EDFStudy(p Params) (*EDFResult, error) {
 			sc = &edfScratch{rgP: sim.NewRG()}
 			w.scratch = sc
 		}
+		w.beginUnit("edf", cfg, rec)
 		sys, err := w.gen.Generate(cfg)
 		if err != nil {
 			recordErr(rec, &firstErr, err)
@@ -50,7 +64,7 @@ func EDFStudy(p Params) (*EDFResult, error) {
 			recordErr(rec, &firstErr, err)
 			return
 		}
-		cell := cellOf(cfg)
+		w.lap(&w.timing.GenNS)
 
 		if err := w.an.Reset(sys, p.Analysis); err != nil {
 			recordErr(rec, &firstErr, err)
@@ -69,6 +83,7 @@ func EDFStudy(p Params) (*EDFResult, error) {
 		if edfRes.AllSchedulable(sys) {
 			edfOK = 1
 		}
+		w.lap(&w.timing.AnaNS)
 
 		// Both runs reuse one RG instance; each run's metrics are
 		// snapshotted so the FP and EDF results coexist.
@@ -85,9 +100,12 @@ func EDFStudy(p Params) (*EDFResult, error) {
 			return
 		}
 		sc.edf.CopyFrom(edfOut.Metrics)
-		rec.Begin()
-		res.FPSchedulable.Sample(cell).Add(fpOK)
-		res.EDFSchedulable.Sample(cell).Add(edfOK)
+		w.lap(&w.timing.SimNS)
+
+		w.rec.AddVerdict("fp", fpOK == 1)
+		w.rec.AddVerdict("edf", edfOK == 1)
+		w.rec.AddObs("fp_ok", fpOK)
+		w.rec.AddObs("edf_ok", edfOK)
 		for i := range sys.Tasks {
 			if sc.fp.Tasks[i].Completed == 0 || sc.edf.Tasks[i].Completed == 0 {
 				continue
@@ -96,17 +114,34 @@ func EDFStudy(p Params) (*EDFResult, error) {
 			if den <= 0 {
 				continue
 			}
-			res.AvgEERRatio.Sample(cell).Add(sc.edf.Tasks[i].AvgEER() / den)
+			w.rec.AddObs("eer_edf_fp", sc.edf.Tasks[i].AvgEER()/den)
 		}
+		commitRecord(&p, w, rec, res, &firstErr)
 	})
 	if firstErr != nil {
-		return nil, fmt.Errorf("EDF study: %w", firstErr)
+		return fmt.Errorf("EDF study: %w", firstErr)
 	}
-	return res, nil
+	return nil
 }
 
-// edfScratch is EDFStudy's per-worker retained state: one RG instance and
-// the FP/EDF metrics snapshots.
+// Apply folds one committed record into the schedulability and ratio grids.
+func (r *EDFResult) Apply(rec *record.CellRecord) error {
+	cell := CellKey{N: rec.N, U: rec.UPct}
+	for i := range rec.Obs {
+		switch rec.Obs[i].Series {
+		case "fp_ok":
+			r.FPSchedulable.Sample(cell).Add(rec.Obs[i].Value)
+		case "edf_ok":
+			r.EDFSchedulable.Sample(cell).Add(rec.Obs[i].Value)
+		case "eer_edf_fp":
+			r.AvgEERRatio.Sample(cell).Add(rec.Obs[i].Value)
+		}
+	}
+	return nil
+}
+
+// edfScratch is the EDF study's per-worker retained state: one RG instance
+// and the FP/EDF metrics snapshots.
 type edfScratch struct {
 	fp, edf sim.Metrics
 	rgP     *sim.RG

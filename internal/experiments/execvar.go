@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"rtsync/internal/model"
+	"rtsync/internal/record"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
 	"rtsync/internal/workload"
@@ -24,18 +25,8 @@ type ExecVariationResult struct {
 	PMDS, RGDS map[float64]*Grid
 }
 
-// ExecVariationStudy sweeps the given BCET/WCET fractions (e.g. 1.0, 0.5,
-// 0.25) over the configured workloads.
-func ExecVariationStudy(p Params, fractions []float64) (*ExecVariationResult, error) {
-	p = p.withDefaults()
-	if len(fractions) == 0 {
-		return nil, fmt.Errorf("exec-variation study: no fractions given")
-	}
-	for _, f := range fractions {
-		if f <= 0 || f > 1 {
-			return nil, fmt.Errorf("exec-variation study: fraction %v outside (0, 1]", f)
-		}
-	}
+// NewExecVariationResult returns an empty A9 view over the given fractions.
+func NewExecVariationResult(fractions []float64) *ExecVariationResult {
 	res := &ExecVariationResult{
 		Fractions: fractions,
 		PMDS:      make(map[float64]*Grid, len(fractions)),
@@ -44,6 +35,29 @@ func ExecVariationStudy(p Params, fractions []float64) (*ExecVariationResult, er
 	for _, f := range fractions {
 		res.PMDS[f] = NewGrid(fmt.Sprintf("PM/DS f=%v", f))
 		res.RGDS[f] = NewGrid(fmt.Sprintf("RG/DS f=%v", f))
+	}
+	return res
+}
+
+// ExecVariationStudy sweeps the given BCET/WCET fractions (e.g. 1.0, 0.5,
+// 0.25) over the configured workloads.
+func ExecVariationStudy(p Params, fractions []float64) (*ExecVariationResult, error) {
+	res := NewExecVariationResult(fractions)
+	if err := runExecVariation(p, fractions, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runExecVariation(p Params, fractions []float64, res *ExecVariationResult) error {
+	p = p.withDefaults()
+	if len(fractions) == 0 {
+		return fmt.Errorf("exec-variation study: no fractions given")
+	}
+	for _, f := range fractions {
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("exec-variation study: fraction %v outside (0, 1]", f)
+		}
 	}
 	var firstErr error
 	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
@@ -61,24 +75,31 @@ func ExecVariationStudy(p Params, fractions []float64) (*ExecVariationResult, er
 			sc.demandFn = sc.demand.sample
 			w.scratch = sc
 		}
+		w.beginUnit("execvar", cfg, rec)
 		sys, err := w.gen.Generate(cfg)
 		if err != nil {
 			recordErr(rec, &firstErr, err)
 			return
 		}
-		cell := cellOf(cfg)
+		w.lap(&w.timing.GenNS)
 		if err := w.an.Reset(sys, p.Analysis); err != nil {
 			recordErr(rec, &firstErr, err)
 			return
 		}
 		if !fillPMBounds(sc.bounds, w.an.AnalyzePM()) {
-			return // skip: PM not runnable
+			// Skip: PM not runnable. The record still commits (verdict
+			// only) so the store accounts for every swept system.
+			w.lap(&w.timing.AnaNS)
+			w.rec.AddVerdict("pm", false)
+			commitRecord(&p, w, rec, res, &firstErr)
+			return
 		}
+		w.lap(&w.timing.AnaNS)
 		sc.pmP.SetBounds(sc.bounds)
 		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
 
 		// All fractions simulate before the commit, so the per-fraction
-		// ratios buffer in retained slices until rec.Begin().
+		// ratios buffer in retained slices until commitRecord.
 		sc.demand.sys = sys
 		sc.demand.seed = cfg.Seed
 		for fi, f := range fractions {
@@ -109,23 +130,45 @@ func ExecVariationStudy(p Params, fractions []float64) (*ExecVariationResult, er
 				}
 			}
 		}
-		rec.Begin()
+		w.lap(&w.timing.SimNS)
+		w.rec.AddVerdict("pm", true)
 		for fi, f := range fractions {
 			for _, v := range sc.pmds[fi] {
-				res.PMDS[f].Sample(cell).Add(v)
+				w.rec.AddObsP("pm_ds", f, v)
 			}
 			for _, v := range sc.rgds[fi] {
-				res.RGDS[f].Sample(cell).Add(v)
+				w.rec.AddObsP("rg_ds", f, v)
 			}
 		}
+		commitRecord(&p, w, rec, res, &firstErr)
 	})
 	if firstErr != nil {
-		return nil, fmt.Errorf("exec-variation study: %w", firstErr)
+		return fmt.Errorf("exec-variation study: %w", firstErr)
 	}
-	return res, nil
+	return nil
 }
 
-// execvarScratch is ExecVariationStudy's per-worker retained state:
+// Apply folds one committed record into the per-fraction grids; fractions
+// this view wasn't built with are ignored.
+func (r *ExecVariationResult) Apply(rec *record.CellRecord) error {
+	cell := CellKey{N: rec.N, U: rec.UPct}
+	for i := range rec.Obs {
+		o := &rec.Obs[i]
+		switch o.Series {
+		case "pm_ds":
+			if g := r.PMDS[o.Param]; g != nil {
+				g.Sample(cell).Add(o.Value)
+			}
+		case "rg_ds":
+			if g := r.RGDS[o.Param]; g != nil {
+				g.Sample(cell).Add(o.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// execvarScratch is the exec-variation study's per-worker retained state:
 // bounds map, protocol instances, per-protocol metrics snapshots, the
 // reused demand sampler, and per-fraction ratio buffers.
 type execvarScratch struct {

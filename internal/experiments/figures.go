@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"rtsync/internal/record"
 	"rtsync/internal/report"
 	"rtsync/internal/workload"
 )
@@ -17,21 +18,35 @@ type FailureRateResult struct {
 	Rates *Grid
 }
 
+// NewFailureRateResult returns an empty Figure 12 view.
+func NewFailureRateResult() *FailureRateResult {
+	return &FailureRateResult{Rates: NewGrid("DS failure rate")}
+}
+
 // Fig12FailureRate reproduces Figure 12: "The Failure Rates as a Function
 // of Configurations for the DS Protocol".
 func Fig12FailureRate(p Params) (*FailureRateResult, error) {
+	res := NewFailureRateResult()
+	if err := runFig12(p, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runFig12(p Params, res *FailureRateResult) error {
 	p = p.withDefaults()
 	// Only Failed() matters here, so SA/DS may stop at the first
 	// infinite bound.
 	p.Analysis.StopOnFailure = true
-	res := &FailureRateResult{Rates: NewGrid("DS failure rate")}
 	var firstErr error
 	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
+		w.beginUnit("fig12", cfg, rec)
 		sys, err := w.gen.Generate(cfg)
 		if err != nil {
 			recordErr(rec, &firstErr, err)
 			return
 		}
+		w.lap(&w.timing.GenNS)
 		if err := w.an.Reset(sys, p.Analysis); err != nil {
 			recordErr(rec, &firstErr, err)
 			return
@@ -40,14 +55,27 @@ func Fig12FailureRate(p Params) (*FailureRateResult, error) {
 		if w.an.AnalyzeDS().Failed() {
 			failed = 1.0
 		}
+		w.lap(&w.timing.AnaNS)
 		w.noteSchedulable(failed == 0)
-		rec.Begin()
-		res.Rates.Sample(cellOf(cfg)).Add(failed)
+		w.rec.AddVerdict("ds", failed == 0)
+		w.rec.AddObs("failed", failed)
+		commitRecord(&p, w, rec, res, &firstErr)
 	})
 	if firstErr != nil {
-		return nil, fmt.Errorf("figure 12: %w", firstErr)
+		return fmt.Errorf("figure 12: %w", firstErr)
 	}
-	return res, nil
+	return nil
+}
+
+// Apply folds one committed record into the failure-rate grid.
+func (r *FailureRateResult) Apply(rec *record.CellRecord) error {
+	cell := CellKey{N: rec.N, U: rec.UPct}
+	for i := range rec.Obs {
+		if rec.Obs[i].Series == "failed" {
+			r.Rates.Sample(cell).Add(rec.Obs[i].Value)
+		}
+	}
+	return nil
 }
 
 // Table renders the failure-rate grid in the paper's layout.
@@ -76,23 +104,37 @@ type BoundRatioResult struct {
 	TotalSystems  map[CellKey]int
 }
 
-// Fig13BoundRatio reproduces Figure 13: "Bound Ratios as a Function of
-// Configurations".
-func Fig13BoundRatio(p Params) (*BoundRatioResult, error) {
-	p = p.withDefaults()
-	res := &BoundRatioResult{
+// NewBoundRatioResult returns an empty Figure 13 view.
+func NewBoundRatioResult() *BoundRatioResult {
+	return &BoundRatioResult{
 		Ratios:         NewGrid("bound ratio SA-DS / SA-PM"),
 		HolisticRatios: NewGrid("bound ratio holistic / SA-PM"),
 		FiniteSystems:  make(map[CellKey]int),
 		TotalSystems:   make(map[CellKey]int),
 	}
+}
+
+// Fig13BoundRatio reproduces Figure 13: "Bound Ratios as a Function of
+// Configurations".
+func Fig13BoundRatio(p Params) (*BoundRatioResult, error) {
+	res := NewBoundRatioResult()
+	if err := runFig13(p, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runFig13(p Params, res *BoundRatioResult) error {
+	p = p.withDefaults()
 	var firstErr error
 	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
+		w.beginUnit("fig13", cfg, rec)
 		sys, err := w.gen.Generate(cfg)
 		if err != nil {
 			recordErr(rec, &firstErr, err)
 			return
 		}
+		w.lap(&w.timing.GenNS)
 		// One Reset serves all three analyses: each Analyze method owns a
 		// distinct Result, so ds/pm/hol stay valid side by side — and
 		// stay readable after rec.Begin(), since only this worker touches
@@ -102,32 +144,57 @@ func Fig13BoundRatio(p Params) (*BoundRatioResult, error) {
 			return
 		}
 		ds := w.an.AnalyzeDS()
-		cell := cellOf(cfg)
 		w.noteSchedulable(!ds.Failed())
 		if ds.Failed() {
-			rec.Begin()
-			res.TotalSystems[cell]++
+			w.lap(&w.timing.AnaNS)
+			w.rec.AddVerdict("ds", false)
+			w.rec.AddTally("total", 1)
+			commitRecord(&p, w, rec, res, &firstErr)
 			return
 		}
 		pm := w.an.AnalyzePM()
 		hol := w.an.AnalyzeHolistic()
-		rec.Begin()
-		res.TotalSystems[cell]++
-		res.FiniteSystems[cell]++
+		w.lap(&w.timing.AnaNS)
+		w.rec.AddVerdict("ds", true)
+		w.rec.AddTally("total", 1)
+		w.rec.AddTally("finite", 1)
 		for i := range sys.Tasks {
 			if pm.TaskEER[i].IsInfinite() || pm.TaskEER[i] == 0 {
 				continue
 			}
-			res.Ratios.Sample(cell).Add(float64(ds.TaskEER[i]) / float64(pm.TaskEER[i]))
+			w.rec.AddObs("ratio", float64(ds.TaskEER[i])/float64(pm.TaskEER[i]))
 			if !hol.TaskEER[i].IsInfinite() {
-				res.HolisticRatios.Sample(cell).Add(float64(hol.TaskEER[i]) / float64(pm.TaskEER[i]))
+				w.rec.AddObs("hol_ratio", float64(hol.TaskEER[i])/float64(pm.TaskEER[i]))
 			}
 		}
+		commitRecord(&p, w, rec, res, &firstErr)
 	})
 	if firstErr != nil {
-		return nil, fmt.Errorf("figure 13: %w", firstErr)
+		return fmt.Errorf("figure 13: %w", firstErr)
 	}
-	return res, nil
+	return nil
+}
+
+// Apply folds one committed record into the bound-ratio grids.
+func (r *BoundRatioResult) Apply(rec *record.CellRecord) error {
+	cell := CellKey{N: rec.N, U: rec.UPct}
+	for i := range rec.Tallies {
+		switch rec.Tallies[i].Key {
+		case "total":
+			r.TotalSystems[cell] += int(rec.Tallies[i].N)
+		case "finite":
+			r.FiniteSystems[cell] += int(rec.Tallies[i].N)
+		}
+	}
+	for i := range rec.Obs {
+		switch rec.Obs[i].Series {
+		case "ratio":
+			r.Ratios.Sample(cell).Add(rec.Obs[i].Value)
+		case "hol_ratio":
+			r.HolisticRatios.Sample(cell).Add(rec.Obs[i].Value)
+		}
+	}
+	return nil
 }
 
 // Table renders the bound-ratio grid with means (cells with no finite

@@ -4,9 +4,14 @@ import (
 	"fmt"
 
 	"rtsync/internal/model"
+	"rtsync/internal/record"
 	"rtsync/internal/report"
 	"rtsync/internal/workload"
 )
+
+// DefaultLockingProtocols is the locking study's full protocol set in
+// canonical display order. The strings are also the record series keys.
+func DefaultLockingProtocols() []string { return []string{"hl", "mpcp", "dpcp"} }
 
 // LockingResult is the outcome of the synchronization-protocol study: per
 // configuration, the fraction of systems each protocol certifies fully
@@ -25,6 +30,23 @@ type LockingResult struct {
 	MPCP *Grid
 	// DPCP mirrors MPCP under the Distributed Priority-Ceiling Protocol.
 	DPCP *Grid
+	// Protocols selects which columns the study ran and the table shows
+	// (subset of DefaultLockingProtocols, in display order).
+	Protocols []string
+}
+
+// NewLockingResult returns an empty locking view over the given protocol
+// selection (nil or empty means all of DefaultLockingProtocols).
+func NewLockingResult(protocols []string) *LockingResult {
+	if len(protocols) == 0 {
+		protocols = DefaultLockingProtocols()
+	}
+	return &LockingResult{
+		HL:        NewGrid("HL schedulable"),
+		MPCP:      NewGrid("MPCP schedulable"),
+		DPCP:      NewGrid("DPCP schedulable"),
+		Protocols: protocols,
+	}
 }
 
 // lockingConfig installs the study's resource knobs on a grid
@@ -38,62 +60,113 @@ func lockingConfig(c workload.Config) workload.Config {
 }
 
 // LockingStudy sweeps the (N, U) grid comparing the three synchronization
-// designs on identical workloads. For each generated system it runs
-// AnalyzeMPCP and AnalyzeDPCP as-is, then rewrites the system into its
-// centralized twin — users of each global resource migrate to the
-// resource's synchronization processor, the resource's scope flips to
-// local — and runs Algorithm SA/DS on that. The rewrite is in place (the
+// designs on identical workloads.
+func LockingStudy(p Params) (*LockingResult, error) {
+	res := NewLockingResult(nil)
+	if err := runLocking(p, res.Protocols, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runLocking runs the selected protocols over the grid. For each generated
+// system it runs AnalyzeMPCP and AnalyzeDPCP as-is, then rewrites the
+// system into its centralized twin — users of each global resource migrate
+// to the resource's synchronization processor, the resource's scope flips
+// to local — and runs Algorithm SA/DS on that. The rewrite is in place (the
 // generator rebuilds every field on the next unit), so the sweep keeps the
 // zero-allocation steady state.
-func LockingStudy(p Params) (*LockingResult, error) {
+func runLocking(p Params, protocols []string, res *LockingResult) error {
 	p = p.withDefaults()
+	if len(protocols) == 0 {
+		protocols = DefaultLockingProtocols()
+	}
+	var wantHL, wantMPCP, wantDPCP bool
+	for _, name := range protocols {
+		switch name {
+		case "hl":
+			wantHL = true
+		case "mpcp":
+			wantMPCP = true
+		case "dpcp":
+			wantDPCP = true
+		default:
+			return fmt.Errorf("locking study: unknown protocol %q (valid: hl, mpcp, dpcp)", name)
+		}
+	}
 	cfgs := make([]workload.Config, len(p.Configs))
 	for i, c := range p.Configs {
 		cfgs[i] = lockingConfig(c)
 	}
 	p.Configs = cfgs
-	res := &LockingResult{
-		HL:   NewGrid("HL schedulable"),
-		MPCP: NewGrid("MPCP schedulable"),
-		DPCP: NewGrid("DPCP schedulable"),
-	}
 	var firstErr error
 	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
+		w.beginUnit("locking", cfg, rec)
 		sys, err := w.gen.Generate(cfg)
 		if err != nil {
 			recordErr(rec, &firstErr, err)
 			return
 		}
+		w.lap(&w.timing.GenNS)
 		if err := w.an.Reset(sys, p.Analysis); err != nil {
 			recordErr(rec, &firstErr, err)
 			return
 		}
 		mpcpOK, dpcpOK, hlOK := 0.0, 0.0, 0.0
-		if w.an.AnalyzeMPCP().AllSchedulable(sys) {
+		if wantMPCP && w.an.AnalyzeMPCP().AllSchedulable(sys) {
 			mpcpOK = 1
 		}
-		if w.an.AnalyzeDPCP().AllSchedulable(sys) {
+		if wantDPCP && w.an.AnalyzeDPCP().AllSchedulable(sys) {
 			dpcpOK = 1
 		}
-		centralizeSharers(sys)
-		if err := w.an.Reset(sys, p.Analysis); err != nil {
-			recordErr(rec, &firstErr, err)
-			return
+		if wantHL {
+			centralizeSharers(sys)
+			if err := w.an.Reset(sys, p.Analysis); err != nil {
+				recordErr(rec, &firstErr, err)
+				return
+			}
+			if w.an.AnalyzeDS().AllSchedulable(sys) {
+				hlOK = 1
+			}
 		}
-		if w.an.AnalyzeDS().AllSchedulable(sys) {
-			hlOK = 1
-		}
+		w.lap(&w.timing.AnaNS)
 		w.noteSchedulable(mpcpOK == 1 || dpcpOK == 1 || hlOK == 1)
-		rec.Begin()
-		cell := cellOf(cfg)
-		res.HL.Sample(cell).Add(hlOK)
-		res.MPCP.Sample(cell).Add(mpcpOK)
-		res.DPCP.Sample(cell).Add(dpcpOK)
+		if wantHL {
+			w.rec.AddVerdict("hl", hlOK == 1)
+			w.rec.AddObs("hl", hlOK)
+		}
+		if wantMPCP {
+			w.rec.AddVerdict("mpcp", mpcpOK == 1)
+			w.rec.AddObs("mpcp", mpcpOK)
+		}
+		if wantDPCP {
+			w.rec.AddVerdict("dpcp", dpcpOK == 1)
+			w.rec.AddObs("dpcp", dpcpOK)
+		}
+		commitRecord(&p, w, rec, res, &firstErr)
 	})
 	if firstErr != nil {
-		return nil, fmt.Errorf("locking study: %w", firstErr)
+		return fmt.Errorf("locking study: %w", firstErr)
 	}
-	return res, nil
+	return nil
+}
+
+// Apply folds one committed record into the per-protocol grids. Records
+// carry observations only for the protocols that ran, so the selection
+// needs no re-filtering here.
+func (r *LockingResult) Apply(rec *record.CellRecord) error {
+	cell := CellKey{N: rec.N, U: rec.UPct}
+	for i := range rec.Obs {
+		switch rec.Obs[i].Series {
+		case "hl":
+			r.HL.Sample(cell).Add(rec.Obs[i].Value)
+		case "mpcp":
+			r.MPCP.Sample(cell).Add(rec.Obs[i].Value)
+		case "dpcp":
+			r.DPCP.Sample(cell).Add(rec.Obs[i].Value)
+		}
+	}
+	return nil
 }
 
 // centralizeSharers rewrites a global-resource system into its centralized
@@ -121,13 +194,35 @@ func centralizeSharers(s *model.System) {
 	}
 }
 
-// Table renders the three schedulable-fraction grids side by side.
+// Table renders the selected schedulable-fraction grids side by side.
 func (r *LockingResult) Table() *report.Table {
+	protos := r.Protocols
+	if len(protos) == 0 {
+		protos = DefaultLockingProtocols()
+	}
+	header := []string{"config"}
+	var grids []*Grid
+	for _, name := range protos {
+		switch name {
+		case "hl":
+			header = append(header, "HL (centralized)")
+			grids = append(grids, r.HL)
+		case "mpcp":
+			header = append(header, "MPCP")
+			grids = append(grids, r.MPCP)
+		case "dpcp":
+			header = append(header, "DPCP")
+			grids = append(grids, r.DPCP)
+		}
+	}
 	t := report.NewTable("Synchronization protocols — fraction of systems fully schedulable (global critical sections)",
-		"config", "HL (centralized)", "MPCP", "DPCP")
-	for _, k := range r.MPCP.Keys() {
+		header...)
+	if len(grids) == 0 {
+		return t
+	}
+	for _, k := range grids[0].Keys() {
 		row := []string{k.String()}
-		for _, g := range []*Grid{r.HL, r.MPCP, r.DPCP} {
+		for _, g := range grids {
 			if s, ok := g.Cells[k]; ok {
 				row = append(row, fmt.Sprintf("%.2f", s.Mean()))
 			} else {

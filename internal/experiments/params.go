@@ -17,6 +17,7 @@ import (
 
 	"rtsync/internal/analysis"
 	"rtsync/internal/obs"
+	"rtsync/internal/record"
 	"rtsync/internal/sim"
 	"rtsync/internal/stats"
 	"rtsync/internal/workload"
@@ -53,6 +54,27 @@ type Params struct {
 	// Runner, aggregating engine counters across the whole sweep. Shared
 	// and atomic; nil keeps the engines on their zero-cost path.
 	Stats *obs.SimStats
+	// Records, when non-nil, receives one CellRecord per swept system in
+	// deterministic global unit order (the turnstile serializes writes),
+	// so a JSONL store written here is byte-identical at any Parallelism.
+	// nil skips record encoding entirely — the default zero-cost path the
+	// steady-state allocation tests pin.
+	Records RecordSink
+	// RecordTimings adds per-phase wall timings (generate / analyze /
+	// simulate) to each record. Timings are volatile, so stores meant to
+	// be byte-reproducible leave this off.
+	RecordTimings bool
+	// RecordSimCounts adds per-unit engine-counter deltas to each record.
+	// Workers switch to private obs.SimStats banks (merged into Stats at
+	// drain time) so the deltas attribute exactly one unit's work.
+	RecordSimCounts bool
+}
+
+// RecordSink receives committed sweep records. Write is always called from
+// inside the ordered-commit turnstile — single-threaded, in global unit
+// order — and must not retain the record past the call.
+type RecordSink interface {
+	Write(*record.CellRecord) error
 }
 
 // withDefaults fills zero fields.
@@ -165,6 +187,20 @@ type worker struct {
 	// prog is this worker's private telemetry shard, nil when the sweep
 	// runs without Params.Progress.
 	prog *obs.SweepShard
+
+	// rec is the worker's retained record scratch, refilled by beginUnit
+	// and committed through commitRecord; timing and counts are the
+	// retained backing values for its optional sections. recStats is the
+	// worker-private counter bank used when Params.RecordSimCounts asks
+	// for exact per-unit engine deltas (base is the unit-start snapshot);
+	// it is merged into the sweep-wide bank when the worker drains.
+	rec      record.CellRecord
+	timing   record.Timing
+	counts   record.SimCounts
+	timings  bool
+	t0       time.Time
+	recStats *obs.SimStats
+	base     obs.CoreCounts
 }
 
 // noteSchedulable tallies one analyzed system's schedulability verdict
@@ -291,7 +327,15 @@ func sweep(p Params, fn func(w *worker, cfg workload.Config, rec *Recorder)) {
 		go func(wi int) {
 			defer wg.Done()
 			var w worker
-			w.sim.Stats = p.Stats
+			w.timings = p.RecordTimings
+			if p.RecordSimCounts {
+				// Private bank: per-unit deltas must not interleave with
+				// other workers' runs. Merged into the shared bank below.
+				w.recStats = obs.NewSimStats()
+				w.sim.Stats = w.recStats
+			} else {
+				w.sim.Stats = p.Stats
+			}
 			if run != nil {
 				w.prog = run.Shard(wi)
 			}
@@ -318,6 +362,9 @@ func sweep(p Params, fn func(w *worker, cfg workload.Config, rec *Recorder)) {
 				}
 				rec.Begin() // take the turn even when fn recorded nothing
 				gt.leave()
+			}
+			if w.recStats != nil && p.Stats != nil {
+				p.Stats.Merge(w.recStats)
 			}
 			pprof.SetGoroutineLabels(bg)
 		}(i)

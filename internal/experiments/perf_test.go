@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"bytes"
+	"io"
 	"reflect"
 	"runtime"
 	"testing"
 
 	"rtsync/internal/model"
 	"rtsync/internal/obs"
+	"rtsync/internal/record"
 	"rtsync/internal/sim"
 	"rtsync/internal/workload"
 )
@@ -72,6 +75,62 @@ func TestSweepDeterminism(t *testing.T) {
 	}
 }
 
+// TestSweepJSONLDeterminism checks the result store end of the turnstile:
+// the JSONL byte stream a sweep writes is identical at any Parallelism, and
+// replaying it through a fresh view reproduces the live result bit-for-bit.
+func TestSweepJSONLDeterminism(t *testing.T) {
+	base := benchSweepParams()
+	base.SystemsPerConfig = 4
+	parallelisms := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	var stores [][]byte
+	var views []*AvgEERResult
+	for _, par := range parallelisms {
+		var buf bytes.Buffer
+		wr := record.NewWriter(&buf)
+		p := base
+		p.Parallelism = par
+		p.Records = wr
+		res, err := AvgEERStudy(p)
+		if err != nil {
+			t.Fatalf("AvgEERStudy(parallelism=%d): %v", par, err)
+		}
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(len(base.Configs) * base.SystemsPerConfig); wr.Count() != want {
+			t.Fatalf("parallelism %d wrote %d records, want %d", par, wr.Count(), want)
+		}
+		stores = append(stores, buf.Bytes())
+		views = append(views, res)
+	}
+	for i := 1; i < len(parallelisms); i++ {
+		if !bytes.Equal(stores[0], stores[i]) {
+			t.Errorf("JSONL store at parallelism %d differs from sequential", parallelisms[i])
+		}
+	}
+
+	replay := NewAvgEERResult()
+	rd := record.NewReader(bytes.NewReader(stores[0]))
+	rd.Verify = true
+	var rec record.CellRecord
+	for {
+		ok, err := rd.Next(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if err := replay.Apply(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(views[0], replay) {
+		t.Error("replayed view differs from live sweep result")
+	}
+}
+
 // TestSweepSteadyStateZeroAllocs proves the tentpole: a warm worker's
 // per-system loop — generate, analyze, fill bounds, simulate two
 // protocols, snapshot metrics — allocates nothing per additional system,
@@ -79,11 +138,15 @@ func TestSweepDeterminism(t *testing.T) {
 // preallocated atomics, so routing every run through it adds no
 // allocations).
 func TestSweepSteadyStateZeroAllocs(t *testing.T) {
-	t.Run("stats-off", func(t *testing.T) { testSweepZeroAllocs(t, nil) })
-	t.Run("stats-on", func(t *testing.T) { testSweepZeroAllocs(t, obs.NewSimStats()) })
+	t.Run("stats-off", func(t *testing.T) { testSweepZeroAllocs(t, nil, false) })
+	t.Run("stats-on", func(t *testing.T) { testSweepZeroAllocs(t, obs.NewSimStats(), false) })
+	// With the record path active but no sink attached (the default for
+	// plain figure runs), filling the retained record and folding it into
+	// the view must stay allocation-free too.
+	t.Run("record-fill", func(t *testing.T) { testSweepZeroAllocs(t, nil, true) })
 }
 
-func testSweepZeroAllocs(t *testing.T, st *obs.SimStats) {
+func testSweepZeroAllocs(t *testing.T, st *obs.SimStats, records bool) {
 	cfg := workload.DefaultConfig(4, 0.6)
 	p := Params{}.withDefaults()
 	var w worker
@@ -92,6 +155,7 @@ func testSweepZeroAllocs(t *testing.T, st *obs.SimStats) {
 	dsP := sim.NewDS()
 	pmP := sim.NewPM(nil)
 	var ds, pm sim.Metrics
+	view := NewAvgEERResult()
 
 	// Rotate over a fixed seed set so the measured runs retrace warmed
 	// capacities instead of growing them.
@@ -127,6 +191,22 @@ func testSweepZeroAllocs(t *testing.T, st *obs.SimStats) {
 			return
 		}
 		pm.CopyFrom(out.Metrics)
+		if records {
+			// The live record path minus the sink: refill the worker's
+			// retained record with the study's real helpers and fold it
+			// into the view, exactly what commitRecord does when
+			// Params.Records is nil.
+			w.rec.Reset("avgeer", cfg)
+			w.rec.AddVerdict("pm", true)
+			for i := range sys.Tasks {
+				addRatioObs(&w.rec, "pm_ds", &pm, &ds, i)
+				addJitterObs(&w.rec, "jit_pm", &pm, i, float64(sys.Tasks[i].Period))
+				addEERObs(&w.rec, "eer_ds", &ds, i)
+			}
+			if err := view.Apply(&w.rec); err != nil {
+				unitErr = err
+			}
+		}
 	}
 	for i := 0; i < 2*len(seeds); i++ {
 		unit()
@@ -150,6 +230,22 @@ func testSweepZeroAllocs(t *testing.T, st *obs.SimStats) {
 // BENCH_experiments.json.
 func BenchmarkSweep(b *testing.B) {
 	p := benchSweepParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AvgEERStudy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepJSONL is BenchmarkSweep with the JSONL result store
+// attached (sink: io.Discard); the delta against BenchmarkSweep is the full
+// record-store overhead — encode, content hash, turnstile-serialized write —
+// for 16 swept systems.
+func BenchmarkSweepJSONL(b *testing.B) {
+	p := benchSweepParams()
+	p.Records = record.NewWriter(io.Discard)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtsync/internal/record"
+	"rtsync/internal/report"
+)
+
+// View is a figure accumulator fed one committed CellRecord at a time. The
+// live sweep and cmd/rtreport's store replay drive the SAME Apply method,
+// so a figure rendered from a JSONL store is byte-identical to the one the
+// sweep printed — by construction, not by parallel bookkeeping. Apply must
+// ignore unknown series and tallies (future schema versions may add some).
+type View interface {
+	Apply(r *record.CellRecord) error
+}
+
+// StudyArgs carries the study-specific knobs shared by cmd/rtexperiments
+// and cmd/rtreport. A view built from the same args as the sweep that wrote
+// the store reproduces the sweep's tables exactly.
+type StudyArgs struct {
+	// JitterFraction is the release-jitter study's maximum extra delay as
+	// a fraction of the period.
+	JitterFraction float64
+	// ExecFractions are the exec-variation study's BCET/WCET ratios.
+	ExecFractions []float64
+	// SensitivityN, SensitivityU, and SensitivityShapes fix the
+	// population-shape study's (N, U) point and its (processors, tasks)
+	// sweep.
+	SensitivityN      int
+	SensitivityU      float64
+	SensitivityShapes [][2]int
+	// Protocols selects the locking study's columns (subset of
+	// DefaultLockingProtocols, in display order).
+	Protocols []string
+}
+
+// DefaultStudyArgs returns the committed results/* parameterization — the
+// values the pre-registry CLI hardcoded.
+func DefaultStudyArgs() StudyArgs {
+	return StudyArgs{
+		JitterFraction:    0.5,
+		ExecFractions:     []float64{1.0, 0.75, 0.5, 0.25},
+		SensitivityN:      5,
+		SensitivityU:      0.7,
+		SensitivityShapes: [][2]int{{3, 8}, {4, 12}, {6, 12}, {4, 18}, {8, 24}},
+		Protocols:         DefaultLockingProtocols(),
+	}
+}
+
+// Output is one rendered table of a figure: its file/CSV base name and the
+// pure view→table function.
+type Output struct {
+	Name  string
+	Table func(v View) *report.Table
+}
+
+// Figure is one -figure selector and the outputs it emits.
+type Figure struct {
+	Name    string
+	Outputs []Output
+}
+
+// Study is one registry entry: the record Study tag, how to build an empty
+// view, how to run one sweep seed into it, and which figures render from
+// it. Static studies (the §3.3 overhead table) have no sweep and no
+// records; their Output.Table ignores the nil view.
+type Study struct {
+	Name    string
+	Static  bool
+	Note    func(systems int) string
+	New     func(a StudyArgs) View
+	Run     func(p Params, a StudyArgs, v View) error
+	Figures []Figure
+}
+
+// Studies returns the full registry in canonical output order — the order
+// `-figure all` renders and the order rtreport replays.
+func Studies() []Study {
+	return []Study{
+		{
+			Name: "fig12",
+			Note: func(n int) string { return fmt.Sprintf("figure 12: %d systems/config", n) },
+			New:  func(StudyArgs) View { return NewFailureRateResult() },
+			Run:  func(p Params, _ StudyArgs, v View) error { return runFig12(p, v.(*FailureRateResult)) },
+			Figures: []Figure{{Name: "12", Outputs: []Output{
+				{Name: "fig12", Table: func(v View) *report.Table { return v.(*FailureRateResult).Table() }},
+			}}},
+		},
+		{
+			Name: "fig13",
+			Note: func(n int) string { return fmt.Sprintf("figure 13: %d systems/config", n) },
+			New:  func(StudyArgs) View { return NewBoundRatioResult() },
+			Run:  func(p Params, _ StudyArgs, v View) error { return runFig13(p, v.(*BoundRatioResult)) },
+			Figures: []Figure{{Name: "13", Outputs: []Output{
+				{Name: "fig13", Table: func(v View) *report.Table { return v.(*BoundRatioResult).Table() }},
+				{Name: "fig13-ci", Table: func(v View) *report.Table { return v.(*BoundRatioResult).CITable() }},
+				{Name: "fig13-holistic", Table: func(v View) *report.Table { return v.(*BoundRatioResult).HolisticTable() }},
+			}}},
+		},
+		{
+			Name: "avgeer",
+			Note: func(n int) string { return fmt.Sprintf("figures 14-16 + ablations: %d systems/config", n) },
+			New:  func(StudyArgs) View { return NewAvgEERResult() },
+			Run:  func(p Params, _ StudyArgs, v View) error { return runAvgEER(p, v.(*AvgEERResult)) },
+			Figures: []Figure{
+				{Name: "14", Outputs: []Output{{Name: "fig14", Table: func(v View) *report.Table { return v.(*AvgEERResult).Fig14Table() }}}},
+				{Name: "15", Outputs: []Output{{Name: "fig15", Table: func(v View) *report.Table { return v.(*AvgEERResult).Fig15Table() }}}},
+				{Name: "16", Outputs: []Output{{Name: "fig16", Table: func(v View) *report.Table { return v.(*AvgEERResult).Fig16Table() }}}},
+				{Name: "rg-rule2", Outputs: []Output{{Name: "rg-rule2", Table: func(v View) *report.Table { return v.(*AvgEERResult).RGRule2Table() }}}},
+				{Name: "jitter", Outputs: []Output{{Name: "jitter", Table: func(v View) *report.Table { return v.(*AvgEERResult).JitterTable() }}}},
+			},
+		},
+		{
+			Name: "release-jitter",
+			Note: func(int) string { return "release-jitter study" },
+			New:  func(a StudyArgs) View { return NewReleaseJitterResult(a.JitterFraction) },
+			Run: func(p Params, a StudyArgs, v View) error {
+				return runReleaseJitter(p, a.JitterFraction, v.(*ReleaseJitterResult))
+			},
+			Figures: []Figure{{Name: "release-jitter", Outputs: []Output{
+				{Name: "release-jitter", Table: func(v View) *report.Table { return v.(*ReleaseJitterResult).Table() }},
+			}}},
+		},
+		{
+			Name: "edf",
+			Note: func(n int) string { return fmt.Sprintf("EDF study: %d systems/config", n) },
+			New:  func(StudyArgs) View { return NewEDFResult() },
+			Run:  func(p Params, _ StudyArgs, v View) error { return runEDF(p, v.(*EDFResult)) },
+			Figures: []Figure{{Name: "edf", Outputs: []Output{
+				{Name: "edf", Table: func(v View) *report.Table { return v.(*EDFResult).Table() }},
+			}}},
+		},
+		{
+			Name: "execvar",
+			Note: func(n int) string { return fmt.Sprintf("exec-variation study: %d systems/config", n) },
+			New:  func(a StudyArgs) View { return NewExecVariationResult(a.ExecFractions) },
+			Run: func(p Params, a StudyArgs, v View) error {
+				return runExecVariation(p, a.ExecFractions, v.(*ExecVariationResult))
+			},
+			Figures: []Figure{{Name: "exec-variation", Outputs: []Output{
+				{Name: "exec-variation", Table: func(v View) *report.Table { return v.(*ExecVariationResult).Table() }},
+			}}},
+		},
+		{
+			Name: "tightness",
+			Note: func(n int) string { return fmt.Sprintf("tightness study: %d tiny systems", n) },
+			New:  func(StudyArgs) View { return NewTightnessResult() },
+			Run:  func(p Params, _ StudyArgs, v View) error { return runTightness(p, v.(*TightnessResult)) },
+			Figures: []Figure{{Name: "tightness", Outputs: []Output{
+				{Name: "tightness", Table: func(v View) *report.Table { return v.(*TightnessResult).Table() }},
+			}}},
+		},
+		{
+			Name: "sensitivity",
+			Note: func(n int) string { return fmt.Sprintf("sensitivity study: %d systems/shape", n) },
+			New: func(a StudyArgs) View {
+				return NewSensitivityResult(a.SensitivityN, a.SensitivityU, a.SensitivityShapes)
+			},
+			Run: func(p Params, a StudyArgs, v View) error {
+				return runSensitivity(p, a.SensitivityN, a.SensitivityU, a.SensitivityShapes, v.(*SensitivityResult))
+			},
+			Figures: []Figure{{Name: "sensitivity", Outputs: []Output{
+				{Name: "sensitivity", Table: func(v View) *report.Table { return v.(*SensitivityResult).Table() }},
+			}}},
+		},
+		{
+			Name: "locking",
+			Note: func(n int) string { return fmt.Sprintf("locking study: %d systems/config", n) },
+			New:  func(a StudyArgs) View { return NewLockingResult(a.Protocols) },
+			Run:  func(p Params, a StudyArgs, v View) error { return runLocking(p, a.Protocols, v.(*LockingResult)) },
+			Figures: []Figure{{Name: "locking", Outputs: []Output{
+				{Name: "locking", Table: func(v View) *report.Table { return v.(*LockingResult).Table() }},
+			}}},
+		},
+		{
+			Name:   "overhead",
+			Static: true,
+			Figures: []Figure{{Name: "overhead", Outputs: []Output{
+				{Name: "overhead", Table: func(View) *report.Table { return OverheadTable() }},
+			}}},
+		},
+	}
+}
+
+// FigureNames lists every -figure selector in canonical order.
+func FigureNames() []string {
+	var names []string
+	for _, s := range Studies() {
+		for _, f := range s.Figures {
+			names = append(names, f.Name)
+		}
+	}
+	return names
+}
+
+// StudyByName resolves a record's Study tag to its registry entry.
+func StudyByName(name string) (Study, bool) {
+	for _, s := range Studies() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Study{}, false
+}

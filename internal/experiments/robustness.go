@@ -5,17 +5,31 @@ import (
 	"math/rand"
 
 	"rtsync/internal/model"
+	"rtsync/internal/record"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
 	"rtsync/internal/workload"
 )
 
+// jitterProtoNames is the fixed protocol order of the release-jitter study:
+// display names for tables, record series suffixes for the store.
+var (
+	jitterProtoNames    = [4]string{"DS", "PM", "MPM", "RG"}
+	jitterVioSeries     = [4]string{"vios_ds", "vios_pm", "vios_mpm", "vios_rg"}
+	jitterHasVioSeries  = [4]string{"has_vio_ds", "has_vio_pm", "has_vio_mpm", "has_vio_rg"}
+	jitterSkippedSeries = "skipped"
+)
+
 // ReleaseJitterResult is the outcome of extension A3: simulate with
-// sporadic first releases (random extra delay up to JitterFraction of each
+// sporadic first releases (random extra delay up to Fraction of each
 // task's period before each first-subtask release) and count precedence
 // violations per protocol. §3.1 predicts PM breaks while DS, MPM, and RG
 // stay correct.
 type ReleaseJitterResult struct {
+	// Fraction is the jitter fraction this view aggregates. Records carry
+	// the fraction as the obs Param, so one store can hold several jitter
+	// sweeps and each view picks out its own.
+	Fraction float64
 	// ViolationsPerSystem maps protocol name to a per-cell sample of
 	// precedence violations per system.
 	ViolationsPerSystem map[string]*Grid
@@ -25,22 +39,35 @@ type ReleaseJitterResult struct {
 	Skipped               map[CellKey]int
 }
 
+// NewReleaseJitterResult returns an empty A3 view for one jitter fraction.
+func NewReleaseJitterResult(jitterFraction float64) *ReleaseJitterResult {
+	res := &ReleaseJitterResult{
+		Fraction:              jitterFraction,
+		ViolationsPerSystem:   make(map[string]*Grid, len(jitterProtoNames)),
+		SystemsWithViolations: make(map[string]map[CellKey]int, len(jitterProtoNames)),
+		Skipped:               make(map[CellKey]int),
+	}
+	for _, n := range jitterProtoNames {
+		res.ViolationsPerSystem[n] = NewGrid(n)
+		res.SystemsWithViolations[n] = make(map[CellKey]int)
+	}
+	return res
+}
+
 // ReleaseJitterStudy runs extension A3. jitterFraction is the maximum extra
 // inter-release delay as a fraction of the period (e.g. 0.5).
 func ReleaseJitterStudy(p Params, jitterFraction float64) (*ReleaseJitterResult, error) {
+	res := NewReleaseJitterResult(jitterFraction)
+	if err := runReleaseJitter(p, jitterFraction, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runReleaseJitter(p Params, jitterFraction float64, res *ReleaseJitterResult) error {
 	p = p.withDefaults()
 	if jitterFraction < 0 {
-		return nil, fmt.Errorf("release-jitter study: negative jitter fraction %v", jitterFraction)
-	}
-	names := []string{"DS", "PM", "MPM", "RG"}
-	res := &ReleaseJitterResult{
-		ViolationsPerSystem:   make(map[string]*Grid, len(names)),
-		SystemsWithViolations: make(map[string]map[CellKey]int, len(names)),
-		Skipped:               make(map[CellKey]int),
-	}
-	for _, n := range names {
-		res.ViolationsPerSystem[n] = NewGrid(n)
-		res.SystemsWithViolations[n] = make(map[CellKey]int)
+		return fmt.Errorf("release-jitter study: negative jitter fraction %v", jitterFraction)
 	}
 	var firstErr error
 	sweep(p, func(w *worker, cfg workload.Config, rec *Recorder) {
@@ -53,21 +80,25 @@ func ReleaseJitterStudy(p Params, jitterFraction float64) (*ReleaseJitterResult,
 			sc.protocols = [4]sim.Protocol{sim.NewDS(), sim.NewPM(nil), sim.NewMPM(nil), sim.NewRG()}
 			w.scratch = sc
 		}
+		w.beginUnit("release-jitter", cfg, rec)
 		sys, err := w.gen.Generate(cfg)
 		if err != nil {
 			recordErr(rec, &firstErr, err)
 			return
 		}
-		cell := cellOf(cfg)
+		w.lap(&w.timing.GenNS)
 		if err := w.an.Reset(sys, p.Analysis); err != nil {
 			recordErr(rec, &firstErr, err)
 			return
 		}
 		if !fillPMBounds(sc.bounds, w.an.AnalyzePM()) {
-			rec.Begin()
-			res.Skipped[cell]++
+			w.lap(&w.timing.AnaNS)
+			w.rec.AddVerdict("pm", false)
+			w.rec.AddObsP(jitterSkippedSeries, jitterFraction, 1)
+			commitRecord(&p, w, rec, res, &firstErr)
 			return
 		}
+		w.lap(&w.timing.AnaNS)
 		sc.protocols[1].(*sim.PM).SetBounds(sc.bounds)
 		sc.protocols[2].(*sim.MPM).SetBounds(sc.bounds)
 
@@ -83,26 +114,53 @@ func ReleaseJitterStudy(p Params, jitterFraction float64) (*ReleaseJitterResult,
 				FirstReleaseDelay: sc.delayFn,
 			})
 			if err != nil {
-				recordErr(rec, &firstErr, fmt.Errorf("%s: %w", names[pi], err))
+				recordErr(rec, &firstErr, fmt.Errorf("%s: %w", jitterProtoNames[pi], err))
 				return
 			}
 			sc.vios[pi] = out.Metrics.PrecedenceViolations
 		}
-		rec.Begin()
-		for pi, name := range names {
-			res.ViolationsPerSystem[name].Sample(cell).Add(float64(sc.vios[pi]))
+		w.lap(&w.timing.SimNS)
+		w.rec.AddVerdict("pm", true)
+		for pi := range sc.protocols {
+			w.rec.AddObsP(jitterVioSeries[pi], jitterFraction, float64(sc.vios[pi]))
 			if sc.vios[pi] > 0 {
-				res.SystemsWithViolations[name][cell]++
+				w.rec.AddObsP(jitterHasVioSeries[pi], jitterFraction, 1)
 			}
 		}
+		commitRecord(&p, w, rec, res, &firstErr)
 	})
 	if firstErr != nil {
-		return nil, fmt.Errorf("release-jitter study: %w", firstErr)
+		return fmt.Errorf("release-jitter study: %w", firstErr)
 	}
-	return res, nil
+	return nil
 }
 
-// jitterScratch is ReleaseJitterStudy's per-worker retained state: a
+// Apply folds one committed record into the violation grids, keeping only
+// observations tagged with this view's jitter fraction.
+func (r *ReleaseJitterResult) Apply(rec *record.CellRecord) error {
+	cell := CellKey{N: rec.N, U: rec.UPct}
+	for i := range rec.Obs {
+		o := &rec.Obs[i]
+		if o.Param != r.Fraction {
+			continue
+		}
+		if o.Series == jitterSkippedSeries {
+			r.Skipped[cell] += int(o.Value)
+			continue
+		}
+		for pi, name := range jitterProtoNames {
+			switch o.Series {
+			case jitterVioSeries[pi]:
+				r.ViolationsPerSystem[name].Sample(cell).Add(o.Value)
+			case jitterHasVioSeries[pi]:
+				r.SystemsWithViolations[name][cell] += int(o.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// jitterScratch is the release-jitter study's per-worker retained state: a
 // refilled bounds map, the four protocol instances in the fixed DS, PM,
 // MPM, RG order, the reused delay sampler (and its cached function value),
 // and the per-protocol violation counts of the current system.

@@ -5,6 +5,7 @@ import (
 
 	"rtsync/internal/analysis"
 	"rtsync/internal/model"
+	"rtsync/internal/record"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
 	"rtsync/internal/stats"
@@ -17,7 +18,7 @@ import (
 // average-EER ratios and the DS failure rate are measured while the
 // population shape varies at a fixed (N, U).
 type SensitivityResult struct {
-	// Rows are in sweep order.
+	// Rows are in sweep order, pre-created from the shape list.
 	Rows []SensitivityRow
 	// N and UtilizationPct identify the fixed configuration.
 	N, UtilizationPct int
@@ -31,14 +32,44 @@ type SensitivityRow struct {
 	SkippedForInfinite int
 }
 
+// NewSensitivityResult returns an empty A10 view with one row per shape.
+func NewSensitivityResult(n int, utilization float64, shapes [][2]int) *SensitivityResult {
+	res := &SensitivityResult{N: n, UtilizationPct: int(utilization*100 + 0.5)}
+	for _, shape := range shapes {
+		res.Rows = append(res.Rows, SensitivityRow{Processors: shape[0], Tasks: shape[1]})
+	}
+	return res
+}
+
+// row finds the view's row for one population shape (nil when the shape is
+// not part of this view).
+func (r *SensitivityResult) row(procs, tasks int) *SensitivityRow {
+	for i := range r.Rows {
+		if r.Rows[i].Processors == procs && r.Rows[i].Tasks == tasks {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
 // SensitivityStudy sweeps population shapes at one (N, U) configuration.
 // shapes lists (processors, tasks) pairs; the paper's shape is (4, 12).
 func SensitivityStudy(p Params, n int, utilization float64, shapes [][2]int) (*SensitivityResult, error) {
-	p = p.withDefaults()
 	if len(shapes) == 0 {
 		return nil, fmt.Errorf("sensitivity study: no shapes given")
 	}
-	res := &SensitivityResult{N: n, UtilizationPct: int(utilization*100 + 0.5)}
+	res := NewSensitivityResult(n, utilization, shapes)
+	if err := runSensitivity(p, n, utilization, shapes, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runSensitivity(p Params, n int, utilization float64, shapes [][2]int, res *SensitivityResult) error {
+	p = p.withDefaults()
+	if len(shapes) == 0 {
+		return fmt.Errorf("sensitivity study: no shapes given")
+	}
 	// The whole sequential sweep shares one recycled pipeline: a workload
 	// Generator, a Runner, an Analyzer, a refilled bounds map, one instance
 	// of each protocol, and per-protocol metrics snapshots (runs invalidate
@@ -49,19 +80,20 @@ func SensitivityStudy(p Params, n int, utilization float64, shapes [][2]int) (*S
 	bounds := make(sim.Bounds)
 	dsP, pmP, rgP := sim.NewDS(), sim.NewPM(nil), sim.NewRG()
 	var ds, pm, rg sim.Metrics
+	em := seqEmitter{p: &p, v: res}
 	for _, shape := range shapes {
 		cfg := workload.DefaultConfig(n, utilization)
 		cfg.Processors = shape[0]
 		cfg.Tasks = shape[1]
 		if err := cfg.Validate(); err != nil {
-			return nil, fmt.Errorf("sensitivity study: shape %v: %w", shape, err)
+			return fmt.Errorf("sensitivity study: shape %v: %w", shape, err)
 		}
-		row := SensitivityRow{Processors: shape[0], Tasks: shape[1]}
 		for k := 0; k < p.SystemsPerConfig; k++ {
 			cfg.Seed = p.Seed + int64(k)*7919 + int64(shape[0])*101 + int64(shape[1])
+			rec := em.begin("sensitivity", cfg)
 			sys, err := gen.Generate(cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			// DS runs with StopOnFailure (only Failed matters), PM with the
 			// caller's options — two Resets, with the DS result consumed
@@ -69,21 +101,27 @@ func SensitivityStudy(p Params, n int, utilization float64, shapes [][2]int) (*S
 			dsOpts := p.Analysis
 			dsOpts.StopOnFailure = true
 			if err := an.Reset(sys, dsOpts); err != nil {
-				return nil, err
+				return err
 			}
+			failed := 0.0
 			if an.AnalyzeDS().Failed() {
-				row.FailureRate.Add(1)
-			} else {
-				row.FailureRate.Add(0)
+				failed = 1
 			}
+			rec.AddVerdict("ds", failed == 0)
+			rec.AddObs("failed", failed)
 
 			if err := an.Reset(sys, p.Analysis); err != nil {
-				return nil, err
+				return err
 			}
 			if !fillPMBounds(bounds, an.AnalyzePM()) {
-				row.SkippedForInfinite++
+				rec.AddVerdict("pm", false)
+				rec.AddTally("skipped_inf", 1)
+				if err := em.commit(); err != nil {
+					return err
+				}
 				continue
 			}
+			rec.AddVerdict("pm", true)
 			pmP.SetBounds(bounds)
 			horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
 			run := func(dst *sim.Metrics, protocol sim.Protocol) error {
@@ -95,29 +133,56 @@ func SensitivityStudy(p Params, n int, utilization float64, shapes [][2]int) (*S
 				return nil
 			}
 			if err := run(&ds, dsP); err != nil {
-				return nil, err
+				return err
 			}
 			if err := run(&pm, pmP); err != nil {
-				return nil, err
+				return err
 			}
 			if err := run(&rg, rgP); err != nil {
-				return nil, err
+				return err
 			}
 			for i := range sys.Tasks {
 				if ds.Tasks[i].Completed == 0 || ds.Tasks[i].AvgEER() <= 0 {
 					continue
 				}
 				if pm.Tasks[i].Completed > 0 {
-					row.PMDS.Add(pm.Tasks[i].AvgEER() / ds.Tasks[i].AvgEER())
+					rec.AddObs("pm_ds", pm.Tasks[i].AvgEER()/ds.Tasks[i].AvgEER())
 				}
 				if rg.Tasks[i].Completed > 0 {
-					row.RGDS.Add(rg.Tasks[i].AvgEER() / ds.Tasks[i].AvgEER())
+					rec.AddObs("rg_ds", rg.Tasks[i].AvgEER()/ds.Tasks[i].AvgEER())
 				}
 			}
+			if err := em.commit(); err != nil {
+				return err
+			}
 		}
-		res.Rows = append(res.Rows, row)
 	}
-	return res, nil
+	return nil
+}
+
+// Apply folds one committed record into its shape's row, located by the
+// record's full config (the grid cell is fixed in this study).
+func (r *SensitivityResult) Apply(rec *record.CellRecord) error {
+	row := r.row(rec.Config.Processors, rec.Config.Tasks)
+	if row == nil {
+		return nil
+	}
+	for i := range rec.Tallies {
+		if rec.Tallies[i].Key == "skipped_inf" {
+			row.SkippedForInfinite += int(rec.Tallies[i].N)
+		}
+	}
+	for i := range rec.Obs {
+		switch rec.Obs[i].Series {
+		case "failed":
+			row.FailureRate.Add(rec.Obs[i].Value)
+		case "pm_ds":
+			row.PMDS.Add(rec.Obs[i].Value)
+		case "rg_ds":
+			row.RGDS.Add(rec.Obs[i].Value)
+		}
+	}
+	return nil
 }
 
 // Table renders the sensitivity sweep.

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"time"
+
+	"rtsync/internal/record"
+	"rtsync/internal/workload"
+)
+
+// beginUnit refills the worker's retained record for the unit it is about
+// to process: study tag, grid cell, full config (seed already installed by
+// sweep), and the unit's global commit order. With timings or sim counts
+// requested it also arms the phase clock and snapshots the private counter
+// bank.
+func (w *worker) beginUnit(study string, cfg workload.Config, rec *Recorder) {
+	w.rec.Reset(study, cfg)
+	w.rec.Unit = rec.unit
+	if w.timings {
+		w.timing = record.Timing{}
+		w.t0 = time.Now()
+	}
+	if w.recStats != nil {
+		w.base = w.recStats.Core()
+	}
+}
+
+// lap charges the wall time since the last lap (or beginUnit) to one phase
+// accumulator; free when timings are off. Studies call it after generation,
+// after the analyses, and after the simulations.
+func (w *worker) lap(dst *int64) {
+	if !w.timings {
+		return
+	}
+	now := time.Now()
+	*dst += now.Sub(w.t0).Nanoseconds()
+	w.t0 = now
+}
+
+// commitRecord finishes one unit: it seals the optional record sections,
+// claims the unit's turnstile turn, folds the record into the live view,
+// and streams it to the sink. The live sweep and rtreport's replay share
+// the same View.Apply, which is what makes "figures are views over the
+// record store" hold by construction rather than by parallel maintenance.
+//
+// Errors (from Apply or the sink) are recorded as the sweep's first error
+// in deterministic unit order, exactly like recordErr.
+func commitRecord(p *Params, w *worker, rec *Recorder, v View, firstErr *error) {
+	if w.timings {
+		w.rec.Timing = &w.timing
+	}
+	if w.recStats != nil {
+		c := w.recStats.Core()
+		w.counts = record.SimCounts{
+			Events:   c.Events - w.base.Events,
+			Preempts: c.Preemptions - w.base.Preemptions,
+			Switches: c.ContextSwitches - w.base.ContextSwitches,
+			Runs:     c.Runs - w.base.Runs,
+		}
+		w.rec.Sim = &w.counts
+	}
+	rec.Begin()
+	if err := v.Apply(&w.rec); err != nil {
+		if *firstErr == nil {
+			*firstErr = err
+		}
+		return
+	}
+	if p.Records != nil {
+		if err := p.Records.Write(&w.rec); err != nil && *firstErr == nil {
+			*firstErr = err
+		}
+	}
+}
+
+// seqEmitter drives the record path for the sequential studies (tightness,
+// sensitivity), which run outside the worker-pool sweep: one retained
+// record, monotonically increasing unit numbers, Apply-then-sink on every
+// emit. Phase timings and sim counts are sweep-only.
+type seqEmitter struct {
+	p    *Params
+	v    View
+	rec  record.CellRecord
+	unit int64
+}
+
+// begin refills the retained record for the next sequential unit.
+func (e *seqEmitter) begin(study string, cfg workload.Config) *record.CellRecord {
+	e.rec.Reset(study, cfg)
+	e.rec.Unit = e.unit
+	e.unit++
+	return &e.rec
+}
+
+// commit folds the record into the view and streams it to the sink.
+func (e *seqEmitter) commit() error {
+	if err := e.v.Apply(&e.rec); err != nil {
+		return err
+	}
+	if e.p.Records != nil {
+		return e.p.Records.Write(&e.rec)
+	}
+	return nil
+}

@@ -8,9 +8,11 @@ import (
 	"rtsync/internal/exhaustive"
 	"rtsync/internal/model"
 	"rtsync/internal/priority"
+	"rtsync/internal/record"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
 	"rtsync/internal/stats"
+	"rtsync/internal/workload"
 )
 
 // TightnessResult is the outcome of extension A5: on tiny systems whose
@@ -38,21 +40,34 @@ type TightnessResult struct {
 	Systems int
 }
 
-// TightnessStudy runs extension A5 over `systems` random tiny systems
-// (2 processors, 3 tasks, chains of up to 2, periods in {4,5,6,8}).
-func TightnessStudy(systems int, seed int64) (*TightnessResult, error) {
-	if systems < 1 {
-		return nil, fmt.Errorf("tightness study: need at least one system")
+// NewTightnessResult returns an empty A5 view.
+func NewTightnessResult() *TightnessResult { return &TightnessResult{} }
+
+// TightnessStudy runs extension A5 over p.SystemsPerConfig random tiny
+// systems (2 processors, 3 tasks, chains of up to 2, periods in {4,5,6,8})
+// seeded from p.Seed.
+func TightnessStudy(p Params) (*TightnessResult, error) {
+	res := NewTightnessResult()
+	if err := runTightness(p, res); err != nil {
+		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	res := &TightnessResult{}
+	return res, nil
+}
+
+func runTightness(p Params, res *TightnessResult) error {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
 	var an analysis.Analyzer
-	for k := 0; k < systems; k++ {
+	em := seqEmitter{p: &p, v: res}
+	for k := 0; k < p.SystemsPerConfig; k++ {
 		s := tinySystem(rng)
+		// The record carries only the seed: tiny systems come from a shared
+		// rng stream, not from a workload.Config.
+		rec := em.begin("tightness", workload.Config{Seed: p.Seed})
 		// One Reset per system serves all three analyses; every result is
 		// consumed before the next iteration's Reset invalidates it.
 		if err := an.Reset(s, analysis.DefaultOptions()); err != nil {
-			return nil, err
+			return err
 		}
 		pm := an.AnalyzePM()
 		ds := an.AnalyzeDS()
@@ -69,13 +84,13 @@ func TightnessStudy(systems int, seed int64) (*TightnessResult, error) {
 			return sim.NewDS(), nil
 		}, exhaustive.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		actualRG, err := exhaustive.WorstEER(s, func(*model.System) (sim.Protocol, error) {
 			return sim.NewRG(), nil
 		}, exhaustive.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var actualPM *exhaustive.Result
 		if pmRunnable {
@@ -84,34 +99,74 @@ func TightnessStudy(systems int, seed int64) (*TightnessResult, error) {
 				return sim.NewPM(b), nil
 			}, exhaustive.Options{})
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 
+		var exactSAPM, exactSADS, tasks int64
 		for i := range s.Tasks {
 			if !pm.TaskEER[i].IsInfinite() && actualRG.WorstEER[i] > 0 {
-				res.SAPMOverActualRG.Add(float64(pm.TaskEER[i]) / float64(actualRG.WorstEER[i]))
+				rec.AddObs("sapm_rg", float64(pm.TaskEER[i])/float64(actualRG.WorstEER[i]))
 				if pm.TaskEER[i] == actualRG.WorstEER[i] {
-					res.ExactSAPM++
+					exactSAPM++
 				}
 			}
 			if actualPM != nil && !pm.TaskEER[i].IsInfinite() && actualPM.WorstEER[i] > 0 {
-				res.SAPMOverActualPM.Add(float64(pm.TaskEER[i]) / float64(actualPM.WorstEER[i]))
+				rec.AddObs("sapm_pm", float64(pm.TaskEER[i])/float64(actualPM.WorstEER[i]))
 			}
 			if !ds.TaskEER[i].IsInfinite() && actualDS.WorstEER[i] > 0 {
-				res.SADSOverActualDS.Add(float64(ds.TaskEER[i]) / float64(actualDS.WorstEER[i]))
+				rec.AddObs("sads_ds", float64(ds.TaskEER[i])/float64(actualDS.WorstEER[i]))
 				if ds.TaskEER[i] == actualDS.WorstEER[i] {
-					res.ExactSADS++
+					exactSADS++
 				}
 			}
 			if !hol.TaskEER[i].IsInfinite() && actualDS.WorstEER[i] > 0 {
-				res.HolisticOverActualDS.Add(float64(hol.TaskEER[i]) / float64(actualDS.WorstEER[i]))
+				rec.AddObs("hol_ds", float64(hol.TaskEER[i])/float64(actualDS.WorstEER[i]))
 			}
-			res.Tasks++
+			tasks++
 		}
-		res.Systems++
+		if exactSAPM > 0 {
+			rec.AddTally("exact_sapm", exactSAPM)
+		}
+		if exactSADS > 0 {
+			rec.AddTally("exact_sads", exactSADS)
+		}
+		rec.AddTally("tasks", tasks)
+		rec.AddTally("systems", 1)
+		if err := em.commit(); err != nil {
+			return err
+		}
 	}
-	return res, nil
+	return nil
+}
+
+// Apply folds one committed record into the tightness samples.
+func (r *TightnessResult) Apply(rec *record.CellRecord) error {
+	for i := range rec.Obs {
+		switch rec.Obs[i].Series {
+		case "sapm_rg":
+			r.SAPMOverActualRG.Add(rec.Obs[i].Value)
+		case "sapm_pm":
+			r.SAPMOverActualPM.Add(rec.Obs[i].Value)
+		case "sads_ds":
+			r.SADSOverActualDS.Add(rec.Obs[i].Value)
+		case "hol_ds":
+			r.HolisticOverActualDS.Add(rec.Obs[i].Value)
+		}
+	}
+	for i := range rec.Tallies {
+		switch rec.Tallies[i].Key {
+		case "exact_sapm":
+			r.ExactSAPM += int(rec.Tallies[i].N)
+		case "exact_sads":
+			r.ExactSADS += int(rec.Tallies[i].N)
+		case "tasks":
+			r.Tasks += int(rec.Tallies[i].N)
+		case "systems":
+			r.Systems += int(rec.Tallies[i].N)
+		}
+	}
+	return nil
 }
 
 // tinySystem builds a random 2-processor, 3-task system with tiny periods

@@ -1,15 +1,19 @@
 package experiments
 
 import (
+	"bytes"
+	"reflect"
 	"strings"
 	"testing"
+
+	"rtsync/internal/record"
 )
 
 func TestTightnessStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exhaustive sweeps are slow")
 	}
-	res, err := TightnessStudy(6, 21)
+	res, err := TightnessStudy(Params{SystemsPerConfig: 6, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,8 +47,42 @@ func TestTightnessStudy(t *testing.T) {
 	}
 }
 
-func TestTightnessStudyRejectsZeroSystems(t *testing.T) {
-	if _, err := TightnessStudy(0, 1); err == nil {
-		t.Error("zero systems accepted")
+// TestTightnessRecordsReplay pins the figures-as-views contract for a
+// sequential study: replaying the JSONL store through a fresh view
+// reproduces the live result exactly, float bits included.
+func TestTightnessRecordsReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweeps are slow")
+	}
+	var buf bytes.Buffer
+	wr := record.NewWriter(&buf)
+	live, err := TightnessStudy(Params{SystemsPerConfig: 3, Seed: 7, Records: wr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Count() != 3 {
+		t.Fatalf("wrote %d records, want 3", wr.Count())
+	}
+	replay := NewTightnessResult()
+	rd := record.NewReader(&buf)
+	rd.Verify = true
+	var rec record.CellRecord
+	for {
+		ok, err := rd.Next(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if err := replay.Apply(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(live, replay) {
+		t.Fatalf("replayed view differs from live result:\nlive:   %+v\nreplay: %+v", live, replay)
 	}
 }

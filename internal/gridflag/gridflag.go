@@ -1,0 +1,66 @@
+// Package gridflag parses the comma-separated grid flags shared by
+// cmd/rtexperiments and cmd/rtreport ("2,4,8", "0.5, 0.7,0.9"). Tokens are
+// trimmed of surrounding whitespace and empty tokens are skipped, so
+// trailing commas are harmless; an empty input yields a nil slice and no
+// error.
+package gridflag
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// split returns the trimmed non-empty comma-separated tokens of s.
+func split(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// Strings parses a comma-separated string list.
+func Strings(s string) []string { return split(s) }
+
+// Ints parses a comma-separated int list.
+func Ints(s string) ([]int, error) {
+	var out []int
+	for _, tok := range split(s) {
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in %q", tok, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Int64s parses a comma-separated int64 list.
+func Int64s(s string) ([]int64, error) {
+	var out []int64
+	for _, tok := range split(s) {
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in %q", tok, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Floats parses a comma-separated float64 list.
+func Floats(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range split(s) {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q in %q", tok, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package gridflag
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInts(t *testing.T) {
+	got, err := Ints(" 2, 4,8, ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{2, 4, 8}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if got, err := Ints(""); err != nil || got != nil {
+		t.Fatalf("empty input: got %v, %v", got, err)
+	}
+	if _, err := Ints("2,x"); err == nil {
+		t.Fatal("bad token accepted")
+	}
+}
+
+func TestInt64s(t *testing.T) {
+	got, err := Int64s("1,9000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{1, 9000000000}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if _, err := Int64s("1,1.5"); err == nil {
+		t.Fatal("float accepted as int64")
+	}
+}
+
+func TestFloats(t *testing.T) {
+	got, err := Floats("0.5, 0.75,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{0.5, 0.75, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if _, err := Floats("0.5,,bad"); err == nil {
+		t.Fatal("bad token accepted")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got, want := Strings("hl, mpcp ,,dpcp"), []string{"hl", "mpcp", "dpcp"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if Strings("") != nil {
+		t.Fatal("empty input should be nil")
+	}
+}

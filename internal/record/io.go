@@ -1,0 +1,162 @@
+package record
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Writer streams CellRecords as JSONL through a retained line buffer: one
+// canonical line (with content hash) per Write, no allocation per record
+// once the buffer has grown to the largest record seen.
+type Writer struct {
+	bw  *bufio.Writer
+	buf []byte
+	n   int64
+}
+
+// NewWriter wraps w in a buffered JSONL record writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 64*1024)}
+}
+
+// Write encodes one record as a JSONL line. The record is read, never
+// retained.
+func (w *Writer) Write(r *CellRecord) error {
+	w.buf = r.AppendLine(w.buf[:0])
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return fmt.Errorf("record: write: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush drains the buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams CellRecords from a JSONL store. Blank lines are skipped;
+// any malformed line fails with its line number. With Verify set, every
+// record's content hash is recomputed and checked.
+type Reader struct {
+	sc      *bufio.Scanner
+	line    int
+	scratch []byte
+
+	// Verify enables per-record content-hash verification.
+	Verify bool
+}
+
+// NewReader wraps r in a JSONL record reader. Lines up to 16 MiB are
+// accepted (a 12-task, 8-subtask record with full EER series is ~4 KiB).
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Next decodes the next record into rec (reusing its retained slices) and
+// reports whether one was read. It returns (false, nil) at end of input.
+func (rd *Reader) Next(rec *CellRecord) (bool, error) {
+	for rd.sc.Scan() {
+		rd.line++
+		line := bytes.TrimSpace(rd.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := rec.UnmarshalLine(line); err != nil {
+			return false, fmt.Errorf("record: line %d: %w", rd.line, err)
+		}
+		if rd.Verify {
+			var err error
+			rd.scratch, err = rec.VerifyHash(rd.scratch)
+			if err != nil {
+				return false, fmt.Errorf("record: line %d: %w", rd.line, err)
+			}
+		}
+		return true, nil
+	}
+	if err := rd.sc.Err(); err != nil {
+		return false, fmt.Errorf("record: line %d: %w", rd.line, err)
+	}
+	return false, nil
+}
+
+// Line returns the number of the last line consumed (1-based).
+func (rd *Reader) Line() int { return rd.line }
+
+// CSVWriter streams CellRecords in long ("tidy") form — one row per
+// observation, tally, or verdict — the compact companion format for
+// spreadsheet and dataframe tools. Cells are RFC-4180 quoted by
+// encoding/csv.
+type CSVWriter struct {
+	cw     *csv.Writer
+	row    [9]string
+	wrote  bool
+	numBuf [32]byte
+}
+
+// csvHeader names the long-form columns.
+var csvHeader = []string{"study", "n", "u", "seed", "unit", "kind", "name", "param", "value"}
+
+// NewCSVWriter wraps w in a long-form CSV record writer; the header row is
+// written on the first record.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w)}
+}
+
+// Write appends one row per verdict, observation, and tally of the record.
+func (w *CSVWriter) Write(r *CellRecord) error {
+	if !w.wrote {
+		w.wrote = true
+		if err := w.cw.Write(csvHeader); err != nil {
+			return fmt.Errorf("record: csv header: %w", err)
+		}
+	}
+	w.row[0] = r.Study
+	w.row[1] = strconv.Itoa(r.N)
+	w.row[2] = strconv.Itoa(r.UPct)
+	w.row[3] = strconv.FormatInt(r.Seed, 10)
+	w.row[4] = strconv.FormatInt(r.Unit, 10)
+	emit := func(kind, name, param, value string) error {
+		w.row[5], w.row[6], w.row[7], w.row[8] = kind, name, param, value
+		return w.cw.Write(w.row[:])
+	}
+	for i := range r.Verdicts {
+		v := "0"
+		if r.Verdicts[i].Schedulable {
+			v = "1"
+		}
+		if err := emit("verdict", r.Verdicts[i].Protocol, "", v); err != nil {
+			return err
+		}
+	}
+	for i := range r.Obs {
+		o := &r.Obs[i]
+		param := ""
+		if o.Param != 0 {
+			param = string(strconv.AppendFloat(w.numBuf[:0], o.Param, 'g', -1, 64))
+		}
+		value := string(strconv.AppendFloat(w.numBuf[:0], o.Value, 'g', -1, 64))
+		if err := emit("obs", o.Series, param, value); err != nil {
+			return err
+		}
+	}
+	for i := range r.Tallies {
+		if err := emit("tally", r.Tallies[i].Key, "", strconv.FormatInt(r.Tallies[i].N, 10)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush drains buffered rows and reports any deferred write error.
+func (w *CSVWriter) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}

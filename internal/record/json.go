@@ -1,0 +1,230 @@
+package record
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"rtsync/internal/workload"
+)
+
+// AppendJSON appends the record's canonical JSON encoding — fixed field
+// order, shortest float representation, omitted empty sections, no Hash
+// field — to b and returns the extended slice. It allocates only when b's
+// capacity is exceeded, so a retained buffer makes repeated encoding free.
+//
+// This writer is the single source of canonical bytes: the golden schema
+// test pins its output, the content hash digests it, and the determinism
+// tests compare it across parallelism levels. encoding/json is used only
+// for decoding (where unknown-field tolerance is wanted), never encoding.
+func (r *CellRecord) AppendJSON(b []byte) []byte {
+	b = append(b, `{"schema":`...)
+	b = strconv.AppendInt(b, int64(r.Schema), 10)
+	b = append(b, `,"study":`...)
+	b = strconv.AppendQuote(b, r.Study)
+	b = append(b, `,"n":`...)
+	b = strconv.AppendInt(b, int64(r.N), 10)
+	b = append(b, `,"u":`...)
+	b = strconv.AppendInt(b, int64(r.UPct), 10)
+	b = append(b, `,"seed":`...)
+	b = strconv.AppendInt(b, r.Seed, 10)
+	b = append(b, `,"unit":`...)
+	b = strconv.AppendInt(b, r.Unit, 10)
+	b = append(b, `,"cfg":`...)
+	b = appendConfig(b, &r.Config)
+	if len(r.Verdicts) > 0 {
+		b = append(b, `,"verdicts":[`...)
+		for i := range r.Verdicts {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"p":`...)
+			b = strconv.AppendQuote(b, r.Verdicts[i].Protocol)
+			b = append(b, `,"ok":`...)
+			b = strconv.AppendBool(b, r.Verdicts[i].Schedulable)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	if len(r.Obs) > 0 {
+		b = append(b, `,"obs":[`...)
+		for i := range r.Obs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			o := &r.Obs[i]
+			b = append(b, `{"s":`...)
+			b = strconv.AppendQuote(b, o.Series)
+			if o.Param != 0 {
+				b = append(b, `,"p":`...)
+				b = appendFloat(b, o.Param)
+			}
+			b = append(b, `,"v":`...)
+			b = appendFloat(b, o.Value)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	if len(r.Tallies) > 0 {
+		b = append(b, `,"tallies":[`...)
+		for i := range r.Tallies {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"k":`...)
+			b = strconv.AppendQuote(b, r.Tallies[i].Key)
+			b = append(b, `,"n":`...)
+			b = strconv.AppendInt(b, r.Tallies[i].N, 10)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	if r.Timing != nil {
+		b = append(b, `,"timing":{"gen_ns":`...)
+		b = strconv.AppendInt(b, r.Timing.GenNS, 10)
+		b = append(b, `,"ana_ns":`...)
+		b = strconv.AppendInt(b, r.Timing.AnaNS, 10)
+		b = append(b, `,"sim_ns":`...)
+		b = strconv.AppendInt(b, r.Timing.SimNS, 10)
+		b = append(b, '}')
+	}
+	if r.Sim != nil {
+		b = append(b, `,"sim":{"events":`...)
+		b = strconv.AppendInt(b, r.Sim.Events, 10)
+		b = append(b, `,"preempts":`...)
+		b = strconv.AppendInt(b, r.Sim.Preempts, 10)
+		b = append(b, `,"switches":`...)
+		b = strconv.AppendInt(b, r.Sim.Switches, 10)
+		b = append(b, `,"runs":`...)
+		b = strconv.AppendInt(b, r.Sim.Runs, 10)
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	return b
+}
+
+// HashHexLen is the length of a record's content-hash field: the SHA-256
+// digest truncated to its first 8 bytes, hex-encoded.
+const HashHexLen = 16
+
+// AppendLine appends the record's full JSONL line — canonical body, content
+// hash spliced in as the final field, trailing newline — and returns the
+// extended slice. The hash covers the body WITHOUT the hash field, so
+// verification re-encodes the decoded record and digests it.
+func (r *CellRecord) AppendLine(b []byte) []byte {
+	start := len(b)
+	b = r.AppendJSON(b)
+	sum := sha256.Sum256(b[start:])
+	b = b[:len(b)-1] // reopen the closing brace
+	b = append(b, `,"hash":"`...)
+	b = appendHashHex(b, sum)
+	b = append(b, '"', '}', '\n')
+	return b
+}
+
+// HashOf returns the record's content hash, using scratch as the encode
+// buffer (grown as needed) to stay allocation-free on reuse. The record's
+// own Hash field is ignored (the canonical body never includes it).
+func (r *CellRecord) HashOf(scratch []byte) (string, []byte) {
+	scratch = r.AppendJSON(scratch[:0])
+	sum := sha256.Sum256(scratch)
+	return hex.EncodeToString(sum[:HashHexLen/2]), scratch
+}
+
+// VerifyHash re-encodes the record and checks its Hash field. Records
+// without a hash (or from encoders that omitted it) pass vacuously; a
+// mismatch reports both values. scratch is reused as in HashOf.
+func (r *CellRecord) VerifyHash(scratch []byte) ([]byte, error) {
+	if r.Hash == "" {
+		return scratch, nil
+	}
+	want, scratch := r.HashOf(scratch)
+	if r.Hash != want {
+		return scratch, fmt.Errorf("record hash mismatch: stored %s, recomputed %s (study %s unit %d)",
+			r.Hash, want, r.Study, r.Unit)
+	}
+	return scratch, nil
+}
+
+// UnmarshalLine decodes one JSONL line into the record, reusing its
+// retained slices where capacity allows. Unknown fields are ignored and a
+// schema version newer than SchemaVersion is accepted — both deliberate, so
+// readers built against this schema tolerate future stores.
+func (r *CellRecord) UnmarshalLine(line []byte) error {
+	r.Reset("", workload.Config{})
+	r.Schema = 0 // Reset pre-fills SchemaVersion; an unversioned line must not inherit it
+	// encoding/json re-grows the truncated slices over their retained
+	// backing arrays and overwrites only the fields present in the JSON,
+	// so an omitempty field absent from this line (an Obs.Param of zero,
+	// say) would silently inherit the previous line's value at the same
+	// index. Zero the full retained capacity before decoding.
+	clear(r.Verdicts[:cap(r.Verdicts)])
+	clear(r.Obs[:cap(r.Obs)])
+	clear(r.Tallies[:cap(r.Tallies)])
+	if err := json.Unmarshal(line, r); err != nil {
+		return err
+	}
+	if r.Schema < 1 {
+		return fmt.Errorf("record missing schema version")
+	}
+	return nil
+}
+
+// appendFloat writes v in Go's shortest round-trippable decimal form — the
+// same digits encoding/json produces for float64 — with non-finite values
+// written as null (records hold measured ratios and counts, never NaN/Inf;
+// null decodes as "leave zero").
+func appendFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendConfig writes the workload configuration with every field present
+// (fixed shape keeps the encoding canonical; the field tags match
+// workload.Config's JSON tags so encoding/json decodes it back).
+func appendConfig(b []byte, c *workload.Config) []byte {
+	b = append(b, `{"procs":`...)
+	b = strconv.AppendInt(b, int64(c.Processors), 10)
+	b = append(b, `,"tasks":`...)
+	b = strconv.AppendInt(b, int64(c.Tasks), 10)
+	b = append(b, `,"n":`...)
+	b = strconv.AppendInt(b, int64(c.SubtasksPerTask), 10)
+	b = append(b, `,"u":`...)
+	b = appendFloat(b, c.Utilization)
+	b = append(b, `,"period_min":`...)
+	b = appendFloat(b, c.PeriodMin)
+	b = append(b, `,"period_max":`...)
+	b = appendFloat(b, c.PeriodMax)
+	b = append(b, `,"period_mean":`...)
+	b = appendFloat(b, c.PeriodMean)
+	b = append(b, `,"tick":`...)
+	b = strconv.AppendInt(b, c.TickScale, 10)
+	b = append(b, `,"seed":`...)
+	b = strconv.AppendInt(b, c.Seed, 10)
+	b = append(b, `,"random_phases":`...)
+	b = strconv.AppendBool(b, c.RandomPhases)
+	b = append(b, `,"gres":`...)
+	b = strconv.AppendInt(b, int64(c.GlobalResources), 10)
+	b = append(b, `,"gshare":`...)
+	b = appendFloat(b, c.GlobalShare)
+	b = append(b, `,"cslen":`...)
+	b = appendFloat(b, c.CSLenFrac)
+	b = append(b, '}')
+	return b
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendHashHex writes the truncated digest as lowercase hex without
+// allocating.
+func appendHashHex(b []byte, sum [sha256.Size]byte) []byte {
+	for _, x := range sum[:HashHexLen/2] {
+		b = append(b, hexDigits[x>>4], hexDigits[x&0xf])
+	}
+	return b
+}

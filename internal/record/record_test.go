@@ -1,0 +1,403 @@
+package record
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rtsync/internal/workload"
+)
+
+// sampleRecords returns a fixed set of records exercising every encoded
+// section: verdicts only, obs with and without params, tallies, timings,
+// sim counters, awkward floats.
+func sampleRecords() []CellRecord {
+	cfg := workload.DefaultConfig(4, 0.7)
+	cfg.Seed = 42
+
+	var a CellRecord
+	a.Reset("fig12", cfg)
+	a.Unit = 7
+	a.AddVerdict("ds", true)
+	a.AddObs("failed", 0)
+
+	var b CellRecord
+	b.Reset("avgeer", cfg)
+	b.Unit = 19
+	b.AddVerdict("pm", true)
+	b.AddObs("pm_ds", 0.1)
+	b.AddObsP("eer_ds", 3, 1.25)
+	b.AddObsP("eer_ds", 4, 0.3333333333333333)
+	b.AddTally("skipped", 0)
+	b.AddTally("total", 12)
+	b.Timing = &Timing{GenNS: 1234, AnaNS: 56789, SimNS: 101112}
+	b.Sim = &SimCounts{Events: 9000, Preempts: 17, Switches: 240, Runs: 3}
+
+	var c CellRecord
+	c.Reset("locking", workload.Config{
+		Processors: 6, Tasks: 12, SubtasksPerTask: 3, Utilization: 0.55,
+		PeriodMin: 100, PeriodMax: 10000, PeriodMean: 2000, TickScale: 1000,
+		Seed: -5, RandomPhases: false, GlobalResources: 4, GlobalShare: 0.25,
+		CSLenFrac: 0.01,
+	})
+	c.Unit = 0
+	c.AddVerdict("hl", false)
+	c.AddVerdict("mpcp", true)
+	c.AddObs("mpcp", 1.5)
+
+	return []CellRecord{a, b, c}
+}
+
+// TestRoundTrip pins the core contract: decode(encode(r)) re-encodes to the
+// identical bytes, and the decoded struct matches the original.
+func TestRoundTrip(t *testing.T) {
+	for i, r := range sampleRecords() {
+		line := r.AppendLine(nil)
+		var got CellRecord
+		if err := got.UnmarshalLine(bytes.TrimSuffix(line, []byte("\n"))); err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if _, err := got.VerifyHash(nil); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		reline := got.AppendLine(nil)
+		if !bytes.Equal(line, reline) {
+			t.Fatalf("record %d: re-encode differs:\n %s %s", i, line, reline)
+		}
+		// Struct equality modulo the Hash field the decode filled in.
+		got.Hash = ""
+		want := r
+		want.Hash = ""
+		if !reflect.DeepEqual(normalize(want), normalize(got)) {
+			t.Fatalf("record %d: decoded struct differs:\nwant %+v\ngot  %+v", i, want, got)
+		}
+	}
+}
+
+// normalize maps empty slices to nil so reflect.DeepEqual ignores the
+// []T{} vs nil distinction the decoder may introduce.
+func normalize(r CellRecord) CellRecord {
+	if len(r.Verdicts) == 0 {
+		r.Verdicts = nil
+	}
+	if len(r.Obs) == 0 {
+		r.Obs = nil
+	}
+	if len(r.Tallies) == 0 {
+		r.Tallies = nil
+	}
+	return r
+}
+
+// TestGoldenSchema fails loudly when the canonical encoding changes without
+// a SchemaVersion bump: the committed fixture pins the exact bytes of
+// SchemaVersion 1. If this test fails and the change is intentional, bump
+// SchemaVersion and regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/record -run TestGoldenSchema
+func TestGoldenSchema(t *testing.T) {
+	var buf []byte
+	for i := range sampleRecords() {
+		r := sampleRecords()[i]
+		buf = r.AppendLine(buf)
+	}
+	const path = "testdata/golden.jsonl"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden fixture missing (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("canonical encoding changed without a SchemaVersion bump.\n"+
+			"If intentional: bump record.SchemaVersion, then UPDATE_GOLDEN=1 go test ./internal/record -run TestGoldenSchema\ngot:\n%swant:\n%s", buf, want)
+	}
+	// The fixture must also still decode and hash-verify.
+	rd := NewReader(bytes.NewReader(want))
+	rd.Verify = true
+	var rec CellRecord
+	n := 0
+	for {
+		ok, err := rd.Next(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != len(sampleRecords()) {
+		t.Fatalf("golden fixture has %d records, want %d", n, len(sampleRecords()))
+	}
+}
+
+// TestFutureSchemaTolerated pins forward compatibility: a record written by
+// a NEWER schema (higher version, unknown fields) still yields its known
+// fields, while an unversioned line is rejected.
+func TestFutureSchemaTolerated(t *testing.T) {
+	line := []byte(`{"schema":99,"study":"fig99","n":4,"u":70,"seed":8,"unit":3,` +
+		`"cfg":{"procs":4,"tasks":12,"n":4,"u":0.7,"period_min":100,"period_max":10000,` +
+		`"period_mean":2000,"tick":1000,"seed":8,"random_phases":true,"gres":0,"gshare":0,"cslen":0},` +
+		`"obs":[{"s":"failed","v":2,"novel_field":true}],"shiny_new_section":{"x":1}}`)
+	var rec CellRecord
+	if err := rec.UnmarshalLine(line); err != nil {
+		t.Fatalf("future-schema record rejected: %v", err)
+	}
+	if rec.Schema != 99 || rec.Study != "fig99" || rec.N != 4 || rec.UPct != 70 {
+		t.Fatalf("known fields lost: %+v", rec)
+	}
+	if len(rec.Obs) != 1 || rec.Obs[0].Value != 2 {
+		t.Fatalf("obs lost: %+v", rec.Obs)
+	}
+
+	if err := rec.UnmarshalLine([]byte(`{"study":"fig12"}`)); err == nil {
+		t.Fatal("unversioned record accepted")
+	}
+	if err := rec.UnmarshalLine([]byte(`{"schema":1,`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestHashDetectsCorruption flips one byte of a stored line and checks the
+// verifying reader refuses it.
+func TestHashDetectsCorruption(t *testing.T) {
+	r := sampleRecords()[1]
+	line := r.AppendLine(nil)
+
+	// Corrupt a value digit ("v":0.1 → "v":0.9) without breaking JSON.
+	corrupt := bytes.Replace(line, []byte(`"v":0.1`), []byte(`"v":0.9`), 1)
+	if bytes.Equal(corrupt, line) {
+		t.Fatal("corruption target not found in encoded line")
+	}
+	rd := NewReader(bytes.NewReader(corrupt))
+	rd.Verify = true
+	var rec CellRecord
+	if _, err := rd.Next(&rec); err == nil || !strings.Contains(err.Error(), "hash mismatch") {
+		t.Fatalf("corrupted record passed verification (err=%v)", err)
+	}
+
+	// The untouched line passes.
+	rd = NewReader(bytes.NewReader(line))
+	rd.Verify = true
+	if ok, err := rd.Next(&rec); !ok || err != nil {
+		t.Fatalf("clean record failed verification: %v", err)
+	}
+
+	// A record without a hash passes vacuously (older/merged stores).
+	rec.Hash = ""
+	if _, err := rec.VerifyHash(nil); err != nil {
+		t.Fatalf("hashless record rejected: %v", err)
+	}
+}
+
+// TestWriterReader round-trips a stream through Writer and Reader, with
+// blank lines interleaved.
+func TestWriterReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := sampleRecords()
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(recs)) {
+		t.Fatalf("Count() = %d, want %d", w.Count(), len(recs))
+	}
+
+	// Interleave blank lines; the reader must skip them.
+	text := strings.ReplaceAll(buf.String(), "\n", "\n\n")
+	rd := NewReader(strings.NewReader(text))
+	rd.Verify = true
+	var rec CellRecord
+	var got int
+	for {
+		ok, err := rd.Next(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if rec.Study != recs[got].Study || rec.Unit != recs[got].Unit {
+			t.Fatalf("record %d: got %s/%d, want %s/%d", got, rec.Study, rec.Unit, recs[got].Study, recs[got].Unit)
+		}
+		got++
+	}
+	if got != len(recs) {
+		t.Fatalf("read %d records, want %d", got, len(recs))
+	}
+}
+
+// TestReaderReuseTruncates pins slice reuse in Next: a record with fewer
+// sections than its predecessor must not inherit stale entries.
+func TestReaderReuseTruncates(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := sampleRecords()
+	big, small := recs[1], recs[0] // big has tallies+timing+sim; small has neither
+	if err := w.Write(&big); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&small); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(&buf)
+	var rec CellRecord
+	for i := 0; i < 2; i++ {
+		if ok, err := rd.Next(&rec); !ok || err != nil {
+			t.Fatal(ok, err)
+		}
+	}
+	if len(rec.Tallies) != 0 || rec.Timing != nil || rec.Sim != nil {
+		t.Fatalf("stale sections survived reuse: %+v", rec)
+	}
+	if len(rec.Verdicts) != 1 || len(rec.Obs) != 1 {
+		t.Fatalf("small record sections wrong: %+v", rec)
+	}
+}
+
+// TestReaderReuseClearsOmitted pins field-level reuse in Next: when a line
+// omits an omitempty field (Obs.Param of zero) at an index where the
+// PREVIOUS line had one, encoding/json's backing-array reuse must not let
+// the stale value survive — it would re-encode with a phantom "p" and fail
+// hash verification. (Regression: variable-length obs layouts across
+// records of one study, e.g. short-horizon sweeps where not every task
+// completes jobs.)
+func TestReaderReuseClearsOmitted(t *testing.T) {
+	withP := CellRecord{}
+	withP.Reset("avgeer", workload.DefaultConfig(2, 0.5))
+	withP.AddObsP("eer_ds", 3, 1.5)
+	withP.AddObsP("eer_ds", 7, 2.5)
+	withP.AddVerdict("pm", true)
+	withoutP := CellRecord{}
+	withoutP.Reset("avgeer", workload.DefaultConfig(2, 0.5))
+	withoutP.AddObs("pm_ds", 1.25) // same index as withP's p:3 obs, no param
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range []*CellRecord{&withP, &withoutP} {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(&buf)
+	rd.Verify = true
+	var rec CellRecord
+	for i := 0; i < 2; i++ {
+		if ok, err := rd.Next(&rec); !ok || err != nil {
+			t.Fatalf("record %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if rec.Obs[0].Param != 0 {
+		t.Fatalf("stale Obs.Param survived reuse: %+v", rec.Obs[0])
+	}
+	got := rec.AppendLine(nil)
+	want := withoutP.AppendLine(nil)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("re-encode after reuse diverged:\ngot  %swant %s", got, want)
+	}
+}
+
+// TestCSVWriter pins the long-form layout: header once, one row per
+// verdict/obs/tally, params blank when zero.
+func TestCSVWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	recs := sampleRecords()
+	if err := w.Write(&recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	want := []string{
+		"study,n,u,seed,unit,kind,name,param,value",
+		"avgeer,4,70,42,19,verdict,pm,,1",
+		"avgeer,4,70,42,19,obs,pm_ds,,0.1",
+		"avgeer,4,70,42,19,obs,eer_ds,3,1.25",
+		"avgeer,4,70,42,19,obs,eer_ds,4,0.3333333333333333",
+		"avgeer,4,70,42,19,tally,skipped,,0",
+		"avgeer,4,70,42,19,tally,total,,12",
+	}
+	if !reflect.DeepEqual(lines, want) {
+		t.Fatalf("long-form CSV differs:\ngot  %q\nwant %q", lines, want)
+	}
+}
+
+// TestEncodeZeroAlloc asserts the warm encode path — AppendLine into a
+// retained buffer — allocates nothing per record.
+func TestEncodeZeroAlloc(t *testing.T) {
+	r := sampleRecords()[1]
+	buf := r.AppendLine(nil) // warm the buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = r.AppendLine(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendLine allocates %v times per record, want 0", allocs)
+	}
+}
+
+// TestNonFiniteFloats pins the null encoding for NaN/Inf observations.
+func TestNonFiniteFloats(t *testing.T) {
+	var r CellRecord
+	r.Reset("x", workload.Config{})
+	r.AddObs("bad", nan())
+	line := r.AppendJSON(nil)
+	if !bytes.Contains(line, []byte(`"v":null`)) {
+		t.Fatalf("NaN not encoded as null: %s", line)
+	}
+	if !json.Valid(line) {
+		t.Fatalf("invalid JSON: %s", line)
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// BenchmarkRecordEncode measures the warm AppendLine path (canonical encode
+// + SHA-256 content hash) for a representative avgeer record.
+func BenchmarkRecordEncode(b *testing.B) {
+	r := sampleRecords()[1]
+	buf := r.AppendLine(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = r.AppendLine(buf[:0])
+	}
+}
+
+// BenchmarkRecordDecode measures UnmarshalLine with a reused record.
+func BenchmarkRecordDecode(b *testing.B) {
+	r := sampleRecords()[1]
+	line := bytes.TrimSuffix(r.AppendLine(nil), []byte("\n"))
+	var rec CellRecord
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rec.UnmarshalLine(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

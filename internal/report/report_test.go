@@ -78,6 +78,28 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+// TestWriteCSVQuoting pins the RFC 4180 behavior downstream tools depend
+// on: commas and double quotes force quoting (quotes doubled), embedded
+// newlines stay inside one quoted cell, and plain cells stay bare.
+func TestWriteCSVQuoting(t *testing.T) {
+	tbl := NewTable("", "plain", "tricky")
+	tbl.AddRow("bare", `say "hi"`)
+	tbl.AddRow("multi", "line one\nline two")
+	tbl.AddRow("both", `a,"b"`)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "plain,tricky\n" +
+		"bare,\"say \"\"hi\"\"\"\n" +
+		"multi,\"line one\nline two\"\n" +
+		"both,\"a,\"\"b\"\"\"\n"
+	if got != want {
+		t.Fatalf("RFC 4180 quoting changed:\ngot  %q\nwant %q", got, want)
+	}
+}
+
 func TestGrid(t *testing.T) {
 	g := NewGrid("Failure Rate", []int{2, 3}, []int{50, 60})
 	g.Setf(2, 50, 0)

@@ -28,46 +28,52 @@ import (
 
 // Config describes one experimental configuration — the paper's (N, U)
 // 2-tuple plus the fixed population parameters.
+//
+// The JSON tags are the record-store encoding (internal/record embeds the
+// full Config in every CellRecord so any swept system can be regenerated
+// bit-for-bit from its record); renaming a tag is a schema change and must
+// bump record.SchemaVersion.
 type Config struct {
 	// Processors is the processor count (paper: 4).
-	Processors int
+	Processors int `json:"procs"`
 	// Tasks is the task count (paper: 12).
-	Tasks int
+	Tasks int `json:"tasks"`
 	// SubtasksPerTask is N, identical for every task (paper: 2..8).
-	SubtasksPerTask int
+	SubtasksPerTask int `json:"n"`
 	// Utilization is U, the nominal utilization of every processor
 	// (paper: 0.50..0.90).
-	Utilization float64
+	Utilization float64 `json:"u"`
 	// PeriodMin and PeriodMax bound the period distribution before tick
 	// scaling (paper: 100 and 10000).
-	PeriodMin, PeriodMax float64
+	PeriodMin float64 `json:"period_min"`
+	PeriodMax float64 `json:"period_max"`
 	// PeriodMean is the mean of the exponential distribution before
 	// truncation. The paper does not state it; 2000 is the library
 	// default (see DESIGN.md).
-	PeriodMean float64
+	PeriodMean float64 `json:"period_mean"`
 	// TickScale converts distribution units to integer ticks.
-	TickScale int64
+	TickScale int64 `json:"tick"`
 	// Seed drives all randomness; the same seed reproduces the same
 	// system bit-for-bit.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// RandomPhases draws each task's phase uniformly from [0, period),
 	// as the paper does for the average-EER simulations. When false all
 	// phases are zero (the critical-instant-friendly setting).
-	RandomPhases bool
+	RandomPhases bool `json:"random_phases"`
 
 	// GlobalResources adds that many global resources to the system, each
 	// synchronized at a random processor, accessed through critical-section
 	// segments (the MPCP/DPCP study populations). Zero — the default and
 	// the paper's own lock-free setting — draws nothing, so legacy
 	// configurations regenerate bit-identically.
-	GlobalResources int
+	GlobalResources int `json:"gres"`
 	// GlobalShare is the probability that a subtask carries one critical
 	// section on a random global resource (only read when GlobalResources
 	// is positive).
-	GlobalShare float64
+	GlobalShare float64 `json:"gshare"`
 	// CSLenFrac caps a drawn critical section's length at this fraction of
 	// its subtask's execution time (at least one tick).
-	CSLenFrac float64
+	CSLenFrac float64 `json:"cslen"`
 }
 
 // DefaultConfig returns the paper's population parameters for a given
