@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-analysis bench-experiments bench-sim bench-check fuzz-smoke vet fmt cover experiments verify-results examples clean
+.PHONY: all build test test-short bench bench-analysis bench-experiments bench-sim bench-check bench-regress fuzz-smoke vet fmt cover experiments verify-results examples clean
 
 all: build test
 
@@ -65,11 +65,44 @@ bench-check:
 		-pkg ./internal/experiments,./internal/record \
 		-bench 'BenchmarkSweep|BenchmarkRecord' -benchtime 1x
 
-# Differential-fuzz the timing wheel against the reference heap for 30s —
-# what CI's fuzz smoke runs; crank -fuzztime locally for a deeper soak.
+# Regression gate: rerun each trajectory's benchmarks at the SAME benchtime
+# its baseline was captured with (a 1x run measures cold-start, not steady
+# state) and fail when ns/op or ns/event slips more than MAX_REGRESS percent
+# or allocs/op more than MAX_REGRESS_ALLOCS percent (+2 allocs absolute
+# slack) against the committed "after" numbers. Benchmarks are noisy across
+# machines, so the default thresholds are generous; tighten them on a quiet
+# box. An INTENTIONAL regression re-baselines with
+#
+#	make bench-regress UPDATE=1
+#
+# which accepts the new numbers and rewrites the BENCH_*.json after
+# sections in place (benchjson -update).
+MAX_REGRESS ?= 30
+MAX_REGRESS_ALLOCS ?= 10
+UPDATE_FLAG = $(if $(UPDATE),-update,)
+bench-regress:
+	$(GO) run ./tools/benchjson -check $(UPDATE_FLAG) \
+		-max-regress $(MAX_REGRESS) -max-regress-allocs $(MAX_REGRESS_ALLOCS) \
+		-out BENCH_sim.json -pkg .,./internal/sim \
+		-bench 'BenchmarkSimulate|BenchmarkEngine|BenchmarkEventQueue|BenchmarkReadyQueue' \
+		-benchtime 1s
+	$(GO) run ./tools/benchjson -check $(UPDATE_FLAG) \
+		-max-regress $(MAX_REGRESS) -max-regress-allocs $(MAX_REGRESS_ALLOCS) \
+		-out BENCH_analysis.json -pkg ./internal/analysis \
+		-bench BenchmarkAnalyze -benchtime 10x
+	$(GO) run ./tools/benchjson -check $(UPDATE_FLAG) \
+		-max-regress $(MAX_REGRESS) -max-regress-allocs $(MAX_REGRESS_ALLOCS) \
+		-out BENCH_experiments.json -pkg ./internal/experiments,./internal/record \
+		-bench 'BenchmarkSweep|BenchmarkRecord' -benchtime 10x
+
+# Differential-fuzz the engine's equivalence claims for 30s each — the
+# timing wheel against the reference heap, the locking arbiters, and the
+# batched interleaved pass against sequential runs. What CI's fuzz smoke
+# runs; crank -fuzztime locally for a deeper soak.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzQueueEquivalence -fuzztime 30s ./internal/sim
 	$(GO) test -run NONE -fuzz FuzzLockingEquivalence -fuzztime 30s ./internal/sim
+	$(GO) test -run NONE -fuzz FuzzBatchEquivalence -fuzztime 30s ./internal/sim
 
 cover:
 	$(GO) test -cover ./...

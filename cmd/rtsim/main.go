@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	"strconv"
 
 	"rtsync/internal/analysis"
 	"rtsync/internal/gantt"
@@ -43,6 +46,7 @@ func run(args []string, w io.Writer) error {
 		validate  = fs.Bool("validate", true, "check trace invariants after the run")
 		traceOut  = fs.String("trace-out", "", "save the full execution trace as JSON (inspect with rttrace)")
 		locking   = fs.String("locking", "hl", "locking protocol for global resources: hl, mpcp, or dpcp")
+		batch     = fs.Bool("batch", false, "with -protocol all: interleave every protocol through one batched engine pass (output is identical)")
 	)
 	cli := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -89,7 +93,7 @@ func run(args []string, w io.Writer) error {
 		h = model.Time(int64(sys.MaxPeriod()) * 20)
 	}
 	if *protoName == "all" {
-		return runComparison(w, sys, h, kind, stats)
+		return runComparison(w, sys, h, kind, stats, *batch)
 	}
 	protocol, err := buildProtocol(*protoName, sys)
 	if err != nil {
@@ -161,22 +165,18 @@ func run(args []string, w io.Writer) error {
 // runComparison simulates every runnable protocol over the same system and
 // prints a side-by-side summary (avg, p95 and max EER, jitter, misses).
 // stats, when non-nil, aggregates engine counters over all the runs.
-func runComparison(w io.Writer, sys *model.System, h model.Time, kind sim.LockingKind, stats *obs.SimStats) error {
+//
+// With batch set, all protocols share one interleaved BatchRunner pass over
+// one wheel arena — the batch engine's best case, since every lane releases
+// at the same instants. The table is identical either way; -cpuprofile
+// samples are labeled protocol=<name> sequentially and batch=<K> batched.
+func runComparison(w io.Writer, sys *model.System, h model.Time, kind sim.LockingKind, stats *obs.SimStats, batch bool) error {
 	names := []string{"ds", "rg", "rg1", "pm", "mpm"}
 	t := report.NewTable(fmt.Sprintf("protocol comparison (horizon %v)", h),
 		"protocol", "task", "avg EER", "p95 EER", "max EER", "max jitter", "misses")
-	for _, name := range names {
-		protocol, err := buildProtocol(name, sys)
-		if err != nil {
-			fmt.Fprintf(w, "skipping %s: %v\n", name, err)
-			continue
-		}
-		out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: h, CollectSamples: true, Locking: kind, Stats: stats})
-		if err != nil {
-			return err
-		}
+	addRows := func(protocol sim.Protocol, m *sim.Metrics) {
 		for i := range sys.Tasks {
-			tm := &out.Metrics.Tasks[i]
+			tm := &m.Tasks[i]
 			p95 := "-"
 			if v, ok := tm.EERPercentile(95); ok {
 				p95 = fmt.Sprintf("%.0f", v)
@@ -184,6 +184,49 @@ func runComparison(w io.Writer, sys *model.System, h model.Time, kind sim.Lockin
 			t.AddRowf(protocol.Name(), sys.Tasks[i].Name, tm.AvgEER(), p95,
 				tm.MaxEER.String(), tm.MaxOutputJitter.String(), tm.DeadlineMisses)
 		}
+	}
+	var protocols []sim.Protocol
+	for _, name := range names {
+		protocol, err := buildProtocol(name, sys)
+		if err != nil {
+			fmt.Fprintf(w, "skipping %s: %v\n", name, err)
+			continue
+		}
+		protocols = append(protocols, protocol)
+	}
+	cfg := func(p sim.Protocol) sim.Config {
+		return sim.Config{Protocol: p, Horizon: h, CollectSamples: true, Locking: kind, Stats: stats}
+	}
+	if batch {
+		var b sim.BatchRunner
+		b.Reset(sim.QueueWheel)
+		for _, p := range protocols {
+			if _, err := b.Add(sys, cfg(p)); err != nil {
+				return err
+			}
+		}
+		var runErr error
+		pprof.Do(context.Background(), pprof.Labels("batch", strconv.Itoa(b.Len())), func(context.Context) {
+			runErr = b.Run()
+		})
+		if runErr != nil {
+			return runErr
+		}
+		for lane, p := range protocols {
+			addRows(p, b.Outcome(lane).Metrics)
+		}
+		return t.Render(w)
+	}
+	for _, p := range protocols {
+		var out *sim.Outcome
+		var runErr error
+		pprof.Do(context.Background(), pprof.Labels("protocol", p.Name()), func(context.Context) {
+			out, runErr = sim.Run(sys, cfg(p))
+		})
+		if runErr != nil {
+			return runErr
+		}
+		addRows(p, out.Metrics)
 	}
 	return t.Render(w)
 }

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rtsync/internal/model"
+	"rtsync/internal/obs"
+)
+
+// BatchRunner simulates K independent systems in one interleaved engine
+// pass. All lanes share a single event queue and a single monotonic
+// sequence counter; every event carries its lane, and each pop steps the
+// owning lane's engine. Because the global counter is monotonic with push
+// time, the subsequence of pops belonging to one lane is ordered by
+// (at, kind, within-lane push order) — exactly the order that lane's
+// events pop in a sequential run — so by induction each lane executes the
+// identical event sequence on identical state and its Metrics, Trace, and
+// per-op event counts are bit-identical to K sequential runs. Cross-lane
+// ties break by global seq; the lanes are independent systems, so that
+// order is unobservable per lane.
+//
+// The payoff is cache residency and amortized queue work: K systems' events
+// share one wheel arena, so slots run denser, the cursor sweeps the time
+// range once instead of K times, and the hot arrays stay resident across
+// what would otherwise be K cold passes.
+//
+// Two counters intentionally differ from sequential runs: the event-queue
+// high-water mark observes the SHARED queue's depth, and wheel cascades are
+// charged once per distinct stats bank for the whole pass (per-lane
+// attribution is meaningless on a shared arena). Everything that feeds
+// per-unit results (Metrics, per-op counts, preemptions, switches, runs) is
+// exact per lane.
+//
+// Usage mirrors Runner's recycling contract: Reset, Add each system, Run
+// once, read Outcome per lane; the next Reset invalidates all outcomes.
+// A BatchRunner must not be shared across goroutines.
+type BatchRunner struct {
+	queue eventQueue
+	kind  QueueKind
+	seq   int64
+	lanes []*Engine
+	n     int
+	ran   bool
+
+	// Stats, when non-nil, is attached to every lane whose Config does not
+	// carry its own — the same defaulting rule as Runner.Stats.
+	Stats *obs.SimStats
+}
+
+// Reset re-arms the batch for a fresh pass, discarding all previously added
+// lanes and choosing the shared event-queue implementation. Lane engines
+// and the queue arena are retained for reuse.
+func (b *BatchRunner) Reset(kind QueueKind) {
+	b.queue.reset(kind)
+	b.kind = kind
+	b.seq = 0
+	b.n = 0
+	b.ran = false
+}
+
+// Len returns the number of lanes added since the last Reset.
+func (b *BatchRunner) Len() int { return b.n }
+
+// Add stages s as the next lane and returns its index. The lane's engine is
+// recycled under Engine.Reset's aliasing contract (s is NOT cloned; do not
+// mutate it until after Run). cfg.Queue still selects the lane's
+// ready-queue implementation, but its event queue is the shared one chosen
+// at Reset. cfg.Stats defaults to b.Stats.
+func (b *BatchRunner) Add(s *model.System, cfg Config) (int, error) {
+	if b.ran {
+		return 0, errors.New("sim: BatchRunner.Add after Run without Reset")
+	}
+	if b.n > math.MaxInt16 {
+		return 0, fmt.Errorf("sim: batch lane limit exceeded (%d)", b.n)
+	}
+	if cfg.Stats == nil {
+		cfg.Stats = b.Stats
+	}
+	if b.n == len(b.lanes) {
+		b.lanes = append(b.lanes, &Engine{})
+	}
+	e := b.lanes[b.n]
+	if err := e.Reset(s, cfg); err != nil {
+		return 0, fmt.Errorf("sim: batch lane %d: %w", b.n, err)
+	}
+	e.shared = b
+	e.lane = int16(b.n)
+	b.n++
+	return b.n - 1, nil
+}
+
+// Run executes every lane to its horizon in one interleaved pass. Each
+// New-style Reset permits exactly one Run. On error (a lane's protocol
+// init, past-scheduled event, or event budget) the whole pass aborts and
+// every lane's outcome is invalid.
+func (b *BatchRunner) Run() error {
+	if b.ran {
+		return errors.New("sim: BatchRunner.Run called again without Reset")
+	}
+	b.ran = true
+	for i := 0; i < b.n; i++ {
+		if err := b.lanes[i].begin(); err != nil {
+			return fmt.Errorf("sim: batch lane %d: %w", i, err)
+		}
+	}
+	// active counts lanes still inside their horizon; once it hits zero the
+	// remaining queued events all belong to done lanes and are dropped
+	// wholesale by skipping the loop.
+	active := b.n
+	var ev event
+	for active > 0 && b.queue.len() > 0 {
+		depth := int64(b.queue.len())
+		b.queue.pop(&ev)
+		e := b.lanes[ev.lane]
+		if e.batchDone {
+			// A done lane's leftover event: dropped without counting, so
+			// the lane's per-op counts match its sequential run (which
+			// stops at its first past-horizon pop).
+			continue
+		}
+		if e.stats != nil {
+			e.stats.ObserveQueueDepth(depth)
+			e.stats.CountEvent(int(ev.op))
+		}
+		if ev.at > e.cfg.Horizon {
+			// Counted, like the sequential loop's final pop, then the lane
+			// is finished.
+			e.batchDone = true
+			active--
+			continue
+		}
+		if err := e.step(&ev); err != nil {
+			return fmt.Errorf("sim: batch lane %d: %w", ev.lane, err)
+		}
+	}
+	for i := 0; i < b.n; i++ {
+		b.lanes[i].finish()
+	}
+	b.chargeShared()
+	return nil
+}
+
+// chargeShared books the pass-wide counters — shared-queue cascades and
+// batch occupancy — exactly once per distinct stats bank among the lanes.
+func (b *BatchRunner) chargeShared() {
+	casc := b.queue.cascades()
+	for i := 0; i < b.n; i++ {
+		st := b.lanes[i].stats
+		if st == nil {
+			continue
+		}
+		first := true
+		for j := 0; j < i; j++ {
+			if b.lanes[j].stats == st {
+				first = false
+				break
+			}
+		}
+		if first {
+			st.AddCascades(casc)
+			st.NoteBatch(int64(b.n))
+		}
+	}
+}
+
+// Outcome returns lane's results after a successful Run. Like
+// Engine.Run's, the outcome is a reused view: the next Reset invalidates
+// it, so callers needing several lanes' metrics at once must CopyFrom each.
+func (b *BatchRunner) Outcome(lane int) *Outcome {
+	return &b.lanes[lane].out
+}

@@ -1,0 +1,125 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rtsync/internal/model"
+	"rtsync/internal/sim"
+	"rtsync/internal/workload"
+)
+
+// FuzzBatchEquivalence is the batch engine's differential fuzzer: for an
+// arbitrary mix of lane count, generator shapes, protocols, trace/sample
+// collection, shared-queue kind, and horizon length, one interleaved
+// BatchRunner pass must produce per-lane Metrics and trace segments
+// bit-identical to the same lanes run sequentially. This is the tentpole's
+// correctness claim checked over the input space rather than at the
+// handful of shapes the unit tests pin.
+func FuzzBatchEquivalence(f *testing.F) {
+	f.Add(int64(11), uint8(4), uint8(3), false, uint16(0x1b))
+	f.Add(int64(1), uint8(1), uint8(1), true, uint16(0))
+	f.Add(int64(99), uint8(5), uint8(7), false, uint16(0xffff))
+	f.Add(int64(-3), uint8(2), uint8(2), true, uint16(0x5a5a))
+
+	f.Fuzz(func(t *testing.T, seed int64, kRaw, hpRaw uint8, useHeap bool, laneBits uint16) {
+		k := int(kRaw%5) + 1
+		hp := int64(hpRaw%6) + 2
+		kind := sim.QueueWheel
+		if useHeap {
+			kind = sim.QueueHeap
+		}
+
+		type lane struct {
+			sys *model.System
+			cfg sim.Config
+		}
+		// Three bits per lane: two pick the protocol, one toggles tracing.
+		// CollectSamples rides on the protocol bits so heterogeneous lanes
+		// stress the engine's optional paths in combination.
+		mkProtocol := func(bits uint16) sim.Protocol {
+			switch bits & 3 {
+			case 0:
+				return sim.NewDS()
+			case 1:
+				return sim.NewRG()
+			case 2:
+				return sim.NewRGRule1Only()
+			default:
+				return sim.NewRG()
+			}
+		}
+		lanes := make([]lane, 0, k)
+		for i := 0; i < k; i++ {
+			bits := laneBits >> (3 * (i % 5))
+			n := 2 + int((uint64(seed)>>uint(2*i))&3)
+			u := 0.5 + 0.1*float64((bits>>1)&3)
+			wcfg := workload.DefaultConfig(n, u)
+			wcfg.Seed = seed + int64(i)*7919
+			sys, err := workload.Generate(wcfg)
+			if err != nil {
+				continue // shape invalid for the generator: not this fuzzer's concern
+			}
+			lanes = append(lanes, lane{
+				sys: sys,
+				cfg: sim.Config{
+					Horizon:        model.Time(int64(sys.MaxPeriod()) * hp),
+					Queue:          kind,
+					Trace:          bits&4 != 0,
+					CollectSamples: bits&2 != 0,
+				},
+			})
+		}
+		if len(lanes) == 0 {
+			return
+		}
+
+		// Sequential reference. Protocols are rebuilt per run so no state
+		// leaks between the reference and the batched pass.
+		want := make([]*sim.Metrics, len(lanes))
+		wantSegs := make([][]sim.Segment, len(lanes))
+		for i, ln := range lanes {
+			cfg := ln.cfg
+			cfg.Protocol = mkProtocol(laneBits >> (3 * (i % 5)))
+			out, err := sim.Run(ln.sys, cfg)
+			if err != nil {
+				t.Fatalf("sequential lane %d: %v", i, err)
+			}
+			var m sim.Metrics
+			m.CopyFrom(out.Metrics)
+			want[i] = &m
+			if out.Trace != nil {
+				wantSegs[i] = append([]sim.Segment(nil), out.Trace.Segments...)
+			}
+		}
+
+		var b sim.BatchRunner
+		b.Reset(kind)
+		for i, ln := range lanes {
+			cfg := ln.cfg
+			cfg.Protocol = mkProtocol(laneBits >> (3 * (i % 5)))
+			if _, err := b.Add(ln.sys, cfg); err != nil {
+				t.Fatalf("Add lane %d: %v", i, err)
+			}
+		}
+		if err := b.Run(); err != nil {
+			t.Fatalf("batched pass: %v", err)
+		}
+		for i := range lanes {
+			out := b.Outcome(i)
+			var got sim.Metrics
+			got.CopyFrom(out.Metrics)
+			if !reflect.DeepEqual(&got, want[i]) {
+				t.Errorf("lane %d: batched metrics diverge from sequential\n got: %+v\nwant: %+v",
+					i, &got, want[i])
+			}
+			var gotSegs []sim.Segment
+			if out.Trace != nil {
+				gotSegs = out.Trace.Segments
+			}
+			if !reflect.DeepEqual(gotSegs, wantSegs[i]) {
+				t.Errorf("lane %d: batched trace segments diverge from sequential", i)
+			}
+		}
+	})
+}

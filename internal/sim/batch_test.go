@@ -1,0 +1,314 @@
+package sim_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rtsync/internal/model"
+	"rtsync/internal/obs"
+	"rtsync/internal/sim"
+	"rtsync/internal/workload"
+)
+
+// batchSystems generates k distinct Figure 14–16-shaped systems.
+func batchSystems(tb testing.TB, k int) []*model.System {
+	tb.Helper()
+	out := make([]*model.System, k)
+	for i := range out {
+		cfg := workload.DefaultConfig(5, 0.7)
+		cfg.Seed = int64(11 + i)
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[i] = sys
+	}
+	return out
+}
+
+// snapshotMetrics deep-copies a run's metrics so they survive engine reuse.
+func snapshotMetrics(m *sim.Metrics) *sim.Metrics {
+	var cp sim.Metrics
+	cp.CopyFrom(m)
+	return &cp
+}
+
+// TestBatchRunnerMatchesSequential is the core equivalence claim: one
+// interleaved pass over K heterogeneous lanes (different protocols, traces
+// on and off, both shared-queue kinds) yields per-lane Metrics and Traces
+// bit-identical to K sequential runs.
+func TestBatchRunnerMatchesSequential(t *testing.T) {
+	systems := batchSystems(t, 4)
+	for _, kind := range []sim.QueueKind{sim.QueueWheel, sim.QueueHeap} {
+		t.Run(fmt.Sprintf("queue=%d", kind), func(t *testing.T) {
+			mkConfigs := func() []sim.Config {
+				return []sim.Config{
+					{Protocol: sim.NewDS(), Trace: true},
+					{Protocol: sim.NewRG(), CollectSamples: true},
+					{Protocol: sim.NewRGRule1Only()},
+					{Protocol: sim.NewRG(), Trace: true},
+				}
+			}
+
+			// Sequential reference runs.
+			seqCfgs := mkConfigs()
+			want := make([]*sim.Metrics, len(systems))
+			wantSegs := make([][]sim.Segment, len(systems))
+			for i, sys := range systems {
+				cfg := seqCfgs[i]
+				cfg.Horizon = model.Time(int64(sys.MaxPeriod()) * 10)
+				cfg.Queue = kind
+				out, err := sim.Run(sys, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = snapshotMetrics(out.Metrics)
+				if out.Trace != nil {
+					wantSegs[i] = append([]sim.Segment(nil), out.Trace.Segments...)
+				}
+			}
+
+			// One batched pass over the same lanes.
+			var b sim.BatchRunner
+			b.Reset(kind)
+			batchCfgs := mkConfigs()
+			for i, sys := range systems {
+				cfg := batchCfgs[i]
+				cfg.Horizon = model.Time(int64(sys.MaxPeriod()) * 10)
+				cfg.Queue = kind
+				lane, err := b.Add(sys, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lane != i {
+					t.Fatalf("lane %d for system %d", lane, i)
+				}
+			}
+			if err := b.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i := range systems {
+				out := b.Outcome(i)
+				got := snapshotMetrics(out.Metrics)
+				if !reflect.DeepEqual(got, want[i]) {
+					t.Errorf("lane %d: batched metrics differ from sequential\n got: %+v\nwant: %+v",
+						i, got, want[i])
+				}
+				var gotSegs []sim.Segment
+				if out.Trace != nil {
+					gotSegs = out.Trace.Segments
+				}
+				if !reflect.DeepEqual(gotSegs, wantSegs[i]) {
+					t.Errorf("lane %d: batched trace segments differ from sequential", i)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchRunnerStatsMatchSequential pins the per-lane observability
+// contract: with one private stats bank per lane, every counter that feeds
+// per-unit results (per-op event counts, preemptions, context switches,
+// runs, idle ticks) is identical to the lane's sequential run. Queue
+// high-water and cascades are exempt by design — they describe the shared
+// queue.
+func TestBatchRunnerStatsMatchSequential(t *testing.T) {
+	systems := batchSystems(t, 3)
+	horizon := func(sys *model.System) model.Time {
+		return model.Time(int64(sys.MaxPeriod()) * 10)
+	}
+
+	want := make([]obs.SimSnapshot, len(systems))
+	for i, sys := range systems {
+		st := obs.NewSimStats()
+		_, err := sim.Run(sys, sim.Config{Protocol: sim.NewRG(), Horizon: horizon(sys), Stats: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = st.Snapshot()
+	}
+
+	var b sim.BatchRunner
+	b.Reset(sim.QueueWheel)
+	banks := make([]*obs.SimStats, len(systems))
+	for i, sys := range systems {
+		banks[i] = obs.NewSimStats()
+		if _, err := b.Add(sys, sim.Config{Protocol: sim.NewRG(), Horizon: horizon(sys), Stats: banks[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range systems {
+		got := banks[i].Snapshot()
+		if got.BatchPasses != 1 || got.BatchLanes != int64(len(systems)) || got.BatchLaneHighWater != int64(len(systems)) {
+			t.Errorf("lane %d: batch counters = %d/%d/%d, want 1/%d/%d",
+				i, got.BatchPasses, got.BatchLanes, got.BatchLaneHighWater, len(systems), len(systems))
+		}
+		// Null the fields that legitimately differ, then require identity.
+		got.EventQueueHighWater = 0
+		want[i].EventQueueHighWater = 0
+		got.WheelCascades = 0
+		want[i].WheelCascades = 0
+		got.BatchPasses, got.BatchLanes, got.BatchLaneHighWater = 0, 0, 0
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("lane %d: batched stats differ from sequential\n got: %+v\nwant: %+v",
+				i, got, want[i])
+		}
+	}
+}
+
+// TestBatchRunnerReuse drives the recycling contract: a second Reset/Add/Run
+// cycle on the same BatchRunner (with the lane count shrinking) still
+// matches sequential runs, and outcomes from the first pass are rebuilt in
+// place.
+func TestBatchRunnerReuse(t *testing.T) {
+	systems := batchSystems(t, 3)
+	protos := []*sim.RG{sim.NewRG(), sim.NewRG(), sim.NewRG()}
+	cfg := func(i int) sim.Config {
+		return sim.Config{
+			Protocol: protos[i],
+			Horizon:  model.Time(int64(systems[i].MaxPeriod()) * 10),
+		}
+	}
+
+	var b sim.BatchRunner
+	for pass, lanes := range [][]int{{0, 1, 2}, {2, 0}} {
+		b.Reset(sim.QueueWheel)
+		for _, i := range lanes {
+			if _, err := b.Add(systems[i], cfg(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for l, i := range lanes {
+			got := snapshotMetrics(b.Outcome(l).Metrics)
+			out, err := sim.Run(systems[i], cfg(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, snapshotMetrics(out.Metrics)) {
+				t.Errorf("pass %d lane %d (system %d): batched metrics differ from sequential", pass, l, i)
+			}
+		}
+	}
+}
+
+// TestBatchSteadyStateZeroAllocs extends the tentpole zero-alloc property
+// to the batch path: once the BatchRunner and its lane engines are warm, a
+// whole Reset/Add×K/Run cycle allocates nothing — per event AND per pass.
+func TestBatchSteadyStateZeroAllocs(t *testing.T) {
+	const k = 8
+	systems := batchSystems(t, k)
+	protos := make([]*sim.RG, k)
+	for i := range protos {
+		protos[i] = sim.NewRG()
+	}
+	var b sim.BatchRunner
+	pass := func(periods int64) int64 {
+		b.Reset(sim.QueueWheel)
+		for i, sys := range systems {
+			cfg := sim.Config{
+				Protocol: protos[i],
+				Horizon:  model.Time(int64(sys.MaxPeriod()) * periods),
+			}
+			if _, err := b.Add(sys, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var events int64
+		for i := 0; i < k; i++ {
+			events += b.Outcome(i).Metrics.Events
+		}
+		return events
+	}
+	// Warm at the longest horizon so every arena reaches its high-water
+	// capacity before measurement.
+	pass(20)
+	if allocs := testing.AllocsPerRun(5, func() { pass(20) }); allocs > 0.5 {
+		t.Errorf("warm batch pass allocates: %0.1f allocs/pass (want 0)", allocs)
+	}
+	if short, long := pass(10), pass(20); long <= short {
+		t.Fatalf("horizon doubling added no events (%d vs %d)", short, long)
+	}
+}
+
+// benchBatchPass measures steady-state ns/event for one lane staging: each
+// lanes[i] pairs a system with its protocol; all share one interleaved pass.
+func benchBatchPass(b *testing.B, systems []*model.System, protos []sim.Protocol) {
+	b.Helper()
+	k := len(systems)
+	horizons := make([]model.Time, k)
+	for i, sys := range systems {
+		horizons[i] = model.Time(int64(sys.MaxPeriod()) * 10)
+	}
+	var br sim.BatchRunner
+	pass := func() int64 {
+		br.Reset(sim.QueueWheel)
+		for i, sys := range systems {
+			if _, err := br.Add(sys, sim.Config{Protocol: protos[i], Horizon: horizons[i]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := br.Run(); err != nil {
+			b.Fatal(err)
+		}
+		var events int64
+		for i := 0; i < k; i++ {
+			events += br.Outcome(i).Metrics.Events
+		}
+		return events
+	}
+	pass() // warm the arenas
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		events += pass()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+}
+
+// BenchmarkEngineEventsBatch is the tentpole's headline number: steady-state
+// ns/event for one interleaved pass, in the two regimes that bound real
+// sweeps. "distinct" lanes simulate K different systems (uncorrelated
+// release phases — shared-queue work amortizes but per-lane state dilutes
+// the cache, so the net is roughly flat on this sparse workload).
+// "protocols" lanes replay the average-EER sweep's actual shape: the SAME
+// system under 4 protocols per staged unit, whose identical phases pack the
+// wheel's hot slots and make batching a clear win. k=1 distinct is the
+// degenerate baseline both compare against.
+func BenchmarkEngineEventsBatch(b *testing.B) {
+	for _, k := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("lanes=distinct/k=%d", k), func(b *testing.B) {
+			systems := batchSystems(b, k)
+			protos := make([]sim.Protocol, k)
+			for i := range protos {
+				protos[i] = sim.NewRG()
+			}
+			benchBatchPass(b, systems, protos)
+		})
+	}
+	for _, units := range []int{2, 8} {
+		k := 4 * units
+		b.Run(fmt.Sprintf("lanes=protocols/k=%d", k), func(b *testing.B) {
+			base := batchSystems(b, units)
+			systems := make([]*model.System, 0, k)
+			protos := make([]sim.Protocol, 0, k)
+			for _, sys := range base {
+				for _, p := range []sim.Protocol{sim.NewDS(), sim.NewRG(), sim.NewRGRule1Only(), sim.NewRG()} {
+					systems = append(systems, sys)
+					protos = append(protos, p)
+				}
+			}
+			benchBatchPass(b, systems, protos)
+		})
+	}
+}

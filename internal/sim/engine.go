@@ -219,6 +219,16 @@ type Engine struct {
 
 	eventsRun int64
 	ran       bool
+
+	// shared, when non-nil, wires this engine into a BatchRunner pass as
+	// lane `lane`: pushes route to the batch's shared event queue, stamped
+	// with the lane and sequenced by the batch-global counter. batchDone
+	// marks the lane finished within the pass (its first past-horizon
+	// event was popped); later shared-queue events of a done lane are
+	// dropped uncounted, so per-lane metrics match a sequential run.
+	shared    *BatchRunner
+	lane      int16
+	batchDone bool
 }
 
 // New builds an engine for one run over s. The system is validated and
@@ -292,6 +302,7 @@ func (e *Engine) Reset(s *model.System, cfg Config) error {
 	e.seq = 0
 	e.eventsRun = 0
 	e.ran = false
+	e.batchDone = false
 	e.events.reset(cfg.Queue)
 	e.timers = e.timers[:0]
 	e.dirty = e.dirty[:0]
@@ -430,18 +441,11 @@ type Outcome struct {
 // Run executes the simulation to the horizon and returns its outcome. Each
 // New or Reset permits exactly one Run.
 func (e *Engine) Run() (*Outcome, error) {
-	if e.ran {
-		return nil, errors.New("sim: Run called again without Reset")
+	if e.shared != nil {
+		return nil, errors.New("sim: Run on a batch-attached engine (use BatchRunner.Run)")
 	}
-	e.ran = true
-	if err := e.cfg.Protocol.Init(e); err != nil {
-		return nil, fmt.Errorf("sim: init %s: %w", e.cfg.Protocol.Name(), err)
-	}
-	// Seed the periodic first-subtask releases, anchored to the local
-	// clock of each task's first processor.
-	for i := range e.sys.Tasks {
-		first := e.sys.Tasks[i].Subtasks[0].Proc
-		e.pushFirstRelease(i, 0, e.sys.Tasks[i].Phase.Add(e.ClockOffset(first)))
+	if err := e.begin(); err != nil {
+		return nil, err
 	}
 	for e.events.len() > 0 {
 		if e.stats != nil {
@@ -455,17 +459,52 @@ func (e *Engine) Run() (*Outcome, error) {
 		if ev.at > e.cfg.Horizon {
 			break
 		}
-		if ev.at < e.clock {
-			return nil, fmt.Errorf("sim: event scheduled in the past (%v < %v)", ev.at, e.clock)
-		}
-		e.clock = ev.at
-		e.exec(&ev)
-		e.settleAll(e.clock)
-		e.eventsRun++
-		if e.eventsRun > e.cfg.MaxEvents {
-			return nil, fmt.Errorf("%w (%d events)", ErrEventBudget, e.eventsRun)
+		if err := e.step(&ev); err != nil {
+			return nil, err
 		}
 	}
+	return e.finish(), nil
+}
+
+// begin arms a run: marks the engine consumed, initializes the protocol, and
+// seeds the periodic first-subtask releases, anchored to the local clock of
+// each task's first processor.
+func (e *Engine) begin() error {
+	if e.ran {
+		return errors.New("sim: Run called again without Reset")
+	}
+	e.ran = true
+	if err := e.cfg.Protocol.Init(e); err != nil {
+		return fmt.Errorf("sim: init %s: %w", e.cfg.Protocol.Name(), err)
+	}
+	for i := range e.sys.Tasks {
+		first := e.sys.Tasks[i].Subtasks[0].Proc
+		e.pushFirstRelease(i, 0, e.sys.Tasks[i].Phase.Add(e.ClockOffset(first)))
+	}
+	return nil
+}
+
+// step executes one in-horizon event: advance the clock, dispatch, settle
+// every dirty processor, and charge the event budget. Shared by the
+// sequential loop above and BatchRunner's interleaved loop, so a lane's
+// per-event work is the same code either way.
+func (e *Engine) step(ev *event) error {
+	if ev.at < e.clock {
+		return fmt.Errorf("sim: event scheduled in the past (%v < %v)", ev.at, e.clock)
+	}
+	e.clock = ev.at
+	e.exec(ev)
+	e.settleAll(e.clock)
+	e.eventsRun++
+	if e.eventsRun > e.cfg.MaxEvents {
+		return fmt.Errorf("%w (%d events)", ErrEventBudget, e.eventsRun)
+	}
+	return nil
+}
+
+// finish seals the run: final metrics, trace close-out, horizon idle
+// accounting, and the reused Outcome.
+func (e *Engine) finish() *Outcome {
 	e.metrics.Horizon = e.cfg.Horizon
 	e.metrics.Events = e.eventsRun
 	if e.trace != nil {
@@ -479,11 +518,15 @@ func (e *Engine) Run() (*Outcome, error) {
 				e.stats.AddIdle(p, int64(e.cfg.Horizon.Sub(e.procs[p].idleStart)))
 			}
 		}
-		e.stats.AddCascades(e.events.cascades())
+		if e.shared == nil {
+			// Batch lanes share one queue; BatchRunner charges its
+			// cascades once per distinct stats bank instead.
+			e.stats.AddCascades(e.events.cascades())
+		}
 		e.stats.NoteRun()
 	}
 	e.out = Outcome{Metrics: e.metrics, Trace: e.trace}
-	return &e.out, nil
+	return &e.out
 }
 
 // exec dispatches one popped event by its op.
@@ -559,8 +602,19 @@ func (r *Runner) Run(s *model.System, cfg Config) (*Outcome, error) {
 	return r.e.Run()
 }
 
-// push schedules an event, stamping its sequence number.
+// push schedules an event, stamping its sequence number. A batch-attached
+// engine routes into the shared queue instead, sequenced by the batch-global
+// counter and tagged with its lane: the global counter is monotonic with
+// push time, so within one lane seq order still equals push order — which is
+// all (at, kind, seq) ordering ever depended on.
 func (e *Engine) push(ev event) {
+	if b := e.shared; b != nil {
+		b.seq++
+		ev.seq = b.seq
+		ev.lane = e.lane
+		b.queue.push(&ev)
+		return
+	}
 	e.seq++
 	ev.seq = e.seq
 	e.events.push(&ev)

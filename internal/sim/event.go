@@ -51,12 +51,16 @@ const (
 
 // event is one scheduled occurrence, a plain value: the queue stores events
 // by value, so pushing and popping allocate nothing in the steady state.
+// lane is the owning system's index within a BatchRunner pass (always 0 in
+// single-system runs); it sits in the struct's alignment padding, so batch
+// mode costs no event bytes.
 type event struct {
 	at   model.Time
 	seq  int64
 	inst int64
 	kind int8
 	op   int8
+	lane int16
 	a    int32
 	b    int32
 	fn   func(t model.Time)

@@ -30,6 +30,10 @@ type RG struct {
 	// pending[si] holds the instances whose synchronization signal arrived
 	// before the guard; they are released in order as the guard allows.
 	pending [][]int64
+	// hasPending[si] mirrors len(pending[si]) > 0 in one byte, so rule 2's
+	// idle-point sweep touches one cache line instead of every slice
+	// header — the sweep is the hottest protocol path under batched runs.
+	hasPending []bool
 	// arrival[si] mirrors pending[si] with each held signal's arrival
 	// time — maintained only when the engine carries observability stats,
 	// so stall durations can be recorded at release. Empty (and free)
@@ -72,10 +76,16 @@ func (rg *RG) Init(e *Engine) error {
 	}
 	rg.pending = growRings(rg.pending, n)
 	rg.arrival = growTimeRings(rg.arrival, n)
+	if cap(rg.hasPending) < n {
+		rg.hasPending = make([]bool, n)
+	} else {
+		rg.hasPending = rg.hasPending[:n]
+	}
 	for i := 0; i < n; i++ {
 		rg.guard[i] = 0
 		rg.pending[i] = rg.pending[i][:0]
 		rg.arrival[i] = rg.arrival[i][:0]
+		rg.hasPending[i] = false
 	}
 	rg.onProc = growProcLists(rg.onProc, len(s.Procs))
 	for p := range rg.onProc {
@@ -143,6 +153,7 @@ func (rg *RG) OnComplete(e *Engine, j *Job, t model.Time) {
 		return
 	}
 	rg.pending[si+1] = append(rg.pending[si+1], j.Instance)
+	rg.hasPending[si+1] = true
 	if e.stats != nil {
 		rg.arrival[si+1] = append(rg.arrival[si+1], t)
 	}
@@ -176,6 +187,8 @@ func (rg *RG) drain(e *Engine, si int, t model.Time) {
 		// Wake up when the (possibly advanced) guard expires. Stale
 		// timers from earlier arrivals drain nothing and are harmless.
 		e.StartTimer(rg.guard[si], rg.timer, si, 0)
+	} else {
+		rg.hasPending[si] = false
 	}
 }
 
@@ -189,7 +202,7 @@ func (rg *RG) OnIdle(e *Engine, proc int, t model.Time) {
 		if rg.guard[si] > t {
 			rg.guard[si] = t
 		}
-		if len(rg.pending[si]) > 0 {
+		if rg.hasPending[si] {
 			rg.drain(e, int(si), t)
 		}
 	}

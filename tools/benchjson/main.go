@@ -15,6 +15,16 @@
 // BENCH_*.json in the same change, or the trajectory silently rots. -check
 // verifies that property (at -benchtime 1x in CI) without rewriting the
 // file.
+//
+// -max-regress and -max-regress-allocs turn -check into a regression gate:
+// each fresh measurement is compared against the committed "after" baseline
+// and the command fails if ns/op or ns/event regresses by more than
+// -max-regress percent, or allocs/op by more than -max-regress-allocs
+// percent (plus an absolute slack of 2 allocs, so tiny baselines don't trip
+// on noise). Thresholded runs only make sense at the same -benchtime the
+// baseline was captured with — a 1x run measures cold-start, not steady
+// state. An intentional regression re-baselines with -update, which accepts
+// the new numbers and rewrites the file (`make bench-check UPDATE=1`).
 package main
 
 import (
@@ -53,20 +63,26 @@ type trajectory struct {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_analysis.json", "trajectory file to update in place")
-		pkg       = flag.String("pkg", "./internal/analysis", "comma-separated packages whose benchmarks to run")
-		bench     = flag.String("bench", "BenchmarkAnalyze", "benchmark name regexp")
-		benchtime = flag.String("benchtime", "10x", "go test -benchtime value")
-		check     = flag.Bool("check", false, "verify baseline benchmarks still exist; do not rewrite -out")
+		out        = flag.String("out", "BENCH_analysis.json", "trajectory file to update in place")
+		pkg        = flag.String("pkg", "./internal/analysis", "comma-separated packages whose benchmarks to run")
+		bench      = flag.String("bench", "BenchmarkAnalyze", "benchmark name regexp")
+		benchtime  = flag.String("benchtime", "10x", "go test -benchtime value")
+		check      = flag.Bool("check", false, "verify baseline benchmarks still exist; do not rewrite -out")
+		maxRegress = flag.Float64("max-regress", 0,
+			"fail if ns/op or ns/event regresses more than this percent vs the committed after baseline (0 disables; run at the baseline's -benchtime)")
+		maxRegressAllocs = flag.Float64("max-regress-allocs", 0,
+			"fail if allocs/op regresses more than this percent plus 2 allocs absolute slack vs the committed after baseline (0 disables)")
+		update = flag.Bool("update", false,
+			"accept regressions beyond the thresholds and rewrite -out with the new numbers (the intentional-regression escape hatch)")
 	)
 	flag.Parse()
-	if err := run(*out, *pkg, *bench, *benchtime, *check); err != nil {
+	if err := run(*out, *pkg, *bench, *benchtime, *check, *update, *maxRegress, *maxRegressAllocs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, pkgs, bench, benchtime string, check bool) error {
+func run(out, pkgs, bench, benchtime string, check, update bool, maxRegress, maxRegressAllocs float64) error {
 	after := make(map[string]measurement)
 	for _, pkg := range strings.Split(pkgs, ",") {
 		cmd := exec.Command("go", "test", "-run", "NONE", "-bench", bench,
@@ -95,7 +111,17 @@ func run(out, pkgs, bench, benchtime string, check bool) error {
 			"(a renamed or deleted benchmark must be renamed in %s in the same change)",
 			out, strings.Join(missing, ", "), out)
 	}
-	if check {
+	if maxRegress > 0 || maxRegressAllocs > 0 {
+		if regressions := findRegressions(t.After, after, maxRegress, maxRegressAllocs); len(regressions) > 0 {
+			if !update {
+				return fmt.Errorf("performance regressions vs %s:\n  %s\n"+
+					"(an intentional regression re-baselines with -update)",
+					out, strings.Join(regressions, "\n  "))
+			}
+			fmt.Printf("%s: accepting %d regressions (-update)\n", out, len(regressions))
+		}
+	}
+	if check && !update {
 		fmt.Printf("%s: all %d baseline benchmarks still exist\n", out, len(after))
 		return nil
 	}
@@ -138,6 +164,42 @@ func missingBaselines(t *trajectory, after map[string]measurement, bench string)
 	}
 	sort.Strings(missing)
 	return missing
+}
+
+// allocSlack is the absolute allocs/op headroom added on top of the
+// percentage threshold, so one stray allocation against a single-digit
+// baseline doesn't read as a blown budget.
+const allocSlack = 2
+
+// findRegressions compares the fresh measurements against the committed
+// baseline and describes every one that exceeds the thresholds. Benchmarks
+// with no baseline entry (new this change) pass; missing-baseline detection
+// is missingBaselines' job.
+func findRegressions(base, after map[string]measurement, pct, apct float64) []string {
+	names := make([]string, 0, len(after))
+	for name := range after {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		b, n := base[name], after[name]
+		if pct > 0 && b.NsOp > 0 && n.NsOp > b.NsOp*(1+pct/100) {
+			regressions = append(regressions, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.1f%%, limit %g%%)",
+				name, b.NsOp, n.NsOp, 100*(n.NsOp/b.NsOp-1), pct))
+		}
+		if pct > 0 && b.NsEvent > 0 && n.NsEvent > b.NsEvent*(1+pct/100) {
+			regressions = append(regressions, fmt.Sprintf("%s: ns/event %.1f -> %.1f (+%.1f%%, limit %g%%)",
+				name, b.NsEvent, n.NsEvent, 100*(n.NsEvent/b.NsEvent-1), pct))
+		}
+		if apct > 0 && float64(n.AllocsOp) > float64(b.AllocsOp)*(1+apct/100)+allocSlack {
+			regressions = append(regressions, fmt.Sprintf("%s: allocs/op %d -> %d (limit %g%% + %d)",
+				name, b.AllocsOp, n.AllocsOp, apct, allocSlack))
+		}
+	}
+	return regressions
 }
 
 // parse extracts name -> measurement from go test -benchmem output into res.

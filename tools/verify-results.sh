@@ -8,6 +8,10 @@
 #              (content hashes verified), and cmp against the committed .txt
 #   3. det:    run a miniature sweep at GOMAXPROCS=1 and at the host's
 #              default, and cmp the two JSONL stores byte for byte
+#   4. batch:  rerun the batch-capable simulation sweep with -batch > 1
+#              (crossed with GOMAXPROCS 1 and default) and cmp every store
+#              against the sequential one — the batched interleaved engine
+#              pass must be invisible in the output
 #
 # Figures 14/15/16/rg-rule2/jitter all render from one avgeer-study store,
 # so the store written while regenerating figure 14 replays the other four —
@@ -110,5 +114,17 @@ det exec-variation $mini
 det tightness -systems 4
 det sensitivity -systems 2 -horizon-periods 5
 det locking $mini
+
+# --- 4: batch invisibility — the avgeer study's batched engine path, crossed
+# with worker parallelism, against a sequential reference store.
+
+"$tmp/rtx" -figure 14 $mini -batch 1 -jsonl "$tmp/batchref.jsonl" >/dev/null
+for b in 3 8; do
+	GOMAXPROCS=1 "$tmp/rtx" -figure 14 $mini -batch $b -jsonl "$tmp/batch1x$b.jsonl" >/dev/null
+	cmp "$tmp/batchref.jsonl" "$tmp/batch1x$b.jsonl"
+	"$tmp/rtx" -figure 14 $mini -batch $b -jsonl "$tmp/batchNx$b.jsonl" >/dev/null
+	cmp "$tmp/batchref.jsonl" "$tmp/batchNx$b.jsonl"
+	echo "ok  batch   fig14 -batch $b (GOMAXPROCS 1 and default)"
+done
 
 echo "all results round-trip byte-identical"
