@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-analysis bench-experiments bench-sim bench-check bench-regress fuzz-smoke vet fmt cover experiments verify-results examples clean
+.PHONY: all build test test-short bench bench-analysis bench-experiments bench-sim bench-check bench-regress fuzz-smoke vet fmt cover experiments verify-results trace-smoke examples clean
 
 all: build test
 
@@ -45,19 +45,21 @@ bench-experiments:
 # observability disabled (the engines' Config.Stats is nil, the zero-cost
 # path); TestSimStatsZeroAllocs separately proves that attaching an
 # obs.SimStats adds zero allocations per event, so the numbers here also
-# describe instrumented runs.
+# describe instrumented runs. BenchmarkSpanRecord and BenchmarkPromText
+# price the tracing-enabled extras: one span append and one full /metrics
+# exposition render.
 bench-sim:
 	$(GO) run ./tools/benchjson -out BENCH_sim.json \
-		-pkg .,./internal/sim \
-		-bench 'BenchmarkSimulate|BenchmarkEngine|BenchmarkEventQueue|BenchmarkReadyQueue' \
+		-pkg .,./internal/sim,./internal/obs \
+		-bench 'BenchmarkSimulate|BenchmarkEngine|BenchmarkEventQueue|BenchmarkReadyQueue|BenchmarkSpanRecord|BenchmarkPromText' \
 		-benchtime 1s
 
 # Verify every benchmark named in a BENCH_*.json baseline still exists
 # (one 1x iteration per benchmark, no file rewrite) — the CI bench smoke.
 bench-check:
 	$(GO) run ./tools/benchjson -check -out BENCH_sim.json \
-		-pkg .,./internal/sim \
-		-bench 'BenchmarkSimulate|BenchmarkEngine|BenchmarkEventQueue|BenchmarkReadyQueue' \
+		-pkg .,./internal/sim,./internal/obs \
+		-bench 'BenchmarkSimulate|BenchmarkEngine|BenchmarkEventQueue|BenchmarkReadyQueue|BenchmarkSpanRecord|BenchmarkPromText' \
 		-benchtime 1x
 	$(GO) run ./tools/benchjson -check -out BENCH_analysis.json \
 		-pkg ./internal/analysis -bench BenchmarkAnalyze -benchtime 1x
@@ -83,8 +85,8 @@ UPDATE_FLAG = $(if $(UPDATE),-update,)
 bench-regress:
 	$(GO) run ./tools/benchjson -check $(UPDATE_FLAG) \
 		-max-regress $(MAX_REGRESS) -max-regress-allocs $(MAX_REGRESS_ALLOCS) \
-		-out BENCH_sim.json -pkg .,./internal/sim \
-		-bench 'BenchmarkSimulate|BenchmarkEngine|BenchmarkEventQueue|BenchmarkReadyQueue' \
+		-out BENCH_sim.json -pkg .,./internal/sim,./internal/obs \
+		-bench 'BenchmarkSimulate|BenchmarkEngine|BenchmarkEventQueue|BenchmarkReadyQueue|BenchmarkSpanRecord|BenchmarkPromText' \
 		-benchtime 1s
 	$(GO) run ./tools/benchjson -check $(UPDATE_FLAG) \
 		-max-regress $(MAX_REGRESS) -max-regress-allocs $(MAX_REGRESS_ALLOCS) \
@@ -133,6 +135,13 @@ experiments: build
 # across GOMAXPROCS settings. What CI runs.
 verify-results:
 	sh tools/verify-results.sh
+
+# Smoke the observability layer: -trace-pipeline must not perturb results
+# (stdout + JSONL byte-identical across GOMAXPROCS and -batch), emitted
+# traces must be valid nesting Chrome trace-event JSON, and /metrics must
+# speak Prometheus exposition format. What CI runs.
+trace-smoke:
+	sh tools/trace-smoke.sh
 
 examples: build
 	$(GO) run ./examples/quickstart

@@ -36,8 +36,11 @@
 //
 // Observability (none of it changes figure output): -progress prints live
 // sweep status lines to stderr, -manifest out.json records the full run
-// (flags, build info, engine counters, output checksums), and -debug-addr
-// serves /debug/pprof and /debug/vars while the sweep runs.
+// (flags, build info, engine counters, output checksums), -debug-addr
+// serves /debug/pprof, /debug/vars and a Prometheus-format /metrics
+// endpoint while the sweep runs, and -trace-pipeline out.json records
+// every swept unit's pipeline phases as a Perfetto-loadable trace (one
+// track per worker).
 package main
 
 import (
@@ -104,6 +107,8 @@ func run(args []string, w io.Writer) error {
 		jitterStr = fs.String("jitter-fraction", "0.5", "release-jitter study: comma-separated max extra delay fractions of the period")
 		execFracs = fs.String("exec-fractions", "1.0,0.75,0.5,0.25", "exec-variation study: comma-separated BCET/WCET ratios")
 		protocols = fs.String("protocols", "hl,mpcp,dpcp", "locking study: comma-separated protocol subset (hl, mpcp, dpcp)")
+
+		tracePath = fs.String("trace-pipeline", "", "write a Chrome trace-event JSON pipeline trace (one track per worker) to this file; open in ui.perfetto.dev")
 
 		jsonlPath  = fs.String("jsonl", "", "stream one CellRecord JSONL line per swept system to this file")
 		recCSVPath = fs.String("records-csv", "", "stream the record store as long-form CSV to this file")
@@ -222,15 +227,26 @@ func run(args []string, w io.Writer) error {
 		Batch:            batch,
 	}
 	// Telemetry rides outside the ordered-commit turnstile, so enabling any
-	// of this changes no figure output. A plain run leaves both fields nil
+	// of this changes no figure output. A plain run leaves these fields nil
 	// and the sweep on its zero-cost path.
-	if *progress || cli.Observing() {
+	var tracer *obs.PipelineTracer
+	stopSampler := func() {}
+	if *tracePath != "" {
+		tracer = obs.NewPipelineTracer()
+		p.Trace = tracer
+		cli.AttachTracer(tracer)
+	}
+	if *progress || tracer != nil || cli.Observing() {
 		sp := obs.NewSweepProgress()
 		p.Progress = sp
 		cli.AttachSweepProgress(sp)
 		if *progress {
 			stopReporter := sp.StartReporter(os.Stderr, 2*time.Second)
 			defer stopReporter()
+		}
+		if tracer != nil {
+			stopSampler = tracer.StartSampler(sp, 250*time.Millisecond)
+			defer stopSampler() // idempotent; normal exits stop it inline
 		}
 	}
 	if cli.Observing() {
@@ -366,6 +382,25 @@ func run(args []string, w io.Writer) error {
 		}
 		cli.AddOutput(*recCSVPath)
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *recCSVPath)
+	}
+	if tracer != nil {
+		// Stop the counter sampler (final sample included) before export,
+		// and write the file here — before the deferred obs stop — so the
+		// manifest checksums it like any other output.
+		stopSampler()
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		cli.AddOutput(*tracePath)
+		fmt.Fprintf(os.Stderr, "wrote %s (%d spans)\n", *tracePath, tracer.Summary().Spans)
 	}
 	for _, f := range storeFiles {
 		if err := f.Close(); err != nil {

@@ -47,6 +47,7 @@ func run(args []string, w io.Writer) error {
 		traceOut  = fs.String("trace-out", "", "save the full execution trace as JSON (inspect with rttrace)")
 		locking   = fs.String("locking", "hl", "locking protocol for global resources: hl, mpcp, or dpcp")
 		batch     = fs.Bool("batch", false, "with -protocol all: interleave every protocol through one batched engine pass (output is identical)")
+		tracePipe = fs.String("trace-pipeline", "", "write a Chrome trace-event JSON trace of the run's stages (load/analyze/run/report/validate) to this file; open in ui.perfetto.dev")
 	)
 	cli := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +67,48 @@ func run(args []string, w io.Writer) error {
 		cli.AttachSimStats(stats)
 	}
 
+	// Stage spans land in one arena (rtsim is single-threaded); nil tracer
+	// keeps every hook on its zero-cost branch, and the simulated schedule
+	// itself is unaffected either way.
+	var tracer *obs.PipelineTracer
+	var spans *obs.SpanArena
+	if *tracePipe != "" {
+		tracer = obs.NewPipelineTracer()
+		spans = tracer.Arena(0)
+		cli.AttachTracer(tracer)
+	}
+	spanStart := func() int64 {
+		if spans == nil {
+			return 0
+		}
+		return spans.Clock()
+	}
+	spanEnd := func(ph obs.SpanPhase, t0 int64) {
+		if spans != nil {
+			spans.Record(ph, t0, spans.Clock(), -1, -1)
+		}
+	}
+	writeTrace := func() error {
+		if tracer == nil {
+			return nil
+		}
+		f, err := os.Create(*tracePipe)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		cli.AddOutput(*tracePipe)
+		fmt.Fprintf(os.Stderr, "wrote %s (%d spans)\n", *tracePipe, tracer.Summary().Spans)
+		return nil
+	}
+
+	t0 := spanStart()
 	var sys *model.System
 	switch {
 	case *example == 1:
@@ -83,6 +126,7 @@ func run(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("usage: rtsim [flags] system.json (or -example N)")
 	}
+	spanEnd(obs.SpanLoad, t0)
 
 	kind, err := parseLocking(*locking)
 	if err != nil {
@@ -93,14 +137,27 @@ func run(args []string, w io.Writer) error {
 		h = model.Time(int64(sys.MaxPeriod()) * 20)
 	}
 	if *protoName == "all" {
-		return runComparison(w, sys, h, kind, stats, *batch)
+		if err := runComparison(w, sys, h, kind, stats, *batch, tracer); err != nil {
+			return err
+		}
+		return writeTrace()
 	}
+	t0 = spanStart()
 	protocol, err := buildProtocol(*protoName, sys)
 	if err != nil {
 		return err
 	}
+	spanEnd(obs.SpanAnalyze, t0)
+	// A Runner instead of sim.Run so the span hook rides along; same engine,
+	// same output.
+	var runner sim.Runner
+	if spans != nil {
+		runner.Spans = spans
+		runner.SpanLabel = tracer.RegisterLabels([]string{protocol.Name()})
+		runner.SpanUnit = -1
+	}
 	needTrace := *chart || *validate || *traceOut != ""
-	out, err := sim.Run(sys, sim.Config{Protocol: protocol, Horizon: h, Trace: needTrace, Locking: kind, Stats: stats})
+	out, err := runner.Run(sys, sim.Config{Protocol: protocol, Horizon: h, Trace: needTrace, Locking: kind, Stats: stats})
 	if err != nil {
 		return err
 	}
@@ -112,6 +169,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *traceOut)
 	}
 
+	t0 = spanStart()
 	fmt.Fprintf(w, "protocol %s, horizon %v, %d events, %d preemptions\n\n",
 		protocol.Name(), h, out.Metrics.Events, out.Metrics.Preemptions)
 
@@ -144,7 +202,9 @@ func run(args []string, w io.Writer) error {
 			RulerEvery: 10,
 		}))
 	}
+	spanEnd(obs.SpanReport, t0)
 
+	t0 = spanStart()
 	if *validate {
 		opts := sim.ValidateOptions{
 			CheckPrecedence: true,
@@ -158,8 +218,9 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("%d trace invariant violations", len(problems))
 		}
 		fmt.Fprintln(w, "\ntrace validation passed")
+		spanEnd(obs.SpanValidate, t0)
 	}
-	return nil
+	return writeTrace()
 }
 
 // runComparison simulates every runnable protocol over the same system and
@@ -170,7 +231,7 @@ func run(args []string, w io.Writer) error {
 // one wheel arena — the batch engine's best case, since every lane releases
 // at the same instants. The table is identical either way; -cpuprofile
 // samples are labeled protocol=<name> sequentially and batch=<K> batched.
-func runComparison(w io.Writer, sys *model.System, h model.Time, kind sim.LockingKind, stats *obs.SimStats, batch bool) error {
+func runComparison(w io.Writer, sys *model.System, h model.Time, kind sim.LockingKind, stats *obs.SimStats, batch bool, tracer *obs.PipelineTracer) error {
 	names := []string{"ds", "rg", "rg1", "pm", "mpm"}
 	t := report.NewTable(fmt.Sprintf("protocol comparison (horizon %v)", h),
 		"protocol", "task", "avg EER", "p95 EER", "max EER", "max jitter", "misses")
@@ -194,11 +255,27 @@ func runComparison(w io.Writer, sys *model.System, h model.Time, kind sim.Lockin
 		}
 		protocols = append(protocols, protocol)
 	}
+	// One label per runnable protocol, so each lane's run span names its
+	// protocol in the trace.
+	var spans *obs.SpanArena
+	var labelBase int32
+	if tracer != nil {
+		spans = tracer.Arena(0)
+		pnames := make([]string, len(protocols))
+		for i, p := range protocols {
+			pnames[i] = p.Name()
+		}
+		labelBase = tracer.RegisterLabels(pnames)
+	}
 	cfg := func(p sim.Protocol) sim.Config {
 		return sim.Config{Protocol: p, Horizon: h, CollectSamples: true, Locking: kind, Stats: stats}
 	}
 	if batch {
 		var b sim.BatchRunner
+		if spans != nil {
+			b.Spans = spans
+			b.SpanLabel = -1
+		}
 		b.Reset(sim.QueueWheel)
 		for _, p := range protocols {
 			if _, err := b.Add(sys, cfg(p)); err != nil {
@@ -217,11 +294,15 @@ func runComparison(w io.Writer, sys *model.System, h model.Time, kind sim.Lockin
 		}
 		return t.Render(w)
 	}
-	for _, p := range protocols {
+	var runner sim.Runner
+	runner.Spans = spans
+	runner.SpanUnit = -1
+	for i, p := range protocols {
+		runner.SpanLabel = labelBase + int32(i)
 		var out *sim.Outcome
 		var runErr error
 		pprof.Do(context.Background(), pprof.Labels("protocol", p.Name()), func(context.Context) {
-			out, runErr = sim.Run(sys, cfg(p))
+			out, runErr = runner.Run(sys, cfg(p))
 		})
 		if runErr != nil {
 			return runErr

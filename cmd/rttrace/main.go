@@ -1,13 +1,14 @@
 // Command rttrace inspects simulation traces saved by rtsim -trace-out:
-// it re-validates every invariant, renders the schedule as a gantt chart,
-// and summarizes per-task response behaviour — all offline, from the
-// self-contained trace file.
+// it re-validates every invariant, renders the schedule as a gantt chart
+// or a Perfetto-loadable trace, and summarizes per-task response
+// behaviour — all offline, from the self-contained trace file.
 //
 // Usage:
 //
 //	rtsim -protocol rg -example 2 -horizon 30 -trace-out run.json
 //	rttrace -gantt -gantt-to 12 run.json
 //	rttrace -validate=false -summary run.json
+//	rttrace -perfetto sched.json run.json   # open sched.json in ui.perfetto.dev
 package main
 
 import (
@@ -40,6 +41,7 @@ func run(args []string, w io.Writer) error {
 		validate = fs.Bool("validate", true, "check trace invariants")
 		summary  = fs.Bool("summary", true, "print per-subtask summary")
 		rg       = fs.Bool("check-rg-spacing", false, "also check the Release Guard spacing invariant")
+		perfetto = fs.String("perfetto", "", "export the schedule as Chrome trace-event JSON to this file (one track per processor and resource; open in ui.perfetto.dev)")
 	)
 	cli := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +96,22 @@ func run(args []string, w io.Writer) error {
 			RulerEvery: 10,
 		}))
 		fmt.Fprintln(w)
+	}
+
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			return err
+		}
+		if err := tr.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		cli.AddOutput(*perfetto)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfetto)
 	}
 
 	if *validate {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rtsync/internal/model"
+	"rtsync/internal/obs"
 	"rtsync/internal/record"
 	"rtsync/internal/report"
 	"rtsync/internal/sim"
@@ -80,20 +81,20 @@ func runAvgEER(p Params, res *AvgEERResult) error {
 			recordErr(rec, &firstErr, err)
 			return
 		}
-		w.lap(&w.timing.GenNS)
+		w.lap(phaseGenerate)
 
 		if err := w.an.Reset(sys, p.Analysis); err != nil {
 			recordErr(rec, &firstErr, err)
 			return
 		}
 		if !fillPMBounds(sc.bounds, w.an.AnalyzePM()) {
-			w.lap(&w.timing.AnaNS)
+			w.lap(phaseAnalyze)
 			w.noteSchedulable(false)
 			fillAvgEERSkip(&w.rec)
 			commitRecord(&p, w, rec, res, &firstErr)
 			return
 		}
-		w.lap(&w.timing.AnaNS)
+		w.lap(phaseAnalyze)
 		w.noteSchedulable(true)
 		sc.pmP.SetBounds(sc.bounds)
 
@@ -116,7 +117,7 @@ func runAvgEER(p Params, res *AvgEERResult) error {
 			recordErr(rec, &firstErr, err)
 			return
 		}
-		w.lap(&w.timing.SimNS)
+		w.lap(phaseSimulate)
 
 		fillAvgEERObs(&w.rec, sys, &sc.ds, &sc.pm, &sc.rg, &sc.rg1)
 		commitRecord(&p, w, rec, res, &firstErr)
@@ -210,13 +211,24 @@ func avgEERBatchFn(p *Params, res *AvgEERResult, firstErr *error) batchFn {
 			})
 		}
 		sc.batch.Stats = w.sim.Stats
+		sc.batch.Spans = w.spans
+		sc.batch.SpanLabel = w.curCell
 		sc.batch.Reset(sim.QueueWheel)
 		// Phase 1: generate and analyze each unit — the per-unit draw
 		// order is identical to the sequential path — and stage lanes.
 		for i, u := range units {
 			ln := sc.lanes[i]
 			ln.err, ln.skip, ln.sys = nil, false, nil
+			var t0 int64
+			if w.spans != nil {
+				t0 = w.spans.Clock()
+			}
 			sys, err := ln.gen.Generate(u.cfg)
+			if w.spans != nil {
+				now := w.spans.Clock()
+				w.spans.Record(obs.SpanGenerate, t0, now, w.curCell, u.g)
+				t0 = now
+			}
 			if err != nil {
 				ln.err = err
 				continue
@@ -226,7 +238,11 @@ func avgEERBatchFn(p *Params, res *AvgEERResult, firstErr *error) batchFn {
 				ln.err = err
 				continue
 			}
-			if !fillPMBounds(ln.bounds, w.an.AnalyzePM()) {
+			viable := fillPMBounds(ln.bounds, w.an.AnalyzePM())
+			if w.spans != nil {
+				w.spans.Record(obs.SpanAnalyze, t0, w.spans.Clock(), w.curCell, u.g)
+			}
+			if !viable {
 				ln.skip = true
 				continue
 			}

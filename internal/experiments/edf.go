@@ -64,7 +64,7 @@ func runEDF(p Params, res *EDFResult) error {
 			recordErr(rec, &firstErr, err)
 			return
 		}
-		w.lap(&w.timing.GenNS)
+		w.lap(phaseGenerate)
 
 		if err := w.an.Reset(sys, p.Analysis); err != nil {
 			recordErr(rec, &firstErr, err)
@@ -83,7 +83,7 @@ func runEDF(p Params, res *EDFResult) error {
 		if edfRes.AllSchedulable(sys) {
 			edfOK = 1
 		}
-		w.lap(&w.timing.AnaNS)
+		w.lap(phaseAnalyze)
 
 		// Both runs reuse one RG instance; each run's metrics are
 		// snapshotted so the FP and EDF results coexist.
@@ -100,7 +100,7 @@ func runEDF(p Params, res *EDFResult) error {
 			return
 		}
 		sc.edf.CopyFrom(edfOut.Metrics)
-		w.lap(&w.timing.SimNS)
+		w.lap(phaseSimulate)
 
 		w.rec.AddVerdict("fp", fpOK == 1)
 		w.rec.AddVerdict("edf", edfOK == 1)

@@ -81,7 +81,7 @@ func runExecVariation(p Params, fractions []float64, res *ExecVariationResult) e
 			recordErr(rec, &firstErr, err)
 			return
 		}
-		w.lap(&w.timing.GenNS)
+		w.lap(phaseGenerate)
 		if err := w.an.Reset(sys, p.Analysis); err != nil {
 			recordErr(rec, &firstErr, err)
 			return
@@ -89,12 +89,12 @@ func runExecVariation(p Params, fractions []float64, res *ExecVariationResult) e
 		if !fillPMBounds(sc.bounds, w.an.AnalyzePM()) {
 			// Skip: PM not runnable. The record still commits (verdict
 			// only) so the store accounts for every swept system.
-			w.lap(&w.timing.AnaNS)
+			w.lap(phaseAnalyze)
 			w.rec.AddVerdict("pm", false)
 			commitRecord(&p, w, rec, res, &firstErr)
 			return
 		}
-		w.lap(&w.timing.AnaNS)
+		w.lap(phaseAnalyze)
 		sc.pmP.SetBounds(sc.bounds)
 		horizon := model.Time(int64(sys.MaxPeriod()) * p.HorizonPeriods)
 
@@ -130,7 +130,7 @@ func runExecVariation(p Params, fractions []float64, res *ExecVariationResult) e
 				}
 			}
 		}
-		w.lap(&w.timing.SimNS)
+		w.lap(phaseSimulate)
 		w.rec.AddVerdict("pm", true)
 		for fi, f := range fractions {
 			for _, v := range sc.pmds[fi] {

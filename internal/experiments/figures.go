@@ -46,7 +46,7 @@ func runFig12(p Params, res *FailureRateResult) error {
 			recordErr(rec, &firstErr, err)
 			return
 		}
-		w.lap(&w.timing.GenNS)
+		w.lap(phaseGenerate)
 		if err := w.an.Reset(sys, p.Analysis); err != nil {
 			recordErr(rec, &firstErr, err)
 			return
@@ -55,7 +55,7 @@ func runFig12(p Params, res *FailureRateResult) error {
 		if w.an.AnalyzeDS().Failed() {
 			failed = 1.0
 		}
-		w.lap(&w.timing.AnaNS)
+		w.lap(phaseAnalyze)
 		w.noteSchedulable(failed == 0)
 		w.rec.AddVerdict("ds", failed == 0)
 		w.rec.AddObs("failed", failed)
@@ -134,7 +134,7 @@ func runFig13(p Params, res *BoundRatioResult) error {
 			recordErr(rec, &firstErr, err)
 			return
 		}
-		w.lap(&w.timing.GenNS)
+		w.lap(phaseGenerate)
 		// One Reset serves all three analyses: each Analyze method owns a
 		// distinct Result, so ds/pm/hol stay valid side by side — and
 		// stay readable after rec.Begin(), since only this worker touches
@@ -146,7 +146,7 @@ func runFig13(p Params, res *BoundRatioResult) error {
 		ds := w.an.AnalyzeDS()
 		w.noteSchedulable(!ds.Failed())
 		if ds.Failed() {
-			w.lap(&w.timing.AnaNS)
+			w.lap(phaseAnalyze)
 			w.rec.AddVerdict("ds", false)
 			w.rec.AddTally("total", 1)
 			commitRecord(&p, w, rec, res, &firstErr)
@@ -154,7 +154,7 @@ func runFig13(p Params, res *BoundRatioResult) error {
 		}
 		pm := w.an.AnalyzePM()
 		hol := w.an.AnalyzeHolistic()
-		w.lap(&w.timing.AnaNS)
+		w.lap(phaseAnalyze)
 		w.rec.AddVerdict("ds", true)
 		w.rec.AddTally("total", 1)
 		w.rec.AddTally("finite", 1)

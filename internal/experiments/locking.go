@@ -107,7 +107,7 @@ func runLocking(p Params, protocols []string, res *LockingResult) error {
 			recordErr(rec, &firstErr, err)
 			return
 		}
-		w.lap(&w.timing.GenNS)
+		w.lap(phaseGenerate)
 		if err := w.an.Reset(sys, p.Analysis); err != nil {
 			recordErr(rec, &firstErr, err)
 			return
@@ -129,7 +129,7 @@ func runLocking(p Params, protocols []string, res *LockingResult) error {
 				hlOK = 1
 			}
 		}
-		w.lap(&w.timing.AnaNS)
+		w.lap(phaseAnalyze)
 		w.noteSchedulable(mpcpOK == 1 || dpcpOK == 1 || hlOK == 1)
 		if wantHL {
 			w.rec.AddVerdict("hl", hlOK == 1)

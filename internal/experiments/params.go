@@ -55,6 +55,13 @@ type Params struct {
 	// Runner, aggregating engine counters across the whole sweep. Shared
 	// and atomic; nil keeps the engines on their zero-cost path.
 	Stats *obs.SimStats
+	// Trace, when non-nil, records pipeline spans — one per swept unit
+	// with generate/analyze/simulate/commit children, plus worker
+	// lifetimes and turnstile waits — into per-worker arenas for Perfetto
+	// export. Workers write only their private arenas, outside the
+	// turnstile, so tracing changes no figure output and no record store
+	// byte; nil keeps every hook on the zero-cost nil-check path.
+	Trace *obs.PipelineTracer
 	// Records, when non-nil, receives one CellRecord per swept system in
 	// deterministic global unit order (the turnstile serializes writes),
 	// so a JSONL store written here is byte-identical at any Parallelism.
@@ -220,7 +227,30 @@ type worker struct {
 	t0       time.Time
 	recStats *obs.SimStats
 	base     obs.CoreCounts
+
+	// spans is this worker's private span arena, nil when the sweep runs
+	// without Params.Trace. spanT0 is the running phase-boundary clock
+	// (lap closes a phase span against it); curCell and curUnit tag the
+	// spans with the worker's current cell label index and global unit.
+	spans   *obs.SpanArena
+	spanT0  int64
+	curCell int32
+	curUnit int64
 }
+
+// phase names one pipeline phase for lap: it selects both the per-record
+// Timing accumulator and the span phase, so studies charge wall time with
+// a single call whichever telemetry is enabled.
+type phase uint8
+
+const (
+	phaseGenerate phase = iota
+	phaseAnalyze
+	phaseSimulate
+)
+
+// spanPhaseOf maps pipeline phases onto span phases.
+var spanPhaseOf = [3]obs.SpanPhase{obs.SpanGenerate, obs.SpanAnalyze, obs.SpanSimulate}
 
 // noteSchedulable tallies one analyzed system's schedulability verdict
 // into the sweep telemetry; a no-op without Params.Progress.
@@ -291,12 +321,25 @@ type Recorder struct {
 	g       *gate
 	unit    int64
 	entered bool
+
+	// spans/label mirror the owning worker's arena and current cell when
+	// pipeline tracing is on: Begin then records the time spent blocked in
+	// the turnstile as a turnstile-wait span. Both stay zero-valued (and
+	// cost one branch) otherwise.
+	spans *obs.SpanArena
+	label int32
 }
 
 // Begin claims this unit's commit turn (see Recorder).
 func (r *Recorder) Begin() {
 	if !r.entered {
 		r.entered = true
+		if r.spans != nil {
+			t0 := r.spans.Clock()
+			r.g.enter(r.unit)
+			r.spans.Record(obs.SpanTurnstileWait, t0, r.spans.Clock(), r.label, r.unit)
+			return
+		}
 		r.g.enter(r.unit)
 	}
 }
@@ -391,6 +434,10 @@ func sweepSpans(p Params, fn func(w *worker, cfg workload.Config, rec *Recorder)
 	if p.Progress != nil {
 		run = p.Progress.StartSweep(cellLabels, p.SystemsPerConfig, p.Parallelism)
 	}
+	var labelBase int32
+	if p.Trace != nil {
+		labelBase = p.Trace.RegisterLabels(cellLabels)
+	}
 	spans := make(chan span)
 	gt := newGate()
 	var wg sync.WaitGroup
@@ -412,12 +459,26 @@ func sweepSpans(p Params, fn func(w *worker, cfg workload.Config, rec *Recorder)
 				w.prog = run.Shard(wi)
 			}
 			rec := Recorder{g: gt}
+			var wt0 int64
+			if p.Trace != nil {
+				// The arena is retained per worker index, so successive
+				// sweeps of one run accumulate onto the same track.
+				w.spans = p.Trace.Arena(wi)
+				w.sim.Spans = w.spans
+				rec.spans = w.spans
+				wt0 = w.spans.Clock()
+			}
 			lastCI := -1
 			for sp := range spans {
 				if sp.ci != lastCI {
 					pprof.SetGoroutineLabels(labels[sp.ci])
 					if p.Progress != nil {
 						p.Progress.SetCurrent(&cellLabels[sp.ci])
+					}
+					if w.spans != nil {
+						w.curCell = labelBase + int32(sp.ci)
+						w.sim.SpanLabel = w.curCell
+						rec.label = w.curCell
 					}
 					lastCI = sp.ci
 				}
@@ -427,6 +488,10 @@ func sweepSpans(p Params, fn func(w *worker, cfg workload.Config, rec *Recorder)
 						c := p.Configs[sp.ci]
 						c.Seed = p.systemSeed(sp.ci, sp.k0+j)
 						w.units = append(w.units, unit{cfg: c, ci: sp.ci, g: sp.g + int64(j)})
+					}
+					var bt0 int64
+					if w.spans != nil {
+						bt0 = w.spans.Clock()
 					}
 					if w.prog != nil {
 						// The pass is indivisible, so each unit is charged
@@ -440,12 +505,20 @@ func sweepSpans(p Params, fn func(w *worker, cfg workload.Config, rec *Recorder)
 					} else {
 						bfn(&w, w.units, &rec)
 					}
+					if w.spans != nil {
+						w.spans.RecordBatched(obs.SpanBatchSpan, bt0, w.spans.Clock(),
+							w.curCell, sp.g, int32(sp.n))
+					}
 					continue
 				}
 				for j := 0; j < sp.n; j++ {
 					c := p.Configs[sp.ci]
 					c.Seed = p.systemSeed(sp.ci, sp.k0+j)
 					rec.arm(sp.g + int64(j))
+					var ut0 int64
+					if w.spans != nil {
+						ut0 = w.spans.Clock()
+					}
 					if w.prog != nil {
 						// Cell wall time covers fn itself; any turnstile
 						// wait inside fn's own Begin is part of it, but
@@ -457,7 +530,16 @@ func sweepSpans(p Params, fn func(w *worker, cfg workload.Config, rec *Recorder)
 						fn(&w, c, &rec)
 					}
 					rec.finish() // take the turn even when fn recorded nothing
+					if w.spans != nil {
+						// The unit span closes after finish, so it covers
+						// the commit turn (and any turnstile wait) too.
+						w.spans.Record(obs.SpanUnit, ut0, w.spans.Clock(),
+							w.curCell, sp.g+int64(j))
+					}
 				}
+			}
+			if w.spans != nil {
+				w.spans.Record(obs.SpanWorker, wt0, w.spans.Clock(), -1, -1)
 			}
 			if w.recStats != nil && p.Stats != nil {
 				p.Stats.Merge(w.recStats)

@@ -86,19 +86,19 @@ func runReleaseJitter(p Params, jitterFraction float64, res *ReleaseJitterResult
 			recordErr(rec, &firstErr, err)
 			return
 		}
-		w.lap(&w.timing.GenNS)
+		w.lap(phaseGenerate)
 		if err := w.an.Reset(sys, p.Analysis); err != nil {
 			recordErr(rec, &firstErr, err)
 			return
 		}
 		if !fillPMBounds(sc.bounds, w.an.AnalyzePM()) {
-			w.lap(&w.timing.AnaNS)
+			w.lap(phaseAnalyze)
 			w.rec.AddVerdict("pm", false)
 			w.rec.AddObsP(jitterSkippedSeries, jitterFraction, 1)
 			commitRecord(&p, w, rec, res, &firstErr)
 			return
 		}
-		w.lap(&w.timing.AnaNS)
+		w.lap(phaseAnalyze)
 		sc.protocols[1].(*sim.PM).SetBounds(sc.bounds)
 		sc.protocols[2].(*sim.MPM).SetBounds(sc.bounds)
 
@@ -119,7 +119,7 @@ func runReleaseJitter(p Params, jitterFraction float64, res *ReleaseJitterResult
 			}
 			sc.vios[pi] = out.Metrics.PrecedenceViolations
 		}
-		w.lap(&w.timing.SimNS)
+		w.lap(phaseSimulate)
 		w.rec.AddVerdict("pm", true)
 		for pi := range sc.protocols {
 			w.rec.AddObsP(jitterVioSeries[pi], jitterFraction, float64(sc.vios[pi]))

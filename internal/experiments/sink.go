@@ -3,6 +3,7 @@ package experiments
 import (
 	"time"
 
+	"rtsync/internal/obs"
 	"rtsync/internal/record"
 	"rtsync/internal/workload"
 )
@@ -22,18 +23,36 @@ func (w *worker) beginUnit(study string, cfg workload.Config, rec *Recorder) {
 	if w.recStats != nil {
 		w.base = w.recStats.Core()
 	}
+	if w.spans != nil {
+		w.curUnit = rec.unit
+		w.sim.SpanUnit = rec.unit
+		w.spanT0 = w.spans.Clock()
+	}
 }
 
-// lap charges the wall time since the last lap (or beginUnit) to one phase
-// accumulator; free when timings are off. Studies call it after generation,
-// after the analyses, and after the simulations.
-func (w *worker) lap(dst *int64) {
-	if !w.timings {
-		return
+// lap closes the pipeline phase that ran since the last lap (or beginUnit):
+// it charges the elapsed wall time to the record's per-phase accumulator
+// (Params.RecordTimings) and records a phase span (Params.Trace). Free when
+// both are off. Studies call it after generation, after the analyses, and
+// after the simulations.
+func (w *worker) lap(ph phase) {
+	if w.timings {
+		now := time.Now()
+		dst := &w.timing.GenNS
+		switch ph {
+		case phaseAnalyze:
+			dst = &w.timing.AnaNS
+		case phaseSimulate:
+			dst = &w.timing.SimNS
+		}
+		*dst += now.Sub(w.t0).Nanoseconds()
+		w.t0 = now
 	}
-	now := time.Now()
-	*dst += now.Sub(w.t0).Nanoseconds()
-	w.t0 = now
+	if w.spans != nil {
+		now := w.spans.Clock()
+		w.spans.Record(spanPhaseOf[ph], w.spanT0, now, w.curCell, w.curUnit)
+		w.spanT0 = now
+	}
 }
 
 // commitRecord finishes one unit: it seals the optional record sections,
@@ -59,6 +78,18 @@ func commitRecord(p *Params, w *worker, rec *Recorder, v View, firstErr *error) 
 		w.rec.Sim = &w.counts
 	}
 	rec.Begin()
+	if w.spans == nil {
+		applyRecord(p, w, v, firstErr)
+		return
+	}
+	t0 := w.spans.Clock()
+	applyRecord(p, w, v, firstErr)
+	w.spans.Record(obs.SpanCommit, t0, w.spans.Clock(), w.curCell, w.curUnit)
+}
+
+// applyRecord is commitRecord's turnstile-held tail: fold into the view,
+// stream to the sink, record the first error in unit order.
+func applyRecord(p *Params, w *worker, v View, firstErr *error) {
 	if err := v.Apply(&w.rec); err != nil {
 		if *firstErr == nil {
 			*firstErr = err

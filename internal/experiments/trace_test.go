@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"rtsync/internal/obs"
+	"rtsync/internal/record"
+	"rtsync/internal/workload"
+)
+
+// TestSweepPipelineTraceDeterminism pins the tentpole's no-perturbation
+// guarantee for span tracing: attaching a PipelineTracer (with a live
+// counter sampler) leaves the study results AND the JSONL record store
+// byte-identical at every (Parallelism, Batch) combination, because span
+// hooks write only worker-private arenas outside the ordered-commit
+// turnstile. The traced runs must also actually produce a trace: per-unit
+// spans covering the whole sweep and a Perfetto export that parses.
+func TestSweepPipelineTraceDeterminism(t *testing.T) {
+	base := benchSweepParams()
+	base.SystemsPerConfig = 4
+	units := int64(len(base.Configs) * base.SystemsPerConfig)
+	variants := []struct {
+		par, batch int
+		trace      bool
+	}{
+		{1, 1, false}, // plain sequential reference
+		{1, 1, true},
+		{4, 1, true},
+		{runtime.GOMAXPROCS(0), 1, true},
+		{1, 8, true},
+		{4, 8, true},
+	}
+
+	var results []*AvgEERResult
+	var stores [][]byte
+	for _, v := range variants {
+		var buf bytes.Buffer
+		wr := record.NewWriter(&buf)
+		p := base
+		p.Parallelism = v.par
+		p.Batch = v.batch
+		p.Records = wr
+		var tracer *obs.PipelineTracer
+		var stop func()
+		if v.trace {
+			tracer = obs.NewPipelineTracer()
+			p.Trace = tracer
+			p.Progress = obs.NewSweepProgress()
+			stop = tracer.StartSampler(p.Progress, time.Millisecond)
+		}
+		res, err := AvgEERStudy(p)
+		if err != nil {
+			t.Fatalf("AvgEERStudy(par=%d batch=%d trace=%v): %v", v.par, v.batch, v.trace, err)
+		}
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+		stores = append(stores, buf.Bytes())
+
+		if !v.trace {
+			continue
+		}
+		stop()
+		sum := tracer.Summary()
+		if sum.Spans == 0 {
+			t.Fatalf("par=%d batch=%d: tracer recorded no spans", v.par, v.batch)
+		}
+		byPhase := map[string]obs.SpanPhaseSummary{}
+		for _, ph := range sum.Phases {
+			byPhase[ph.Phase] = ph
+		}
+		if v.batch == 1 {
+			// Sequential path: one unit span per swept system, with one
+			// generate/analyze/simulate/commit child each.
+			for _, name := range []string{"unit", "generate", "analyze", "commit", "turnstile-wait"} {
+				if got := byPhase[name].Count; got != units {
+					t.Errorf("par=%d: %d %q spans, want %d", v.par, got, name, units)
+				}
+			}
+			// Only PM-schedulable units reach simulation; the avg-EER study
+			// then runs 4 protocols per simulated unit.
+			simulated := byPhase["simulate"].Count
+			if simulated == 0 || simulated > units {
+				t.Errorf("par=%d: %d simulate spans, want 1..%d", v.par, simulated, units)
+			}
+			if got := byPhase["run"].Count; got != 4*simulated {
+				t.Errorf("par=%d: %d run spans, want %d", v.par, got, 4*simulated)
+			}
+		} else {
+			// Batched path: spans cover batch handlers and interleaved
+			// passes; every unit still gets its phase-1 and commit spans.
+			for _, name := range []string{"batch-span", "batch-pass"} {
+				if byPhase[name].Count == 0 {
+					t.Errorf("par=%d batch=%d: no %q spans", v.par, v.batch, name)
+				}
+			}
+			for _, name := range []string{"generate", "analyze", "commit"} {
+				if got := byPhase[name].Count; got != units {
+					t.Errorf("par=%d batch=%d: %d %q spans, want %d", v.par, v.batch, got, name, units)
+				}
+			}
+		}
+		if byPhase["worker"].Count != int64(v.par) {
+			t.Errorf("par=%d batch=%d: %d worker spans, want %d",
+				v.par, v.batch, byPhase["worker"].Count, v.par)
+		}
+		var out bytes.Buffer
+		if err := tracer.WritePerfetto(&out); err != nil {
+			t.Fatalf("WritePerfetto: %v", err)
+		}
+		if !json.Valid(out.Bytes()) {
+			t.Fatalf("par=%d batch=%d: Perfetto export is not valid JSON", v.par, v.batch)
+		}
+	}
+
+	for i := 1; i < len(variants); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("results at par=%d batch=%d trace=%v differ from plain sequential",
+				variants[i].par, variants[i].batch, variants[i].trace)
+		}
+		if !bytes.Equal(stores[0], stores[i]) {
+			t.Errorf("JSONL store at par=%d batch=%d trace=%v differs from plain sequential",
+				variants[i].par, variants[i].batch, variants[i].trace)
+		}
+	}
+}
+
+// TestSpanDisabledZeroAllocs pins the tracing-off contract at the hook
+// level: with a nil span arena, the per-unit hook sequence — beginUnit, the
+// three phase laps, and the turnstile turn — allocates nothing, so a plain
+// sweep keeps its zero-allocs-per-system steady state (which
+// TestSweepSteadyStateZeroAllocs pins end to end).
+func TestSpanDisabledZeroAllocs(t *testing.T) {
+	var w worker
+	cfg := workload.DefaultConfig(3, 0.5)
+	rec := Recorder{g: newGate()}
+	unitNo := int64(0)
+	cycle := func() {
+		rec.arm(unitNo)
+		w.beginUnit("trace-test", cfg, &rec)
+		w.lap(phaseGenerate)
+		w.lap(phaseAnalyze)
+		w.lap(phaseSimulate)
+		rec.finish()
+		unitNo++
+	}
+	cycle() // warm the retained record's string fields
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("tracing-off unit hooks allocate %.2f times per unit, want 0", avg)
+	}
+}

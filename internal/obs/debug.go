@@ -74,8 +74,8 @@ type DebugServer struct {
 }
 
 // ServeDebug starts the debug endpoint on addr ("host:port"; port 0 picks
-// a free one) and serves until Close. Routes: /debug/pprof/... and
-// /debug/vars.
+// a free one) and serves until Close. Routes: /debug/pprof/...,
+// /debug/vars, and Prometheus text-format /metrics.
 func ServeDebug(addr string) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
@@ -84,6 +84,7 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", metricsHandler)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,7 @@ type CLI struct {
 	debug    *DebugServer
 	sim      *SimStats
 	sweep    *SweepProgress
+	tracer   *PipelineTracer
 	outputs  []string
 }
 
@@ -83,6 +84,10 @@ func (c *CLI) AttachSweepProgress(sp *SweepProgress) {
 	PublishSweepProgress(sp)
 }
 
+// AttachTracer routes the pipeline tracer's span summary into the
+// manifest.
+func (c *CLI) AttachTracer(t *PipelineTracer) { c.tracer = t }
+
 // AddOutput records a file this run wrote; it is checksummed when the
 // manifest is written, after all writes are done.
 func (c *CLI) AddOutput(path string) { c.outputs = append(c.outputs, path) }
@@ -101,6 +106,10 @@ func (c *CLI) writeManifest() {
 	if c.sweep != nil {
 		snap := c.sweep.Snapshot()
 		c.manifest.Sweep = &snap
+	}
+	if c.tracer != nil {
+		sum := c.tracer.Summary()
+		c.manifest.Spans = &sum
 	}
 	for _, p := range c.outputs {
 		c.manifest.AddOutput(p)

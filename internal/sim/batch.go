@@ -47,6 +47,12 @@ type BatchRunner struct {
 	// Stats, when non-nil, is attached to every lane whose Config does not
 	// carry its own — the same defaulting rule as Runner.Stats.
 	Stats *obs.SimStats
+
+	// Spans, when non-nil, receives one pipeline "batch-pass" span per Run
+	// (the whole interleaved pass over all lanes), tagged with SpanLabel
+	// and the lane count. Nil costs one branch per pass, like Stats.
+	Spans     *obs.SpanArena
+	SpanLabel int32
 }
 
 // Reset re-arms the batch for a fresh pass, discarding all previously added
@@ -96,6 +102,17 @@ func (b *BatchRunner) Add(s *model.System, cfg Config) (int, error) {
 // init, past-scheduled event, or event budget) the whole pass aborts and
 // every lane's outcome is invalid.
 func (b *BatchRunner) Run() error {
+	if b.Spans == nil {
+		return b.run()
+	}
+	t0 := b.Spans.Clock()
+	err := b.run()
+	b.Spans.RecordBatched(obs.SpanBatchPass, t0, b.Spans.Clock(), b.SpanLabel, -1, int32(b.n))
+	return err
+}
+
+// run is the interleaved pass itself.
+func (b *BatchRunner) run() error {
 	if b.ran {
 		return errors.New("sim: BatchRunner.Run called again without Reset")
 	}

@@ -586,6 +586,15 @@ type Runner struct {
 	// carry its own — how sweep workers route all their runs into one
 	// shared counter bank without touching each study's Config literal.
 	Stats *obs.SimStats
+
+	// Spans, when non-nil, receives one pipeline "run" span per Run
+	// (engine reset + event loop), tagged with SpanLabel / SpanUnit —
+	// the sweep worker's current cell label index and global unit order.
+	// A nil Spans costs one predictable branch per Run, matching the
+	// Stats contract.
+	Spans     *obs.SpanArena
+	SpanLabel int32
+	SpanUnit  int64
 }
 
 // Run simulates s under cfg, recycling the wrapped engine.
@@ -596,10 +605,18 @@ func (r *Runner) Run(s *model.System, cfg Config) (*Outcome, error) {
 	if cfg.Stats == nil {
 		cfg.Stats = r.Stats
 	}
+	var t0 int64
+	if r.Spans != nil {
+		t0 = r.Spans.Clock()
+	}
 	if err := r.e.Reset(s, cfg); err != nil {
 		return nil, err
 	}
-	return r.e.Run()
+	out, err := r.e.Run()
+	if r.Spans != nil {
+		r.Spans.Record(obs.SpanRun, t0, r.Spans.Clock(), r.SpanLabel, r.SpanUnit)
+	}
+	return out, err
 }
 
 // push schedules an event, stamping its sequence number. A batch-attached

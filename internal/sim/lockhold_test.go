@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rtsync/internal/model"
+)
+
+// TestLockHoldsRecorded checks the trace's critical-section ledger against
+// the canonical global-contention scenario: under MPCP, T2 wins resource g
+// and holds [1,5) on its own processor P2, then T1's suspended request is
+// granted and holds [5,9) on P1 (MPCP runs global sections at the
+// requester).
+func TestLockHoldsRecorded(t *testing.T) {
+	s := globalScenario()
+	out, err := Run(s, Config{Protocol: NewDS(), Horizon: 40, Trace: true, Locking: LockingMPCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds := out.Trace.LockHoldsOf(0)
+	if len(holds) != 2 {
+		t.Fatalf("got %d holds of g, want 2: %+v", len(holds), holds)
+	}
+	// Sorted by start: T2 (task 1) first, then T1 (task 0).
+	h0, h1 := holds[0], holds[1]
+	if h0.Job.ID.Task != 1 || h0.Start != 1 || h0.End != 5 || h0.Proc != 1 {
+		t.Errorf("first hold = %+v, want T2 on P2 over [1,5)", h0)
+	}
+	if h1.Job.ID.Task != 0 || h1.Start != 5 || h1.End != 9 || h1.Proc != 0 {
+		t.Errorf("second hold = %+v, want T1 on P1 over [5,9)", h1)
+	}
+	for _, h := range holds {
+		if h.End == model.TimeInfinity {
+			t.Errorf("hold %+v never released", h)
+		}
+	}
+}
+
+// TestLockHoldsDPCP checks the ledger under DPCP, where both global
+// sections execute on the resource's synchronization processor (P2).
+func TestLockHoldsDPCP(t *testing.T) {
+	s := globalScenario()
+	out, err := Run(s, Config{Protocol: NewDS(), Horizon: 40, Trace: true, Locking: LockingDPCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds := out.Trace.LockHoldsOf(0)
+	if len(holds) != 2 {
+		t.Fatalf("got %d holds of g, want 2: %+v", len(holds), holds)
+	}
+	for _, h := range holds {
+		if h.Proc != 1 {
+			t.Errorf("hold %+v executed on proc %d, want the sync processor 1", h, h.Proc)
+		}
+		if h.End == model.TimeInfinity {
+			t.Errorf("hold %+v never released", h)
+		}
+	}
+}
+
+// TestLockHoldJSONRoundTrip checks that lock holds survive the trace's JSON
+// round trip bit for bit, and that older files without the section load as
+// an empty ledger.
+func TestLockHoldJSONRoundTrip(t *testing.T) {
+	s := globalScenario()
+	out, err := Run(s, Config{Protocol: NewDS(), Horizon: 40, Trace: true, Locking: LockingMPCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.LockHolds, out.Trace.LockHolds) {
+		t.Errorf("lock holds after round trip = %+v, want %+v", got.LockHolds, out.Trace.LockHolds)
+	}
+
+	// A resource-free system records no holds; the section must be omitted
+	// (back-compat with pre-ledger trace files) and load back empty.
+	b := model.NewBuilder()
+	p1 := b.AddProcessor("P1")
+	b.AddTask("T1", 100, 0).Subtask(p1, 10, 1).Done()
+	plain, err := Run(b.MustBuild(), Config{Protocol: NewDS(), Horizon: 40, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := plain.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("lockHolds")) {
+		t.Error("trace without lock holds still serializes a lockHolds section")
+	}
+	got, err = ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.LockHolds) != 0 {
+		t.Errorf("plain trace loaded %d lock holds, want 0", len(got.LockHolds))
+	}
+}

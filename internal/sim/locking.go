@@ -246,6 +246,9 @@ func (e *Engine) acquireSeg(p int, job *Job, b *segBound, t model.Time) bool {
 				e.stats.NotePriorityBoost()
 			}
 		}
+		if e.trace != nil {
+			e.trace.noteLockAcquire(r, job.Key(), p, t)
+		}
 		return true
 	}
 	ls := &e.locks[r]
@@ -262,6 +265,9 @@ func (e *Engine) acquireSeg(p int, job *Job, b *segBound, t model.Time) bool {
 	if e.stats != nil {
 		e.stats.NoteLockAcquisition()
 		e.stats.NotePriorityBoost()
+	}
+	if e.trace != nil {
+		e.trace.noteLockAcquire(r, job.Key(), int(b.target), t)
 	}
 	if int(b.target) != p {
 		e.moveTo(int(b.target), job)
@@ -281,6 +287,9 @@ func (e *Engine) releaseSeg(p int, job *Job, t model.Time) bool {
 	job.holding = -1
 	job.boosted = false
 	job.boost = 0
+	if e.trace != nil {
+		e.trace.noteLockRelease(job.Key(), t)
+	}
 	if e.locks[r].global {
 		e.grantNext(r, t)
 		if home := int(e.subs[job.idx].proc); home != p {
@@ -298,6 +307,9 @@ func (e *Engine) releaseAtCompletion(job *Job, t model.Time) {
 	job.holding = -1
 	job.boosted = false
 	job.boost = 0
+	if e.trace != nil {
+		e.trace.noteLockRelease(job.Key(), t)
+	}
 	if e.locks[r].global {
 		e.grantNext(r, t)
 	}
@@ -323,6 +335,9 @@ func (e *Engine) grantNext(r int, t model.Time) {
 		e.stats.NoteLockSuspension(int64(t.Sub(w.waitStart)))
 		e.stats.NoteLockAcquisition()
 		e.stats.NotePriorityBoost()
+	}
+	if e.trace != nil {
+		e.trace.noteLockAcquire(r, w.Key(), int(b.target), t)
 	}
 	e.moveTo(int(b.target), w)
 }

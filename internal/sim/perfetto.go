@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"io"
+
+	"rtsync/internal/model"
+	"rtsync/internal/obs"
+)
+
+// Perfetto export of a schedule trace: the interactive analogue of
+// internal/gantt. One process groups the whole schedule; each processor is
+// a thread track carrying its execution segments as slices plus instant
+// events for releases, completions, deadline misses, and precedence
+// violations; each resource is an additional track carrying lock-hold
+// slices (MPCP/DPCP critical sections appear on the processor they
+// executed on via the slice's proc arg).
+const schedulePID = 1
+
+// scheduleTickNS maps one simulated tick to one trace microsecond, so
+// Perfetto's time axis reads directly in ticks.
+const scheduleTickNS = 1000
+
+// WritePerfetto exports the trace as Chrome trace-event JSON loadable in
+// ui.perfetto.dev.
+func (tr *Trace) WritePerfetto(w io.Writer) error {
+	pw := obs.NewPerfettoWriter(w)
+	pw.ProcessName(schedulePID, "rtsync schedule ("+tr.Scheduler.String()+")")
+	procs := tr.sys.Procs
+	for p := range procs {
+		pw.ThreadName(schedulePID, p+1, procs[p].Name)
+	}
+	resBase := len(procs) + 1
+	for r := range tr.sys.Resources {
+		pw.ThreadName(schedulePID, resBase+r, "res "+tr.sys.Resources[r].Name)
+	}
+
+	// The latest finite instant in the trace, used to clamp critical
+	// sections still open at the horizon.
+	maxT := model.Time(0)
+	for _, s := range tr.Segments {
+		if s.End > maxT {
+			maxT = s.End
+		}
+	}
+	for _, k := range tr.jobOrder {
+		rec := tr.Jobs[k]
+		if rec.Release > maxT {
+			maxT = rec.Release
+		}
+		if rec.Completion != model.TimeInfinity && rec.Completion > maxT {
+			maxT = rec.Completion
+		}
+	}
+	for _, h := range tr.LockHolds {
+		if h.End != model.TimeInfinity && h.End > maxT {
+			maxT = h.End
+		}
+	}
+
+	for p := range procs {
+		for _, s := range tr.SegmentsOn(p) {
+			pw.Slice(schedulePID, p+1, s.Job.String(),
+				int64(s.Start)*scheduleTickNS, int64(s.End.Sub(s.Start))*scheduleTickNS, nil)
+		}
+	}
+	for _, k := range tr.jobOrder {
+		rec := tr.Jobs[k]
+		tid := rec.Proc + 1
+		pw.Instant(schedulePID, tid, "release "+k.String(), int64(rec.Release)*scheduleTickNS, nil)
+		if rec.Completion != model.TimeInfinity {
+			pw.Instant(schedulePID, tid, "complete "+k.String(), int64(rec.Completion)*scheduleTickNS, nil)
+		}
+		// Deadline is the absolute EDF deadline (TimeInfinity under FP): a
+		// finite deadline with no completion, or a completion past it, is a
+		// miss — marked at the deadline instant.
+		if rec.Deadline != model.TimeInfinity &&
+			(rec.Completion == model.TimeInfinity || rec.Completion > rec.Deadline) {
+			pw.Instant(schedulePID, tid, "deadline-miss "+k.String(), int64(rec.Deadline)*scheduleTickNS, nil)
+		}
+	}
+	for _, v := range tr.Violations {
+		if rec, ok := tr.Jobs[v.Job]; ok {
+			pw.Instant(schedulePID, rec.Proc+1, "precedence-violation "+v.Job.String(),
+				int64(v.Time)*scheduleTickNS, nil)
+		}
+	}
+	for r := range tr.sys.Resources {
+		for _, h := range tr.LockHoldsOf(r) {
+			end := h.End
+			if end == model.TimeInfinity {
+				end = maxT
+			}
+			args := []obs.PerfettoArg{{Key: "proc", Str: procs[h.Proc].Name}}
+			pw.Slice(schedulePID, resBase+r, h.Job.String(),
+				int64(h.Start)*scheduleTickNS, int64(end.Sub(h.Start))*scheduleTickNS, args)
+		}
+	}
+	return pw.Close()
+}

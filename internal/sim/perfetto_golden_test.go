@@ -1,0 +1,87 @@
+package sim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rtsync/internal/model"
+	"rtsync/internal/sim"
+)
+
+// perfettoScenario is the canonical two-processor global-contention case
+// (T1 and T2 racing for one global resource under MPCP), which exercises
+// every event class the exporter emits: execution slices with suspension
+// holes, releases, completions, and lock-hold slices on the resource track.
+func perfettoScenario() *model.System {
+	b := model.NewBuilder()
+	p1 := b.AddProcessor("P1")
+	p2 := b.AddProcessor("P2")
+	g := b.AddGlobalResource("g", p2)
+	b.AddTask("T1", 100, 0).Subtask(p1, 10, 1).Critical(2, 4, g).Done()
+	b.AddTask("T2", 100, 0).Subtask(p2, 10, 1).Critical(1, 4, g).Done()
+	return b.MustBuild()
+}
+
+// TestSchedulePerfettoGolden pins the schedule exporter byte for byte: the
+// simulated schedule is deterministic, so its Perfetto rendering (track
+// layout, tick-to-microsecond mapping, event order) must be too.
+// Regenerate with -update-golden after an intentional format change.
+func TestSchedulePerfettoGolden(t *testing.T) {
+	out, err := sim.Run(perfettoScenario(), sim.Config{
+		Protocol: sim.NewDS(), Horizon: 40, Trace: true, Locking: sim.LockingMPCP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.Trace.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "perfetto_schedule.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create the fixture)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Perfetto schedule export differs from golden fixture:\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+
+	// Structural sanity independent of the fixture: valid JSON, one thread
+	// track per processor plus one per resource, and lock-hold slices on
+	// the resource track.
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var threads []string
+	resSlices := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			threads = append(threads, "")
+		}
+		if e.Ph == "X" && e.Tid == 3 { // resource track: 2 procs + 1
+			resSlices++
+		}
+	}
+	if len(threads) != 3 {
+		t.Errorf("%d thread tracks, want 3 (2 processors + 1 resource)", len(threads))
+	}
+	if resSlices != 2 {
+		t.Errorf("%d lock-hold slices on the resource track, want 2", resSlices)
+	}
+}

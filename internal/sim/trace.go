@@ -37,6 +37,18 @@ type Violation struct {
 	Time model.Time
 }
 
+// LockHold records one critical-section hold: Job held resource Res on
+// processor Proc (the synchronization processor under DPCP, the home
+// processor otherwise) from Start to End. End is TimeInfinity for a
+// section still held at the horizon.
+type LockHold struct {
+	Res   int
+	Job   Key
+	Proc  int
+	Start model.Time
+	End   model.Time
+}
+
 // Trace is a complete record of one run: every release, completion,
 // execution segment, idle point, and violation. It feeds the gantt
 // renderer and the Validate invariant checker.
@@ -51,6 +63,11 @@ type Trace struct {
 	jobOrder   []Key
 	IdlePoints [][]model.Time
 	Violations []Violation
+	// LockHolds records critical-section holds in acquisition order;
+	// empty on runs without resources. openHold tracks each job's
+	// still-open hold (a job holds at most one resource at a time).
+	LockHolds []LockHold
+	openHold  map[Key]int
 }
 
 func newTrace(s *model.System, sched Scheduler) *Trace {
@@ -90,6 +107,35 @@ func (tr *Trace) noteSegment(proc int, job Key, start, end model.Time) {
 
 func (tr *Trace) noteIdlePoint(proc int, t model.Time) {
 	tr.IdlePoints[proc] = append(tr.IdlePoints[proc], t)
+}
+
+func (tr *Trace) noteLockAcquire(res int, job Key, proc int, t model.Time) {
+	if tr.openHold == nil {
+		tr.openHold = make(map[Key]int)
+	}
+	tr.openHold[job] = len(tr.LockHolds)
+	tr.LockHolds = append(tr.LockHolds, LockHold{
+		Res: res, Job: job, Proc: proc, Start: t, End: model.TimeInfinity,
+	})
+}
+
+func (tr *Trace) noteLockRelease(job Key, t model.Time) {
+	if i, ok := tr.openHold[job]; ok {
+		tr.LockHolds[i].End = t
+		delete(tr.openHold, job)
+	}
+}
+
+// LockHoldsOf returns resource res's holds sorted by start time.
+func (tr *Trace) LockHoldsOf(res int) []LockHold {
+	var out []LockHold
+	for _, h := range tr.LockHolds {
+		if h.Res == res {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
 }
 
 // JobsInOrder returns all job records in release order.

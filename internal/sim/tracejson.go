@@ -21,6 +21,7 @@ type traceFile struct {
 	Segments  []Segment      `json:"segments"`
 	Idle      [][]model.Time `json:"idlePoints"`
 	Violation []Violation    `json:"violations,omitempty"`
+	LockHolds []LockHold     `json:"lockHolds,omitempty"`
 }
 
 // traceFileVersion is the current trace format version.
@@ -40,6 +41,7 @@ func (tr *Trace) WriteJSON(w io.Writer) error {
 		Segments:  tr.Segments,
 		Idle:      tr.IdlePoints,
 		Violation: tr.Violations,
+		LockHolds: tr.LockHolds,
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(f); err != nil {
@@ -99,6 +101,15 @@ func ReadTraceJSON(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("decode trace: segment on unknown processor %d", seg.Proc)
 		}
 	}
+	for _, h := range f.LockHolds {
+		if h.Res < 0 || h.Res >= len(f.System.Resources) {
+			return nil, fmt.Errorf("decode trace: lock hold on unknown resource %d", h.Res)
+		}
+		if h.Proc < 0 || h.Proc >= len(f.System.Procs) {
+			return nil, fmt.Errorf("decode trace: lock hold on unknown processor %d", h.Proc)
+		}
+	}
+	tr.LockHolds = f.LockHolds
 	return tr, nil
 }
 

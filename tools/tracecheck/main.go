@@ -1,0 +1,225 @@
+// Command tracecheck validates the observability outputs the rtsync CLIs
+// emit, for CI smoke tests and local sanity checks:
+//
+//	tracecheck -trace out.json     # Chrome trace-event JSON (Perfetto)
+//	tracecheck -metrics met.txt    # Prometheus text exposition format
+//
+// The trace check parses the JSON, verifies every event carries a known
+// phase with sane timestamps, and replays each (pid, tid) track's complete
+// slices against a stack to prove they nest like a call stack — the
+// invariant Perfetto's UI needs to render spans correctly. The metrics
+// check validates the 0.0.4 exposition syntax line by line: every sample
+// parses, every sample's family has a preceding # TYPE, and every
+// histogram family ends its bucket series at +Inf with _sum and _count.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	trace := flag.String("trace", "", "validate this Chrome trace-event JSON file")
+	metrics := flag.String("metrics", "", "validate this Prometheus text exposition file")
+	flag.Parse()
+	if *trace == "" && *metrics == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck -trace out.json and/or -metrics met.txt")
+		os.Exit(2)
+	}
+	ok := true
+	if *trace != "" {
+		if err := checkTrace(*trace); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *trace, err)
+			ok = false
+		} else {
+			fmt.Printf("ok  trace   %s\n", *trace)
+		}
+	}
+	if *metrics != "" {
+		if err := checkMetrics(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *metrics, err)
+			ok = false
+		} else {
+			fmt.Printf("ok  metrics %s\n", *metrics)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// traceEvent is the subset of the trace-event schema the checks read.
+type traceEvent struct {
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Name string  `json:"name"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+type track struct{ pid, tid int }
+
+// checkTrace parses the file and verifies event sanity plus per-track slice
+// nesting: in emission order, every slice must either nest inside the open
+// slice on its track or start at/after its end.
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("no traceEvents")
+	}
+	// Open-slice stack per track: [start, end) intervals in integral
+	// nanoseconds — the exporters emit microseconds with exactly three
+	// decimals, so scaling by 1000 makes the comparisons exact instead of
+	// inheriting float64 addition noise.
+	type span struct{ start, end int64 }
+	stacks := make(map[track][]span)
+	slices, meta := 0, 0
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "i", "C":
+			// Instants and counters carry no duration; nothing to nest.
+		case "X":
+			slices++
+			if e.Dur < 0 {
+				return fmt.Errorf("event %d (%q): negative duration %v", i, e.Name, e.Dur)
+			}
+			k := track{e.Pid, e.Tid}
+			st := stacks[k]
+			ts := int64(math.Round(e.TS * 1000))
+			end := ts + int64(math.Round(e.Dur*1000))
+			// Pop slices that ended before this one starts.
+			for len(st) > 0 && ts >= st[len(st)-1].end {
+				st = st[:len(st)-1]
+			}
+			if len(st) > 0 {
+				open := st[len(st)-1]
+				if end > open.end {
+					return fmt.Errorf("event %d (%q) on pid %d tid %d: slice [%dns,%dns) overlaps enclosing slice ending at %dns without nesting",
+						i, e.Name, e.Pid, e.Tid, ts, end, open.end)
+				}
+				if ts < open.start {
+					return fmt.Errorf("event %d (%q) on pid %d tid %d: slice starts at %dns before enclosing slice's %dns (events not sorted)",
+						i, e.Name, e.Pid, e.Tid, ts, open.start)
+				}
+			}
+			stacks[k] = append(st, span{ts, end})
+		default:
+			return fmt.Errorf("event %d (%q): unknown phase %q", i, e.Name, e.Ph)
+		}
+	}
+	if meta == 0 {
+		return fmt.Errorf("no metadata events (process/thread names missing)")
+	}
+	fmt.Printf("    %d events, %d slices, %d tracks\n", len(doc.TraceEvents), slices, len(stacks))
+	return nil
+}
+
+// promSample matches one exposition sample line: name, optional labels,
+// and a number.
+var promSample = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [-+]?([0-9.eE+-]+|Inf|NaN)$`)
+
+// checkMetrics validates the exposition text line by line.
+func checkMetrics(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	types := map[string]string{}
+	histInf := map[string]bool{}
+	histSum := map[string]bool{}
+	histCount := map[string]bool{}
+	samples := 0
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+			}
+			if _, dup := types[fields[2]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, fields[2])
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("line %d: unknown comment form: %q", lineNo, line)
+		}
+		m := promSample.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		samples++
+		name := m[1]
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && types[trimmed] == "histogram" {
+				base = trimmed
+				switch suf {
+				case "_bucket":
+					if strings.Contains(line, `le="+Inf"`) {
+						histInf[base] = true
+					}
+				case "_sum":
+					histSum[base] = true
+				case "_count":
+					histCount[base] = true
+				}
+			}
+		}
+		if _, ok := types[base]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples")
+	}
+	for name, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		if !histInf[name] {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", name)
+		}
+		if !histSum[name] || !histCount[name] {
+			return fmt.Errorf("histogram %s is missing _sum or _count", name)
+		}
+	}
+	fmt.Printf("    %d samples, %d families\n", samples, len(types))
+	return nil
+}
