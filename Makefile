@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-analysis bench-experiments bench-sim bench-check bench-regress fuzz-smoke vet fmt cover experiments verify-results trace-smoke examples clean
+.PHONY: all build test test-short bench bench-analysis bench-experiments bench-sim bench-check bench-regress fuzz-smoke vet fmt cover experiments verify-results trace-smoke rtsyncd-smoke examples clean
 
 all: build test
 
@@ -28,7 +28,7 @@ bench:
 # BENCH_analysis.json in place (description, "before" and notes survive).
 bench-analysis:
 	$(GO) run ./tools/benchjson -out BENCH_analysis.json \
-		-pkg ./internal/analysis -bench BenchmarkAnalyze -benchtime 10x
+		-pkg ./internal/analysis -bench 'BenchmarkAnalyze|BenchmarkIncremental' -benchtime 10x
 
 # The experiments pipeline benchmarks plus the record-store path:
 # BenchmarkSweepJSONL - BenchmarkSweep is the full result-store overhead per
@@ -62,7 +62,7 @@ bench-check:
 		-bench 'BenchmarkSimulate|BenchmarkEngine|BenchmarkEventQueue|BenchmarkReadyQueue|BenchmarkSpanRecord|BenchmarkPromText' \
 		-benchtime 1x
 	$(GO) run ./tools/benchjson -check -out BENCH_analysis.json \
-		-pkg ./internal/analysis -bench BenchmarkAnalyze -benchtime 1x
+		-pkg ./internal/analysis -bench 'BenchmarkAnalyze|BenchmarkIncremental' -benchtime 1x
 	$(GO) run ./tools/benchjson -check -out BENCH_experiments.json \
 		-pkg ./internal/experiments,./internal/record \
 		-bench 'BenchmarkSweep|BenchmarkRecord' -benchtime 1x
@@ -91,7 +91,7 @@ bench-regress:
 	$(GO) run ./tools/benchjson -check $(UPDATE_FLAG) \
 		-max-regress $(MAX_REGRESS) -max-regress-allocs $(MAX_REGRESS_ALLOCS) \
 		-out BENCH_analysis.json -pkg ./internal/analysis \
-		-bench BenchmarkAnalyze -benchtime 10x
+		-bench 'BenchmarkAnalyze|BenchmarkIncremental' -benchtime 10x
 	$(GO) run ./tools/benchjson -check $(UPDATE_FLAG) \
 		-max-regress $(MAX_REGRESS) -max-regress-allocs $(MAX_REGRESS_ALLOCS) \
 		-out BENCH_experiments.json -pkg ./internal/experiments,./internal/record \
@@ -142,6 +142,12 @@ verify-results:
 # speak Prometheus exposition format. What CI runs.
 trace-smoke:
 	sh tools/trace-smoke.sh
+
+# Smoke the rtsyncd admission service: start it, check verdict parity with
+# batch rtanalyze, drive add/modify/remove deltas through the incremental
+# and cache paths, and validate the /metrics exposition. What CI runs.
+rtsyncd-smoke:
+	sh tools/rtsyncd-smoke.sh
 
 examples: build
 	$(GO) run ./examples/quickstart

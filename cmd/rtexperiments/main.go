@@ -20,6 +20,12 @@
 // so the flag only trades throughput (-batch auto currently keeps the
 // sequential path — see DESIGN.md §4h for the measured trade-off).
 //
+// -warm-start seeds every fixed-point solve from a sound analytic lower
+// bound: figure output and record stores are byte-identical either way
+// (tools/verify-results.sh proves it), only iteration counts drop — visible
+// in the rtsync_analysis_fixpoint_iters histogram on /metrics and in
+// manifests.
+//
 // The sweep grid is configurable: -grid-n/-grid-u/-grid-period-ratio take
 // comma-separated axis values, -grid-seeds accumulates several full sweeps
 // into one result set, and -trials multiplies -systems. Study knobs
@@ -52,6 +58,7 @@ import (
 	"strings"
 	"time"
 
+	"rtsync/internal/analysis"
 	"rtsync/internal/experiments"
 	"rtsync/internal/gridflag"
 	"rtsync/internal/obs"
@@ -92,6 +99,7 @@ func run(args []string, w io.Writer) error {
 		systems  = fs.Int("systems", 50, "systems per configuration (paper: 1000)")
 		batchStr = fs.String("batch", "auto", "sweep units interleaved per engine pass for batch-capable studies (auto = 1: measured neutral-to-slower on the paper's sparse workloads; results are identical at any value)")
 		seed     = fs.Int64("seed", 1, "sweep seed")
+		warm     = fs.Bool("warm-start", false, "seed fixed-point solves from sound lower bounds (identical figures, fewer iterations)")
 		hp       = fs.Int64("horizon-periods", 20, "simulation horizon in multiples of the max period")
 		nMin     = fs.Int("nmin", 2, "smallest subtask count")
 		nMax     = fs.Int("nmax", 8, "largest subtask count")
@@ -217,11 +225,15 @@ func run(args []string, w io.Writer) error {
 		sargs.Protocols = ps
 	}
 
+	aopts := analysis.DefaultOptions()
+	aopts.WarmStart = *warm
+
 	p := experiments.Params{
 		Configs:          configs,
 		SystemsPerConfig: perConfig,
 		Seed:             seeds[0],
 		HorizonPeriods:   *hp,
+		Analysis:         aopts,
 		RecordTimings:    *recTimings,
 		RecordSimCounts:  *recStats,
 		Batch:            batch,
@@ -253,6 +265,9 @@ func run(args []string, w io.Writer) error {
 		st := obs.NewSimStats()
 		p.Stats = st
 		cli.AttachSimStats(st)
+		ast := obs.NewAnalysisStats()
+		p.AnalysisStats = ast
+		cli.AttachAnalysisStats(ast)
 	}
 
 	var sinks recordSinks

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"rtsync/internal/model"
+	"rtsync/internal/obs"
 )
 
 // Analyzer is the reusable dense core behind AnalyzePM, AnalyzeDS and
@@ -18,6 +19,12 @@ import (
 // The package-level AnalyzePM/AnalyzeDS/AnalyzeDSHolistic wrappers use a
 // fresh Analyzer per call, so their Results are never invalidated.
 type Analyzer struct {
+	// Stats, when non-nil, receives fixed-point iteration histograms and
+	// warm-solve counts from every Analyze call — the same attach-a-bank
+	// contract as sim.Runner.Stats. Reads and writes are atomic, so one
+	// bank may be shared across sweep workers.
+	Stats *obs.AnalysisStats
+
 	sys  *model.System
 	opts Options
 	ix   *model.SubtaskIndex
@@ -58,9 +65,25 @@ type Analyzer struct {
 	procOff []int
 	procBuf []int32
 
-	// Worklist and iteration scratch.
+	// Worklist and iteration scratch. incStack is the BFS stack of
+	// AnalyzeDSFrom's dependency-closure computation.
 	dirty, nextDirty []bool
 	cur, nxt         []model.Duration
+	incStack         []int32
+
+	// Pass-to-pass warm-start state (Options.WarmStart): each subtask's
+	// converged busy-period duration and first-instance completion from
+	// its previous evaluation within the CURRENT iterative analysis, plus
+	// per-global-segment lock-wait fixed points (warmW, ragged via
+	// gsegOff). Sound seeds because the outer iterates — bounds, lock
+	// waits, and hence every jitter input — grow monotonically from the
+	// optimistic seed, so a subtask's previous converged values lower-
+	// bound its next ones. Each Analyze method zeroes them on entry: a
+	// bound from AnalyzeDS would NOT be a sound seed for AnalyzeHolistic,
+	// whose jitters are smaller.
+	warmD  []model.Duration
+	warmC1 []model.Duration
+	warmW  []model.Duration
 
 	// termSub parallels termBuf and names the dense index OWNING each
 	// term (the interfering subtask itself, where termSrc names its
@@ -73,6 +96,7 @@ type Analyzer struct {
 	// see locking.go for the layout.
 	hasSegs    bool
 	gcsTotal   []model.Duration
+	gsegOff    []int
 	lockResOff []int
 	lockResBuf []resUser
 	lw, lwNext []model.Duration
@@ -126,6 +150,8 @@ func (a *Analyzer) init(s *model.System, opts Options) {
 	a.prefixExec = resizeDurations(a.prefixExec, n)
 	a.cur = resizeDurations(a.cur, n)
 	a.nxt = resizeDurations(a.nxt, n)
+	a.warmD = resizeDurations(a.warmD, n)
+	a.warmC1 = resizeDurations(a.warmC1, n)
 	a.overUtil = resizeBools(a.overUtil, n)
 	a.dirty = resizeBools(a.dirty, n)
 	a.nextDirty = resizeBools(a.nextDirty, n)
@@ -264,6 +290,41 @@ func (a *Analyzer) init(s *model.System, opts Options) {
 	a.mpcp.Protocol, a.dpcp.Protocol = "MPCP", "DPCP"
 }
 
+// solve runs one inner fixed-point solve through solveFixpoint, raising
+// the caller's seed to the fluid lower bound when warm-starting is on and
+// recording the demand-evaluation count. Every sound seed converges to the
+// identical least fixed point (see solveFixpoint), so the flag never
+// changes a bound — only how fast it is reached.
+func (a *Analyzer) solve(base model.Duration, terms []term, cap model.Duration, start model.Duration) model.Duration {
+	if a.opts.WarmStart {
+		if fs := fluidSeed(base, terms); fs > start {
+			start = fs
+		}
+	}
+	v, iters := solveFixpoint(base, terms, cap, a.opts.MaxFixpointIter, start)
+	if a.Stats != nil {
+		a.Stats.ObserveFixpoint(int64(iters), start > 0)
+	}
+	return v
+}
+
+// resetWarm zeroes the pass-to-pass warm-start state. Called on entry to
+// each iterative Analyze method — never between its passes — so seeds only
+// flow between passes of one analysis, where monotonicity makes them
+// sound.
+func (a *Analyzer) resetWarm() {
+	if !a.opts.WarmStart {
+		return
+	}
+	for i := range a.warmD {
+		a.warmD[i] = 0
+		a.warmC1[i] = 0
+	}
+	for i := range a.warmW {
+		a.warmW[i] = 0
+	}
+}
+
 // predIndex returns the dense index of id's chain predecessor given id's own
 // dense index, or -1 when id is a first subtask (no release jitter source).
 func predIndex(i int, id model.SubtaskID) int32 {
@@ -312,7 +373,7 @@ func (a *Analyzer) pmSubtask(i int) SubtaskBound {
 	for k := range terms {
 		terms[k].Jitter = 0
 	}
-	d := solveFixpoint(a.block[i], terms, a.busyCap[i], a.opts.MaxFixpointIter, 0)
+	d := a.solve(a.block[i], terms, a.busyCap[i], 0)
 	if d.IsInfinite() {
 		return SubtaskBound{Response: model.Infinite, BusyPeriod: model.Infinite}
 	}
@@ -328,7 +389,7 @@ func (a *Analyzer) pmSubtask(i int) SubtaskBound {
 		base := a.block[i].AddSat(a.exec[i].MulSat(k))
 		// The completion series is strictly increasing in k, so the
 		// previous solution warm-starts the next solve.
-		c := solveFixpoint(base, intTerms, a.busyCap[i], a.opts.MaxFixpointIter, prev)
+		c := a.solve(base, intTerms, a.busyCap[i], prev)
 		if c.IsInfinite() {
 			return SubtaskBound{Response: model.Infinite, BusyPeriod: d, Instances: m}
 		}
@@ -359,13 +420,22 @@ func (a *Analyzer) pmSubtask(i int) SubtaskBound {
 // (Gauss-Seidel) updates and the MaxOuterIter cutoff both depend on.
 func (a *Analyzer) AnalyzeDS() *Result {
 	n := a.ix.Len()
+	a.resetWarm()
 	r := a.cur[:n]
 	copy(r, a.prefixExec)
 	for i := range a.dirty {
 		a.dirty[i] = true
 		a.nextDirty[i] = false
 	}
-	pending := n
+	return a.runDS(&a.ds, r, n)
+}
+
+// runDS drives the IEERT worklist to its fixed point: the shared back half
+// of AnalyzeDS (everything dirty) and AnalyzeDSFrom (only the delta's
+// dependency closure dirty). r holds the seeded bounds, pending the number
+// of subtasks initially marked in a.dirty.
+func (a *Analyzer) runDS(res *Result, r []model.Duration, pending int) *Result {
+	n := a.ix.Len()
 	iterations := 0
 	for pending > 0 {
 		iterations++
@@ -423,7 +493,7 @@ func (a *Analyzer) AnalyzeDS() *Result {
 			break
 		}
 	}
-	return a.finishIterative(&a.ds, r, iterations)
+	return a.finishIterative(res, r, iterations)
 }
 
 // ieertSubtask computes the new IEER bound R'(i,j) for one subtask under
@@ -461,10 +531,18 @@ func (a *Analyzer) ieertSubtask(i int, r []model.Duration) model.Duration {
 	}
 
 	// Step 1: busy-period duration D(i,j), self term included with its own
-	// release jitter.
-	d := solveFixpoint(a.block[i], terms, a.busyCap[i], a.opts.MaxFixpointIter, 0)
+	// release jitter. The subtask's previous converged duration (within
+	// this analysis) seeds the solve: its jitter inputs only grew since.
+	var dStart model.Duration
+	if a.opts.WarmStart {
+		dStart = a.warmD[i]
+	}
+	d := a.solve(a.block[i], terms, a.busyCap[i], dStart)
 	if d.IsInfinite() {
 		return model.Infinite
+	}
+	if a.opts.WarmStart {
+		a.warmD[i] = d
 	}
 
 	// Step 2: M(i,j) = ceil((D + R(i,j-1)) / p).
@@ -476,16 +554,23 @@ func (a *Analyzer) ieertSubtask(i int, r []model.Duration) model.Duration {
 	// Step 3: per-instance completion bounds and IEER times
 	// R(i,j)(m) = C(i,j)(m) + R(i,j-1) − (m−1)·p. Completion times are
 	// strictly increasing in the instance index, so each solve warm-starts
-	// from the previous one.
+	// from the previous one — and the first from its own previous-pass
+	// value.
 	intTerms := terms[1:]
 	var worst, prev model.Duration
+	if a.opts.WarmStart {
+		prev = a.warmC1[i]
+	}
 	for k := int64(1); k <= m; k++ {
 		base := a.block[i].AddSat(a.exec[i].MulSat(k))
-		c := solveFixpoint(base, intTerms, a.busyCap[i], a.opts.MaxFixpointIter, prev)
+		c := a.solve(base, intTerms, a.busyCap[i], prev)
 		if c.IsInfinite() {
 			return model.Infinite
 		}
 		prev = c
+		if k == 1 && a.opts.WarmStart {
+			a.warmC1[i] = c
+		}
 		rk := c.AddSat(selfJitter) - a.period[i].MulSat(k-1)
 		if rk > worst {
 			worst = rk
@@ -506,6 +591,7 @@ func (a *Analyzer) ieertSubtask(i int, r []model.Duration) model.Duration {
 // updating in place.
 func (a *Analyzer) AnalyzeHolistic() *Result {
 	n := a.ix.Len()
+	a.resetWarm()
 	l, next := a.cur[:n], a.nxt[:n]
 	copy(l, a.prefixExec)
 	iterations := 0
@@ -563,10 +649,18 @@ func (a *Analyzer) holisticSubtask(i int, l []model.Duration) model.Duration {
 		terms[k].Jitter = j
 	}
 
-	// Busy period at this level, self term with its own release jitter.
-	d := solveFixpoint(a.block[i], terms, a.busyCap[i], a.opts.MaxFixpointIter, 0)
+	// Busy period at this level, self term with its own release jitter;
+	// previous-pass values seed the solves exactly as in ieertSubtask.
+	var dStart model.Duration
+	if a.opts.WarmStart {
+		dStart = a.warmD[i]
+	}
+	d := a.solve(a.block[i], terms, a.busyCap[i], dStart)
 	if d.IsInfinite() {
 		return model.Infinite
+	}
+	if a.opts.WarmStart {
+		a.warmD[i] = d
 	}
 	m := model.CeilDiv(d.AddSat(selfJitter), a.period[i])
 	if m > a.opts.MaxInstances {
@@ -577,13 +671,19 @@ func (a *Analyzer) holisticSubtask(i int, l []model.Duration) model.Duration {
 	// R = max_k (C(k) + J − (k−1)·p).
 	intTerms := terms[1:]
 	var worstResp, prev model.Duration
+	if a.opts.WarmStart {
+		prev = a.warmC1[i]
+	}
 	for k := int64(1); k <= m; k++ {
 		base := a.block[i].AddSat(a.exec[i].MulSat(k))
-		c := solveFixpoint(base, intTerms, a.busyCap[i], a.opts.MaxFixpointIter, prev)
+		c := a.solve(base, intTerms, a.busyCap[i], prev)
 		if c.IsInfinite() {
 			return model.Infinite
 		}
 		prev = c
+		if k == 1 && a.opts.WarmStart {
+			a.warmC1[i] = c
+		}
 		rk := c.AddSat(selfJitter) - a.period[i].MulSat(k-1)
 		if rk > worstResp {
 			worstResp = rk
@@ -607,6 +707,9 @@ func (a *Analyzer) holisticSubtask(i int, l []model.Duration) model.Duration {
 // the per-task EER bounds from each chain's last subtask (Theorem 2).
 func (a *Analyzer) finishIterative(res *Result, r []model.Duration, iterations int) *Result {
 	res.Iterations = iterations
+	if a.Stats != nil {
+		a.Stats.ObserveOuter(int64(iterations))
+	}
 	for i, d := range r {
 		res.Bounds[i] = SubtaskBound{Response: d}
 	}

@@ -108,7 +108,7 @@ func edfDemandTest(s *model.System, p int, opts Options) bool {
 		}
 	}
 	horizonCap := opts.failureCap(maxPeriod).MulSat(2)
-	l := solveFixpoint(0, terms, horizonCap, opts.MaxFixpointIter, 0)
+	l, _ := solveFixpoint(0, terms, horizonCap, opts.MaxFixpointIter, 0)
 	if l.IsInfinite() {
 		return false
 	}

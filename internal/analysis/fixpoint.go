@@ -52,10 +52,15 @@ func demand(base model.Duration, t model.Duration, terms []term) model.Duration 
 // from the demand of an instant just after 0 — every term contributes at
 // least one instance — so the iterates increase monotonically to the least
 // fixed point. A warm start below the least fixed point may be supplied to
-// skip early iterations (pass 0 when none is known). It returns
-// model.Infinite if the iterate exceeds cap or the iteration fails to
-// converge within maxIter steps.
-func solveFixpoint(base model.Duration, terms []term, cap model.Duration, maxIter int, start model.Duration) model.Duration {
+// skip early iterations (pass 0 when none is known): for any seed s with
+// S0 ≤ s ≤ lfp the iterates t, demand(t), demand²(t), ... stay within
+// [s, lfp] (demand is monotone and every point of [S0, lfp] has
+// demand(t) ≥ t, since t ≤ lfp = demand(lfp) and the largest iterate below
+// t bounds it from below), so the iteration converges to exactly the same
+// least fixed point — only in fewer steps. It returns model.Infinite if
+// the iterate exceeds cap or the iteration fails to converge within
+// maxIter steps, along with the number of demand evaluations spent.
+func solveFixpoint(base model.Duration, terms []term, cap model.Duration, maxIter int, start model.Duration) (model.Duration, int) {
 	// S0 = demand just after time 0: ceil((0+ + J)/p) >= 1 per term.
 	t := base
 	for _, tm := range terms {
@@ -71,24 +76,78 @@ func solveFixpoint(base model.Duration, terms []term, cap model.Duration, maxIte
 	if t <= 0 {
 		// base == 0 and no terms: the equation t = 0 has no positive
 		// solution; report divergence rather than a bogus zero.
-		return model.Infinite
+		return model.Infinite, 0
 	}
 	for i := 0; i < maxIter; i++ {
 		if t.IsInfinite() || t > cap {
-			return model.Infinite
+			return model.Infinite, i
 		}
 		next := demand(base, t, terms)
 		if next == t {
-			return t
+			return t, i + 1
 		}
 		if next < t {
 			// Demand is non-decreasing in t; a drop means saturation
 			// artifacts. Treat as divergence.
-			return model.Infinite
+			return model.Infinite, i + 1
 		}
 		t = next
 	}
-	return model.Infinite
+	return model.Infinite, maxIter
+}
+
+// fluidSeed returns a provable lower bound on the least fixed point of
+// t = base + Σ ceil((t+J_k)/p_k)·e_k, usable as a sound warm start for
+// solveFixpoint. Relaxing ceil(x) ≥ x turns the demand equation into the
+// linear ("fluid") one t = base + Σ (t+J)·e/p, whose solution
+//
+//	t* = (base + Σ J·e/p) / (1 − U),  U = Σ e/p,
+//
+// satisfies t* ≤ lfp because the fluid demand under-approximates the real
+// demand pointwise and the least fixed point is monotone in the demand
+// function. The arithmetic runs in float64; the result is shrunk by a
+// rigorous relative error margin before flooring, so rounding can never
+// push the seed past the exact t*. Returns 0 (no seed) when U ≥ 1 within
+// the margin or a jitter is infinite.
+func fluidSeed(base model.Duration, terms []term) model.Duration {
+	num := float64(base)
+	util := 0.0
+	for _, tm := range terms {
+		if tm.Jitter.IsInfinite() {
+			return 0
+		}
+		u := float64(tm.Exec) / float64(tm.Period)
+		num += float64(tm.Jitter) * u
+		util += u
+	}
+	// Error accounting, in the style of utilSum.compareOne: every float
+	// operation contributes at most one ulp (≤ 1.1e-16 relative), and num
+	// accumulates 3 operations per term plus the int64→float conversions,
+	// util 2 per term. The division amplifies util's absolute error by
+	// 1/den, so the denominator must clear its own error band by a wide
+	// factor to be usable at all.
+	n := float64(len(terms) + 1)
+	const ulp = 1.1e-16
+	errUtil := 2 * ulp * n * util // absolute error bound on util
+	den := 1 - util
+	if den <= 8*errUtil || den <= 1e-9 {
+		// Fluid utilization at (or too near) 1: the fluid bound diverges
+		// and its error analysis degenerates. No seed — the caller's S0
+		// start is still exact.
+		return 0
+	}
+	rel := 4*ulp*n + errUtil/den // relative error of num/den combined
+	t := num / den * (1 - 2*rel)
+	if t >= float64(math.MaxInt64)/2 {
+		// Clamp far below the float→int overflow edge; the exact t* is
+		// larger still, so the clamp remains a sound seed.
+		return model.Duration(math.MaxInt64 / 2)
+	}
+	seed := model.Duration(t) - 1 // flooring slack: one whole tick
+	if seed < 0 {
+		return 0
+	}
+	return seed
 }
 
 // Options tunes the analyses. The zero value is NOT valid; use
@@ -111,6 +170,15 @@ type Options struct {
 	// experiment); per-task bounds of a stopped run are not meaningful
 	// beyond their infiniteness.
 	StopOnFailure bool
+	// WarmStart seeds every inner fixed-point solve with provably sound
+	// lower bounds — the fluid (linear-relaxation) bound of the demand
+	// equation, plus each subtask's converged values from the previous
+	// outer pass of the iterative analyses (sound because the outer
+	// iterates grow monotonically from the optimistic seed, see
+	// DESIGN.md §4j). The computed bounds and outer iteration counts are
+	// identical either way; only the inner demand-evaluation counts
+	// collapse. Excluded from cache digests for the same reason.
+	WarmStart bool
 }
 
 // DefaultOptions returns the paper's settings.

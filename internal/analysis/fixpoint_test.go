@@ -8,9 +8,16 @@ import (
 
 func defaultTestOpts() Options { return DefaultOptions() }
 
+// fp is solveFixpoint with the iteration count discarded — the value-only
+// form most fixpoint tests care about.
+func fp(base model.Duration, terms []term, cap model.Duration, maxIter int, start model.Duration) model.Duration {
+	v, _ := solveFixpoint(base, terms, cap, maxIter, start)
+	return v
+}
+
 func TestSolveFixpointSingleTerm(t *testing.T) {
 	// t = ceil(t/4)*2 has least positive solution 2.
-	got := solveFixpoint(0, []term{{Period: 4, Exec: 2}}, 1<<30, 1000, 0)
+	got := fp(0, []term{{Period: 4, Exec: 2}}, 1<<30, 1000, 0)
 	if got != 2 {
 		t.Errorf("solveFixpoint = %v, want 2", got)
 	}
@@ -19,7 +26,7 @@ func TestSolveFixpointSingleTerm(t *testing.T) {
 func TestSolveFixpointTwoTerms(t *testing.T) {
 	// Level-(T2,1) busy period of Example 2 on P1:
 	// t = ceil(t/4)*2 + ceil(t/6)*2 -> 4.
-	got := solveFixpoint(0, []term{{Period: 4, Exec: 2}, {Period: 6, Exec: 2}}, 1<<30, 1000, 0)
+	got := fp(0, []term{{Period: 4, Exec: 2}, {Period: 6, Exec: 2}}, 1<<30, 1000, 0)
 	if got != 4 {
 		t.Errorf("solveFixpoint = %v, want 4", got)
 	}
@@ -27,7 +34,7 @@ func TestSolveFixpointTwoTerms(t *testing.T) {
 
 func TestSolveFixpointWithBase(t *testing.T) {
 	// C(1) of T2,1 in Example 2: t = 2 + ceil(t/4)*2 -> 4.
-	got := solveFixpoint(2, []term{{Period: 4, Exec: 2}}, 1<<30, 1000, 0)
+	got := fp(2, []term{{Period: 4, Exec: 2}}, 1<<30, 1000, 0)
 	if got != 4 {
 		t.Errorf("solveFixpoint = %v, want 4", got)
 	}
@@ -35,21 +42,21 @@ func TestSolveFixpointWithBase(t *testing.T) {
 
 func TestSolveFixpointWithJitter(t *testing.T) {
 	// t = 2 + ceil((t+4)/6)*3: t=8 gives 2+2*3=8.
-	got := solveFixpoint(2, []term{{Period: 6, Exec: 3, Jitter: 4}}, 1<<30, 1000, 0)
+	got := fp(2, []term{{Period: 6, Exec: 3, Jitter: 4}}, 1<<30, 1000, 0)
 	if got != 8 {
 		t.Errorf("solveFixpoint = %v, want 8", got)
 	}
 }
 
 func TestSolveFixpointBaseOnlyNoTerms(t *testing.T) {
-	if got := solveFixpoint(5, nil, 1<<30, 1000, 0); got != 5 {
+	if got := fp(5, nil, 1<<30, 1000, 0); got != 5 {
 		t.Errorf("solveFixpoint(5, nil) = %v, want 5", got)
 	}
 }
 
 func TestSolveFixpointZeroEquationDiverges(t *testing.T) {
 	// t = 0 has no positive solution.
-	if got := solveFixpoint(0, nil, 1<<30, 1000, 0); !got.IsInfinite() {
+	if got := fp(0, nil, 1<<30, 1000, 0); !got.IsInfinite() {
 		t.Errorf("solveFixpoint(0, nil) = %v, want Infinite", got)
 	}
 }
@@ -57,14 +64,14 @@ func TestSolveFixpointZeroEquationDiverges(t *testing.T) {
 func TestSolveFixpointOverUtilizedDiverges(t *testing.T) {
 	// Utilization 0.5 + 0.6 > 1: no fixpoint below the cap.
 	terms := []term{{Period: 10, Exec: 5}, {Period: 10, Exec: 6}}
-	if got := solveFixpoint(0, terms, 1000, 100000, 0); !got.IsInfinite() {
+	if got := fp(0, terms, 1000, 100000, 0); !got.IsInfinite() {
 		t.Errorf("over-utilized fixpoint = %v, want Infinite", got)
 	}
 }
 
 func TestSolveFixpointRespectsCap(t *testing.T) {
 	// Converges to 2, but cap of 1 forces Infinite.
-	got := solveFixpoint(0, []term{{Period: 4, Exec: 2}}, 1, 1000, 0)
+	got := fp(0, []term{{Period: 4, Exec: 2}}, 1, 1000, 0)
 	if !got.IsInfinite() {
 		t.Errorf("capped fixpoint = %v, want Infinite", got)
 	}
@@ -74,7 +81,7 @@ func TestSolveFixpointExhaustsIterations(t *testing.T) {
 	// Utilization exactly 1 with base > 0 never converges: every iterate
 	// grows. maxIter must stop it.
 	terms := []term{{Period: 2, Exec: 1}, {Period: 2, Exec: 1}}
-	got := solveFixpoint(1, terms, model.Infinite-1, 50, 0)
+	got := fp(1, terms, model.Infinite-1, 50, 0)
 	if !got.IsInfinite() {
 		t.Errorf("iteration-exhausted fixpoint = %v, want Infinite", got)
 	}

@@ -1,0 +1,255 @@
+// Incremental-delta exactness: AnalyzeDSFrom/AnalyzePMFrom after a task
+// modification, addition or removal must reproduce the full re-analysis
+// bit for bit while provably recomputing only the dirty processors'
+// dependency closure (asserted through the obs counter deltas).
+package analysis_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/obs"
+	"rtsync/internal/workload"
+)
+
+// prevResponses extracts the dense IEER bounds of res for the tasks of
+// next, matching tasks between the two systems by name (the admission
+// service's remap). Tasks absent from prev seed as zero — they are always
+// inside the dirty closure, so the value is never read.
+func prevResponses(prevSys *model.System, prev *analysis.Result, next *model.System) []model.Duration {
+	byName := map[string]int{}
+	for i := range prevSys.Tasks {
+		byName[prevSys.Tasks[i].Name] = i
+	}
+	out := make([]model.Duration, 0, next.NumSubtasks())
+	for i := range next.Tasks {
+		if pi, ok := byName[next.Tasks[i].Name]; ok {
+			for j := range next.Tasks[i].Subtasks {
+				out = append(out, prev.Bound(model.SubtaskID{Task: pi, Sub: j}).Response)
+			}
+		} else {
+			for range next.Tasks[i].Subtasks {
+				out = append(out, 0)
+			}
+		}
+	}
+	return out
+}
+
+// prevBounds is prevResponses for SA/PM's full SubtaskBound records.
+func prevBounds(prevSys *model.System, prev *analysis.Result, next *model.System) []analysis.SubtaskBound {
+	byName := map[string]int{}
+	for i := range prevSys.Tasks {
+		byName[prevSys.Tasks[i].Name] = i
+	}
+	out := make([]analysis.SubtaskBound, 0, next.NumSubtasks())
+	for i := range next.Tasks {
+		if pi, ok := byName[next.Tasks[i].Name]; ok {
+			for j := range next.Tasks[i].Subtasks {
+				out = append(out, prev.Bound(model.SubtaskID{Task: pi, Sub: j}))
+			}
+		} else {
+			for range next.Tasks[i].Subtasks {
+				out = append(out, analysis.SubtaskBound{})
+			}
+		}
+	}
+	return out
+}
+
+// deltaCase builds (old system, new system, dirty processors) for one kind
+// of single-task delta against a generated base system.
+type deltaCase struct {
+	name string
+	make func(t *testing.T, old *model.System) (*model.System, []bool)
+}
+
+func deltaCases() []deltaCase {
+	return []deltaCase{
+		{"modify-exec", func(t *testing.T, old *model.System) (*model.System, []bool) {
+			next := old.Clone()
+			st := &next.Tasks[0].Subtasks[0]
+			st.Exec++
+			dirty := make([]bool, len(next.Procs))
+			analysis.DirtyProcs(dirty, old, 0)
+			analysis.DirtyProcs(dirty, next, 0)
+			return next, dirty
+		}},
+		{"modify-period", func(t *testing.T, old *model.System) (*model.System, []bool) {
+			next := old.Clone()
+			next.Tasks[1].Period += 10
+			next.Tasks[1].Deadline += 10
+			dirty := make([]bool, len(next.Procs))
+			analysis.DirtyProcs(dirty, old, 1)
+			analysis.DirtyProcs(dirty, next, 1)
+			return next, dirty
+		}},
+		{"remove-task", func(t *testing.T, old *model.System) (*model.System, []bool) {
+			next := old.Clone()
+			dirty := make([]bool, len(next.Procs))
+			analysis.DirtyProcs(dirty, next, len(next.Tasks)-1)
+			next.Tasks = next.Tasks[:len(next.Tasks)-1]
+			return next, dirty
+		}},
+		{"add-task", func(t *testing.T, old *model.System) (*model.System, []bool) {
+			next := old.Clone()
+			added := old.Tasks[0]
+			added.Name = "added"
+			added.Period *= 3
+			added.Deadline = added.Period
+			added.Subtasks = append([]model.Subtask(nil), added.Subtasks...)
+			next.Tasks = append(next.Tasks, added)
+			dirty := make([]bool, len(next.Procs))
+			analysis.DirtyProcs(dirty, next, len(next.Tasks)-1)
+			return next, dirty
+		}},
+	}
+}
+
+func TestIncrementalMatchesFull(t *testing.T) {
+	opts := analysis.DefaultOptions()
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := workload.DefaultConfig(5, 0.7)
+		cfg.Seed = seed * 104729
+		old, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldDS, err := analysis.AnalyzeDS(old, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldPM, err := analysis.AnalyzePM(old, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dc := range deltaCases() {
+			t.Run(fmt.Sprintf("s%d/%s", seed, dc.name), func(t *testing.T) {
+				next, dirty := dc.make(t, old)
+
+				fullDS, err := analysis.AnalyzeDS(next, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := obs.NewAnalysisStats()
+				a, err := analysis.NewAnalyzer(next, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Stats = st
+				incDS := a.AnalyzeDSFrom(prevResponses(old, oldDS, next), dirty)
+				for i := range fullDS.Bounds {
+					if incDS.Bounds[i].Response != fullDS.Bounds[i].Response {
+						t.Errorf("DS bound %d: incremental %v != full %v",
+							i, incDS.Bounds[i].Response, fullDS.Bounds[i].Response)
+					}
+				}
+				for i := range fullDS.TaskEER {
+					if incDS.TaskEER[i] != fullDS.TaskEER[i] {
+						t.Errorf("DS task %d EER: incremental %v != full %v",
+							i, incDS.TaskEER[i], fullDS.TaskEER[i])
+					}
+				}
+
+				fullPM, err := analysis.AnalyzePM(next, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				incPM := a.AnalyzePMFrom(prevBounds(old, oldPM, next), dirty)
+				for i := range fullPM.Bounds {
+					if incPM.Bounds[i] != fullPM.Bounds[i] {
+						t.Errorf("PM bound %d: incremental %+v != full %+v",
+							i, incPM.Bounds[i], fullPM.Bounds[i])
+					}
+				}
+				for i := range fullPM.TaskEER {
+					if incPM.TaskEER[i] != fullPM.TaskEER[i] {
+						t.Errorf("PM task %d EER: incremental %v != full %v",
+							i, incPM.TaskEER[i], fullPM.TaskEER[i])
+					}
+				}
+
+				// The counters must show both deltas touched only the dirty
+				// processors and reused at least the off-closure subtasks.
+				snap := st.Snapshot()
+				wantDirty := int64(0)
+				for _, d := range dirty {
+					if d {
+						wantDirty++
+					}
+				}
+				if snap.DeltaAnalyses != 2 {
+					t.Errorf("delta analyses = %d, want 2", snap.DeltaAnalyses)
+				}
+				if snap.DirtyProcRecomputes != 2*wantDirty {
+					t.Errorf("dirty proc recomputes = %d, want %d",
+						snap.DirtyProcRecomputes, 2*wantDirty)
+				}
+				wantClean := 2 * (int64(len(dirty)) - wantDirty)
+				if snap.CleanProcReuses != wantClean {
+					t.Errorf("clean proc reuses = %d, want %d", snap.CleanProcReuses, wantClean)
+				}
+				if wantDirty < int64(len(dirty)) && snap.SubtasksReused == 0 {
+					t.Error("partial-dirty delta reused no subtask bounds")
+				}
+			})
+		}
+	}
+}
+
+// TestIncrementalSingleProcDelta pins the headline behavior on a system
+// built to keep a task isolated on its own processor: a change to that
+// task must leave every other processor's bounds untouched and recompute
+// only the isolated processor's subtasks.
+func TestIncrementalSingleProcDelta(t *testing.T) {
+	b := model.NewBuilder()
+	p1 := b.AddProcessor("P1")
+	p2 := b.AddProcessor("P2")
+	p3 := b.AddProcessor("P3")
+	b.AddTask("iso", 50, 0).Subtask(p1, 1, 10).Done()
+	b.AddTask("chain", 60, 0).Subtask(p2, 2, 8).Subtask(p3, 2, 8).Done()
+	b.AddTask("chain2", 80, 0).Subtask(p3, 1, 6).Subtask(p2, 1, 6).Done()
+	old := b.MustBuild()
+	opts := analysis.DefaultOptions()
+
+	oldDS, err := analysis.AnalyzeDS(old, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := old.Clone()
+	next.Tasks[0].Subtasks[0].Exec += 3
+	dirty := make([]bool, len(next.Procs))
+	analysis.DirtyProcs(dirty, next, 0)
+	if dirty[1] || dirty[2] {
+		t.Fatal("isolated task marked foreign processors dirty")
+	}
+
+	st := obs.NewAnalysisStats()
+	a, err := analysis.NewAnalyzer(next, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Stats = st
+	inc := a.AnalyzeDSFrom(prevResponses(old, oldDS, next), dirty)
+	full, err := analysis.AnalyzeDS(next, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.TaskEER {
+		if inc.TaskEER[i] != full.TaskEER[i] {
+			t.Errorf("task %d EER: incremental %v != full %v", i, inc.TaskEER[i], full.TaskEER[i])
+		}
+	}
+	snap := st.Snapshot()
+	if snap.DirtyProcRecomputes != 1 || snap.CleanProcReuses != 2 {
+		t.Errorf("proc counters = %d dirty / %d clean, want 1 / 2",
+			snap.DirtyProcRecomputes, snap.CleanProcReuses)
+	}
+	// Only the isolated subtask sits in the closure: 1 recomputed, 4 kept.
+	if snap.SubtasksRecomputed != 1 || snap.SubtasksReused != 4 {
+		t.Errorf("subtask counters = %d recomputed / %d reused, want 1 / 4",
+			snap.SubtasksRecomputed, snap.SubtasksReused)
+	}
+}

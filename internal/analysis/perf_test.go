@@ -4,6 +4,7 @@
 package analysis_test
 
 import (
+	"fmt"
 	"testing"
 
 	"rtsync/internal/analysis"
@@ -162,5 +163,134 @@ func BenchmarkAnalyzePMReuse(b *testing.B) {
 			b.Fatal(err)
 		}
 		an.AnalyzePM()
+	}
+}
+
+// BenchmarkAnalyzeWarmStart is BenchmarkAnalyzeDSReuse with
+// Options.WarmStart on: every fixed-point solve starts from the fluid lower
+// bound and each outer pass reseeds from the previous one. Bounds are
+// byte-identical to the cold run (TestWarmStartMatchesCold); this records
+// what the skipped iterations are worth in wall time.
+func BenchmarkAnalyzeWarmStart(b *testing.B) {
+	sys := benchSystem(b)
+	opts := analysis.DefaultOptions()
+	opts.WarmStart = true
+	var an analysis.Analyzer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := an.Reset(sys, opts); err != nil {
+			b.Fatal(err)
+		}
+		an.AnalyzeDS()
+	}
+}
+
+// BenchmarkAnalyzeCacheHit prices rtsyncd's fastest path: content-hash the
+// system and serve the memoized Result. The gap to BenchmarkAnalyzeDSReuse
+// is the cache's whole value proposition.
+func BenchmarkAnalyzeCacheHit(b *testing.B) {
+	sys := benchSystem(b)
+	opts := analysis.DefaultOptions()
+	res, err := analysis.AnalyzeDS(sys, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var h analysis.SystemHasher
+	cache := analysis.NewResultCache(4)
+	cache.Put(h.Hash(sys, "sads", opts), sys, res)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cache.Get(h.Hash(sys, "sads", opts)) == nil {
+			b.Fatal("cache miss on primed digest")
+		}
+	}
+}
+
+// deltaBenchSystem builds the sharded shape the incremental path targets: 8
+// independent 2-processor clusters (each a generated (3, 60%) workload)
+// merged into one 16-processor system. Task chains never cross a cluster,
+// so a single task's dirty closure is its own cluster — on the dense
+// 4-processor grid shapes above every chain visits every processor, the
+// closure is the whole system, and incremental deltas legitimately degrade
+// to full re-analysis.
+func deltaBenchSystem(tb testing.TB) *model.System {
+	tb.Helper()
+	const shards = 8
+	merged := &model.System{}
+	for s := 0; s < shards; s++ {
+		cfg := workload.DefaultConfig(3, 0.6)
+		cfg.Processors = 2
+		cfg.Tasks = 6
+		cfg.Seed = 17 + int64(s)
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		off := len(merged.Procs)
+		for _, p := range sys.Procs {
+			p.Name = fmt.Sprintf("S%d/%s", s, p.Name)
+			merged.Procs = append(merged.Procs, p)
+		}
+		for _, t := range sys.Tasks {
+			t.Name = fmt.Sprintf("S%d/%s", s, t.Name)
+			t.Subtasks = append([]model.Subtask(nil), t.Subtasks...)
+			for i := range t.Subtasks {
+				t.Subtasks[i].Proc += off
+			}
+			merged.Tasks = append(merged.Tasks, t)
+		}
+	}
+	if err := merged.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return merged
+}
+
+// BenchmarkIncrementalDeltaFull is the reference cost BenchmarkIncremental
+// Delta beats: a full SA/DS re-analysis of the post-delta sharded system.
+// Both benchmarks Reset outside the loop — validation and index rebuild
+// cost the same either way, so the pair isolates the solve work the
+// incremental path actually avoids.
+func BenchmarkIncrementalDeltaFull(b *testing.B) {
+	opts := analysis.DefaultOptions()
+	next := deltaBenchSystem(b)
+	next.Tasks[0].Subtasks[0].Exec++
+	an, err := analysis.NewAnalyzer(next, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an.AnalyzeDS()
+	}
+}
+
+// BenchmarkIncrementalDelta prices rtsyncd's middle path: one task's first
+// subtask changes execution time and SA/DS re-solves only the dirty
+// processors' dependency closure, seeded from the previous bounds
+// (exactness pinned by TestIncrementalMatchesFull).
+func BenchmarkIncrementalDelta(b *testing.B) {
+	opts := analysis.DefaultOptions()
+	old := deltaBenchSystem(b)
+	oldRes, err := analysis.AnalyzeDS(old, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	next := old.Clone()
+	next.Tasks[0].Subtasks[0].Exec++
+	dirty := make([]bool, len(next.Procs))
+	analysis.DirtyProcs(dirty, old, 0)
+	analysis.DirtyProcs(dirty, next, 0)
+	prev := prevResponses(old, oldRes, next)
+	an, err := analysis.NewAnalyzer(next, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an.AnalyzeDSFrom(prev, dirty)
 	}
 }

@@ -1,0 +1,105 @@
+// Warm-start parity: with Options.WarmStart on, every analysis must produce
+// byte-identical result digests — bounds, EERs, schedulability verdicts AND
+// outer iteration counts — across the whole golden fixture population. Warm
+// seeding only changes where the inner fixed-point solves start, and any
+// sound seed below the least fixed point converges to the same value, so
+// the digests (which embed the outer counts) cannot move.
+package analysis_test
+
+import (
+	"testing"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/model"
+	"rtsync/internal/obs"
+)
+
+func warmOpts() analysis.Options {
+	o := analysis.DefaultOptions()
+	o.WarmStart = true
+	return o
+}
+
+// warmAnalyses mirrors goldenAnalyses with WarmStart enabled.
+func warmAnalyses() []goldenAnalysis {
+	wo := warmOpts()
+	stopOpts := wo
+	stopOpts.StopOnFailure = true
+	return []goldenAnalysis{
+		{"sapm", func(s *model.System) (*analysis.Result, error) {
+			return analysis.AnalyzePM(s, wo)
+		}},
+		{"sads", func(s *model.System) (*analysis.Result, error) {
+			return analysis.AnalyzeDS(s, wo)
+		}},
+		{"sads-stop", func(s *model.System) (*analysis.Result, error) {
+			return analysis.AnalyzeDS(s, stopOpts)
+		}},
+		{"holistic", func(s *model.System) (*analysis.Result, error) {
+			return analysis.AnalyzeDSHolistic(s, wo)
+		}},
+		{"mpcp", func(s *model.System) (*analysis.Result, error) {
+			return analysis.AnalyzeMPCP(s, wo)
+		}},
+		{"dpcp", func(s *model.System) (*analysis.Result, error) {
+			return analysis.AnalyzeDPCP(s, wo)
+		}},
+	}
+}
+
+// TestWarmStartMatchesCold runs every golden (system, analysis) pair both
+// ways and compares the full canonical digests.
+func TestWarmStartMatchesCold(t *testing.T) {
+	cold := goldenAnalyses()
+	warm := warmAnalyses()
+	for _, gs := range goldenSystems(t) {
+		for i, ga := range cold {
+			cres, err := ga.run(gs.sys)
+			if err != nil {
+				t.Fatalf("%s/%s cold: %v", gs.name, ga.name, err)
+			}
+			wres, err := warm[i].run(gs.sys)
+			if err != nil {
+				t.Fatalf("%s/%s warm: %v", gs.name, ga.name, err)
+			}
+			cd, wd := digestResult(gs.sys, cres), digestResult(gs.sys, wres)
+			if cd != wd {
+				t.Errorf("%s/%s: warm digest differs from cold\ncold:\n%s\nwarm:\n%s",
+					gs.name, ga.name, cd, wd)
+			}
+		}
+	}
+}
+
+// TestWarmStartCollapsesIterations checks the optimization is actually
+// doing something: across the golden population, the warm runs must spend
+// strictly fewer total demand evaluations than the cold runs, and a
+// substantial share of warm solves must start from a nonzero seed.
+func TestWarmStartCollapsesIterations(t *testing.T) {
+	run := func(opts analysis.Options) *obs.AnalysisStats {
+		st := obs.NewAnalysisStats()
+		for _, gs := range goldenSystems(t) {
+			var a analysis.Analyzer
+			a.Stats = st
+			if err := a.Reset(gs.sys, opts); err != nil {
+				t.Fatalf("%s: reset: %v", gs.name, err)
+			}
+			a.AnalyzeDS()
+			a.AnalyzeHolistic()
+		}
+		return st
+	}
+	coldSt := run(analysis.DefaultOptions())
+	warmSt := run(warmOpts())
+	coldIters, warmIters := coldSt.FixpointIterTotal(), warmSt.FixpointIterTotal()
+	if coldSt.FixpointSolves() != warmSt.FixpointSolves() {
+		t.Errorf("solve counts differ: cold %d, warm %d — outer iteration structure moved",
+			coldSt.FixpointSolves(), warmSt.FixpointSolves())
+	}
+	if warmIters >= coldIters {
+		t.Errorf("warm start did not reduce demand evaluations: cold %d, warm %d",
+			coldIters, warmIters)
+	}
+	t.Logf("demand evaluations: cold %d, warm %d (%.1f%% of cold)",
+		coldIters, warmIters, 100*float64(warmIters)/float64(coldIters))
+}

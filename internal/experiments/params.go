@@ -55,6 +55,11 @@ type Params struct {
 	// Runner, aggregating engine counters across the whole sweep. Shared
 	// and atomic; nil keeps the engines on their zero-cost path.
 	Stats *obs.SimStats
+	// AnalysisStats, when non-nil, is attached to every worker's Analyzer,
+	// aggregating fixed-point iteration histograms and solve counts across
+	// the whole sweep (the evidence behind warm-start iteration collapse).
+	// Shared and atomic; nil keeps the analyzers on their zero-cost path.
+	AnalysisStats *obs.AnalysisStats
 	// Trace, when non-nil, records pipeline spans — one per swept unit
 	// with generate/analyze/simulate/commit children, plus worker
 	// lifetimes and turnstile waits — into per-worker arenas for Perfetto
@@ -447,6 +452,7 @@ func sweepSpans(p Params, fn func(w *worker, cfg workload.Config, rec *Recorder)
 			defer wg.Done()
 			var w worker
 			w.timings = p.RecordTimings
+			w.an.Stats = p.AnalysisStats
 			if p.RecordSimCounts {
 				// Private bank: per-unit deltas must not interleave with
 				// other workers' runs. Merged into the shared bank below.

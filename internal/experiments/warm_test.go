@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rtsync/internal/analysis"
+	"rtsync/internal/obs"
+	"rtsync/internal/record"
+)
+
+// TestSweepWarmStartDeterminism pins warm-started analysis as a pure
+// throughput knob at the pipeline level: with Options.WarmStart on, every
+// figure result and every JSONL record store byte is identical to the cold
+// run — across parallelism — while the attached stats bank shows the warm
+// seeds actually flowed.
+func TestSweepWarmStartDeterminism(t *testing.T) {
+	base := benchSweepParams()
+	base.SystemsPerConfig = 4
+
+	type outputs struct {
+		avg   *AvgEERResult
+		f12   *FailureRateResult
+		f13   *BoundRatioResult
+		store []byte
+	}
+	run := func(warm bool, parallelism int, st *obs.AnalysisStats) outputs {
+		t.Helper()
+		p := base
+		p.Parallelism = parallelism
+		p.Analysis = analysis.DefaultOptions()
+		p.Analysis.WarmStart = warm
+		p.AnalysisStats = st
+		var buf bytes.Buffer
+		wr := record.NewWriter(&buf)
+		p.Records = wr
+		avg, err := AvgEERStudy(p)
+		if err != nil {
+			t.Fatalf("AvgEERStudy(warm=%v): %v", warm, err)
+		}
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		f12, err := Fig12FailureRate(p)
+		if err != nil {
+			t.Fatalf("Fig12FailureRate(warm=%v): %v", warm, err)
+		}
+		f13, err := Fig13BoundRatio(p)
+		if err != nil {
+			t.Fatalf("Fig13BoundRatio(warm=%v): %v", warm, err)
+		}
+		return outputs{avg: avg, f12: f12, f13: f13, store: buf.Bytes()}
+	}
+
+	cold := run(false, 1, nil)
+	warmStats := obs.NewAnalysisStats()
+	for _, par := range []int{1, 4} {
+		warm := run(true, par, warmStats)
+		if !bytes.Equal(cold.store, warm.store) {
+			t.Errorf("warm-start JSONL store differs from cold at parallelism %d", par)
+		}
+		if !reflect.DeepEqual(cold.avg, warm.avg) {
+			t.Errorf("AvgEERStudy output changed with warm start at parallelism %d", par)
+		}
+		if !reflect.DeepEqual(cold.f12, warm.f12) {
+			t.Errorf("Fig12FailureRate output changed with warm start at parallelism %d", par)
+		}
+		if !reflect.DeepEqual(cold.f13, warm.f13) {
+			t.Errorf("Fig13BoundRatio output changed with warm start at parallelism %d", par)
+		}
+	}
+	snap := warmStats.Snapshot()
+	if snap.WarmSolves == 0 {
+		t.Error("warm sweeps ran but no fixed-point solve saw a warm seed")
+	}
+	if snap.FixpointSolves == 0 {
+		t.Error("stats bank attached but no fixed-point solves counted")
+	}
+}

@@ -15,8 +15,9 @@ import (
 // mainly — re-point the same expvar names instead of tripping expvar's
 // duplicate-publish panic.
 const (
-	simVarName   = "rtsync_sim"
-	sweepVarName = "rtsync_sweep"
+	simVarName      = "rtsync_sim"
+	sweepVarName    = "rtsync_sweep"
+	analysisVarName = "rtsync_analysis"
 )
 
 var (
@@ -24,6 +25,7 @@ var (
 	pubPublished bool
 	pubSim       atomic.Pointer[SimStats]
 	pubSweep     atomic.Pointer[SweepProgress]
+	pubAnalysis  atomic.Pointer[AnalysisStats]
 )
 
 // PublishSimStats exposes st's snapshot as the expvar "rtsync_sim".
@@ -35,6 +37,13 @@ func PublishSimStats(st *SimStats) {
 // PublishSweepProgress exposes sp's snapshot as the expvar "rtsync_sweep".
 func PublishSweepProgress(sp *SweepProgress) {
 	pubSweep.Store(sp)
+	publishVars()
+}
+
+// PublishAnalysisStats exposes st's snapshot as the expvar
+// "rtsync_analysis".
+func PublishAnalysisStats(st *AnalysisStats) {
+	pubAnalysis.Store(st)
 	publishVars()
 }
 
@@ -56,6 +65,12 @@ func publishVars() {
 	}))
 	expvar.Publish(sweepVarName, expvar.Func(func() any {
 		if s := pubSweep.Load(); s != nil {
+			return s.Snapshot()
+		}
+		return nil
+	}))
+	expvar.Publish(analysisVarName, expvar.Func(func() any {
+		if s := pubAnalysis.Load(); s != nil {
 			return s.Snapshot()
 		}
 		return nil

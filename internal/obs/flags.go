@@ -26,6 +26,7 @@ type CLI struct {
 	debug    *DebugServer
 	sim      *SimStats
 	sweep    *SweepProgress
+	analysis *AnalysisStats
 	tracer   *PipelineTracer
 	outputs  []string
 }
@@ -84,6 +85,13 @@ func (c *CLI) AttachSweepProgress(sp *SweepProgress) {
 	PublishSweepProgress(sp)
 }
 
+// AttachAnalysisStats routes analyzer counters into the manifest and
+// publishes them on the debug endpoint.
+func (c *CLI) AttachAnalysisStats(st *AnalysisStats) {
+	c.analysis = st
+	PublishAnalysisStats(st)
+}
+
 // AttachTracer routes the pipeline tracer's span summary into the
 // manifest.
 func (c *CLI) AttachTracer(t *PipelineTracer) { c.tracer = t }
@@ -106,6 +114,10 @@ func (c *CLI) writeManifest() {
 	if c.sweep != nil {
 		snap := c.sweep.Snapshot()
 		c.manifest.Sweep = &snap
+	}
+	if c.analysis != nil {
+		snap := c.analysis.Snapshot()
+		c.manifest.Analysis = &snap
 	}
 	if c.tracer != nil {
 		sum := c.tracer.Summary()

@@ -35,12 +35,14 @@ type Manifest struct {
 	End         time.Time `json:"end"`
 	DurationSec float64   `json:"duration_sec"`
 
-	// Sim and Sweep carry the aggregate counters of any attached
-	// SimStats / SweepProgress; Spans digests an attached PipelineTracer
-	// (per-phase wall-time totals — "where did the time go").
-	Sim   *SimSnapshot   `json:"sim_stats,omitempty"`
-	Sweep *SweepSnapshot `json:"sweep,omitempty"`
-	Spans *SpanSummary   `json:"spans,omitempty"`
+	// Sim, Sweep and Analysis carry the aggregate counters of any
+	// attached SimStats / SweepProgress / AnalysisStats; Spans digests an
+	// attached PipelineTracer (per-phase wall-time totals — "where did
+	// the time go").
+	Sim      *SimSnapshot      `json:"sim_stats,omitempty"`
+	Sweep    *SweepSnapshot    `json:"sweep,omitempty"`
+	Analysis *AnalysisSnapshot `json:"analysis_stats,omitempty"`
+	Spans    *SpanSummary      `json:"spans,omitempty"`
 
 	// Outputs checksums every file the run reported writing.
 	Outputs []OutputFile `json:"outputs,omitempty"`

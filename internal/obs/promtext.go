@@ -77,11 +77,11 @@ func (p *promWriter) histogram(name, help string, h *Histogram) {
 	p.printf("%s_count %d\n", name, h.n.Load())
 }
 
-// WritePromText renders sim and sweep (either may be nil) to w in the
-// Prometheus text exposition format. Counter reads are the same lock-free
-// atomic loads the expvar endpoint uses, so scraping never perturbs a
-// running sweep.
-func WritePromText(w io.Writer, sim *SimStats, sweep *SweepProgress) error {
+// WritePromText renders sim, sweep and analysis (any may be nil) to w in
+// the Prometheus text exposition format. Counter reads are the same
+// lock-free atomic loads the expvar endpoint uses, so scraping never
+// perturbs a running sweep.
+func WritePromText(w io.Writer, sim *SimStats, sweep *SweepProgress, analysis *AnalysisStats) error {
 	p := &promWriter{w: w}
 	if sim != nil {
 		p.header("rtsync_sim_events_total", "counter", "Simulation events popped, by event op.")
@@ -148,12 +148,34 @@ func WritePromText(w io.Writer, sim *SimStats, sweep *SweepProgress) error {
 			}
 		}
 	}
+	if analysis != nil {
+		p.header("rtsync_analysis_warm_solves_total", "counter", "Fixed-point solves handed a nonzero warm seed.")
+		p.sample("rtsync_analysis_warm_solves_total", analysis.warmSolves.Load())
+		p.header("rtsync_analysis_cache_hits_total", "counter", "Analyses served from the result cache.")
+		p.sample("rtsync_analysis_cache_hits_total", analysis.cacheHits.Load())
+		p.header("rtsync_analysis_cache_misses_total", "counter", "Cache lookups that had to analyze.")
+		p.sample("rtsync_analysis_cache_misses_total", analysis.cacheMisses.Load())
+		p.header("rtsync_analysis_cache_evictions_total", "counter", "LRU cache entries displaced by inserts.")
+		p.sample("rtsync_analysis_cache_evictions_total", analysis.cacheEvictions.Load())
+		p.header("rtsync_analysis_delta_analyses_total", "counter", "Incremental (dirty-processor) re-analyses.")
+		p.sample("rtsync_analysis_delta_analyses_total", analysis.deltaAnalyses.Load())
+		p.header("rtsync_analysis_dirty_proc_recomputes_total", "counter", "Processors re-solved by incremental deltas.")
+		p.sample("rtsync_analysis_dirty_proc_recomputes_total", analysis.dirtyProcRecomputes.Load())
+		p.header("rtsync_analysis_clean_proc_reuses_total", "counter", "Processors reused untouched by incremental deltas.")
+		p.sample("rtsync_analysis_clean_proc_reuses_total", analysis.cleanProcReuses.Load())
+		p.header("rtsync_analysis_subtasks_recomputed_total", "counter", "Subtask bounds recomputed by incremental deltas.")
+		p.sample("rtsync_analysis_subtasks_recomputed_total", analysis.subtasksRecomputed.Load())
+		p.header("rtsync_analysis_subtasks_reused_total", "counter", "Subtask bounds copied forward by incremental deltas.")
+		p.sample("rtsync_analysis_subtasks_reused_total", analysis.subtasksReused.Load())
+		p.histogram("rtsync_analysis_fixpoint_iters", "Demand evaluations per inner fixed-point solve.", &analysis.fixpointIters)
+		p.histogram("rtsync_analysis_outer_iters", "Outer passes per iterative analysis.", &analysis.outerIters)
+	}
 	return p.err
 }
 
-// metricsHandler serves the published SimStats/SweepProgress (the same
-// globals the expvar endpoint reads) as /metrics.
+// metricsHandler serves the published SimStats/SweepProgress/AnalysisStats
+// (the same globals the expvar endpoint reads) as /metrics.
 func metricsHandler(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", PromContentType)
-	_ = WritePromText(w, pubSim.Load(), pubSweep.Load())
+	_ = WritePromText(w, pubSim.Load(), pubSweep.Load(), pubAnalysis.Load())
 }

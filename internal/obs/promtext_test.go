@@ -90,22 +90,36 @@ func TestWritePromText(t *testing.T) {
 	sh.NoteSchedulable(true)
 	sh.NoteSchedulable(false)
 
+	an := NewAnalysisStats()
+	an.ObserveFixpoint(3, false) // log2 bucket 2 (le "3")
+	an.ObserveFixpoint(1, true)  // warm seed, le "1"
+	an.ObserveOuter(6)
+	an.NoteCacheHit()
+	an.NoteCacheHit()
+	an.NoteCacheMiss()
+	an.NoteCacheEviction()
+	an.NoteDelta(1, 3, 24, 72)
+
 	var buf bytes.Buffer
-	if err := WritePromText(&buf, st, sp); err != nil {
+	if err := WritePromText(&buf, st, sp, an); err != nil {
 		t.Fatal(err)
 	}
 	text := buf.String()
 	types := checkPromText(t, text)
 
 	for name, typ := range map[string]string{
-		"rtsync_sim_runs_total":             "counter",
-		"rtsync_sim_preemptions_total":      "counter",
-		"rtsync_sim_event_queue_high_water": "gauge",
-		"rtsync_sim_stall_ticks":            "histogram",
-		"rtsync_sim_lock_stall_ticks":       "histogram",
-		"rtsync_sweep_units_done":           "gauge",
-		"rtsync_sweep_schedulable_total":    "counter",
-		"rtsync_sweep_cell_units":           "gauge",
+		"rtsync_sim_runs_total":                       "counter",
+		"rtsync_sim_preemptions_total":                "counter",
+		"rtsync_sim_event_queue_high_water":           "gauge",
+		"rtsync_sim_stall_ticks":                      "histogram",
+		"rtsync_sim_lock_stall_ticks":                 "histogram",
+		"rtsync_sweep_units_done":                     "gauge",
+		"rtsync_sweep_schedulable_total":              "counter",
+		"rtsync_sweep_cell_units":                     "gauge",
+		"rtsync_analysis_cache_hits_total":            "counter",
+		"rtsync_analysis_dirty_proc_recomputes_total": "counter",
+		"rtsync_analysis_fixpoint_iters":              "histogram",
+		"rtsync_analysis_outer_iters":                 "histogram",
 	} {
 		if got := types[name]; got != typ {
 			t.Errorf("metric %s has type %q, want %q", name, got, typ)
@@ -127,6 +141,23 @@ func TestWritePromText(t *testing.T) {
 		"rtsync_sweep_schedulable_total 1\n",
 		"rtsync_sweep_unschedulable_total 1\n",
 		`rtsync_sweep_cell_units{cell="(3,50)"} 1` + "\n",
+		"rtsync_analysis_warm_solves_total 1\n",
+		"rtsync_analysis_cache_hits_total 2\n",
+		"rtsync_analysis_cache_misses_total 1\n",
+		"rtsync_analysis_cache_evictions_total 1\n",
+		"rtsync_analysis_delta_analyses_total 1\n",
+		"rtsync_analysis_dirty_proc_recomputes_total 1\n",
+		"rtsync_analysis_clean_proc_reuses_total 3\n",
+		"rtsync_analysis_subtasks_recomputed_total 24\n",
+		"rtsync_analysis_subtasks_reused_total 72\n",
+		// The 3-evaluation solve lands at le="3", the warm 1-evaluation
+		// one at le="1"; sum and count exact.
+		`rtsync_analysis_fixpoint_iters_bucket{le="1"} 1` + "\n",
+		`rtsync_analysis_fixpoint_iters_bucket{le="3"} 2` + "\n",
+		"rtsync_analysis_fixpoint_iters_sum 4\n",
+		"rtsync_analysis_fixpoint_iters_count 2\n",
+		`rtsync_analysis_outer_iters_bucket{le="7"} 1` + "\n",
+		"rtsync_analysis_outer_iters_count 1\n",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q", want)
@@ -134,18 +165,18 @@ func TestWritePromText(t *testing.T) {
 	}
 }
 
-// TestWritePromTextNil checks both sources are optional: a nil SimStats or
-// SweepProgress just omits its families.
+// TestWritePromTextNil checks every source is optional: a nil SimStats,
+// SweepProgress or AnalysisStats just omits its families.
 func TestWritePromTextNil(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WritePromText(&buf, nil, nil); err != nil {
+	if err := WritePromText(&buf, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Len() != 0 {
 		t.Errorf("nil sources produced output: %q", buf.String())
 	}
 	buf.Reset()
-	if err := WritePromText(&buf, NewSimStats(), nil); err != nil {
+	if err := WritePromText(&buf, NewSimStats(), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "rtsync_sim_runs_total 0") {
@@ -153,6 +184,16 @@ func TestWritePromTextNil(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), "rtsync_sweep_") {
 		t.Error("sim-only output contains sweep metrics")
+	}
+	if strings.Contains(buf.String(), "rtsync_analysis_") {
+		t.Error("sim-only output contains analysis metrics")
+	}
+	buf.Reset()
+	if err := WritePromText(&buf, nil, nil, NewAnalysisStats()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rtsync_analysis_cache_hits_total 0") {
+		t.Error("analysis-only output missing analysis metrics")
 	}
 }
 
@@ -165,7 +206,7 @@ func TestHistogramBucketBounds(t *testing.T) {
 	st.NoteRGStall(1)
 	st.NoteRGStall(1 << 40) // overflow bucket
 	var buf bytes.Buffer
-	if err := WritePromText(&buf, st, nil); err != nil {
+	if err := WritePromText(&buf, st, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	text := buf.String()
@@ -246,7 +287,7 @@ func BenchmarkPromText(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := WritePromText(io.Discard, st, sp); err != nil {
+		if err := WritePromText(io.Discard, st, sp, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,105 @@
+#!/bin/sh
+# rtsyncd-smoke.sh — prove the admission-control service answers like the
+# batch analyzer and actually takes the cheap paths:
+#
+#   1. liveness: rtsyncd starts, announces its address, serves /healthz
+#   2. parity: /v1/analyze schedulability verdicts match rtanalyze's
+#      per-task table for the same system and algorithm
+#   3. deltas: an added task is evaluated incrementally, the identical
+#      probe replays from the cache, and a committed add/remove round trip
+#      restores the original system (served from the cache again)
+#   4. /metrics: the exposition validates (tracecheck -metrics) and the
+#      cache-hit / dirty-processor counters moved
+#
+# Run from anywhere: `sh tools/rtsyncd-smoke.sh` (or `make rtsyncd-smoke`).
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; kill "$daemon" 2>/dev/null || true' EXIT
+
+go build -o "$tmp/rtsyncd" ./cmd/rtsyncd
+go build -o "$tmp/rtanalyze" ./cmd/rtanalyze
+go build -o "$tmp/tracecheck" ./tools/tracecheck
+
+# --- 1: start against built-in Example 2 and wait for liveness.
+
+"$tmp/rtsyncd" -listen 127.0.0.1:0 -algo sads -example 2 \
+	2>"$tmp/daemon.stderr" &
+daemon=$!
+addr=""
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's,.*admission API on http://\([^/]*\)/.*,\1,p' "$tmp/daemon.stderr")
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+[ -n "$addr" ] || { echo "rtsyncd never announced its address" >&2; exit 1; }
+for _ in $(seq 1 100); do
+	curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+curl -fsS "http://$addr/healthz" | grep -q ok
+echo "ok  rtsyncd liveness ($addr)"
+
+# --- 2: verdict parity with batch rtanalyze.
+
+"$tmp/rtanalyze" -algo sads -example 2 >"$tmp/batch.txt"
+curl -fsS -X POST "http://$addr/v1/analyze" -d '{}' >"$tmp/analyze.json"
+python3 - "$tmp/analyze.json" "$tmp/batch.txt" <<'EOF'
+import json, re, sys
+verdict = json.load(open(sys.argv[1]))
+batch = {}
+for line in open(sys.argv[2]):
+    m = re.match(r'\s*(T\d+)\s.*\s(true|false)\s*$', line)
+    if m:
+        batch[m.group(1)] = m.group(2) == "true"
+assert batch, "no per-task rows parsed from rtanalyze output"
+for t in verdict["tasks"]:
+    assert t["name"] in batch, f'{t["name"]} missing from batch output'
+    assert t["schedulable"] == batch[t["name"]], \
+        f'{t["name"]}: service={t["schedulable"]} batch={batch[t["name"]]}'
+assert verdict["algo"] == "SA/DS"
+EOF
+echo "ok  verdict parity with rtanalyze"
+
+# --- 3: delta paths — incremental first contact, cache on replay, cache on
+# an add/remove round trip back to the original system.
+
+probe='{"add": [{"name": "T4", "period": 40, "deadline": 40,
+	"subtasks": [{"proc": 0, "exec": 1, "priority": 1}]}]}'
+curl -fsS -X POST "http://$addr/v1/delta" -d "$probe" >"$tmp/d1.json"
+curl -fsS -X POST "http://$addr/v1/delta" -d "$probe" >"$tmp/d2.json"
+commit=$(printf '%s' "$probe" | sed 's/]}$/], "commit": true, "force": true}/')
+curl -fsS -X POST "http://$addr/v1/delta" -d "$commit" >"$tmp/d3.json"
+curl -fsS -X POST "http://$addr/v1/delta" \
+	-d '{"remove": ["T4"], "commit": true, "force": true}' >"$tmp/d4.json"
+curl -fsS "http://$addr/v1/system" >"$tmp/system.json"
+python3 - "$tmp" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+d = [json.load(open(f"{tmp}/d{i}.json")) for i in (1, 2, 3, 4)]
+assert d[0]["path"] == "incremental", f'first probe path {d[0]["path"]}'
+assert d[1]["path"] == "cache", f'replayed probe path {d[1]["path"]}'
+assert d[2]["committed"], "forced commit did not commit"
+assert d[3]["path"] == "cache", f'undo path {d[3]["path"]}'
+assert d[3]["committed"], "undo did not commit"
+names = [t["name"] for t in d[3]["tasks"]]
+assert names == ["T1", "T2", "T3"], f"tasks after round trip: {names}"
+sys_doc = json.load(open(f"{tmp}/system.json"))
+assert [t["name"] for t in sys_doc["system"]["tasks"]] == ["T1", "T2", "T3"]
+EOF
+echo "ok  delta paths (incremental, cache, undo via cache)"
+
+# --- 4: /metrics validates and shows the counters that prove the paths.
+
+curl -fsS "http://$addr/metrics" >"$tmp/metrics.txt"
+"$tmp/tracecheck" -metrics "$tmp/metrics.txt" >/dev/null
+hits=$(awk '$1 == "rtsync_analysis_cache_hits_total" {print $2}' "$tmp/metrics.txt")
+dirty=$(awk '$1 == "rtsync_analysis_dirty_proc_recomputes_total" {print $2}' "$tmp/metrics.txt")
+[ "${hits:-0}" -ge 2 ] || { echo "cache hits = ${hits:-none}, want >= 2" >&2; exit 1; }
+[ "${dirty:-0}" -ge 1 ] || { echo "dirty proc recomputes = ${dirty:-none}, want >= 1" >&2; exit 1; }
+echo "ok  /metrics exposition (hits=$hits dirty-proc-recomputes=$dirty)"
+
+kill "$daemon"
+wait "$daemon" 2>/dev/null || true
+echo "rtsyncd smoke passed"

@@ -12,6 +12,10 @@
 #              (crossed with GOMAXPROCS 1 and default) and cmp every store
 #              against the sequential one — the batched interleaved engine
 #              pass must be invisible in the output
+#   5. warm:   rerun committed figures with -warm-start (crossed with
+#              GOMAXPROCS 1 and default for the minis) and cmp stdout
+#              against the committed .txt and the store against the cold
+#              run's — warm-seeded fixed points must change no output byte
 #
 # Figures 14/15/16/rg-rule2/jitter all render from one avgeer-study store,
 # so the store written while regenerating figure 14 replays the other four —
@@ -126,5 +130,42 @@ for b in 3 8; do
 	cmp "$tmp/batchref.jsonl" "$tmp/batchNx$b.jsonl"
 	echo "ok  batch   fig14 -batch $b (GOMAXPROCS 1 and default)"
 done
+
+# --- 5: warm-start invisibility — every committed figure rerun with
+# warm-seeded fixed points, against the committed .txt and the cold store
+# step 1 left in $tmp (the five replay-only figures render from fig14's
+# store, so its cmp covers them); then a warm mini at GOMAXPROCS 1 and
+# default against the cold sequential reference.
+
+# warm <figure> <name> <sweep flags...>: the live() flags plus -warm-start.
+warm() {
+	fig=$1
+	name=$2
+	shift 2
+	"$tmp/rtx" -figure "$fig" "$@" -warm-start \
+		-jsonl "$tmp/$name.warm.jsonl" >"$tmp/$name.warm.txt"
+	cmp "results/$name.txt" "$tmp/$name.warm.txt"
+	cmp "$tmp/$name.jsonl" "$tmp/$name.warm.jsonl"
+	echo "ok  warm    $name"
+}
+
+warm 12 fig12 -systems 200
+warm 13 fig13 -systems 200
+warm 14 fig14 -systems 50
+warm release-jitter release-jitter -systems 20
+warm tightness tightness -systems 40
+warm edf edf -systems 30 -horizon-periods 10
+warm exec-variation exec-variation -systems 10 -horizon-periods 10
+warm sensitivity sensitivity -systems 15 -horizon-periods 10
+"$tmp/rtx" -figure overhead -warm-start >"$tmp/overhead.warm.txt"
+cmp results/overhead.txt "$tmp/overhead.warm.txt"
+echo "ok  warm    overhead"
+
+"$tmp/rtx" -figure 14 $mini -jsonl "$tmp/warmref.jsonl" >/dev/null
+GOMAXPROCS=1 "$tmp/rtx" -figure 14 $mini -warm-start -jsonl "$tmp/warm1.jsonl" >/dev/null
+cmp "$tmp/warmref.jsonl" "$tmp/warm1.jsonl"
+"$tmp/rtx" -figure 14 $mini -warm-start -jsonl "$tmp/warmN.jsonl" >/dev/null
+cmp "$tmp/warmref.jsonl" "$tmp/warmN.jsonl"
+echo "ok  warm    fig14 mini (GOMAXPROCS 1 and default)"
 
 echo "all results round-trip byte-identical"
